@@ -1,0 +1,44 @@
+#pragma once
+// Shared plumbing for the benchmark harness: every binary regenerates one
+// paper table/figure (DESIGN.md §4), prints it as an ASCII table, and
+// accepts a common set of flags:
+//   --gpu=t4|rtx6000   target resource model (default t4)
+//   --sizes=a,b,c      override the size sweep
+//   --full             run the paper's full size range (functional
+//                      precision sweeps default to a laptop-scale subset)
+//   --trials=N         trial count for randomized experiments
+//   --seed=N           RNG seed
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tcsim/gpu_spec.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace egemm::bench {
+
+inline tcsim::GpuSpec gpu_from_args(const util::CliArgs& args) {
+  return tcsim::spec_by_name(args.value_or("gpu", std::string("t4")));
+}
+
+inline std::vector<std::int64_t> sizes_from_args(
+    const util::CliArgs& args, std::vector<std::int64_t> quick,
+    std::vector<std::int64_t> full) {
+  if (args.has_flag("sizes")) return args.int_list_or("sizes", quick);
+  return args.has_flag("full") ? full : quick;
+}
+
+/// Geometric mean helper for the headline "average speedup" rows.
+inline double geomean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double v : values) log_sum += std::log(v);
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace egemm::bench

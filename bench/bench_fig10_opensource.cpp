@@ -1,0 +1,44 @@
+// Regenerates Fig. 10 (comparison with open-source kernels): simulated
+// TFLOPS of SDK-CUDA-FP32, Markidis and EGEMM-TC on square sizes.
+#include "bench_common.hpp"
+#include "gemm/gemm_api.hpp"
+
+using namespace egemm;
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const tcsim::GpuSpec spec = bench::gpu_from_args(args);
+  const auto sizes = bench::sizes_from_args(
+      args, {1024, 2048, 4096, 8192, 16384},
+      {1024, 2048, 3072, 4096, 6144, 8192, 12288, 16384});
+
+  util::Table table("Fig. 10: open-source kernel comparison, square NxNxN on " +
+                    spec.name + " (simulated TFLOPS)");
+  table.set_header({"N", "SDK-CUDA-FP32", "Markidis", "EGEMM-TC", "vs SDK",
+                    "vs Markidis"});
+  std::vector<double> sdk_speedups, markidis_speedups;
+  for (const std::int64_t n64 : sizes) {
+    const auto n = static_cast<std::uint64_t>(n64);
+    const double sdk =
+        gemm::time_gemm(gemm::Backend::kSdkFp32, n, n, n, spec).tflops;
+    const double markidis =
+        gemm::time_gemm(gemm::Backend::kMarkidis, n, n, n, spec).tflops;
+    const double egemm =
+        gemm::time_gemm(gemm::Backend::kEgemmTC, n, n, n, spec).tflops;
+    sdk_speedups.push_back(egemm / sdk);
+    markidis_speedups.push_back(egemm / markidis);
+    table.add_row({std::to_string(n), util::fmt_fixed(sdk, 2),
+                   util::fmt_fixed(markidis, 2), util::fmt_fixed(egemm, 2),
+                   util::fmt_speedup(egemm / sdk),
+                   util::fmt_speedup(egemm / markidis)});
+  }
+  table.add_footnote(
+      "paper: 11.18x mean vs SDK-CUDA-FP32, 3.0x mean vs Markidis");
+  table.add_footnote("measured means: " +
+                     util::fmt_speedup(bench::geomean(sdk_speedups)) +
+                     " vs SDK, " +
+                     util::fmt_speedup(bench::geomean(markidis_speedups)) +
+                     " vs Markidis");
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Regenerates Fig. 8 (comparison with vendor kernels on square matrices):
+// simulated TFLOPS of cuBLAS-CUDA-FP32, cuBLAS-TC-Emulation and EGEMM-TC
+// for N in 1024..16384 on (a) Tesla T4 and (b) RTX 6000.
+#include "bench_common.hpp"
+#include "gemm/gemm_api.hpp"
+
+using namespace egemm;
+
+namespace {
+
+void run_gpu(const tcsim::GpuSpec& spec,
+             const std::vector<std::int64_t>& sizes) {
+  util::Table table("Fig. 8: vendor-kernel comparison, square NxNxN on " +
+                    spec.name + " (simulated TFLOPS)");
+  table.set_header({"N", "cuBLAS-CUDA-FP32", "cuBLAS-TC-Emulation",
+                    "EGEMM-TC", "vs FP32", "vs TC-Emu"});
+  std::vector<double> fp32_speedups, emu_speedups;
+  for (const std::int64_t n64 : sizes) {
+    const auto n = static_cast<std::uint64_t>(n64);
+    const double fp32 =
+        gemm::time_gemm(gemm::Backend::kCublasFp32, n, n, n, spec).tflops;
+    const double emu =
+        gemm::time_gemm(gemm::Backend::kCublasTcEmulation, n, n, n, spec)
+            .tflops;
+    const double egemm =
+        gemm::time_gemm(gemm::Backend::kEgemmTC, n, n, n, spec).tflops;
+    fp32_speedups.push_back(egemm / fp32);
+    emu_speedups.push_back(egemm / emu);
+    table.add_row({std::to_string(n), util::fmt_fixed(fp32, 2),
+                   util::fmt_fixed(emu, 2), util::fmt_fixed(egemm, 2),
+                   util::fmt_speedup(egemm / fp32),
+                   util::fmt_speedup(egemm / emu)});
+  }
+  table.add_footnote("paper (T4): 3.13x mean vs cuBLAS-CUDA-FP32, 1.35x mean "
+                     "vs cuBLAS-TC-Emulation; ~12 TFLOPS at 8192^3");
+  table.add_footnote("measured means: " +
+                     util::fmt_speedup(bench::geomean(fp32_speedups)) +
+                     " vs FP32, " +
+                     util::fmt_speedup(bench::geomean(emu_speedups)) +
+                     " vs TC-Emulation");
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const auto sizes = bench::sizes_from_args(
+      args, {1024, 2048, 4096, 8192, 16384},
+      {1024, 2048, 3072, 4096, 6144, 8192, 12288, 16384});
+  if (args.has_flag("gpu")) {
+    run_gpu(bench::gpu_from_args(args), sizes);
+  } else {
+    run_gpu(tcsim::tesla_t4(), sizes);     // Fig. 8a
+    run_gpu(tcsim::rtx6000(), sizes);      // Fig. 8b
+  }
+  return 0;
+}

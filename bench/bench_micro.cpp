@@ -1,0 +1,159 @@
+// google-benchmark microbenchmarks for the CPU-side primitives: binary16
+// conversion, data splits, the functional Tensor Core tile, the emulated
+// tile algorithms, the pipeline simulator and a small end-to-end GEMM.
+// These measure the *substrate's* host performance (useful when extending
+// the library), not the simulated GPU numbers of the fig/table benches.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/emulation.hpp"
+#include "core/split.hpp"
+#include "gemm/baselines.hpp"
+#include "gemm/egemm.hpp"
+#include "tcsim/instruction.hpp"
+#include "tcsim/pipeline.hpp"
+#include "tcsim/tensor_core.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace egemm;
+
+void BM_HalfFromFloat(benchmark::State& state) {
+  util::Xoshiro256 rng(1);
+  std::vector<float> values(4096);
+  for (auto& v : values) v = rng.uniform(-1.0f, 1.0f);
+  for (auto _ : state) {
+    std::uint32_t acc = 0;
+    for (const float v : values) {
+      acc += fp::f32_to_f16_bits(v, fp::Rounding::kNearestEven);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_HalfFromFloat);
+
+void BM_HalfToFloat(benchmark::State& state) {
+  std::vector<std::uint16_t> bits(4096);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    bits[i] = static_cast<std::uint16_t>(i * 13);
+  }
+  for (auto _ : state) {
+    float acc = 0.0f;
+    for (const std::uint16_t b : bits) acc += fp::f16_bits_to_f32(b);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bits.size()));
+}
+BENCHMARK(BM_HalfToFloat);
+
+void BM_SplitSpan(benchmark::State& state) {
+  const auto method = static_cast<core::SplitMethod>(state.range(0));
+  util::Xoshiro256 rng(2);
+  std::vector<float> input(8192);
+  for (auto& v : input) v = rng.uniform(-1.0f, 1.0f);
+  std::vector<float> hi(input.size()), lo(input.size());
+  for (auto _ : state) {
+    core::split_span_f32(input, hi, lo, method);
+    benchmark::DoNotOptimize(hi.data());
+    benchmark::DoNotOptimize(lo.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(input.size()));
+}
+BENCHMARK(BM_SplitSpan)
+    ->Arg(static_cast<int>(core::SplitMethod::kRoundSplit))
+    ->Arg(static_cast<int>(core::SplitMethod::kTruncateSplit));
+
+void BM_TensorCoreTile(benchmark::State& state) {
+  util::Xoshiro256 rng(3);
+  float a[16 * 16], b[16 * 16], d[16 * 16];
+  for (auto& v : a) v = fp::Half(rng.uniform(-1.0f, 1.0f)).to_float();
+  for (auto& v : b) v = fp::Half(rng.uniform(-1.0f, 1.0f)).to_float();
+  for (auto& v : d) v = 0.0f;
+  for (auto _ : state) {
+    tcsim::mma_tile_f32(d, 16, a, 16, b, 16, 16, 16, 16);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 16 * 16 * 16);
+}
+BENCHMARK(BM_TensorCoreTile);
+
+void BM_EmulatedTile(benchmark::State& state) {
+  util::Xoshiro256 rng(4);
+  core::FragmentF32 a;
+  core::FragmentF32B b;
+  tcsim::FragmentAcc c, d;
+  for (auto& v : a.flat()) v = rng.uniform(-1.0f, 1.0f);
+  for (auto& v : b.flat()) v = rng.uniform(-1.0f, 1.0f);
+  for (auto& v : c.flat()) v = rng.uniform(-1.0f, 1.0f);
+  const int variant = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    switch (variant) {
+      case 0:
+        core::egemm_mma_tile(d, a, b, c);
+        break;
+      case 1:
+        core::markidis_mma_tile(d, a, b, c);
+        break;
+      default:
+        core::dekker_mma_tile(d, a, b, c);
+        break;
+    }
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetLabel(variant == 0   ? "egemm"
+                 : variant == 1 ? "markidis"
+                                : "dekker");
+}
+BENCHMARK(BM_EmulatedTile)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_PipelineSimulate(benchmark::State& state) {
+  const tcsim::GpuSpec spec = tcsim::tesla_t4();
+  const tcsim::EgemmStreamOptions opts{};
+  const tcsim::IterationShape shape =
+      tcsim::egemm_iteration_shape(128, 128, 32, 64, 32, 8, opts);
+  const tcsim::SimProgram prog = tcsim::build_egemm_block_program(
+      shape, static_cast<std::uint32_t>(state.range(0)), opts, 128);
+  for (auto _ : state) {
+    const tcsim::SimStats stats = tcsim::simulate_block(prog, spec);
+    benchmark::DoNotOptimize(stats.cycles);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(prog.dynamic_size()));
+}
+BENCHMARK(BM_PipelineSimulate)->Arg(32)->Arg(256);
+
+void BM_EgemmMultiply(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const gemm::Matrix a = gemm::random_matrix(n, n, -1, 1, 5);
+  const gemm::Matrix b = gemm::random_matrix(n, n, -1, 1, 6);
+  for (auto _ : state) {
+    const gemm::Matrix d = gemm::egemm_multiply(a, b);
+    benchmark::DoNotOptimize(d.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_EgemmMultiply)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SgemmFp32(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const gemm::Matrix a = gemm::random_matrix(n, n, -1, 1, 7);
+  const gemm::Matrix b = gemm::random_matrix(n, n, -1, 1, 8);
+  for (auto _ : state) {
+    const gemm::Matrix d = gemm::sgemm_fp32(a, b);
+    benchmark::DoNotOptimize(d.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_SgemmFp32)->Arg(128)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

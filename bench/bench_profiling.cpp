@@ -1,0 +1,75 @@
+// Regenerates the precision-profiling experiment (Fig. 3, artifact §A.3
+// "Profiling"): sample trials in the artifact's printout format, then the
+// full generalized-workflow report over N randomized trials, including the
+// failure-injection run against a deliberately broken core.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/profiling.hpp"
+#include "fp/float_bits.hpp"
+#include "tcsim/tensor_core.hpp"
+
+using namespace egemm;
+
+namespace {
+
+void print_sample(std::uint64_t seed) {
+  const core::ProfilingSample s = core::sample_trial(seed);
+  std::printf("half_result:   %14.8f, %s\n", static_cast<double>(s.half_result),
+              fp::f32_hex(s.half_result).c_str());
+  std::printf("single_result: %14.8f, %s\n",
+              static_cast<double>(s.single_result),
+              fp::f32_hex(s.single_result).c_str());
+  std::printf("Tensor Core :  %14.8f, %s\n", static_cast<double>(s.tc_result),
+              fp::f32_hex(s.tc_result).c_str());
+  std::printf("  matching mantissa bits vs single: %d, vs half: %d\n\n",
+              fp::matching_mantissa_bits(s.tc_result, s.single_result),
+              fp::matching_mantissa_bits(s.tc_result, s.half_result));
+}
+
+void print_report(const char* title, const core::ProfilingReport& report) {
+  util::Table table(title);
+  table.set_header({"probe", "min bitwise-match bits", "min scale-rel bits",
+                    "bitwise identical always", "trials"});
+  for (const auto& probe : report.probes) {
+    table.add_row({probe.name,
+                   std::to_string(probe.min_matching_mantissa_bits),
+                   util::fmt_fixed(probe.min_scale_relative_bits, 1),
+                   probe.bitwise_identical_always ? "yes" : "no",
+                   std::to_string(probe.trials)});
+  }
+  table.add_footnote("certified probe: " +
+                     (report.certified() ? report.certified_probe
+                                         : std::string("<none>")));
+  table.add_footnote(
+      std::string("licenses extended-precision emulation (>=21 bits): ") +
+      (report.licenses_extended_precision() ? "YES" : "NO"));
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const auto trials =
+      static_cast<std::uint64_t>(args.value_or("trials", std::int64_t{10000}));
+  const auto seed =
+      static_cast<std::uint64_t>(args.value_or("seed", std::int64_t{2021}));
+
+  std::printf("== Sample trials (artifact A.3 printout format) ==\n\n");
+  for (std::uint64_t s = 0; s < 3; ++s) print_sample(seed + s);
+
+  core::ProfilingConfig config;
+  config.trials = trials;
+  config.seed = seed;
+  print_report("Fig. 2a workflow on the (simulated) Tensor Core",
+               core::profile_tensor_core(config));
+
+  print_report(
+      "Failure injection: broken core with binary16 accumulation",
+      core::profile_core(
+          [](std::span<const fp::Half> a, std::span<const fp::Half> b,
+             float c) { return tcsim::broken_tc_dot(a, b, c); },
+          config));
+  return 0;
+}

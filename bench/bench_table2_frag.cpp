@@ -1,0 +1,85 @@
+// Regenerates Table 2 (per-warp memory access with and without intra-warp
+// FRAG caching) from the tiling formulas, then shows the end-to-end effect
+// of the optimization in the pipeline model (the ablation DESIGN.md §4
+// calls out).
+#include "bench_common.hpp"
+#include "gemm/egemm.hpp"
+#include "tcsim/instruction.hpp"
+
+using namespace egemm;
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const tcsim::GpuSpec spec = bench::gpu_from_args(args);
+  const gemm::TileConfig cfg = gemm::table4_config();
+
+  {
+    // Table 2: shared-memory <-> FRAG/register traffic per warp per
+    // main-loop iteration (one bk-deep block tile). Without FRAG caching
+    // the A fragment is re-read for every TC-tile column (wn/tn times) and
+    // the C tile streams through shared memory on every k'-step; with
+    // caching A is read once per step and C never leaves the FRAG.
+    const double wm = cfg.wm, wn = cfg.wn, wk = cfg.wk;
+    const double steps = static_cast<double>(cfg.bk) / wk;
+    const double a_rereads = wn / 16.0;  // TC-tile columns per warp tile
+    util::Table table(
+        "Table 2: per-warp shared<->FRAG traffic per block iteration, bytes "
+        "(Table 4 tiling)");
+    table.set_header({"type", "tile size (B)", "w/o FRAG caching",
+                      "w/ FRAG caching"});
+    table.add_row({"Alo (half)", util::fmt_fixed(2 * wm * wk, 0),
+                   util::fmt_fixed(2 * wm * wk * steps * a_rereads, 0),
+                   util::fmt_fixed(2 * wm * wk * steps, 0)});
+    table.add_row({"C (fp32, resident in FRAG when cached)",
+                   util::fmt_fixed(4 * wm * wn, 0),
+                   util::fmt_fixed(2 * 4 * wm * wn * steps, 0),
+                   util::fmt_fixed(0, 0)});
+    table.add_footnote("Ahi, Blo, Bhi behave like Alo (paper Table 2 note)");
+    table.add_footnote("paper's algebra: Alo 4wk*wm*wk/tk -> 2wm*wk; "
+                       "C 4wm*wn*wk/tk -> 4wm*wn");
+    table.print(std::cout);
+  }
+
+  {
+    // Instruction-level consequence: LDS/STS volumes per main-loop
+    // iteration under both strategies.
+    tcsim::EgemmStreamOptions cached, uncached;
+    uncached.frag_caching = false;
+    const tcsim::IterationShape with = tcsim::egemm_iteration_shape(
+        cfg.bm, cfg.bn, cfg.bk, cfg.wm, cfg.wn, cfg.wk, cached);
+    const tcsim::IterationShape without = tcsim::egemm_iteration_shape(
+        cfg.bm, cfg.bn, cfg.bk, cfg.wm, cfg.wn, cfg.wk, uncached);
+    util::Table table("Shared-memory instructions per block iteration");
+    table.set_header({"strategy", "LDS.32", "STS.128", "HMMA"});
+    table.add_row({"w/ FRAG caching",
+                   std::to_string(with.lds_per_step * with.steps),
+                   std::to_string(with.sts),
+                   std::to_string(with.hmma_per_step * with.steps)});
+    table.add_row({"w/o FRAG caching",
+                   std::to_string(without.lds_per_step * without.steps),
+                   std::to_string(without.sts),
+                   std::to_string(without.hmma_per_step * without.steps)});
+    table.print(std::cout);
+  }
+
+  {
+    util::Table table("End-to-end effect of FRAG caching on " + spec.name +
+                      " (simulated TFLOPS, square)");
+    table.set_header({"N", "w/o FRAG caching", "w/ FRAG caching", "speedup"});
+    std::vector<double> speedups;
+    for (const std::uint64_t n : {2048u, 4096u, 8192u}) {
+      gemm::EgemmOptions off;
+      off.frag_caching = false;
+      const double with = gemm::egemm_timing(n, n, n, spec).tflops;
+      const double without = gemm::egemm_timing(n, n, n, spec, off).tflops;
+      speedups.push_back(with / without);
+      table.add_row({std::to_string(n), util::fmt_fixed(without, 2),
+                     util::fmt_fixed(with, 2),
+                     util::fmt_speedup(with / without)});
+    }
+    table.add_footnote("measured mean: " +
+                       util::fmt_speedup(bench::geomean(speedups)));
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Regenerates Table 3 (resource budget) and Table 4 (analytic-model design
+// choice) by running the §6 solver against the GPU's budget, and prints the
+// top of the feasible design space for context.
+#include "bench_common.hpp"
+#include "model/solver.hpp"
+#include "tcsim/occupancy.hpp"
+
+using namespace egemm;
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const tcsim::GpuSpec spec = bench::gpu_from_args(args);
+  const model::ResourceBudget budget = model::budget_from_spec(spec);
+
+  {
+    util::Table table("Table 3: resource budget on " + spec.name);
+    table.set_header({"resource", "budget"});
+    table.add_row({"Shared Memory Size",
+                   std::to_string(budget.shared_memory_bytes / 1024) + " KB"});
+    table.add_row({"FRAG/Register Size",
+                   std::to_string(budget.register_bytes / 1024) + " KB"});
+    table.add_row({"Peak Computation",
+                   util::fmt_fixed(budget.peak_tc_tflops, 1) + " TFLOPS"});
+    table.add_row({"L2 Cache Speed",
+                   util::fmt_fixed(budget.l2_gbps, 0) + " GB/s"});
+    table.print(std::cout);
+  }
+
+  const model::SolverResult result = model::solve(budget);
+  if (!result.found) {
+    std::printf("no feasible tiling found for this budget\n");
+    return 1;
+  }
+
+  {
+    const gemm::TileConfig& best = result.best;
+    const tcsim::Occupancy occ = tcsim::compute_occupancy(
+        spec, tcsim::BlockResources{best.shared_memory_bytes(),
+                                    result.best_eval.registers_per_thread,
+                                    best.threads_per_block()});
+    util::Table table("Table 4: design choice on " + spec.name);
+    table.set_header({"parameter", "value"});
+    table.add_row({"(bm, bn, bk)", "(" + std::to_string(best.bm) + ", " +
+                                       std::to_string(best.bn) + ", " +
+                                       std::to_string(best.bk) + ")"});
+    table.add_row({"(wm, wn, wk)", "(" + std::to_string(best.wm) + ", " +
+                                       std::to_string(best.wn) + ", " +
+                                       std::to_string(best.wk) + ")"});
+    table.add_row({"Shared memory/block",
+                   std::to_string(best.shared_memory_bytes() / 1024) + " KB"});
+    table.add_row({"Active Blocks/SM", std::to_string(occ.blocks_per_sm)});
+    table.add_row({"Active Warps/Block",
+                   std::to_string(best.warps_per_block())});
+    table.add_row({"Registers/thread (232 of 256 in paper)",
+                   std::to_string(result.best_eval.registers_per_thread)});
+    table.add_footnote("paper Table 4: (128,128,32), (64,32,8), 36 KB, 1 "
+                       "block/SM, 8 warps/block");
+    table.add_footnote("design points explored: " +
+                       std::to_string(result.explored) + ", feasible: " +
+                       std::to_string(result.feasible.size()));
+    table.print(std::cout);
+  }
+
+  {
+    util::Table table("Top feasible candidates (objective order)");
+    table.set_header({"rank", "config", "intensity (Eq. 4)",
+                      "T_comp (cyc)", "T_mem1+T_mem2 (cyc)", "regs/thread"});
+    const std::size_t top =
+        std::min<std::size_t>(result.feasible.size(), 8);
+    for (std::size_t i = 0; i < top; ++i) {
+      const auto& candidate = result.feasible[i];
+      table.add_row(
+          {std::to_string(i + 1), candidate.config.describe(),
+           util::fmt_fixed(candidate.eval.compute_intensity, 1),
+           util::fmt_fixed(candidate.eval.t_comp, 0),
+           util::fmt_fixed(candidate.eval.t_mem1 + candidate.eval.t_mem2, 0),
+           std::to_string(candidate.eval.registers_per_thread)});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// The hardware-aware analytic model as an autotuner (§6): describe your
+// GPU with four budget numbers and get the tiling hyper-parameters without
+// trial-and-error, plus the predicted performance curve.
+//
+//   build/examples/autotune [--gpu=t4|rtx6000]
+//                           [--smem-kb=64] [--regfile-kb=256]
+//                           [--peak-tflops=65] [--l2-gbps=750]
+//
+// Passing any of the budget flags overrides the named GPU's value, so you
+// can explore hypothetical hardware ("what if the register file doubled?").
+#include <cstdio>
+
+#include "gemm/egemm.hpp"
+#include "model/solver.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace egemm;
+  const util::CliArgs args(argc, argv);
+  tcsim::GpuSpec spec =
+      tcsim::spec_by_name(args.value_or("gpu", std::string("t4")));
+
+  model::ResourceBudget budget = model::budget_from_spec(spec);
+  budget.shared_memory_bytes = static_cast<std::size_t>(
+      args.value_or("smem-kb",
+                    static_cast<std::int64_t>(budget.shared_memory_bytes /
+                                              1024)) *
+      1024);
+  budget.register_bytes = static_cast<std::size_t>(
+      args.value_or("regfile-kb",
+                    static_cast<std::int64_t>(budget.register_bytes / 1024)) *
+      1024);
+  budget.peak_tc_tflops = args.value_or("peak-tflops", budget.peak_tc_tflops);
+  budget.l2_gbps = args.value_or("l2-gbps", budget.l2_gbps);
+
+  std::printf("budget: %zu KB shared, %zu KB registers, %.1f TFLOPS peak, "
+              "%.0f GB/s L2\n\n",
+              budget.shared_memory_bytes / 1024, budget.register_bytes / 1024,
+              budget.peak_tc_tflops, budget.l2_gbps);
+
+  const model::SolverResult result = model::solve(budget);
+  if (!result.found) {
+    std::printf("no feasible tiling: this budget cannot host the kernel.\n");
+    return 1;
+  }
+
+  std::printf("recommended tiling: %s\n", result.best.describe().c_str());
+  std::printf("  compute intensity (Eq. 4): %.1f FLOP/byte-ish units\n",
+              result.best_eval.compute_intensity);
+  std::printf("  per-iteration budget: T_comp %.0f cycles vs T_mem1+T_mem2 "
+              "%.0f cycles (margin %.0f)\n",
+              result.best_eval.t_comp,
+              result.best_eval.t_mem1 + result.best_eval.t_mem2,
+              result.best_eval.compute_margin());
+  std::printf("  registers/thread: %d of %d, shared memory %zu KB\n",
+              result.best_eval.registers_per_thread,
+              budget.max_registers_per_thread,
+              result.best_eval.shared_demand_bytes / 1024);
+  std::printf("  design points explored: %zu, feasible: %zu\n\n",
+              result.explored, result.feasible.size());
+
+  // Apply the choice: the budget may describe hypothetical hardware, so
+  // patch the spec's resources to match before timing.
+  spec.shared_memory_per_sm = budget.shared_memory_bytes;
+  spec.register_file_per_sm = budget.register_bytes;
+  spec.peak_fp16_tc_tflops = budget.peak_tc_tflops;
+  spec.l2_bandwidth_gbps = budget.l2_gbps;
+  gemm::EgemmOptions opts;
+  opts.tile = result.best;
+  std::printf("predicted EGEMM-TC performance with this tiling:\n");
+  for (const std::uint64_t n : {1024u, 2048u, 4096u, 8192u, 16384u}) {
+    const gemm::KernelTiming t = gemm::egemm_timing(n, n, n, spec, opts);
+    std::printf("  %6llu^3: %6.2f TFLOPS (%8.3f ms, %u waves)\n",
+                static_cast<unsigned long long>(n), t.tflops,
+                t.seconds * 1e3, t.waves);
+  }
+  return 0;
+}

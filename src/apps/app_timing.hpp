@@ -1,0 +1,45 @@
+#pragma once
+// Application-level timing composition for Fig. 12.
+//
+// Both applications decompose into a GEMM phase (timed through the
+// backend's kernel model) and non-GEMM phases (norms, k-selection, argmin,
+// centroid update) modeled as memory-bound CUDA-core passes. With the
+// cuBLAS-CUDA-FP32 backend at the paper's scales the GEMM fraction lands
+// near the §1 figures (~85% for kNN, ~67% for kMeans), which is what makes
+// the end-to-end speedups smaller than the raw GEMM speedups.
+
+#include <cstdint>
+
+#include "gemm/gemm_api.hpp"
+#include "tcsim/gpu_spec.hpp"
+
+namespace egemm::apps {
+
+struct AppTiming {
+  double total_seconds = 0.0;
+  double gemm_seconds = 0.0;
+  double other_seconds = 0.0;
+  double gemm_fraction = 0.0;
+};
+
+struct KnnWorkload {
+  std::uint64_t references = 8192;
+  std::uint64_t queries = 8192;
+  std::uint64_t dim = 256;
+  int k = 20;
+};
+
+struct KMeansWorkload {
+  std::uint64_t points = 8192;
+  std::uint64_t dim = 128;
+  int clusters = 64;
+  int iterations = 20;
+};
+
+AppTiming knn_timing(const KnnWorkload& workload, gemm::Backend backend,
+                     const tcsim::GpuSpec& spec);
+
+AppTiming kmeans_timing(const KMeansWorkload& workload, gemm::Backend backend,
+                        const tcsim::GpuSpec& spec);
+
+}  // namespace egemm::apps

@@ -1,0 +1,41 @@
+#include "apps/dataset.hpp"
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace egemm::apps {
+
+PointCloud uniform_cloud(std::size_t n, std::size_t dim, float lo, float hi,
+                         std::uint64_t seed) {
+  PointCloud cloud;
+  cloud.points = gemm::random_matrix(n, dim, lo, hi, seed);
+  return cloud;
+}
+
+PointCloud gaussian_mixture(std::size_t n, std::size_t dim, int components,
+                            double stddev, std::uint64_t seed) {
+  EGEMM_EXPECTS(components > 0);
+  PointCloud cloud;
+  cloud.points = gemm::Matrix(n, dim);
+  cloud.true_labels.resize(n);
+  cloud.components = components;
+
+  util::NormalSampler normal(seed);
+  gemm::Matrix centers(static_cast<std::size_t>(components), dim);
+  for (float& value : centers.data()) {
+    value = normal.rng().uniform(-1.0f, 1.0f);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label =
+        static_cast<int>(normal.rng().below(static_cast<std::uint64_t>(components)));
+    cloud.true_labels[i] = label;
+    for (std::size_t d = 0; d < dim; ++d) {
+      cloud.points.at(i, d) =
+          centers.at(static_cast<std::size_t>(label), d) +
+          static_cast<float>(stddev * normal.next());
+    }
+  }
+  return cloud;
+}
+
+}  // namespace egemm::apps

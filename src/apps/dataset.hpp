@@ -1,0 +1,30 @@
+#pragma once
+// Synthetic datasets for the GEMM-based scientific-computing applications
+// (§7.5). The paper's open-source baselines run on generic point clouds;
+// we generate reproducible uniform clouds and Gaussian mixtures (the
+// latter give kMeans a meaningful clustering to recover, which the tests
+// verify).
+
+#include <cstdint>
+#include <vector>
+
+#include "gemm/matrix.hpp"
+
+namespace egemm::apps {
+
+struct PointCloud {
+  gemm::Matrix points;           ///< n x dim, row per point
+  std::vector<int> true_labels;  ///< generating component (empty if none)
+  int components = 0;
+};
+
+/// Uniform points in [lo, hi)^dim.
+PointCloud uniform_cloud(std::size_t n, std::size_t dim, float lo, float hi,
+                         std::uint64_t seed);
+
+/// Gaussian mixture: `components` centers uniform in [-1,1]^dim, isotropic
+/// noise with the given standard deviation around each.
+PointCloud gaussian_mixture(std::size_t n, std::size_t dim, int components,
+                            double stddev, std::uint64_t seed);
+
+}  // namespace egemm::apps

@@ -1,0 +1,153 @@
+#include "apps/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace egemm::apps {
+
+namespace {
+
+/// k-means++ style seeding: first centroid uniform, the rest sampled with
+/// probability proportional to the squared distance to the nearest chosen
+/// centroid (computed directly; seeding is not the GEMM-heavy phase).
+gemm::Matrix seed_centroids(const gemm::Matrix& points, int clusters,
+                            std::uint64_t seed) {
+  const std::size_t n = points.rows();
+  const std::size_t dim = points.cols();
+  util::Xoshiro256 rng(seed);
+  gemm::Matrix centroids(static_cast<std::size_t>(clusters), dim);
+
+  std::vector<double> best_dist(n, std::numeric_limits<double>::max());
+  std::size_t chosen = rng.below(n);
+  for (int c = 0; c < clusters; ++c) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      centroids.at(static_cast<std::size_t>(c), d) = points.at(chosen, d);
+    }
+    if (c + 1 == clusters) break;
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double diff =
+            static_cast<double>(points.at(i, d)) -
+            static_cast<double>(centroids.at(static_cast<std::size_t>(c), d));
+        acc += diff * diff;
+      }
+      best_dist[i] = std::min(best_dist[i], acc);
+      total += best_dist[i];
+    }
+    // Sample proportional to best_dist.
+    double target = rng.uniform_double(0.0, total);
+    chosen = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      target -= best_dist[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+  }
+  return centroids;
+}
+
+std::vector<float> row_norms(const gemm::Matrix& m) {
+  std::vector<float> norms(m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    float acc = 0.0f;
+    const float* row = m.row(i);
+    for (std::size_t d = 0; d < m.cols(); ++d) {
+      acc = std::fmaf(row[d], row[d], acc);
+    }
+    norms[i] = acc;
+  }
+  return norms;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const gemm::Matrix& points, const KMeansOptions& opts) {
+  EGEMM_EXPECTS(opts.clusters >= 1);
+  EGEMM_EXPECTS(points.rows() >= static_cast<std::size_t>(opts.clusters));
+  const std::size_t n = points.rows();
+  const std::size_t dim = points.cols();
+  const auto clusters = static_cast<std::size_t>(opts.clusters);
+
+  KMeansResult result;
+  result.centroids = seed_centroids(points, opts.clusters, opts.seed);
+  result.assignment.assign(n, 0);
+
+  const std::vector<float> pn = row_norms(points);
+  double prev_inertia = std::numeric_limits<double>::max();
+
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    // Assignment step: distance matrix through the GEMM backend.
+    const gemm::Matrix ct = gemm::transpose(result.centroids);
+    const gemm::Matrix cross = gemm::run_gemm(opts.backend, points, ct);
+    const std::vector<float> cn = row_norms(result.centroids);
+
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* cross_row = cross.row(i);
+      int best = 0;
+      float best_dist = std::numeric_limits<float>::max();
+      for (std::size_t c = 0; c < clusters; ++c) {
+        const float dist = pn[i] + cn[c] - 2.0f * cross_row[c];
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = static_cast<int>(c);
+        }
+      }
+      result.assignment[i] = best;
+      inertia += std::max(0.0, static_cast<double>(best_dist));
+    }
+    result.inertia = inertia;
+    result.iterations = iter + 1;
+
+    // Update step: new means (empty clusters keep their centroid).
+    gemm::Matrix sums(clusters, dim);
+    std::vector<std::size_t> counts(clusters, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto c = static_cast<std::size_t>(result.assignment[i]);
+      ++counts[c];
+      const float* row = points.row(i);
+      float* sum = sums.row(c);
+      for (std::size_t d = 0; d < dim; ++d) sum[d] += row[d];
+    }
+    for (std::size_t c = 0; c < clusters; ++c) {
+      if (counts[c] == 0) continue;
+      const auto inv = 1.0f / static_cast<float>(counts[c]);
+      for (std::size_t d = 0; d < dim; ++d) {
+        result.centroids.at(c, d) = sums.at(c, d) * inv;
+      }
+    }
+
+    if (prev_inertia - inertia <= opts.tolerance * std::max(1.0, inertia)) {
+      result.converged = true;
+      break;
+    }
+    prev_inertia = inertia;
+  }
+  return result;
+}
+
+double kmeans_inertia(const gemm::Matrix& points, const gemm::Matrix& centroids,
+                      const std::vector<int>& assignment) {
+  EGEMM_EXPECTS(assignment.size() == points.rows());
+  double total = 0.0;
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    const auto c = static_cast<std::size_t>(assignment[i]);
+    EGEMM_EXPECTS(c < centroids.rows());
+    for (std::size_t d = 0; d < points.cols(); ++d) {
+      const double diff = static_cast<double>(points.at(i, d)) -
+                          static_cast<double>(centroids.at(c, d));
+      total += diff * diff;
+    }
+  }
+  return total;
+}
+
+}  // namespace egemm::apps

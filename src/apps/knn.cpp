@@ -1,0 +1,122 @@
+#include "apps/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace egemm::apps {
+
+namespace {
+
+/// Squared L2 norms of each row.
+std::vector<float> row_norms(const gemm::Matrix& m) {
+  std::vector<float> norms(m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    float acc = 0.0f;
+    const float* row = m.row(i);
+    for (std::size_t d = 0; d < m.cols(); ++d) {
+      acc = std::fmaf(row[d], row[d], acc);
+    }
+    norms[i] = acc;
+  }
+  return norms;
+}
+
+/// Partial selection of the k smallest entries of `row`, ties broken by
+/// index (deterministic across backends).
+void select_k(const float* row, std::size_t n, int k,
+              std::int32_t* out_idx, float* out_dist) {
+  std::vector<std::int32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const auto kth = order.begin() + k;
+  std::partial_sort(order.begin(), kth, order.end(),
+                    [row](std::int32_t a, std::int32_t b) {
+                      const float da = row[a], db = row[b];
+                      if (da != db) return da < db;
+                      return a < b;
+                    });
+  for (int j = 0; j < k; ++j) {
+    out_idx[j] = order[static_cast<std::size_t>(j)];
+    out_dist[j] = row[order[static_cast<std::size_t>(j)]];
+  }
+}
+
+}  // namespace
+
+KnnResult knn_search(const gemm::Matrix& queries,
+                     const gemm::Matrix& references, const KnnOptions& opts) {
+  EGEMM_EXPECTS(queries.cols() == references.cols());
+  EGEMM_EXPECTS(opts.k >= 1 &&
+                static_cast<std::size_t>(opts.k) <= references.rows());
+  const std::size_t m = queries.rows();
+  const std::size_t n = references.rows();
+
+  // Cross terms via one large GEMM: Q x R^T (m x n).
+  const gemm::Matrix rt = gemm::transpose(references);
+  const gemm::Matrix cross = gemm::run_gemm(opts.backend, queries, rt);
+
+  const std::vector<float> qn = row_norms(queries);
+  const std::vector<float> rn = row_norms(references);
+
+  KnnResult result;
+  result.indices = gemm::BasicMatrix<std::int32_t>(
+      m, static_cast<std::size_t>(opts.k));
+  result.distances = gemm::Matrix(m, static_cast<std::size_t>(opts.k));
+
+  std::vector<float> dist_row(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* cross_row = cross.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      // Clamp: rounding can push tiny true distances slightly negative.
+      dist_row[j] = std::max(0.0f, qn[i] + rn[j] - 2.0f * cross_row[j]);
+    }
+    select_k(dist_row.data(), n, opts.k, result.indices.row(i),
+             result.distances.row(i));
+  }
+  return result;
+}
+
+KnnResult knn_bruteforce(const gemm::Matrix& queries,
+                         const gemm::Matrix& references, int k) {
+  EGEMM_EXPECTS(queries.cols() == references.cols());
+  const std::size_t m = queries.rows();
+  const std::size_t n = references.rows();
+
+  KnnResult result;
+  result.indices =
+      gemm::BasicMatrix<std::int32_t>(m, static_cast<std::size_t>(k));
+  result.distances = gemm::Matrix(m, static_cast<std::size_t>(k));
+
+  std::vector<float> dist_row(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t d = 0; d < queries.cols(); ++d) {
+        const double diff = static_cast<double>(queries.at(i, d)) -
+                            static_cast<double>(references.at(j, d));
+        acc += diff * diff;
+      }
+      dist_row[j] = static_cast<float>(acc);
+    }
+    select_k(dist_row.data(), n, k, result.indices.row(i),
+             result.distances.row(i));
+  }
+  return result;
+}
+
+double knn_agreement(const KnnResult& a, const KnnResult& b) {
+  EGEMM_EXPECTS(a.indices.rows() == b.indices.rows() &&
+                a.indices.cols() == b.indices.cols());
+  if (a.indices.size() == 0) return 1.0;
+  std::size_t matches = 0;
+  for (std::size_t i = 0; i < a.indices.size(); ++i) {
+    if (a.indices.data()[i] == b.indices.data()[i]) ++matches;
+  }
+  return static_cast<double>(matches) /
+         static_cast<double>(a.indices.size());
+}
+
+}  // namespace egemm::apps

@@ -1,0 +1,42 @@
+#pragma once
+// GEMM-based k-nearest-neighbor search (Garcia [9]; §7.5, Fig. 12b).
+//
+// The distance matrix is assembled from a single large GEMM,
+//   dist^2(q, x) = ||q||^2 + ||x||^2 - 2 q.x,
+// which is where ~85% of the open-source implementation's time goes (§1);
+// the GEMM backend is pluggable so EGEMM-TC drops in for cublasSgemm.
+
+#include <cstdint>
+#include <vector>
+
+#include "gemm/gemm_api.hpp"
+#include "gemm/matrix.hpp"
+
+namespace egemm::apps {
+
+struct KnnResult {
+  /// indices.at(i, j): index (into the reference set) of query i's j-th
+  /// nearest neighbor, nearest first.
+  gemm::BasicMatrix<std::int32_t> indices;
+  /// Squared distances, same layout.
+  gemm::Matrix distances;
+};
+
+struct KnnOptions {
+  int k = 8;
+  gemm::Backend backend = gemm::Backend::kEgemmTC;
+};
+
+/// queries: m x d, references: n x d. Requires k <= n.
+KnnResult knn_search(const gemm::Matrix& queries,
+                     const gemm::Matrix& references, const KnnOptions& opts);
+
+/// Direct double-precision brute force (test oracle).
+KnnResult knn_bruteforce(const gemm::Matrix& queries,
+                         const gemm::Matrix& references, int k);
+
+/// Fraction of (query, rank) pairs whose neighbor index matches between
+/// two results; 1.0 means identical neighbor lists.
+double knn_agreement(const KnnResult& a, const KnnResult& b);
+
+}  // namespace egemm::apps

@@ -1,0 +1,145 @@
+#include "apps/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace egemm::apps {
+
+namespace {
+
+/// C . v for a symmetric dim x dim matrix in binary64 (the small
+/// per-iteration work; the GEMM-heavy part is the covariance itself).
+std::vector<double> matvec(const gemm::Matrix& c,
+                           const std::vector<double>& v) {
+  std::vector<double> out(c.rows(), 0.0);
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    double acc = 0.0;
+    const float* row = c.row(i);
+    for (std::size_t j = 0; j < c.cols(); ++j) {
+      acc += static_cast<double>(row[j]) * v[j];
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+double norm(const std::vector<double>& v) {
+  double acc = 0.0;
+  for (const double x : v) acc += x * x;
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+PcaResult pca_power(const gemm::Matrix& points, const PcaOptions& opts) {
+  EGEMM_EXPECTS(opts.components >= 1);
+  EGEMM_EXPECTS(points.rows() >= 2);
+  EGEMM_EXPECTS(static_cast<std::size_t>(opts.components) <= points.cols());
+  const std::size_t n = points.rows();
+  const std::size_t dim = points.cols();
+
+  PcaResult result;
+
+  // Center the data (one streaming pass on CUDA cores).
+  result.mean.assign(dim, 0.0f);
+  {
+    std::vector<double> sums(dim, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* row = points.row(i);
+      for (std::size_t d = 0; d < dim; ++d) {
+        sums[d] += static_cast<double>(row[d]);
+      }
+    }
+    for (std::size_t d = 0; d < dim; ++d) {
+      result.mean[d] =
+          static_cast<float>(sums[d] / static_cast<double>(n));
+    }
+  }
+  gemm::Matrix centered(n, dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* src = points.row(i);
+    float* dst = centered.row(i);
+    for (std::size_t d = 0; d < dim; ++d) dst[d] = src[d] - result.mean[d];
+  }
+
+  // Covariance via the backend: C = (1/(n-1)) X_c^T x X_c -- the O(n dim^2)
+  // GEMM this application exists for.
+  gemm::GemmExParams params;
+  params.trans_a = gemm::Transpose::kTranspose;
+  params.alpha = 1.0f / static_cast<float>(n - 1);
+  gemm::Matrix covariance =
+      gemm::gemm_ex(opts.backend, centered, centered, nullptr, params);
+
+  // Power iteration with deflation on the dim x dim covariance.
+  util::Xoshiro256 rng(opts.seed);
+  result.components = gemm::Matrix(static_cast<std::size_t>(opts.components),
+                                   dim);
+  for (int component = 0; component < opts.components; ++component) {
+    std::vector<double> v(dim);
+    for (double& x : v) x = rng.uniform_double(-1.0, 1.0);
+    double lambda = 0.0;
+    for (int iter = 0; iter < opts.power_iterations; ++iter) {
+      std::vector<double> w = matvec(covariance, v);
+      const double w_norm = norm(w);
+      if (w_norm == 0.0) break;
+      for (double& x : w) x /= w_norm;
+      const double new_lambda = w_norm;
+      v = std::move(w);
+      if (std::fabs(new_lambda - lambda) <=
+          opts.tolerance * std::max(1.0, new_lambda)) {
+        lambda = new_lambda;
+        break;
+      }
+      lambda = new_lambda;
+    }
+    result.explained_variance.push_back(lambda);
+    for (std::size_t d = 0; d < dim; ++d) {
+      result.components.at(static_cast<std::size_t>(component), d) =
+          static_cast<float>(v[d]);
+    }
+    // Deflate: C -= lambda v v^T.
+    for (std::size_t i = 0; i < dim; ++i) {
+      float* row = covariance.row(i);
+      for (std::size_t j = 0; j < dim; ++j) {
+        row[j] -= static_cast<float>(lambda * v[i] * v[j]);
+      }
+    }
+  }
+  return result;
+}
+
+AppTiming pca_timing(const PcaWorkload& workload, gemm::Backend backend,
+                     const tcsim::GpuSpec& spec) {
+  EGEMM_EXPECTS(workload.points > 1 && workload.dim > 0);
+  const auto n = static_cast<double>(workload.points);
+  const auto d = static_cast<double>(workload.dim);
+
+  AppTiming timing;
+  // The covariance GEMM: (dim x n) x (n x dim).
+  timing.gemm_seconds =
+      gemm::time_gemm(backend, workload.dim, workload.dim, workload.points,
+                      spec)
+          .seconds;
+
+  // Non-GEMM phases: mean + centering passes over X (read + read/write),
+  // then power iterations as memory-bound dim^2 sweeps with deflation.
+  const double bw = spec.dram_bandwidth_gbps * 1e9;
+  const double centering = (4.0 * n * d + 8.0 * n * d) / bw +
+                           2 * spec.kernel_launch_us * 1e-6;
+  const double per_iter = 4.0 * d * d / bw + spec.kernel_launch_us * 1e-6;
+  const double deflation = 8.0 * d * d / bw + spec.kernel_launch_us * 1e-6;
+  timing.other_seconds =
+      centering +
+      static_cast<double>(workload.components) *
+          (static_cast<double>(workload.power_iterations) * per_iter +
+           deflation);
+
+  timing.total_seconds = timing.gemm_seconds + timing.other_seconds;
+  timing.gemm_fraction = timing.gemm_seconds / timing.total_seconds;
+  return timing;
+}
+
+}  // namespace egemm::apps

@@ -1,0 +1,150 @@
+#include "core/emulation.hpp"
+
+#include "tcsim/tensor_core.hpp"
+#include "util/assert.hpp"
+
+namespace egemm::core {
+
+namespace {
+
+using tcsim::FragmentA;
+using tcsim::FragmentAcc;
+using tcsim::FragmentB;
+using tcsim::kTcK;
+using tcsim::kTcM;
+using tcsim::kTcN;
+
+/// Splits a binary32 A-shaped tile into binary16 lo/hi tiles.
+void split_tile_a(const FragmentF32& a, FragmentA& lo, FragmentA& hi,
+                  SplitMethod method) noexcept {
+  for (int i = 0; i < kTcM; ++i) {
+    for (int k = 0; k < kTcK; ++k) {
+      const SplitHalves halves = split_scalar(a.at(i, k), method);
+      hi.at(i, k) = halves.hi;
+      lo.at(i, k) = halves.lo;
+    }
+  }
+}
+
+void split_tile_b(const FragmentF32B& b, FragmentB& lo, FragmentB& hi,
+                  SplitMethod method) noexcept {
+  for (int k = 0; k < kTcK; ++k) {
+    for (int j = 0; j < kTcN; ++j) {
+      const SplitHalves halves = split_scalar(b.at(k, j), method);
+      hi.at(k, j) = halves.hi;
+      lo.at(k, j) = halves.lo;
+    }
+  }
+}
+
+/// Compensated binary16 two-sum: s + t absorbs x, keeping the running
+/// error term. All operations round to binary16 (Dekker's premise).
+void dh_add(fp::Half& s, fp::Half& t, fp::Half x) noexcept {
+  const fp::Half sum = s + x;
+  const fp::Half bv = sum - s;
+  const fp::Half err = (s - (sum - bv)) + (x - bv);
+  t = t + err;
+  const fp::Half renorm = sum + t;
+  t = t - (renorm - sum);
+  s = renorm;
+}
+
+}  // namespace
+
+void egemm_mma_tile(FragmentAcc& d, const FragmentF32& a, const FragmentF32B& b,
+                    const FragmentAcc& c, SplitMethod method) noexcept {
+  FragmentA alo, ahi;
+  FragmentB blo, bhi;
+  split_tile_a(a, alo, ahi, method);
+  split_tile_b(b, blo, bhi, method);
+
+  // Algorithm 1, low-order terms first so small contributions are absorbed
+  // before the large Ahi x Bhi partial product dominates the accumulator.
+  FragmentAcc acc = c;
+  tcsim::mma_sync(acc, alo, blo, acc);
+  tcsim::mma_sync(acc, alo, bhi, acc);
+  tcsim::mma_sync(acc, ahi, blo, acc);
+  tcsim::mma_sync(acc, ahi, bhi, acc);
+  d = acc;
+}
+
+void markidis_mma_tile(FragmentAcc& d, const FragmentF32& a,
+                       const FragmentF32B& b, const FragmentAcc& c) noexcept {
+  FragmentA alo, ahi;
+  FragmentB blo, bhi;
+  split_tile_a(a, alo, ahi, SplitMethod::kTruncateSplit);
+  split_tile_b(b, blo, bhi, SplitMethod::kTruncateSplit);
+
+  // Markidis [20] drops the Alo x Blo term (its magnitude is below the
+  // 2^-20 target anyway) and pays a further bit to the truncate-split.
+  FragmentAcc acc = c;
+  tcsim::mma_sync(acc, alo, bhi, acc);
+  tcsim::mma_sync(acc, ahi, blo, acc);
+  tcsim::mma_sync(acc, ahi, bhi, acc);
+  d = acc;
+}
+
+void half_mma_tile(FragmentAcc& d, const FragmentF32& a, const FragmentF32B& b,
+                   const FragmentAcc& c) noexcept {
+  FragmentA ah;
+  FragmentB bh;
+  for (int i = 0; i < kTcM; ++i) {
+    for (int k = 0; k < kTcK; ++k) ah.at(i, k) = fp::Half(a.at(i, k));
+  }
+  for (int k = 0; k < kTcK; ++k) {
+    for (int j = 0; j < kTcN; ++j) bh.at(k, j) = fp::Half(b.at(k, j));
+  }
+  tcsim::mma_sync(d, ah, bh, c);
+}
+
+HalfProduct dekker_two_prod_half(fp::Half a, fp::Half b) noexcept {
+  // Veltkamp split inside binary16: splitter 2^6 + 1 for the 11-bit
+  // significand. (With odd precision the classical error formula can be
+  // off by one ulp of the error term; acceptable for this baseline.)
+  const fp::Half splitter = fp::Half(65.0f);
+  const fp::Half ca = splitter * a;
+  const fp::Half ahi = ca - (ca - a);
+  const fp::Half alo = a - ahi;
+  const fp::Half cb = splitter * b;
+  const fp::Half bhi = cb - (cb - b);
+  const fp::Half blo = b - bhi;
+
+  const fp::Half p = a * b;
+  const fp::Half e =
+      ((ahi * bhi - p) + ahi * blo + alo * bhi) + alo * blo;
+  return {p, e};
+}
+
+void dekker_mma_tile(FragmentAcc& d, const FragmentF32& a,
+                     const FragmentF32B& b, const FragmentAcc& c,
+                     long* instruction_count) noexcept {
+  // Dekker's algorithm assumes the hardware computes half -> half, so the
+  // whole tile is evaluated scalar-by-scalar in binary16 arithmetic with a
+  // compensated (s, t) accumulator pair per output element. Each emulated
+  // extended-precision multiply-accumulate costs 16 binary16 instructions
+  // (§1), versus Alg. 1's 4 tile-wide Tensor Core instructions.
+  long ops = 0;
+  for (int i = 0; i < kTcM; ++i) {
+    for (int j = 0; j < kTcN; ++j) {
+      const SplitHalves ch = split_scalar(c.at(i, j), SplitMethod::kRoundSplit);
+      fp::Half s = ch.hi;
+      fp::Half t = ch.lo;
+      for (int k = 0; k < kTcK; ++k) {
+        const SplitHalves av = split_scalar(a.at(i, k), SplitMethod::kRoundSplit);
+        const SplitHalves bv = split_scalar(b.at(k, j), SplitMethod::kRoundSplit);
+        // Cross products of the split halves, each compensated.
+        const HalfProduct hh = dekker_two_prod_half(av.hi, bv.hi);
+        dh_add(s, t, hh.p);
+        dh_add(s, t, hh.e);
+        dh_add(s, t, av.hi * bv.lo);
+        dh_add(s, t, av.lo * bv.hi);
+        dh_add(s, t, av.lo * bv.lo);
+        ops += kDekkerInstructions;
+      }
+      d.at(i, j) = static_cast<float>(s.to_double() + t.to_double());
+    }
+  }
+  if (instruction_count != nullptr) *instruction_count += ops;
+}
+
+}  // namespace egemm::core

@@ -1,0 +1,67 @@
+#pragma once
+// Tile-level emulation algorithms (§3.2, Algorithm 1, and the §2.2
+// baselines).
+//
+// All functions compute D = A x B + C on one Tensor-Core-shaped tile where
+// A, B, C, D are binary32 and the multiplication runs on the simulated
+// Tensor Core (half inputs, binary32 accumulation). They differ in the
+// data split and the number of specialized-core instructions:
+//
+//   EGEMM-TC (Alg. 1): round-split, 4 mma_sync calls, accumulated
+//       low-order-first: D = (((C + Alo.Blo) + Alo.Bhi) + Ahi.Blo) + Ahi.Bhi
+//   Markidis [20]: truncate-split, 3 mma_sync calls (the original drops the
+//       Alo.Blo term): D = ((C + Alo.Bhi) + Ahi.Blo) + Ahi.Bhi
+//   Dekker [7]: both split halves multiplied entirely in binary16 with
+//       error-compensated (two-sum) accumulation -- 16 half-precision
+//       instructions per emulated product term. Kept as the classical
+//       high-overhead baseline the paper argues against.
+
+#include "core/split.hpp"
+#include "tcsim/fragment.hpp"
+
+namespace egemm::core {
+
+using FragmentF32 = tcsim::Fragment<float, tcsim::kTcM, tcsim::kTcK>;
+using FragmentF32B = tcsim::Fragment<float, tcsim::kTcK, tcsim::kTcN>;
+
+/// Algorithm 1: the 4-instruction EGEMM-TC emulation on one tile.
+/// `method` defaults to round-split; passing truncate-split gives the
+/// 4-call ablation variant used by bench_ablation_split.
+void egemm_mma_tile(tcsim::FragmentAcc& d, const FragmentF32& a,
+                    const FragmentF32B& b, const tcsim::FragmentAcc& c,
+                    SplitMethod method = SplitMethod::kRoundSplit) noexcept;
+
+/// Markidis' 3-instruction truncate-split emulation on one tile.
+void markidis_mma_tile(tcsim::FragmentAcc& d, const FragmentF32& a,
+                       const FragmentF32B& b,
+                       const tcsim::FragmentAcc& c) noexcept;
+
+/// Plain half-precision Tensor Core tile (cuBLAS-TC-Half equivalent): both
+/// inputs rounded to binary16, one mma_sync.
+void half_mma_tile(tcsim::FragmentAcc& d, const FragmentF32& a,
+                   const FragmentF32B& b,
+                   const tcsim::FragmentAcc& c) noexcept;
+
+/// Dekker-style emulation: extended precision out of half-only arithmetic
+/// (input precision == output precision == binary16), with compensated
+/// accumulation. Returns the per-output-element half-instruction count via
+/// `instruction_count` (16 per product term, matching §1's 16x overhead).
+void dekker_mma_tile(tcsim::FragmentAcc& d, const FragmentF32& a,
+                     const FragmentF32B& b, const tcsim::FragmentAcc& c,
+                     long* instruction_count = nullptr) noexcept;
+
+/// Specialized-core instruction count per emulated tile MMA.
+constexpr int kEgemmInstructions = 4;
+constexpr int kMarkidisInstructions = 3;
+constexpr int kDekkerInstructions = 16;
+
+/// Scalar Dekker compensated product in binary16 arithmetic:
+/// returns (p, e) with p + e == a*b up to binary16 representability.
+/// Exposed for tests of the classical EFT in half precision.
+struct HalfProduct {
+  fp::Half p;
+  fp::Half e;
+};
+HalfProduct dekker_two_prod_half(fp::Half a, fp::Half b) noexcept;
+
+}  // namespace egemm::core

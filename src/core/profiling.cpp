@@ -1,0 +1,116 @@
+#include "core/profiling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fp/float_bits.hpp"
+#include "tcsim/tensor_core.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace egemm::core {
+
+namespace {
+
+/// Fills `values` with random binary16 data in [-1, 1] (the paper
+/// initializes the probing inputs directly in half precision).
+void random_half_span(std::span<fp::Half> values, util::Xoshiro256& rng) {
+  for (auto& value : values) {
+    value = fp::Half(rng.uniform(-1.0f, 1.0f));
+  }
+}
+
+}  // namespace
+
+ProfilingReport profile_core(const CorePrimitive& core,
+                             const ProfilingConfig& config) {
+  EGEMM_EXPECTS(config.trials > 0);
+  EGEMM_EXPECTS(config.dot_length > 0);
+
+  ProfilingReport report;
+  report.trials = config.trials;
+  report.seed = config.seed;
+  report.required_mantissa_bits = config.required_mantissa_bits;
+  report.probes = {
+      ProbeOutcome{"d_HALF", 24, 24.0, true, 0},
+      ProbeOutcome{"d_FLOAT", 24, 24.0, true, 0},
+  };
+
+  util::Xoshiro256 rng(config.seed);
+  std::vector<fp::Half> a(static_cast<std::size_t>(config.dot_length));
+  std::vector<fp::Half> b(static_cast<std::size_t>(config.dot_length));
+
+  for (std::uint64_t trial = 0; trial < config.trials; ++trial) {
+    random_half_span(a, rng);
+    random_half_span(b, rng);
+    const float c = fp::Half(rng.uniform(-1.0f, 1.0f)).to_float();
+
+    const float core_result = core(a, b, c);
+    const float probes[2] = {
+        tcsim::probe_dot_half(a, b, c),
+        tcsim::probe_dot_float(a, b, c),
+    };
+    // Magnitude the accumulator actually handled; the yardstick for
+    // scale-relative agreement.
+    double scale = std::fabs(static_cast<double>(c));
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      scale += std::fabs(a[i].to_double() * b[i].to_double());
+    }
+    scale = std::max(scale, 1e-30);
+
+    for (std::size_t p = 0; p < 2; ++p) {
+      ProbeOutcome& outcome = report.probes[p];
+      const int bits = fp::matching_mantissa_bits(core_result, probes[p]);
+      outcome.min_matching_mantissa_bits =
+          std::min(outcome.min_matching_mantissa_bits, bits);
+      const double diff = std::fabs(static_cast<double>(core_result) -
+                                    static_cast<double>(probes[p]));
+      const double rel_bits =
+          diff == 0.0 ? 24.0 : std::min(24.0, -std::log2(diff / scale));
+      outcome.min_scale_relative_bits =
+          std::min(outcome.min_scale_relative_bits, rel_bits);
+      if (fp::f32_bits(core_result) != fp::f32_bits(probes[p])) {
+        outcome.bitwise_identical_always = false;
+      }
+      ++outcome.trials;
+    }
+  }
+
+  // Certify the highest-precision hypothesis that met the scale-relative
+  // requirement over every trial. Probes are ordered lowest precision
+  // first, so the last qualifying entry wins.
+  for (const ProbeOutcome& outcome : report.probes) {
+    if (outcome.min_scale_relative_bits >=
+        static_cast<double>(config.required_mantissa_bits)) {
+      report.certified_probe = outcome.name;
+      report.certified_mantissa_bits =
+          static_cast<int>(outcome.min_scale_relative_bits);
+    }
+  }
+  return report;
+}
+
+ProfilingReport profile_tensor_core(const ProfilingConfig& config) {
+  return profile_core(
+      [](std::span<const fp::Half> a, std::span<const fp::Half> b, float c) {
+        return tcsim::tc_dot(a, b, c);
+      },
+      config);
+}
+
+ProfilingSample sample_trial(std::uint64_t seed, int dot_length) {
+  EGEMM_EXPECTS(dot_length > 0);
+  util::Xoshiro256 rng(seed);
+  std::vector<fp::Half> a(static_cast<std::size_t>(dot_length));
+  std::vector<fp::Half> b(static_cast<std::size_t>(dot_length));
+  random_half_span(a, rng);
+  random_half_span(b, rng);
+  const float c = fp::Half(rng.uniform(-1.0f, 1.0f)).to_float();
+  return ProfilingSample{
+      tcsim::probe_dot_half(a, b, c),
+      tcsim::probe_dot_float(a, b, c),
+      tcsim::tc_dot(a, b, c),
+  };
+}
+
+}  // namespace egemm::core

@@ -1,0 +1,103 @@
+#pragma once
+// The generalized emulation-design workflow, part (a): precision profiling
+// (§3.1, Fig. 2a, Fig. 3, Artifact §A.3 "Profiling").
+//
+// Given a specialized-core compute primitive whose operation precision is
+// undocumented, the workflow
+//   1. generates randomized high-precision inputs,
+//   2. evaluates a set of *probing compute primitives* on the CPU, each
+//      hypothesising one intermediate precision,
+//   3. bitwise-compares the specialized-core result against every probe
+//      over many trials, and
+//   4. certifies the highest hypothesis whose results match on at least
+//      the required number of leading mantissa bits for every trial.
+//
+// The certified precision then licenses an emulation design: on Tensor
+// Cores the binary32 hypothesis is certified to >= 21 mantissa bits, which
+// is exactly what Algorithm 1's 4-instruction design relies on. The
+// workflow also *rejects* hypotheses: run against a deliberately broken
+// core (binary16 accumulation) it refuses to certify binary32 -- the
+// failure-injection tests exercise that path.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fp/half.hpp"
+
+namespace egemm::core {
+
+/// A specialized-core dot-product primitive: d = a . b + c with binary16
+/// inputs and a binary32 accumulator (one output element of D = AxB + C).
+using CorePrimitive = std::function<float(
+    std::span<const fp::Half>, std::span<const fp::Half>, float)>;
+
+struct ProbeOutcome {
+  std::string name;  ///< e.g. "d_HALF", "d_FLOAT"
+
+  /// Worst-case count of leading mantissa bits on which the core and probe
+  /// results agree bitwise. This is the raw comparison the artifact prints;
+  /// it collapses on trials where the dot product cancels to near zero
+  /// (the tiny result amplifies a few-ulp difference), so it is reported
+  /// but not used for certification.
+  int min_matching_mantissa_bits = 24;
+
+  /// Worst-case agreement measured against the computation's scale
+  /// (|c| + sum |a_i b_i|): -log2(|core - probe| / scale), capped at 24.
+  /// This is the precision an accumulator actually delivers and is what
+  /// certification uses.
+  double min_scale_relative_bits = 24.0;
+
+  bool bitwise_identical_always = true;  ///< full 32-bit match every trial
+  std::uint64_t trials = 0;
+};
+
+struct ProfilingReport {
+  std::vector<ProbeOutcome> probes;
+  /// Name of the best certified probe, or empty when nothing reaches the
+  /// requested precision.
+  std::string certified_probe;
+  int certified_mantissa_bits = 0;
+  int required_mantissa_bits = 21;
+  std::uint64_t trials = 0;
+  std::uint64_t seed = 0;
+
+  bool certified() const noexcept { return !certified_probe.empty(); }
+
+  /// True when the certified operation precision is the binary32
+  /// hypothesis -- the condition that licenses the 4-instruction design
+  /// (Alg. 1). A core certified only at "d_HALF" was profiled successfully
+  /// but would need the Dekker-style fallback (§3.2).
+  bool licenses_extended_precision() const noexcept {
+    return certified_probe == "d_FLOAT";
+  }
+};
+
+struct ProfilingConfig {
+  std::uint64_t trials = 10000;  ///< the paper uses 10,000 random groups
+  std::uint64_t seed = 2021;
+  int dot_length = 16;           ///< k extent of the compute primitive
+  int required_mantissa_bits = 21;  ///< extended-precision requirement
+};
+
+/// Runs the profiling workflow on `core` (Fig. 2a). The probe set is the
+/// paper's: binary16 accumulation ("d_HALF") and sequential binary32
+/// ("d_FLOAT").
+ProfilingReport profile_core(const CorePrimitive& core,
+                             const ProfilingConfig& config);
+
+/// Convenience: profiles the simulated Tensor Core primitive.
+ProfilingReport profile_tensor_core(const ProfilingConfig& config = {});
+
+/// One trial's raw values, mirroring the artifact printout
+/// ("half_result / single_result / Tensor Core" with hex bit patterns).
+struct ProfilingSample {
+  float half_result;
+  float single_result;
+  float tc_result;
+};
+ProfilingSample sample_trial(std::uint64_t seed, int dot_length = 16);
+
+}  // namespace egemm::core

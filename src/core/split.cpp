@@ -1,0 +1,93 @@
+#include "core/split.hpp"
+
+#include "util/assert.hpp"
+
+namespace egemm::core {
+
+const char* split_method_name(SplitMethod method) noexcept {
+  switch (method) {
+    case SplitMethod::kRoundSplit:
+      return "round-split";
+    case SplitMethod::kTruncateSplit:
+      return "truncate-split";
+  }
+  return "?";
+}
+
+SplitHalves split_scalar(float x, SplitMethod method) noexcept {
+  const fp::Rounding mode = method == SplitMethod::kRoundSplit
+                                ? fp::Rounding::kNearestEven
+                                : fp::Rounding::kTowardZero;
+  const fp::Half hi(x, mode);
+  // Exact in binary32: hi is within one binary16 ulp of x, so Sterbenz-type
+  // cancellation applies (both operands share the leading bits).
+  const float residual = x - hi.to_float();
+  const fp::Half lo(residual, mode);
+  return {hi, lo};
+}
+
+double combine_scalar(SplitHalves halves) noexcept {
+  return halves.hi.to_double() + halves.lo.to_double();
+}
+
+void split_span(std::span<const float> input, std::span<fp::Half> hi,
+                std::span<fp::Half> lo, SplitMethod method) {
+  EGEMM_EXPECTS(input.size() == hi.size() && input.size() == lo.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const SplitHalves halves = split_scalar(input[i], method);
+    hi[i] = halves.hi;
+    lo[i] = halves.lo;
+  }
+}
+
+void split_span_f32(std::span<const float> input, std::span<float> hi,
+                    std::span<float> lo, SplitMethod method) {
+  EGEMM_EXPECTS(input.size() == hi.size() && input.size() == lo.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const SplitHalves halves = split_scalar(input[i], method);
+    hi[i] = halves.hi.to_float();
+    lo[i] = halves.lo.to_float();
+  }
+}
+
+SplitThirds split3_scalar(float x) noexcept {
+  const fp::Half hi(x);
+  const float r1 = x - hi.to_float();  // exact in binary32
+  const fp::Half mid(r1);
+  const float r2 = r1 - mid.to_float();  // exact in binary32
+  const fp::Half lo(r2);
+  return {hi, mid, lo};
+}
+
+double combine3_scalar(SplitThirds thirds) noexcept {
+  return thirds.hi.to_double() + thirds.mid.to_double() +
+         thirds.lo.to_double();
+}
+
+void split3_span_f32(std::span<const float> input, std::span<float> hi,
+                     std::span<float> mid, std::span<float> lo) {
+  EGEMM_EXPECTS(input.size() == hi.size() && input.size() == mid.size() &&
+                input.size() == lo.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const SplitThirds thirds = split3_scalar(input[i]);
+    hi[i] = thirds.hi.to_float();
+    mid[i] = thirds.mid.to_float();
+    lo[i] = thirds.lo.to_float();
+  }
+}
+
+double split_error_bound(SplitMethod method, double scale) noexcept {
+  // x_hi captures 11 significand bits of x; the residual magnitude is below
+  // 2^-11 |x| (round) or 2^-10 |x| (truncate), and rounding the residual to
+  // 11 bits loses at most an additional factor of 2^-11 (round) / 2^-10
+  // with truncation keeping the same sign.
+  switch (method) {
+    case SplitMethod::kRoundSplit:
+      return scale * 0x1.0p-22;
+    case SplitMethod::kTruncateSplit:
+      return scale * 0x1.0p-21;
+  }
+  return 0.0;
+}
+
+}  // namespace egemm::core

@@ -1,0 +1,90 @@
+#pragma once
+// Data-split algorithms (§3.2, Fig. 4).
+//
+// Both algorithms decompose a binary32 value x into two binary16 values
+// (x_hi, x_lo) with x ~= x_hi + x_lo:
+//
+//  * truncate-split (Markidis [20], Fig. 4a): x_hi = RZ16(x),
+//    x_lo = RZ16(x - x_hi). For positive x the residual is always >= 0, so
+//    the sign bit of x_lo never carries information: 20 effective mantissa
+//    bits.
+//  * round-split (EGEMM-TC, Fig. 4b): x_hi = RN16(x), x_lo = RN16(x - x_hi).
+//    Rounding x_hi to nearest makes the residual signed; the sign bit of
+//    x_lo encodes the 21st bit, halving the representation error.
+//
+// In both cases the residual x - x_hi is computed exactly in binary32
+// (the subtraction of nearby values is exact), so the only loss is the
+// final rounding of the residual to binary16.
+//
+// Domain: |x| must be below 65520 (the binary16 overflow threshold);
+// values at or above it split to an infinite x_hi, mirroring real Tensor
+// Core input conversion.
+
+#include <cstddef>
+#include <span>
+
+#include "fp/half.hpp"
+
+namespace egemm::core {
+
+enum class SplitMethod {
+  kRoundSplit,     ///< EGEMM-TC (Fig. 4b)
+  kTruncateSplit,  ///< Markidis (Fig. 4a)
+};
+
+const char* split_method_name(SplitMethod method) noexcept;
+
+struct SplitHalves {
+  fp::Half hi;
+  fp::Half lo;
+};
+
+/// Splits one binary32 value.
+SplitHalves split_scalar(float x, SplitMethod method) noexcept;
+
+/// Recombines a split pair; exact in binary64.
+double combine_scalar(SplitHalves halves) noexcept;
+
+/// Splits a matrix/vector into binary16 hi/lo planes. This is the O(N^2)
+/// pass EGEMM-TC runs on CUDA cores before the O(N^3) Tensor Core work.
+void split_span(std::span<const float> input, std::span<fp::Half> hi,
+                std::span<fp::Half> lo, SplitMethod method);
+
+/// Same split, but the planes are stored as binary32 values that are
+/// exactly binary16-representable -- the fast functional-GEMM path
+/// (tcsim::mma_tile_f32 consumes these directly).
+void split_span_f32(std::span<const float> input, std::span<float> hi,
+                    std::span<float> lo, SplitMethod method);
+
+/// Worst-case representation error bound |x - (hi + lo)| for |x| <= scale:
+/// 2^-22 * scale for round-split, 2^-21 * scale for truncate-split.
+double split_error_bound(SplitMethod method, double scale) noexcept;
+
+// -- three-way split (extension) ---------------------------------------------
+// Splitting into three binary16 planes captures 33 candidate significand
+// bits -- more than binary32's 24 -- so the decomposition of a normal
+// binary32 value in the binary16 exponent range is *exact*:
+//   x == hi + mid + lo  (in exact arithmetic).
+// Emulation on top of it (9 Tensor Core products) is limited only by the
+// binary32 accumulation, the natural "more precision" extension of Alg. 1
+// that §3.1's generalized workflow anticipates.
+
+struct SplitThirds {
+  fp::Half hi;
+  fp::Half mid;
+  fp::Half lo;
+};
+
+/// Splits one binary32 value into three binary16 values (round-split at
+/// every level). Exact for |x| in [2^-2, 65504) and for any value whose
+/// residuals stay in the binary16 range; tiny residuals may round.
+SplitThirds split3_scalar(float x) noexcept;
+
+/// Recombines; exact in binary64.
+double combine3_scalar(SplitThirds thirds) noexcept;
+
+/// Splits into three binary32-stored, binary16-valued planes.
+void split3_span_f32(std::span<const float> input, std::span<float> hi,
+                     std::span<float> mid, std::span<float> lo);
+
+}  // namespace egemm::core

@@ -1,0 +1,47 @@
+#include "fp/error_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace egemm::fp {
+
+void ErrorStats::accumulate(double reference, double candidate) noexcept {
+  const double abs_err = std::fabs(candidate - reference);
+  max_abs = std::max(max_abs, abs_err);
+  sum_abs += abs_err;
+  const double denom = std::max(std::fabs(reference), 1e-30);
+  max_rel = std::max(max_rel, abs_err / denom);
+  ++count;
+}
+
+void ErrorStats::merge(const ErrorStats& other) noexcept {
+  max_abs = std::max(max_abs, other.max_abs);
+  max_rel = std::max(max_rel, other.max_rel);
+  sum_abs += other.sum_abs;
+  count += other.count;
+}
+
+ErrorStats compare(std::span<const double> reference,
+                   std::span<const float> candidate) noexcept {
+  EGEMM_EXPECTS(reference.size() == candidate.size());
+  ErrorStats stats;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    stats.accumulate(reference[i], static_cast<double>(candidate[i]));
+  }
+  return stats;
+}
+
+ErrorStats compare(std::span<const float> reference,
+                   std::span<const float> candidate) noexcept {
+  EGEMM_EXPECTS(reference.size() == candidate.size());
+  ErrorStats stats;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    stats.accumulate(static_cast<double>(reference[i]),
+                     static_cast<double>(candidate[i]));
+  }
+  return stats;
+}
+
+}  // namespace egemm::fp

@@ -1,0 +1,33 @@
+#pragma once
+// Error statistics for the precision experiments (Fig. 7, §A.3).
+//
+// The paper reports MaxError(p) = max |V_p - V_single| (Eq. 10) over the
+// output matrix, with the single-precision cuBLAS result as the reference.
+// We additionally track the error against a binary64 reference and
+// ULP-based measures, which the tests use for tighter invariants.
+
+#include <cstddef>
+#include <span>
+
+namespace egemm::fp {
+
+struct ErrorStats {
+  double max_abs = 0.0;    ///< max |candidate - reference|
+  double sum_abs = 0.0;    ///< for mean error
+  double max_rel = 0.0;    ///< max |candidate - reference| / max(|reference|, eps)
+  std::size_t count = 0;
+
+  void accumulate(double reference, double candidate) noexcept;
+  void merge(const ErrorStats& other) noexcept;
+  double mean_abs() const noexcept {
+    return count == 0 ? 0.0 : sum_abs / static_cast<double>(count);
+  }
+};
+
+/// Element-wise comparison of two equally-sized spans.
+ErrorStats compare(std::span<const double> reference,
+                   std::span<const float> candidate) noexcept;
+ErrorStats compare(std::span<const float> reference,
+                   std::span<const float> candidate) noexcept;
+
+}  // namespace egemm::fp

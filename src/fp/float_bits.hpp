@@ -1,0 +1,56 @@
+#pragma once
+// Bit-level utilities over IEEE binary32, used by the precision-profiling
+// workflow (bitwise comparison of probing primitives, §3.1/Fig. 3) and by
+// the error statistics.
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace egemm::fp {
+
+constexpr std::uint32_t f32_bits(float value) noexcept {
+  return std::bit_cast<std::uint32_t>(value);
+}
+
+constexpr float f32_from_bits(std::uint32_t bits) noexcept {
+  return std::bit_cast<float>(bits);
+}
+
+/// Number of leading mantissa bits on which `a` and `b` agree, assuming the
+/// sign and exponent fields already agree; 24 when bit-identical (23
+/// explicit bits + the hidden bit implied by the matching exponent), 0 when
+/// sign or exponent differ. This is the comparison the paper's profiling
+/// uses to state "identical bitwisely up to 21 mantissa bits".
+constexpr int matching_mantissa_bits(float a, float b) noexcept {
+  const std::uint32_t ba = f32_bits(a);
+  const std::uint32_t bb = f32_bits(b);
+  if (ba == bb) return 24;
+  if ((ba >> 23) != (bb >> 23)) return 0;  // sign or exponent differ
+  const std::uint32_t diff = (ba ^ bb) & 0x007fffffu;
+  // diff != 0 here; count matching bits from the top of the 23-bit field.
+  const int leading = std::countl_zero(diff) - 9;  // 32 - 23 = 9 header bits
+  return 1 + leading;  // hidden bit matches via the equal exponent
+}
+
+/// Distance in units-in-the-last-place between two finite binary32 values,
+/// computed on the monotone integer mapping (negative floats reflected).
+constexpr std::int64_t ulp_distance(float a, float b) noexcept {
+  auto ordered = [](float x) -> std::int64_t {
+    const auto bits = static_cast<std::int32_t>(f32_bits(x));
+    return bits >= 0 ? bits
+                     : static_cast<std::int64_t>(0x80000000LL) - bits;
+  };
+  const std::int64_t d = ordered(a) - ordered(b);
+  return d < 0 ? -d : d;
+}
+
+/// Hex bit-pattern, e.g. "0x3f800000", matching the artifact's printouts.
+inline std::string f32_hex(float value) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof buffer, "0x%08x", f32_bits(value));
+  return buffer;
+}
+
+}  // namespace egemm::fp

@@ -1,0 +1,118 @@
+#include "fp/half.hpp"
+
+#include <bit>
+#include <cstdio>
+
+namespace egemm::fp {
+
+namespace {
+
+constexpr std::uint64_t kF64AbsMask = 0x7fffffffffffffffULL;
+constexpr std::uint64_t kF64InfBits = 0x7ff0000000000000ULL;
+constexpr int kF64MantissaBits = 52;
+
+}  // namespace
+
+std::uint16_t f64_to_f16_bits(double value, Rounding mode) noexcept {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
+  const auto sign = static_cast<std::uint16_t>((bits >> 48) & 0x8000u);
+  const std::uint64_t abs = bits & kF64AbsMask;
+
+  if (abs >= kF64InfBits) {
+    if (abs > kF64InfBits) {
+      return static_cast<std::uint16_t>(sign | 0x7e00u);  // quiet NaN
+    }
+    return static_cast<std::uint16_t>(sign | 0x7c00u);  // +-inf (any mode)
+  }
+  if (abs == 0) return sign;
+
+  const int exp64 = static_cast<int>(abs >> kF64MantissaBits);
+  if (exp64 == 0) {
+    // binary64 subnormal: |value| < 2^-1022, far below the smallest binary16
+    // subnormal midpoint (2^-25); rounds to signed zero under both modes.
+    return sign;
+  }
+
+  const int unbiased = exp64 - 1023;
+  // value = sig * 2^(unbiased - 52), with sig holding the hidden bit.
+  const std::uint64_t sig =
+      (abs & ((1ULL << kF64MantissaBits) - 1)) | (1ULL << kF64MantissaBits);
+
+  const int half_biased = unbiased + Half::kExponentBias;
+  if (half_biased >= 31) {
+    // |value| >= 2^16: above the largest finite/infinity midpoint.
+    return static_cast<std::uint16_t>(
+        sign | (mode == Rounding::kNearestEven ? 0x7c00u : 0x7bffu));
+  }
+
+  // Keep 11 significand bits for normals; for subnormal targets shift the
+  // significand further right so the integer rounding below lands on the
+  // fixed 2^-24 grid.
+  int shift = kF64MantissaBits - Half::kMantissaBits;  // 42
+  if (half_biased < 1) shift += 1 - half_biased;
+  if (shift >= 64) return sign;  // |value| < 2^-35: rounds to zero
+
+  const std::uint64_t floor = sig >> shift;
+  std::uint64_t rounded = floor;
+  if (mode == Rounding::kNearestEven) {
+    const std::uint64_t rem = sig & ((1ULL << shift) - 1);
+    const std::uint64_t midpoint = 1ULL << (shift - 1);
+    if (rem > midpoint || (rem == midpoint && (floor & 1))) ++rounded;
+  }
+
+  std::uint16_t magnitude;
+  if (half_biased >= 1) {
+    // `rounded` carries the hidden bit at position 10; a carry out of the
+    // significand (rounded == 0x800) bumps the exponent for free, including
+    // the 65504 -> inf carry at half_biased == 30.
+    magnitude = static_cast<std::uint16_t>(
+        rounded + (static_cast<std::uint64_t>(half_biased - 1) << 10));
+  } else {
+    // Subnormal result; a carry to 0x400 is exactly the minimum normal.
+    magnitude = static_cast<std::uint16_t>(rounded);
+  }
+  return static_cast<std::uint16_t>(sign | magnitude);
+}
+
+std::uint16_t f32_to_f16_bits(float value, Rounding mode) noexcept {
+  return f64_to_f16_bits(static_cast<double>(value), mode);
+}
+
+float f16_bits_to_f32(std::uint16_t bits) noexcept {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+  const std::uint32_t exp = (bits >> 10) & 0x1fu;
+  std::uint32_t man = bits & 0x3ffu;
+
+  std::uint32_t out;
+  if (exp == 0) {
+    if (man == 0) {
+      out = sign;
+    } else {
+      // Subnormal: normalize into binary32, which has headroom to spare.
+      std::uint32_t biased = 127 - 14;
+      while ((man & 0x400u) == 0) {
+        man <<= 1;
+        --biased;
+      }
+      man &= 0x3ffu;
+      out = sign | (biased << 23) | (man << 13);
+    }
+  } else if (exp == 31) {
+    out = sign | 0x7f800000u | (man << 13);  // inf / NaN (payload shifted)
+  } else {
+    out = sign | ((exp - 15 + 127) << 23) | (man << 13);
+  }
+  return std::bit_cast<float>(out);
+}
+
+double f16_bits_to_f64(std::uint16_t bits) noexcept {
+  return static_cast<double>(f16_bits_to_f32(bits));  // exact widening
+}
+
+std::string Half::hex() const {
+  char buffer[8];
+  std::snprintf(buffer, sizeof buffer, "0x%04x", bits_);
+  return buffer;
+}
+
+}  // namespace egemm::fp

@@ -1,0 +1,113 @@
+#pragma once
+// Software IEEE 754-2008 binary16 ("half precision").
+//
+// This is the substrate that stands in for the GPU's native FP16 datatype
+// (DESIGN.md §2). Conversions implement correct single rounding from
+// binary32/binary64 under both roundTiesToEven and roundTowardZero,
+// including subnormals, overflow and NaN propagation; arithmetic operators
+// compute in binary64 (exact for any two binary16 operands) and round once.
+
+#include <cstdint>
+#include <string>
+
+#include "fp/rounding.hpp"
+
+namespace egemm::fp {
+
+/// Converts a binary64 value to binary16 bits with a single rounding.
+std::uint16_t f64_to_f16_bits(double value, Rounding mode) noexcept;
+
+/// Converts a binary32 value to binary16 bits with a single rounding.
+/// (binary32 -> binary64 is exact, so this delegates.)
+std::uint16_t f32_to_f16_bits(float value, Rounding mode) noexcept;
+
+/// Converts binary16 bits to the exactly-equal binary32 value.
+float f16_bits_to_f32(std::uint16_t bits) noexcept;
+
+/// Converts binary16 bits to the exactly-equal binary64 value.
+double f16_bits_to_f64(std::uint16_t bits) noexcept;
+
+/// Value type wrapping a binary16 bit pattern.
+class Half {
+ public:
+  constexpr Half() noexcept = default;
+
+  /// Rounds `value` to binary16 (roundTiesToEven unless specified).
+  explicit Half(float value, Rounding mode = Rounding::kNearestEven) noexcept
+      : bits_(f32_to_f16_bits(value, mode)) {}
+  explicit Half(double value, Rounding mode = Rounding::kNearestEven) noexcept
+      : bits_(f64_to_f16_bits(value, mode)) {}
+
+  static constexpr Half from_bits(std::uint16_t bits) noexcept {
+    Half h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  constexpr std::uint16_t bits() const noexcept { return bits_; }
+
+  float to_float() const noexcept { return f16_bits_to_f32(bits_); }
+  double to_double() const noexcept { return f16_bits_to_f64(bits_); }
+
+  // -- classification ------------------------------------------------------
+  constexpr bool sign_bit() const noexcept { return (bits_ & 0x8000u) != 0; }
+  constexpr bool is_zero() const noexcept { return (bits_ & 0x7fffu) == 0; }
+  constexpr bool is_subnormal() const noexcept {
+    return (bits_ & 0x7c00u) == 0 && (bits_ & 0x03ffu) != 0;
+  }
+  constexpr bool is_inf() const noexcept { return (bits_ & 0x7fffu) == 0x7c00u; }
+  constexpr bool is_nan() const noexcept {
+    return (bits_ & 0x7c00u) == 0x7c00u && (bits_ & 0x03ffu) != 0;
+  }
+  constexpr bool is_finite() const noexcept {
+    return (bits_ & 0x7c00u) != 0x7c00u;
+  }
+
+  // -- arithmetic (binary64 internally, one rounding to binary16) ----------
+  friend Half operator+(Half a, Half b) noexcept {
+    return Half(a.to_double() + b.to_double());
+  }
+  friend Half operator-(Half a, Half b) noexcept {
+    return Half(a.to_double() - b.to_double());
+  }
+  friend Half operator*(Half a, Half b) noexcept {
+    return Half(a.to_double() * b.to_double());
+  }
+  friend Half operator/(Half a, Half b) noexcept {
+    return Half(a.to_double() / b.to_double());
+  }
+  friend Half operator-(Half a) noexcept {
+    return Half::from_bits(static_cast<std::uint16_t>(a.bits_ ^ 0x8000u));
+  }
+
+  /// IEEE equality (signed zeros equal, NaN != NaN).
+  friend bool operator==(Half a, Half b) noexcept {
+    if (a.is_nan() || b.is_nan()) return false;
+    if (a.is_zero() && b.is_zero()) return true;
+    return a.bits_ == b.bits_;
+  }
+  friend bool operator!=(Half a, Half b) noexcept { return !(a == b); }
+  friend bool operator<(Half a, Half b) noexcept {
+    return a.to_double() < b.to_double();
+  }
+
+  // -- constants ------------------------------------------------------------
+  static constexpr Half zero() noexcept { return from_bits(0x0000); }
+  static constexpr Half one() noexcept { return from_bits(0x3c00); }
+  static constexpr Half max() noexcept { return from_bits(0x7bff); }       // 65504
+  static constexpr Half min_normal() noexcept { return from_bits(0x0400); }  // 2^-14
+  static constexpr Half min_subnormal() noexcept { return from_bits(0x0001); }  // 2^-24
+  static constexpr Half infinity() noexcept { return from_bits(0x7c00); }
+  static constexpr Half quiet_nan() noexcept { return from_bits(0x7e00); }
+  static constexpr int kMantissaBits = 10;   ///< explicit bits (11 with hidden)
+  static constexpr int kExponentBits = 5;
+  static constexpr int kExponentBias = 15;
+
+  /// Hex bit-pattern, e.g. "0x3c00", for the profiling printouts.
+  std::string hex() const;
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+}  // namespace egemm::fp

@@ -1,0 +1,15 @@
+#pragma once
+// Rounding-mode selector for the software binary16 conversions.
+//
+// The paper's two data-split algorithms differ exactly in this mode:
+// Markidis' truncate-split uses round-toward-zero, EGEMM-TC's round-split
+// uses round-to-nearest-even (Fig. 4).
+
+namespace egemm::fp {
+
+enum class Rounding {
+  kNearestEven,  ///< IEEE 754 roundTiesToEven (default binary16 rounding)
+  kTowardZero,   ///< truncation of the significand magnitude
+};
+
+}  // namespace egemm::fp

@@ -1,0 +1,67 @@
+#include "fp/twofold.hpp"
+
+#include <cmath>
+
+namespace egemm::fp {
+
+TwoFold two_sum(double a, double b) noexcept {
+  const double s = a + b;
+  const double bp = s - a;
+  const double ap = s - bp;
+  const double err = (a - ap) + (b - bp);
+  return {s, err};
+}
+
+TwoFold fast_two_sum(double a, double b) noexcept {
+  const double s = a + b;
+  const double err = b - (s - a);
+  return {s, err};
+}
+
+TwoFold two_prod(double a, double b) noexcept {
+  const double p = a * b;
+  const double err = std::fma(a, b, -p);
+  return {p, err};
+}
+
+std::pair<double, double> veltkamp_split(double a) noexcept {
+  // 2^27 + 1: splits the 53-bit significand into 26 + 26 bits (the hidden
+  // borrow makes both halves representable).
+  constexpr double kSplitter = 134217729.0;  // 2^27 + 1
+  const double c = kSplitter * a;
+  const double hi = c - (c - a);
+  const double lo = a - hi;
+  return {hi, lo};
+}
+
+TwoFoldF two_sum_f(float a, float b) noexcept {
+  const float s = a + b;
+  const float bp = s - a;
+  const float ap = s - bp;
+  const float err = (a - ap) + (b - bp);
+  return {s, err};
+}
+
+TwoFoldF two_prod_f(float a, float b) noexcept {
+  const float p = a * b;
+  const float err = std::fmaf(a, b, -p);
+  return {p, err};
+}
+
+std::pair<float, float> veltkamp_split_f(float a) noexcept {
+  constexpr float kSplitter = 4097.0f;  // 2^12 + 1: 12 + 12 bits
+  const float c = kSplitter * a;
+  const float hi = c - (c - a);
+  const float lo = a - hi;
+  return {hi, lo};
+}
+
+void dd_add(double& hi, double& lo, double x) noexcept {
+  const TwoFold s = two_sum(hi, x);
+  lo += s.error;
+  const TwoFold n = fast_two_sum(s.value, lo);
+  hi = n.value;
+  lo = n.error;
+}
+
+}  // namespace egemm::fp

@@ -1,0 +1,51 @@
+#pragma once
+// Error-free transformations (EFTs) over binary64/binary32.
+//
+// These are the classical CPU building blocks of extended-precision
+// emulation (Dekker [7], Knuth [14], Priest [34], Shewchuk [36]) that the
+// paper contrasts with its Tensor-Core-native design. They serve three
+// roles here:
+//   1. the CPU "ground truth" side of the generalized emulation-design
+//      workflow (Fig. 2a computes reference results at higher precision);
+//   2. the Dekker-16 baseline tile emulation (core/emulation.cpp);
+//   3. property tests of the split algebra.
+
+#include <utility>
+
+namespace egemm::fp {
+
+/// Sum with exact error term: a + b == sum + err (Knuth two-sum; no
+/// ordering requirement on |a|, |b|).
+struct TwoFold {
+  double value;
+  double error;
+};
+
+TwoFold two_sum(double a, double b) noexcept;
+
+/// Faster variant requiring |a| >= |b| or a == 0.
+TwoFold fast_two_sum(double a, double b) noexcept;
+
+/// Product with exact error term via fused multiply-add:
+/// a * b == value + error exactly.
+TwoFold two_prod(double a, double b) noexcept;
+
+/// Veltkamp split of a binary64 value into hi + lo where hi carries the top
+/// 26 significand bits and lo the remaining 26 (both exactly representable).
+std::pair<double, double> veltkamp_split(double a) noexcept;
+
+/// Single-precision EFTs (used by the CPU-side references for the
+/// half-precision pipeline, where binary32 plays the "wide" type).
+struct TwoFoldF {
+  float value;
+  float error;
+};
+
+TwoFoldF two_sum_f(float a, float b) noexcept;
+TwoFoldF two_prod_f(float a, float b) noexcept;
+std::pair<float, float> veltkamp_split_f(float a) noexcept;
+
+/// Double-double accumulation: adds `x` into the unevaluated sum (hi, lo).
+void dd_add(double& hi, double& lo, double x) noexcept;
+
+}  // namespace egemm::fp

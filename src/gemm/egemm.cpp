@@ -1,0 +1,274 @@
+#include "gemm/egemm.hpp"
+
+#include <algorithm>
+
+#include "tcsim/instruction.hpp"
+#include "tcsim/occupancy.hpp"
+#include "tcsim/register_alloc.hpp"
+#include "tcsim/tensor_core.hpp"
+#include "util/assert.hpp"
+#include "util/thread_pool.hpp"
+
+namespace egemm::gemm {
+
+namespace {
+
+constexpr std::size_t kTile = 16;  // wmma primitive extent
+
+/// A split-product term over arbitrary plane sets: multiply A-plane
+/// `a_plane` by B-plane `b_plane`.
+struct PlaneCombo {
+  int a_plane;
+  int b_plane;
+};
+
+/// Computes one 16x16 C tile over plane decompositions of A and B:
+/// iterates k-tiles and, per the requested order, the split-product
+/// combos; every dot runs with Tensor Core accumulation semantics. `acc`
+/// is the fp32 accumulator tile.
+void compute_c_tile(float acc[kTile][kTile], std::span<const Matrix> ap,
+                    std::span<const Matrix> bp, std::size_t i0,
+                    std::size_t j0, std::size_t mt, std::size_t nt,
+                    std::span<const PlaneCombo> combos, ComboOrder order) {
+  const std::size_t k = ap[0].cols();
+
+  auto k_tile_pass = [&](std::size_t k0, const PlaneCombo& combo) {
+    const std::size_t kt = std::min(kTile, k - k0);
+    // Transpose the B tile plane into a contiguous [j][k] buffer so the
+    // inner dot walks unit strides.
+    float bt[kTile][kTile];
+    const Matrix& bplane = bp[static_cast<std::size_t>(combo.b_plane)];
+    for (std::size_t kk = 0; kk < kt; ++kk) {
+      const float* brow = bplane.row(k0 + kk) + j0;
+      for (std::size_t j = 0; j < nt; ++j) bt[j][kk] = brow[j];
+    }
+    const Matrix& aplane = ap[static_cast<std::size_t>(combo.a_plane)];
+    for (std::size_t i = 0; i < mt; ++i) {
+      const float* arow = aplane.row(i0 + i) + k0;
+      for (std::size_t j = 0; j < nt; ++j) {
+        acc[i][j] = tcsim::tc_dot_f32(arow, bt[j], static_cast<int>(kt),
+                                      acc[i][j]);
+      }
+    }
+  };
+
+  if (order == ComboOrder::kFusedPerTile) {
+    // Alg. 1: inside each k-tile all combos accumulate before moving on.
+    for (std::size_t k0 = 0; k0 < k; k0 += kTile) {
+      for (const PlaneCombo& combo : combos) k_tile_pass(k0, combo);
+    }
+  } else {
+    // cuBLAS-TC-Emulation: one full-K GEMM per combo, D re-read between
+    // passes (numerically identical to staying in registers, since D is
+    // binary32 either way).
+    for (const PlaneCombo& combo : combos) {
+      for (std::size_t k0 = 0; k0 < k; k0 += kTile) k_tile_pass(k0, combo);
+    }
+  }
+}
+
+/// Shared driver: D = sum over combos of Aplane x Bplane (+ C), tiled and
+/// parallelized over row blocks.
+Matrix plane_gemm(std::span<const Matrix> ap, std::span<const Matrix> bp,
+                  const Matrix* c, std::span<const PlaneCombo> combos,
+                  ComboOrder order) {
+  const std::size_t m = ap[0].rows();
+  const std::size_t n = bp[0].cols();
+
+  Matrix d(m, n);
+  if (c != nullptr) {
+    std::copy(c->data().begin(), c->data().end(), d.data().begin());
+  }
+
+  const std::size_t row_blocks = (m + kTile - 1) / kTile;
+  util::global_pool().parallel_for(
+      row_blocks, [&](std::size_t rb0, std::size_t rb1) {
+        for (std::size_t rb = rb0; rb < rb1; ++rb) {
+          const std::size_t i0 = rb * kTile;
+          const std::size_t mt = std::min(kTile, m - i0);
+          for (std::size_t j0 = 0; j0 < n; j0 += kTile) {
+            const std::size_t nt = std::min(kTile, n - j0);
+            float acc[kTile][kTile];
+            for (std::size_t i = 0; i < mt; ++i) {
+              for (std::size_t j = 0; j < nt; ++j) {
+                acc[i][j] = d.at(i0 + i, j0 + j);
+              }
+            }
+            compute_c_tile(acc, ap, bp, i0, j0, mt, nt, combos, order);
+            for (std::size_t i = 0; i < mt; ++i) {
+              for (std::size_t j = 0; j < nt; ++j) {
+                d.at(i0 + i, j0 + j) = acc[i][j];
+              }
+            }
+          }
+        }
+      });
+  return d;
+}
+
+}  // namespace
+
+Matrix emulated_gemm(const Matrix& a, const Matrix& b, const Matrix* c,
+                     core::SplitMethod split, std::span<const Combo> combos,
+                     ComboOrder order) {
+  EGEMM_EXPECTS(a.cols() == b.rows());
+  EGEMM_EXPECTS(c == nullptr ||
+                (c->rows() == a.rows() && c->cols() == b.cols()));
+  EGEMM_EXPECTS(!combos.empty());
+
+  // The O(N^2) data-split pass (runs on CUDA cores in the real kernel).
+  // Plane 0 = lo, plane 1 = hi.
+  std::vector<Matrix> ap(2, Matrix(a.rows(), a.cols()));
+  std::vector<Matrix> bp(2, Matrix(b.rows(), b.cols()));
+  core::split_span_f32(a.data(), ap[1].data(), ap[0].data(), split);
+  core::split_span_f32(b.data(), bp[1].data(), bp[0].data(), split);
+
+  std::vector<PlaneCombo> plane_combos;
+  plane_combos.reserve(combos.size());
+  for (const Combo& combo : combos) {
+    plane_combos.push_back(PlaneCombo{combo.a_hi ? 1 : 0, combo.b_hi ? 1 : 0});
+  }
+  return plane_gemm(ap, bp, c, plane_combos, order);
+}
+
+Matrix egemm_multiply_3split(const Matrix& a, const Matrix& b,
+                             const Matrix* c) {
+  EGEMM_EXPECTS(a.cols() == b.rows());
+  EGEMM_EXPECTS(c == nullptr ||
+                (c->rows() == a.rows() && c->cols() == b.cols()));
+
+  // Planes 0 = lo, 1 = mid, 2 = hi; x == p0 + p1 + p2 exactly.
+  std::vector<Matrix> ap(3, Matrix(a.rows(), a.cols()));
+  std::vector<Matrix> bp(3, Matrix(b.rows(), b.cols()));
+  core::split3_span_f32(a.data(), ap[2].data(), ap[1].data(), ap[0].data());
+  core::split3_span_f32(b.data(), bp[2].data(), bp[1].data(), bp[0].data());
+
+  // All 9 products, smallest-magnitude terms first so they are absorbed
+  // before the dominant hi x hi partial product.
+  static constexpr PlaneCombo kCombos[] = {
+      {0, 0}, {0, 1}, {1, 0}, {0, 2}, {1, 1}, {2, 0}, {1, 2}, {2, 1}, {2, 2}};
+  return plane_gemm(ap, bp, c, kCombos, ComboOrder::kFusedPerTile);
+}
+
+KernelTiming egemm_3split_timing(std::uint64_t m, std::uint64_t n,
+                                 std::uint64_t k, const tcsim::GpuSpec& spec) {
+  EgemmOptions opts;
+  opts.emulation_instructions = 9;
+  KernelTiming timing = egemm_timing(m, n, k, spec, opts);
+  // Three half planes instead of two: the split pass writes 1.5x the
+  // bytes (the main loop's global traffic is handled by the stream shape).
+  timing.seconds += timing.split_pass_seconds * 0.5;
+  timing.split_pass_seconds *= 1.5;
+  timing.tflops = gemm_tflops(m, n, k, timing.seconds);
+  return timing;
+}
+
+Matrix egemm_multiply(const Matrix& a, const Matrix& b, const Matrix* c,
+                      const EgemmOptions& opts) {
+  // Alg. 1's term order: low-order products first.
+  static constexpr Combo kAlg1[] = {
+      {false, false}, {false, true}, {true, false}, {true, true}};
+  EGEMM_EXPECTS(opts.emulation_instructions == 4);
+  return emulated_gemm(a, b, c, opts.split, kAlg1, ComboOrder::kFusedPerTile);
+}
+
+KernelTiming egemm_timing(std::uint64_t m, std::uint64_t n, std::uint64_t k,
+                          const tcsim::GpuSpec& spec,
+                          const EgemmOptions& opts) {
+  EGEMM_EXPECTS(m > 0 && n > 0 && k > 0);
+  EGEMM_EXPECTS(opts.tile.valid());
+  const TileConfig& tile = opts.tile;
+
+  KernelTiming timing;
+
+  // Register allocation (§5.2) decides the per-thread footprint; a plan
+  // that spills slows the block down (spilled values bounce off local
+  // memory), and one that does not fit at all is infeasible.
+  const tcsim::KernelRegisterPlan plan = tcsim::egemm_register_plan(
+      tile.bm, tile.bn, tile.bk, tile.wm, tile.wn, tile.wk,
+      tile.threads_per_block());
+  const tcsim::AllocationResult regs =
+      tcsim::allocate_registers(plan, spec.max_registers_per_thread);
+  timing.registers_per_thread = std::min(
+      regs.per_thread, spec.max_registers_per_thread);
+  timing.register_spill = regs.spills;
+
+  const tcsim::BlockResources resources{
+      tile.shared_memory_bytes(), timing.registers_per_thread,
+      tile.threads_per_block()};
+  const tcsim::Occupancy occ = tcsim::compute_occupancy(spec, resources);
+  if (occ.blocks_per_sm == 0) {
+    timing.feasible = false;
+    return timing;
+  }
+  timing.blocks_per_sm = occ.blocks_per_sm;
+
+  // Per-block instruction stream -> cycles.
+  tcsim::EgemmStreamOptions sopts;
+  sopts.latency_hiding = opts.latency_hiding;
+  sopts.frag_caching = opts.frag_caching;
+  sopts.emulation_instructions =
+      static_cast<std::uint32_t>(opts.emulation_instructions);
+  const tcsim::IterationShape shape = tcsim::egemm_iteration_shape(
+      tile.bm, tile.bn, tile.bk, tile.wm, tile.wn, tile.wk, sopts);
+  const auto iterations =
+      static_cast<std::uint32_t>(tile.k_iterations(k));
+  const auto epilogue_stg = static_cast<std::uint32_t>(
+      static_cast<std::uint64_t>(tile.bm) * static_cast<std::uint64_t>(tile.bn) *
+      4 / 512);
+  const tcsim::SimProgram program =
+      tcsim::build_egemm_block_program(shape, iterations, sopts, epilogue_stg);
+  timing.block_stats = tcsim::simulate_block(program, spec);
+  timing.block_cycles = timing.block_stats.cycles;
+  if (occ.blocks_per_sm > 1) {
+    // Co-resident blocks share the SM's issue ports: each extra block
+    // stretches this block's busiest-port time by its utilization share
+    // (idle latency slots still interleave for free).
+    double max_util = 0.0;
+    for (const tcsim::Port port :
+         {tcsim::Port::kTensor, tcsim::Port::kMio, tcsim::Port::kGlobal,
+          tcsim::Port::kCuda}) {
+      max_util = std::max(max_util,
+                          timing.block_stats.port_utilization(port));
+    }
+    timing.block_cycles *=
+        1.0 + static_cast<double>(occ.blocks_per_sm - 1) * max_util;
+  }
+  if (regs.spills) {
+    // Each spilled register adds local-memory round trips to the main
+    // loop; 2% per register is the calibrated penalty.
+    timing.block_cycles *=
+        1.0 + 0.02 * static_cast<double>(regs.spilled_registers);
+  }
+
+  timing.blocks = tile.grid_blocks(m, n);
+  timing.waves =
+      tcsim::wave_count(timing.blocks, spec, occ.blocks_per_sm);
+  const double main_cycles = tcsim::kernel_cycles(
+      timing.blocks, timing.block_cycles, spec, occ.blocks_per_sm);
+  const double main_seconds = spec.cycles_to_seconds(main_cycles);
+
+  // The O(N^2) split pass on CUDA cores: reads A and B in binary32 and
+  // writes the lo+hi binary16 planes -- 8(mk + kn) bytes at DRAM speed --
+  // plus its own kernel launch.
+  const double split_bytes =
+      8.0 * (static_cast<double>(m) * static_cast<double>(k) +
+             static_cast<double>(k) * static_cast<double>(n));
+  timing.split_pass_seconds =
+      split_bytes / (spec.dram_bandwidth_gbps * 1e9) +
+      spec.kernel_launch_us * 1e-6;
+
+  timing.seconds = main_seconds + timing.split_pass_seconds +
+                   spec.kernel_launch_us * 1e-6;
+  timing.tflops = gemm_tflops(m, n, k, timing.seconds);
+  return timing;
+}
+
+double gemm_tflops(std::uint64_t m, std::uint64_t n, std::uint64_t k,
+                   double seconds) noexcept {
+  if (seconds <= 0.0) return 0.0;
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k) / seconds / 1e12;
+}
+
+}  // namespace egemm::gemm

@@ -1,0 +1,115 @@
+#include "gemm/gemm_api.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace egemm::gemm {
+
+const char* backend_name(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::kEgemmTC:
+      return "EGEMM-TC";
+    case Backend::kCublasFp32:
+      return "cuBLAS-CUDA-FP32";
+    case Backend::kCublasTcHalf:
+      return "cuBLAS-TC-Half";
+    case Backend::kCublasTcEmulation:
+      return "cuBLAS-TC-Emulation";
+    case Backend::kSdkFp32:
+      return "SDK-CUDA-FP32";
+    case Backend::kMarkidis:
+      return "Markidis";
+    case Backend::kDekker:
+      return "Dekker";
+  }
+  return "?";
+}
+
+std::vector<Backend> all_backends() {
+  return {Backend::kEgemmTC,       Backend::kCublasFp32,
+          Backend::kCublasTcHalf,  Backend::kCublasTcEmulation,
+          Backend::kSdkFp32,       Backend::kMarkidis,
+          Backend::kDekker};
+}
+
+Matrix run_gemm(Backend backend, const Matrix& a, const Matrix& b,
+                const Matrix* c) {
+  switch (backend) {
+    case Backend::kEgemmTC:
+      return egemm_multiply(a, b, c);
+    case Backend::kCublasFp32:
+      return sgemm_fp32(a, b, c);
+    case Backend::kCublasTcHalf:
+      return gemm_tc_half(a, b, c);
+    case Backend::kCublasTcEmulation:
+      return gemm_cublas_tc_emulation(a, b, c);
+    case Backend::kSdkFp32:
+      EGEMM_EXPECTS(c == nullptr);
+      return sdk_gemm_fp32(a, b);
+    case Backend::kMarkidis:
+      return gemm_markidis(a, b, c);
+    case Backend::kDekker:
+      return gemm_dekker(a, b, c);
+  }
+  EGEMM_EXPECTS(!"unreachable backend");
+  return Matrix();
+}
+
+Matrix gemm_ex(Backend backend, const Matrix& a, const Matrix& b,
+               const Matrix* c, const GemmExParams& params) {
+  EGEMM_EXPECTS(params.beta == 0.0f || c != nullptr);
+  const Matrix op_a =
+      params.trans_a == Transpose::kTranspose ? transpose(a) : a;
+  const Matrix op_b =
+      params.trans_b == Transpose::kTranspose ? transpose(b) : b;
+  EGEMM_EXPECTS(op_a.cols() == op_b.rows());
+  EGEMM_EXPECTS(c == nullptr ||
+                (c->rows() == op_a.rows() && c->cols() == op_b.cols()));
+
+  // Fast paths keep the accumulation inside the kernel (beta = 1 rides the
+  // Tensor Core accumulator; the SDK sample has no C input).
+  if (params.alpha == 1.0f) {
+    if (params.beta == 0.0f) return run_gemm(backend, op_a, op_b, nullptr);
+    if (params.beta == 1.0f && backend != Backend::kSdkFp32) {
+      return run_gemm(backend, op_a, op_b, c);
+    }
+  }
+
+  Matrix d = run_gemm(backend, op_a, op_b, nullptr);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    float value = params.alpha * d.data()[i];
+    if (c != nullptr && params.beta != 0.0f) {
+      value = std::fmaf(params.beta, c->data()[i], value);
+    }
+    d.data()[i] = value;
+  }
+  return d;
+}
+
+KernelTiming time_gemm(Backend backend, std::uint64_t m, std::uint64_t n,
+                       std::uint64_t k, const tcsim::GpuSpec& spec) {
+  switch (backend) {
+    case Backend::kEgemmTC:
+      return egemm_timing(m, n, k, spec);
+    case Backend::kCublasFp32:
+      return sgemm_fp32_timing(m, n, k, spec);
+    case Backend::kCublasTcHalf:
+      return tc_half_timing(m, n, k, spec);
+    case Backend::kCublasTcEmulation:
+      return tc_emulation_timing(m, n, k, spec);
+    case Backend::kSdkFp32:
+      return sdk_gemm_timing(m, n, k, spec);
+    case Backend::kMarkidis:
+      return markidis_timing(m, n, k, spec);
+    case Backend::kDekker: {
+      EgemmOptions opts;
+      opts.emulation_instructions = 16;
+      return egemm_timing(m, n, k, spec, opts);
+    }
+  }
+  EGEMM_EXPECTS(!"unreachable backend");
+  return KernelTiming{};
+}
+
+}  // namespace egemm::gemm

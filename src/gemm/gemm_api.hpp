@@ -1,0 +1,59 @@
+#pragma once
+// Unified backend registry: every kernel of Table 5 behind one functional
+// and one timed entry point. The benchmark harness and the applications
+// select kernels through this API.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gemm/baselines.hpp"
+#include "gemm/egemm.hpp"
+
+namespace egemm::gemm {
+
+enum class Backend {
+  kEgemmTC,            ///< this paper (Alg. 1 + §4/§5 optimizations)
+  kCublasFp32,         ///< cuBLAS-CUDA-FP32
+  kCublasTcHalf,       ///< cuBLAS-TC-Half
+  kCublasTcEmulation,  ///< cuBLAS-TC-Emulation
+  kSdkFp32,            ///< SDK-CUDA-FP32
+  kMarkidis,           ///< Markidis [20]
+  kDekker,             ///< Dekker [7] (functional + schedule model only)
+};
+
+const char* backend_name(Backend backend) noexcept;
+std::vector<Backend> all_backends();
+
+/// Functional D = A x B (+ C) on the chosen backend's numerics.
+Matrix run_gemm(Backend backend, const Matrix& a, const Matrix& b,
+                const Matrix* c = nullptr);
+
+/// Simulated execution time/TFLOPS of the backend on `spec`.
+/// Backend::kDekker is timed as an EGEMM schedule with 16 emulation
+/// instructions (a Dekker-style Tensor Core schedule), since the original
+/// CPU algorithm has no GPU kernel to model.
+KernelTiming time_gemm(Backend backend, std::uint64_t m, std::uint64_t n,
+                       std::uint64_t k, const tcsim::GpuSpec& spec);
+
+// -- BLAS-style extended entry point -----------------------------------------
+
+enum class Transpose { kNone, kTranspose };
+
+/// cublasSgemm-style parameters: D = alpha * op(A) x op(B) + beta * C.
+struct GemmExParams {
+  Transpose trans_a = Transpose::kNone;
+  Transpose trans_b = Transpose::kNone;
+  float alpha = 1.0f;
+  float beta = 0.0f;
+};
+
+/// BLAS-style GEMM on any backend. Dimensions follow the ops: with
+/// trans_a, A is stored k x m; with trans_b, B is stored n x k. When
+/// alpha == 1 and beta is 0 or 1 the accumulation happens inside the
+/// kernel (same numerics as run_gemm); otherwise the scaling is a binary32
+/// epilogue pass, as cuBLAS does it.
+Matrix gemm_ex(Backend backend, const Matrix& a, const Matrix& b,
+               const Matrix* c, const GemmExParams& params);
+
+}  // namespace egemm::gemm

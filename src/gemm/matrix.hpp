@@ -1,0 +1,76 @@
+#pragma once
+// Row-major owning matrices and reference GEMMs.
+//
+// Two element types are used throughout the repository: binary32 for the
+// kernels under test and binary64 for the CPU ground-truth reference (the
+// high-precision side of the emulation-design workflow, Fig. 2a).
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace egemm::gemm {
+
+template <typename T>
+class BasicMatrix {
+ public:
+  BasicMatrix() = default;
+  BasicMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t ld() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+
+  T& at(std::size_t r, std::size_t c) noexcept { return data_[r * cols_ + c]; }
+  const T& at(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<T> data() noexcept { return data_; }
+  std::span<const T> data() const noexcept { return data_; }
+  T* row(std::size_t r) noexcept { return data_.data() + r * cols_; }
+  const T* row(std::size_t r) const noexcept {
+    return data_.data() + r * cols_;
+  }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using Matrix = BasicMatrix<float>;
+using MatrixD = BasicMatrix<double>;
+
+/// Uniform random matrix in [lo, hi), reproducible from the seed. The
+/// paper's precision experiments sample from [-1, +1] (§7.2).
+Matrix random_matrix(std::size_t rows, std::size_t cols, float lo, float hi,
+                     std::uint64_t seed);
+
+/// Widens a binary32 matrix to binary64 (exact).
+MatrixD widen(const Matrix& m);
+
+/// Out-of-place transpose.
+Matrix transpose(const Matrix& m);
+
+/// Ground-truth D = A x B + C in binary64 with compensated accumulation
+/// (double-double), giving a reference accurate far beyond binary32.
+MatrixD gemm_reference(const Matrix& a, const Matrix& b, const Matrix* c);
+
+/// Max |candidate - reference| over all elements (Eq. 10 generalized to a
+/// binary64 reference).
+double max_abs_error(const MatrixD& reference, const Matrix& candidate);
+
+/// Max |a - b| between two binary32 matrices (the paper's Eq. 10 uses the
+/// single-precision result as reference).
+double max_abs_error(const Matrix& reference, const Matrix& candidate);
+
+}  // namespace egemm::gemm

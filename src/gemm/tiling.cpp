@@ -1,0 +1,83 @@
+#include "gemm/tiling.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace egemm::gemm {
+
+bool TileConfig::valid() const noexcept {
+  if (bm <= 0 || bn <= 0 || bk <= 0 || wm <= 0 || wn <= 0 || wk <= 0) {
+    return false;
+  }
+  if (bm % wm != 0 || bn % wn != 0 || bk % wk != 0) return false;
+  // Warp tiles decompose into Tensor Core primitive tiles (m16n8k8 for the
+  // instruction stream; the wmma-level functional tile is 16x16x16).
+  if (wm % 16 != 0 || wn % 8 != 0 || wk % 8 != 0) return false;
+  const int warps = warps_per_block();
+  return warps >= 1 && warps <= 32;
+}
+
+std::string TileConfig::describe() const {
+  char buffer[96];
+  std::snprintf(buffer, sizeof buffer, "(bm,bn,bk)=(%d,%d,%d) (wm,wn,wk)=(%d,%d,%d)",
+                bm, bn, bk, wm, wn, wk);
+  return buffer;
+}
+
+std::size_t TileConfig::shared_memory_bytes() const noexcept {
+  // 2 x (bm + bn) x (bk + 4) x 2 bytes: lo+hi half planes of the A and B
+  // block tiles with 4-column padding against bank conflicts. With the
+  // Table 4 tiling this is exactly the 36 KB/block the paper reports.
+  return static_cast<std::size_t>(2) * static_cast<std::size_t>(bm + bn) *
+         static_cast<std::size_t>(bk + 4) * 2;
+}
+
+std::size_t TileConfig::frag_bytes() const noexcept {
+  // 4 bm bn for the resident C accumulator + 2 x 2(bm + bn)bk staging for
+  // the register-enhanced LDG pipeline (§6.1).
+  return static_cast<std::size_t>(4) * static_cast<std::size_t>(bm) *
+             static_cast<std::size_t>(bn) +
+         static_cast<std::size_t>(4) * static_cast<std::size_t>(bm + bn) *
+             static_cast<std::size_t>(bk);
+}
+
+std::uint64_t TileConfig::k_iterations(std::uint64_t k) const noexcept {
+  const auto bku = static_cast<std::uint64_t>(bk);
+  return (k + bku - 1) / bku;
+}
+
+std::uint64_t TileConfig::grid_blocks(std::uint64_t m,
+                                      std::uint64_t n) const noexcept {
+  const auto bmu = static_cast<std::uint64_t>(bm);
+  const auto bnu = static_cast<std::uint64_t>(bn);
+  return ((m + bmu - 1) / bmu) * ((n + bnu - 1) / bnu);
+}
+
+TileConfig table4_config() noexcept {
+  return TileConfig{128, 128, 32, 64, 32, 8};
+}
+
+void for_each_block_tile(std::size_t m, std::size_t n, const TileConfig& cfg,
+                         const std::function<void(const BlockTile&)>& body) {
+  EGEMM_EXPECTS(cfg.valid());
+  const auto bm = static_cast<std::size_t>(cfg.bm);
+  const auto bn = static_cast<std::size_t>(cfg.bn);
+  std::size_t block_row = 0;
+  for (std::size_t r = 0; r < m; r += bm, ++block_row) {
+    std::size_t block_col = 0;
+    for (std::size_t c = 0; c < n; c += bn, ++block_col) {
+      BlockTile tile;
+      tile.row0 = r;
+      tile.col0 = c;
+      tile.rows = std::min(bm, m - r);
+      tile.cols = std::min(bn, n - c);
+      tile.block_row = block_row;
+      tile.block_col = block_col;
+      body(tile);
+    }
+  }
+}
+
+}  // namespace egemm::gemm

@@ -1,0 +1,57 @@
+#pragma once
+// Hierarchical tensorization (§4): block tiles -> warp tiles -> TC tiles.
+//
+// A TileConfig carries the six hyper-parameters (bm, bn, bk, wm, wn, wk)
+// the analytic model selects (§6) plus derived resource demands, and the
+// coverage iterators decompose an (M, N, K) GEMM into block tiles the way
+// the kernel's grid does.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace egemm::gemm {
+
+struct TileConfig {
+  int bm = 128, bn = 128, bk = 32;  ///< block tile (Table 4)
+  int wm = 64, wn = 32, wk = 8;     ///< warp tile (Table 4)
+
+  bool valid() const noexcept;
+  std::string describe() const;
+
+  int warps_per_block() const noexcept { return (bm / wm) * (bn / wn); }
+  int threads_per_block() const noexcept { return warps_per_block() * 32; }
+
+  /// Shared memory per block: lo+hi halves of the A and B block tiles,
+  /// 2 bytes each, with anti-bank-conflict padding -- 2(bm+bn)(bk+4)x2
+  /// bytes, which reproduces Table 4's 36 KB/block.
+  std::size_t shared_memory_bytes() const noexcept;
+
+  /// Register/FRAG bytes per block: the resident C accumulator (4 bm bn)
+  /// plus double-buffered A/B fragments (Eq. in §6.1).
+  std::size_t frag_bytes() const noexcept;
+
+  /// Main-loop iterations for a given K extent.
+  std::uint64_t k_iterations(std::uint64_t k) const noexcept;
+
+  /// Grid size for an (M, N) output.
+  std::uint64_t grid_blocks(std::uint64_t m, std::uint64_t n) const noexcept;
+};
+
+/// The Table 4 design choice for the T4 budget.
+TileConfig table4_config() noexcept;
+
+/// One block tile's coordinates and extents (edge tiles are clipped).
+struct BlockTile {
+  std::size_t row0, col0;    ///< top-left of the C tile
+  std::size_t rows, cols;    ///< clipped extents
+  std::size_t block_row, block_col;
+};
+
+/// Invokes `body` for every block tile covering an m x n output, in the
+/// row-major grid order the kernel launches.
+void for_each_block_tile(std::size_t m, std::size_t n, const TileConfig& cfg,
+                         const std::function<void(const BlockTile&)>& body);
+
+}  // namespace egemm::gemm

@@ -1,0 +1,93 @@
+#include "model/analytic_model.hpp"
+
+#include "tcsim/register_alloc.hpp"
+#include "util/assert.hpp"
+
+namespace egemm::model {
+
+ResourceBudget budget_from_spec(const tcsim::GpuSpec& spec) {
+  ResourceBudget budget;
+  budget.shared_memory_bytes = spec.shared_memory_per_sm;
+  budget.register_bytes = spec.register_file_per_sm;
+  budget.max_registers_per_thread = spec.max_registers_per_thread;
+  budget.peak_tc_tflops = spec.peak_fp16_tc_tflops;
+  budget.l2_gbps = spec.l2_bandwidth_gbps;
+  budget.clock_ghz = spec.clock_ghz;
+  budget.sm_count = spec.sm_count;
+  return budget;
+}
+
+ModelTimes times_from_budget(const ResourceBudget& budget) {
+  ModelTimes times;
+  // One HMMA.1688 retires 2048 FLOPs; the per-SM peak rate fixes its issue
+  // interval. One LDG.128 moves 512 bytes against this SM's L2 share.
+  const double flops_per_cycle_per_sm =
+      budget.peak_tc_tflops * 1e12 /
+      (budget.clock_ghz * 1e9 * static_cast<double>(budget.sm_count));
+  times.t_hmma = 2048.0 / flops_per_cycle_per_sm;
+  const double l2_bytes_per_cycle_per_sm =
+      budget.l2_gbps * 1e9 /
+      (budget.clock_ghz * 1e9 * static_cast<double>(budget.sm_count));
+  times.t_ldg128 = 512.0 / l2_bytes_per_cycle_per_sm;
+  return times;
+}
+
+ModelEval evaluate_config(const gemm::TileConfig& config,
+                          const ResourceBudget& budget) {
+  EGEMM_EXPECTS(config.valid());
+  const ModelTimes times = times_from_budget(budget);
+  const double bm = config.bm, bn = config.bn, bk = config.bk;
+  const double wm = config.wm, wn = config.wn, wk = config.wk;
+
+  ModelEval eval;
+  // Eq. 2: lo+hi halves of the A and B block tiles.
+  eval.global_bytes_per_iter = 4.0 * (bm + bn) * bk;
+  // Eq. 3: 4 Tensor Core calls per emulated operation.
+  eval.flops_per_iter = 8.0 * bm * bn * bk;
+  // Eq. 4.
+  eval.compute_intensity = 2.0 * bm * bn / (bm + bn);
+
+  // Eq. 5: #HMMA.1688 x T_HMMA.
+  const double hmma_count = eval.flops_per_iter / 2048.0;
+  eval.t_comp = hmma_count * times.t_hmma;
+  // Eq. 6: the block tile travels global -> register -> shared in 128-bit
+  // warp transactions (512 B each).
+  const double ldg_count = eval.global_bytes_per_iter / 512.0;
+  eval.t_mem1 = ldg_count * (times.t_ldg128 + times.t_sts128);
+  // Eq. 7: per-warp fragment loads, 2(wm + wn)/8 LDS.32 per TC tile chain.
+  eval.t_mem2 = (bm * bn * bk) / (wm * wn * wk) *
+                (2.0 * wm / 8.0 + 2.0 * wn / 8.0) * times.t_lds32;
+
+  // Eq. 8 first constraint: 4 bm bn (C accumulator FRAG) + 4(bm+bn)bk
+  // (pipelined LDG staging) bytes of registers.
+  eval.register_demand_bytes = static_cast<std::size_t>(
+      4.0 * bm * bn + 4.0 * (bm + bn) * bk);
+  eval.fits_registers = eval.register_demand_bytes <= budget.register_bytes;
+
+  // Eq. 8 second constraint (with the Table 4 padding).
+  eval.shared_demand_bytes = config.shared_memory_bytes();
+  eval.fits_shared = eval.shared_demand_bytes <= budget.shared_memory_bytes;
+
+  // Per-thread allocation through the §5.2 stage allocator.
+  const tcsim::AllocationResult regs = tcsim::allocate_registers(
+      tcsim::egemm_register_plan(config.bm, config.bn, config.bk, config.wm,
+                                 config.wn, config.wk,
+                                 config.threads_per_block()),
+      budget.max_registers_per_thread);
+  eval.registers_per_thread = regs.per_thread;
+  eval.no_register_spill = !regs.spills;
+  // The whole block's allocation must also fit the 256 KB register file
+  // (threads x per-thread registers x 4 bytes) -- this is what rules out
+  // wider-than-Table-4 block tiles whose accumulator spreads over more
+  // threads but whose block total explodes.
+  eval.fits_register_file =
+      static_cast<std::size_t>(config.threads_per_block()) *
+          static_cast<std::size_t>(regs.per_thread) * 4 <=
+      budget.register_bytes;
+
+  // Eq. 8 third constraint.
+  eval.compute_bound = eval.t_mem1 + eval.t_mem2 <= eval.t_comp;
+  return eval;
+}
+
+}  // namespace egemm::model

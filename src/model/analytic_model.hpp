@@ -1,0 +1,81 @@
+#pragma once
+// Hardware-aware analytic model (§6): resource consumption (Eqs. 2-7) and
+// feasibility of a tiling against a resource budget (Eq. 8's constraints).
+//
+// The model works per main-loop iteration of one GPU block:
+//   global traffic   4(bm+bn)bk bytes                     (Eq. 2)
+//   FLOPs            8 bm bn bk (the 4x emulation inside) (Eq. 3)
+//   intensity        2 bm bn / (bm + bn)                  (Eq. 4)
+//   T_comp           #HMMA x T_HMMA                       (Eq. 5)
+//   T_mem1           #(LDG+STS).128 x (T_LDG + T_STS)     (Eq. 6)
+//   T_mem2           #LDS.32 x T_LDS                      (Eq. 7)
+// and declares a tiling feasible when registers and shared memory fit, the
+// register allocator does not spill, at least one block is resident per
+// SM, and T_mem1 + T_mem2 <= T_comp (compute bound, leaving latency-hiding
+// headroom).
+
+#include <cstddef>
+
+#include "gemm/tiling.hpp"
+#include "tcsim/gpu_spec.hpp"
+
+namespace egemm::model {
+
+/// Table 3: the small set of budgets the user supplies per GPU.
+struct ResourceBudget {
+  std::size_t shared_memory_bytes = 64 * 1024;
+  std::size_t register_bytes = 256 * 1024;
+  int max_registers_per_thread = 256;
+  double peak_tc_tflops = 65.0;  ///< "Peak Computation 2^6 TFLOPS"
+  double l2_gbps = 750.0;        ///< "L2 Cache Speed 750 GB/s"
+  double clock_ghz = 1.59;
+  int sm_count = 40;
+};
+
+ResourceBudget budget_from_spec(const tcsim::GpuSpec& spec);
+
+/// Per-instruction costs used by Eqs. 5-7, derived from the budget.
+struct ModelTimes {
+  double t_hmma = 2.0;     ///< cycles per HMMA.1688 at SM aggregate rate
+  double t_ldg128 = 43.0;  ///< cycles per LDG.128 at the L2 share
+  double t_sts128 = 1.0;
+  double t_lds32 = 1.0;
+};
+ModelTimes times_from_budget(const ResourceBudget& budget);
+
+struct ModelEval {
+  // Eq. 2-4.
+  double global_bytes_per_iter = 0.0;
+  double flops_per_iter = 0.0;
+  double compute_intensity = 0.0;
+
+  // Eq. 5-7, cycles per iteration.
+  double t_comp = 0.0;
+  double t_mem1 = 0.0;
+  double t_mem2 = 0.0;
+
+  // Resource demands.
+  std::size_t register_demand_bytes = 0;
+  std::size_t shared_demand_bytes = 0;
+  int registers_per_thread = 0;
+
+  // Constraint verdicts (Eq. 8).
+  bool fits_registers = false;       ///< FRAG demand vs register file
+  bool fits_register_file = false;   ///< threads x per-thread allocation
+  bool fits_shared = false;
+  bool no_register_spill = false;
+  bool compute_bound = false;
+
+  bool feasible() const noexcept {
+    return fits_registers && fits_register_file && fits_shared &&
+           no_register_spill && compute_bound;
+  }
+  /// Compute-over-memory headroom in cycles (latency-hiding slack).
+  double compute_margin() const noexcept { return t_comp - (t_mem1 + t_mem2); }
+};
+
+/// Evaluates one tiling against a budget.
+ModelEval evaluate_config(const gemm::TileConfig& config,
+                          const ResourceBudget& budget);
+
+}  // namespace egemm::model

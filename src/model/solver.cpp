@@ -1,0 +1,88 @@
+#include "model/solver.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "util/assert.hpp"
+
+namespace egemm::model {
+
+namespace {
+
+constexpr int kBlockDims[] = {32, 64, 128, 256};
+constexpr int kBlockK[] = {8, 16, 32, 64};
+constexpr int kWarpM[] = {16, 32, 64, 128};
+constexpr int kWarpN[] = {8, 16, 32, 64, 128};
+constexpr int kWarpK[] = {8, 16, 32};
+
+/// Scheduler-feed heuristic: an SM has four scheduler partitions; fewer
+/// than two warps per partition cannot hide even ALU latency, so blocks
+/// with < 8 warps are excluded from the search (Table 4 runs 8).
+constexpr int kMinWarps = 8;
+constexpr int kMaxWarps = 32;
+
+double warp_compute_ratio(const ModelEval& eval) noexcept {
+  return eval.t_mem2 > 0.0 ? eval.t_comp / eval.t_mem2 : 0.0;
+}
+
+}  // namespace
+
+bool objective_less(const SolverCandidate& b, const SolverCandidate& a) {
+  // Returns true when `a` is strictly better than `b`.
+  if (a.eval.compute_intensity != b.eval.compute_intensity) {
+    return a.eval.compute_intensity > b.eval.compute_intensity;
+  }
+  const double ra = warp_compute_ratio(a.eval);
+  const double rb = warp_compute_ratio(b.eval);
+  if (ra != rb) return ra > rb;
+  if (a.eval.compute_margin() != b.eval.compute_margin()) {
+    return a.eval.compute_margin() > b.eval.compute_margin();
+  }
+  // M-major warp assignment preference.
+  const int da = a.config.wm - a.config.wn;
+  const int db = b.config.wm - b.config.wn;
+  if (da != db) return da > db;
+  // Final deterministic tie-break: lexicographic on the tuple.
+  const auto key = [](const gemm::TileConfig& c) {
+    return std::array<int, 6>{c.bm, c.bn, c.bk, c.wm, c.wn, c.wk};
+  };
+  return key(a.config) < key(b.config);
+}
+
+SolverResult solve(const ResourceBudget& budget) {
+  SolverResult result;
+  for (const int bm : kBlockDims) {
+    for (const int bn : kBlockDims) {
+      for (const int bk : kBlockK) {
+        for (const int wm : kWarpM) {
+          for (const int wn : kWarpN) {
+            for (const int wk : kWarpK) {
+              const gemm::TileConfig config{bm, bn, bk, wm, wn, wk};
+              if (!config.valid()) continue;
+              const int warps = config.warps_per_block();
+              if (warps < kMinWarps || warps > kMaxWarps) continue;
+              ++result.explored;
+
+              const ModelEval eval = evaluate_config(config, budget);
+              if (!eval.feasible()) continue;
+              result.feasible.push_back(SolverCandidate{config, eval});
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::sort(result.feasible.begin(), result.feasible.end(),
+            [](const SolverCandidate& x, const SolverCandidate& y) {
+              return objective_less(y, x);  // best first
+            });
+  if (!result.feasible.empty()) {
+    result.found = true;
+    result.best = result.feasible.front().config;
+    result.best_eval = result.feasible.front().eval;
+  }
+  return result;
+}
+
+}  // namespace egemm::model

@@ -1,0 +1,45 @@
+#pragma once
+// Analytic solver (§6.2): turns hyper-parameter selection into a
+// constrained maximization of the compute intensity (Eq. 8) over the
+// six-parameter design space, replacing trial-and-error tuning.
+//
+// The objective hierarchy:
+//   1. maximize compute intensity 2 bm bn / (bm + bn)   (Eq. 4)
+//   2. maximize active warps per block (latency-hiding capacity)
+//   3. maximize the compute-over-memory margin (more hiding headroom)
+//   4. prefer wm >= wn (M-major warp assignment, matching the kernel)
+// subject to every Eq. 8 constraint (registers, shared memory, per-thread
+// allocation without spill, compute-bound iteration).
+//
+// On the Table 3 budget this reproduces Table 4 exactly:
+// (128,128,32)/(64,32,8), 36 KB shared memory, 1 block/SM, 8 warps.
+
+#include <vector>
+
+#include "gemm/tiling.hpp"
+#include "model/analytic_model.hpp"
+
+namespace egemm::model {
+
+struct SolverCandidate {
+  gemm::TileConfig config;
+  ModelEval eval;
+};
+
+struct SolverResult {
+  bool found = false;
+  gemm::TileConfig best;
+  ModelEval best_eval;
+  /// All feasible candidates, best first (for the design-space report).
+  std::vector<SolverCandidate> feasible;
+  std::size_t explored = 0;
+};
+
+/// Enumerates the design space (power-of-two tilings within hardware
+/// plausibility) and returns the constrained maximizer.
+SolverResult solve(const ResourceBudget& budget);
+
+/// True when `a` beats `b` under the objective hierarchy above.
+bool objective_less(const SolverCandidate& b, const SolverCandidate& a);
+
+}  // namespace egemm::model

@@ -1,0 +1,251 @@
+#include "sass/assembler.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+namespace egemm::sass {
+
+namespace {
+
+std::optional<Op> op_from_name(std::string_view name) {
+  for (const Op op :
+       {Op::kLdg, Op::kStg, Op::kSts, Op::kLds, Op::kHmma, Op::kFfma,
+        Op::kIadd, Op::kMov, Op::kBar, Op::kBra, Op::kExit}) {
+    if (name == op_name(op)) return op;
+  }
+  return std::nullopt;
+}
+
+std::string reg_text(const RegRange& range) {
+  std::string out = "R" + std::to_string(range.index);
+  if (range.width != 1) out += "." + std::to_string(range.width);
+  return out;
+}
+
+std::optional<RegRange> parse_reg(std::string_view token) {
+  if (token.empty() || token[0] != 'R') return std::nullopt;
+  token.remove_prefix(1);
+  RegRange range;
+  const std::size_t dot = token.find('.');
+  const std::string_view index_part = token.substr(0, dot);
+  int index = 0;
+  if (std::from_chars(index_part.data(), index_part.data() + index_part.size(),
+                      index)
+          .ec != std::errc{}) {
+    return std::nullopt;
+  }
+  range.index = index;
+  if (dot != std::string_view::npos) {
+    const std::string_view width_part = token.substr(dot + 1);
+    int width = 0;
+    if (std::from_chars(width_part.data(),
+                        width_part.data() + width_part.size(), width)
+            .ec != std::errc{}) {
+      return std::nullopt;
+    }
+    range.width = width;
+  }
+  return range;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string emit_instr(const Instr& instr) {
+  std::string out = op_name(instr.op);
+  bool first = true;
+  auto append_operand = [&out, &first](const std::string& text) {
+    out += first ? " " : ", ";
+    out += text;
+    first = false;
+  };
+  if (instr.dst.valid()) append_operand(reg_text(instr.dst));
+  for (const RegRange& src : instr.srcs) append_operand(reg_text(src));
+  if (instr.target) append_operand(*instr.target);
+  out += " ;";
+
+  if (instr.ctrl.write_barrier >= 0) {
+    out += " @W" + std::to_string(instr.ctrl.write_barrier);
+  }
+  if (instr.ctrl.read_barrier >= 0) {
+    out += " @R" + std::to_string(instr.ctrl.read_barrier);
+  }
+  if (instr.ctrl.wait_mask != 0) {
+    char buffer[16];
+    std::snprintf(buffer, sizeof buffer, " @wait=0x%x", instr.ctrl.wait_mask);
+    out += buffer;
+  }
+  if (instr.ctrl.stall != 1) {
+    out += " @stall=" + std::to_string(instr.ctrl.stall);
+  }
+  out += " @stage=" + std::to_string(instr.stage);
+  if (instr.step >= 0) out += " @step=" + std::to_string(instr.step);
+  if (!instr.comment.empty()) out += " // " + instr.comment;
+  return out;
+}
+
+std::optional<Instr> parse_instr(const std::string& line, std::string* error) {
+  const std::size_t semi = line.find(';');
+  if (semi == std::string::npos) {
+    if (error != nullptr) *error = "missing ';' in: " + line;
+    return std::nullopt;
+  }
+  Instr instr;
+
+  // Head: opcode + operands.
+  std::istringstream head{std::string(trim(line.substr(0, semi)))};
+  std::string op_token;
+  head >> op_token;
+  const auto op = op_from_name(op_token);
+  if (!op) {
+    if (error != nullptr) *error = "unknown opcode: " + op_token;
+    return std::nullopt;
+  }
+  instr.op = *op;
+
+  std::vector<std::string> operands;
+  std::string rest;
+  std::getline(head, rest);
+  std::size_t pos = 0;
+  while (pos < rest.size()) {
+    std::size_t comma = rest.find(',', pos);
+    if (comma == std::string::npos) comma = rest.size();
+    const std::string_view token = trim(
+        std::string_view(rest).substr(pos, comma - pos));
+    if (!token.empty()) operands.emplace_back(token);
+    pos = comma + 1;
+  }
+  std::size_t first_src = 0;
+  const bool has_dst = !is_store(instr.op) && instr.op != Op::kBar &&
+                       instr.op != Op::kBra && instr.op != Op::kExit &&
+                       !operands.empty();
+  if (has_dst) {
+    const auto dst = parse_reg(operands[0]);
+    if (!dst) {
+      if (error != nullptr) *error = "bad destination: " + operands[0];
+      return std::nullopt;
+    }
+    instr.dst = *dst;
+    first_src = 1;
+  }
+  for (std::size_t i = first_src; i < operands.size(); ++i) {
+    if (const auto src = parse_reg(operands[i])) {
+      instr.srcs.push_back(*src);
+    } else if (instr.op == Op::kBra) {
+      instr.target = operands[i];
+    } else {
+      if (error != nullptr) *error = "bad operand: " + operands[i];
+      return std::nullopt;
+    }
+  }
+
+  // Tail: annotations and comment.
+  std::string tail = line.substr(semi + 1);
+  const std::size_t slashes = tail.find("//");
+  if (slashes != std::string::npos) {
+    instr.comment = std::string(trim(tail.substr(slashes + 2)));
+    tail = tail.substr(0, slashes);
+  }
+  std::istringstream annotations{tail};
+  std::string token;
+  while (annotations >> token) {
+    if (token.rfind("@W", 0) == 0) {
+      instr.ctrl.write_barrier = std::stoi(token.substr(2));
+    } else if (token.rfind("@R", 0) == 0) {
+      instr.ctrl.read_barrier = std::stoi(token.substr(2));
+    } else if (token.rfind("@wait=", 0) == 0) {
+      instr.ctrl.wait_mask = static_cast<std::uint8_t>(
+          std::stoul(token.substr(6), nullptr, 16));
+    } else if (token.rfind("@stall=", 0) == 0) {
+      instr.ctrl.stall = std::stoi(token.substr(7));
+    } else if (token.rfind("@stage=", 0) == 0) {
+      instr.stage = std::stoi(token.substr(7));
+    } else if (token.rfind("@step=", 0) == 0) {
+      instr.step = std::stoi(token.substr(6));
+    } else {
+      if (error != nullptr) *error = "unknown annotation: " + token;
+      return std::nullopt;
+    }
+  }
+  return instr;
+}
+
+std::string emit_text(const Kernel& kernel) {
+  std::string out = "// kernel: " + kernel.name + "\n";
+  out += "// vregs: " + std::to_string(kernel.virtual_regs) + "\n";
+  auto emit_section = [&out](const char* header,
+                             const std::vector<Instr>& instrs) {
+    out += header;
+    out += "\n";
+    for (const Instr& instr : instrs) {
+      out += "  " + emit_instr(instr) + "\n";
+    }
+  };
+  emit_section(".prologue:", kernel.prologue);
+  out += ".body(trips=" + std::to_string(kernel.loop_trips) + "):\n";
+  for (const Instr& instr : kernel.body) {
+    out += "  " + emit_instr(instr) + "\n";
+  }
+  emit_section(".epilogue:", kernel.epilogue);
+  return out;
+}
+
+ParseResult parse_text(const std::string& text) {
+  ParseResult result;
+  std::vector<Instr>* section = nullptr;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed.rfind("// kernel:", 0) == 0) {
+      result.kernel.name = std::string(trim(trimmed.substr(10)));
+      continue;
+    }
+    if (trimmed.rfind("// vregs:", 0) == 0) {
+      result.kernel.virtual_regs = std::stoi(std::string(trimmed.substr(9)));
+      continue;
+    }
+    if (trimmed.rfind("//", 0) == 0) continue;
+    if (trimmed == ".prologue:") {
+      section = &result.kernel.prologue;
+      continue;
+    }
+    if (trimmed.rfind(".body(trips=", 0) == 0) {
+      result.kernel.loop_trips = static_cast<std::uint32_t>(
+          std::stoul(std::string(trimmed.substr(12))));
+      section = &result.kernel.body;
+      continue;
+    }
+    if (trimmed == ".epilogue:") {
+      section = &result.kernel.epilogue;
+      continue;
+    }
+    if (section == nullptr) {
+      result.error = "instruction outside any section: " + line;
+      return result;
+    }
+    std::string error;
+    const auto instr = parse_instr(std::string(trimmed), &error);
+    if (!instr) {
+      result.error = error;
+      return result;
+    }
+    section->push_back(*instr);
+  }
+  result.success = true;
+  return result;
+}
+
+}  // namespace egemm::sass

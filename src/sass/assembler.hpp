@@ -1,0 +1,37 @@
+#pragma once
+// Text form of the kernel IR, in a TuringAs-flavored syntax.
+//
+// One instruction per line:
+//
+//   LDS.128 R40.4, R3 ; @W0 @wait=0x2 @stall=1 @stage=2 @step=0 // comment
+//
+// `Rn.w` is a run of w consecutive registers starting at Rn; @W / @R arm
+// the write/read dependency barrier, @wait gives the pre-issue wait mask.
+// Sections are headed by `.prologue:`, `.body(trips=N):`, `.epilogue:`.
+//
+// emit_text/parse_text round-trip exactly (modulo whitespace), which the
+// tests verify -- the same property TuringAs gives the artifact's
+// hand-written kernels.
+
+#include <optional>
+#include <string>
+
+#include "sass/ir.hpp"
+
+namespace egemm::sass {
+
+std::string emit_text(const Kernel& kernel);
+
+struct ParseResult {
+  bool success = false;
+  Kernel kernel;
+  std::string error;  ///< first diagnostic when !success
+};
+
+ParseResult parse_text(const std::string& text);
+
+/// Single-instruction helpers (used by the parser and tests).
+std::string emit_instr(const Instr& instr);
+std::optional<Instr> parse_instr(const std::string& line, std::string* error);
+
+}  // namespace egemm::sass

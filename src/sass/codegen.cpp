@@ -1,0 +1,241 @@
+#include "sass/codegen.hpp"
+
+#include "util/assert.hpp"
+
+namespace egemm::sass {
+
+namespace {
+
+// Dependency-barrier conventions used by the generated kernels.
+// (The schedule pass adds 4 and 5 for the double-buffered fragments.)
+constexpr int kBarFragReady = 0;   ///< LDS wrote the fragment buffer
+constexpr int kBarFragRead = 1;    ///< HMMA finished reading the buffer
+constexpr int kBarStaged = 2;      ///< LDG filled the staging registers
+constexpr int kBarStagingRead = 3; ///< STS drained the staging registers
+
+std::uint8_t wait(int barrier) {
+  return static_cast<std::uint8_t>(1u << barrier);
+}
+
+}  // namespace
+
+WarpShape warp_shape(const gemm::TileConfig& tile,
+                     int emulation_instructions) {
+  EGEMM_EXPECTS(tile.valid());
+  EGEMM_EXPECTS(emulation_instructions >= 1);
+  const auto warps = static_cast<std::uint32_t>(tile.warps_per_block());
+
+  WarpShape shape;
+  shape.steps = static_cast<std::uint32_t>(tile.bk / tile.wk);
+  // Global block-tile bytes (Eq. 2) split across the warps; one
+  // LDG/STS.128 warp instruction moves 512 B.
+  const auto global_bytes =
+      static_cast<std::uint32_t>(4 * (tile.bm + tile.bn) * tile.bk);
+  shape.ldg_per_iter = global_bytes / 512 / warps;
+  shape.sts_per_iter = shape.ldg_per_iter;
+  // Per-warp fragment bytes per k'-step: lo+hi halves of the A (wm x wk)
+  // and B (wk x wn) fragments.
+  const auto frag_bytes =
+      static_cast<std::uint32_t>(4 * tile.wk * (tile.wm + tile.wn));
+  shape.lds_per_step = frag_bytes / 512;
+  // m16n8 accumulator tiles owned by the warp; each is one HMMA.1688 per
+  // wk/8 k-slices per emulation term.
+  shape.tile_positions =
+      static_cast<std::uint32_t>((tile.wm / 16) * (tile.wn / 8));
+  shape.hmma_per_step = shape.tile_positions *
+                        static_cast<std::uint32_t>(tile.wk / 8) *
+                        static_cast<std::uint32_t>(emulation_instructions);
+  return shape;
+}
+
+Kernel generate_egemm_kernel(const CodegenParams& params) {
+  const gemm::TileConfig& tile = params.tile;
+  const WarpShape ws = warp_shape(tile, params.emulation_instructions);
+  EGEMM_EXPECTS(params.k_iterations >= 1);
+
+  Kernel kernel;
+  kernel.name = "egemm_tc_" + tile.describe();
+  kernel.loop_trips = params.k_iterations;
+
+  auto alloc = [&kernel](std::int32_t width) {
+    const RegRange range{kernel.virtual_regs, width};
+    kernel.virtual_regs += width;
+    return range;
+  };
+
+  // -- stage 0: context --------------------------------------------------
+  // Addressing state: matrix pointers, shared-memory bases, loop counter.
+  std::vector<RegRange> addr;
+  for (int i = 0; i < 6; ++i) addr.push_back(alloc(1));
+  for (std::size_t i = 0; i < addr.size(); ++i) {
+    Instr mov;
+    mov.op = Op::kMov;
+    mov.dst = addr[i];
+    mov.stage = 0;
+    mov.comment = "ctx";
+    kernel.prologue.push_back(mov);
+  }
+
+  // -- stage 1: accumulator init -----------------------------------------
+  std::vector<RegRange> acc;
+  for (std::uint32_t t = 0; t < ws.tile_positions; ++t) {
+    acc.push_back(alloc(4));
+    Instr mov;
+    mov.op = Op::kMov;
+    mov.dst = acc.back();
+    mov.stage = 1;
+    mov.comment = "acc zero-init";
+    kernel.prologue.push_back(mov);
+  }
+
+  // -- stage 2 registers ---------------------------------------------------
+  std::vector<RegRange> staging;
+  for (std::uint32_t i = 0; i < ws.ldg_per_iter; ++i) staging.push_back(alloc(4));
+  // Single-buffered fragments (the naive kernel's defining limitation).
+  const std::uint32_t a_lds = ws.lds_per_step * 2 / 3;  // A is 2/3 of bytes
+  const std::uint32_t b_lds = ws.lds_per_step - a_lds;
+  std::vector<RegRange> afrag, bfrag;
+  for (std::uint32_t i = 0; i < a_lds; ++i) afrag.push_back(alloc(4));
+  for (std::uint32_t i = 0; i < b_lds; ++i) bfrag.push_back(alloc(4));
+
+  // Cold start: first block tile global -> registers -> shared.
+  for (std::uint32_t i = 0; i < ws.ldg_per_iter; ++i) {
+    Instr ldg;
+    ldg.op = Op::kLdg;
+    ldg.dst = staging[i];
+    ldg.srcs = {addr[0]};
+    ldg.stage = 2;
+    ldg.comment = "cold-start load";
+    if (i + 1 == ws.ldg_per_iter) ldg.ctrl.write_barrier = kBarStaged;
+    kernel.prologue.push_back(ldg);
+  }
+  for (std::uint32_t i = 0; i < ws.sts_per_iter; ++i) {
+    Instr sts;
+    sts.op = Op::kSts;
+    sts.dst = RegRange{};  // stores have no register destination
+    sts.srcs = {addr[2], staging[i]};
+    sts.stage = 2;
+    if (i == 0) sts.ctrl.wait_mask = wait(kBarStaged);
+    if (i + 1 == ws.sts_per_iter) sts.ctrl.read_barrier = kBarStagingRead;
+    kernel.prologue.push_back(sts);
+  }
+  {
+    Instr bar;
+    bar.op = Op::kBar;
+    bar.stage = 2;
+    kernel.prologue.push_back(bar);
+  }
+
+  // -- main loop body (naive order) ----------------------------------------
+  // The next tile's global loads lead the iteration: even the naive
+  // (CUDA-level) kernel double-buffers across global memory; what it lacks
+  // is the *instruction-level* interleave inside the compute (§5.1).
+  for (std::uint32_t i = 0; i < ws.ldg_per_iter; ++i) {
+    Instr ldg;
+    ldg.op = Op::kLdg;
+    ldg.dst = staging[i];
+    ldg.srcs = {addr[0]};
+    ldg.stage = 2;
+    if (i == 0) ldg.ctrl.wait_mask = wait(kBarStagingRead);
+    if (i + 1 == ws.ldg_per_iter) ldg.ctrl.write_barrier = kBarStaged;
+    kernel.body.push_back(ldg);
+  }
+  for (std::uint32_t s = 0; s < ws.steps; ++s) {
+    // Fragment loads: overwrite the single buffer, so the first LDS must
+    // wait until the previous step's HMMAs have read it (WAR) -- the
+    // serialization Fig. 6 eliminates.
+    for (std::uint32_t i = 0; i < ws.lds_per_step; ++i) {
+      Instr lds;
+      lds.op = Op::kLds;
+      lds.dst = i < a_lds ? afrag[i] : bfrag[i - a_lds];
+      lds.srcs = {addr[3]};
+      lds.stage = 2;
+      lds.step = static_cast<std::int32_t>(s);
+      if (i == 0) lds.ctrl.wait_mask = wait(kBarFragRead);
+      if (i + 1 == ws.lds_per_step) lds.ctrl.write_barrier = kBarFragReady;
+      kernel.body.push_back(lds);
+    }
+    // The HMMA burst: tile positions x k-slices x emulation terms.
+    const std::uint32_t k_slices = static_cast<std::uint32_t>(tile.wk / 8);
+    const auto emu = static_cast<std::uint32_t>(params.emulation_instructions);
+    std::uint32_t emitted = 0;
+    for (std::uint32_t t = 0; t < ws.tile_positions; ++t) {
+      const std::uint32_t jt = t % static_cast<std::uint32_t>(tile.wn / 8);
+      for (std::uint32_t kk = 0; kk < k_slices; ++kk) {
+        for (std::uint32_t e = 0; e < emu; ++e) {
+          Instr hmma;
+          hmma.op = Op::kHmma;
+          hmma.dst = acc[t];
+          hmma.srcs = {afrag[(t / 4 + kk) % afrag.size()],
+                       bfrag[(jt / 2 + kk) % bfrag.size()], acc[t]};
+          hmma.stage = 2;
+          hmma.step = static_cast<std::int32_t>(s);
+          if (emitted == 0) hmma.ctrl.wait_mask = wait(kBarFragReady);
+          if (++emitted == ws.hmma_per_step) {
+            hmma.ctrl.read_barrier = kBarFragRead;
+          }
+          kernel.body.push_back(hmma);
+        }
+      }
+    }
+  }
+  {
+    Instr bar;
+    bar.op = Op::kBar;
+    bar.stage = 2;
+    // All warps must have consumed the shared tile before it is replaced.
+    kernel.body.push_back(bar);
+  }
+  for (std::uint32_t i = 0; i < ws.sts_per_iter; ++i) {
+    Instr sts;
+    sts.op = Op::kSts;
+    sts.srcs = {addr[2], staging[i]};
+    sts.stage = 2;
+    if (i == 0) sts.ctrl.wait_mask = wait(kBarStaged);
+    if (i + 1 == ws.sts_per_iter) sts.ctrl.read_barrier = kBarStagingRead;
+    kernel.body.push_back(sts);
+  }
+  {
+    Instr bar;
+    bar.op = Op::kBar;
+    bar.stage = 2;
+    kernel.body.push_back(bar);
+  }
+  for (int i = 0; i < 2; ++i) {
+    Instr iadd;
+    iadd.op = Op::kIadd;
+    iadd.dst = addr[static_cast<std::size_t>(i)];
+    iadd.srcs = {addr[static_cast<std::size_t>(i)]};
+    iadd.stage = 2;
+    iadd.comment = "advance pointers";
+    kernel.body.push_back(iadd);
+  }
+  {
+    Instr bra;
+    bra.op = Op::kBra;
+    bra.target = "LOOP";
+    bra.stage = 2;
+    kernel.body.push_back(bra);
+  }
+
+  // -- stage 3: epilogue, C leaves the FRAG -------------------------------
+  const auto c_stores = static_cast<std::uint32_t>(
+      static_cast<std::size_t>(tile.wm) * static_cast<std::size_t>(tile.wn) *
+      4 / 32 / 16);
+  for (std::uint32_t i = 0; i < c_stores; ++i) {
+    Instr stg;
+    stg.op = Op::kStg;
+    stg.srcs = {addr[4], acc[i % acc.size()]};
+    stg.stage = 3;
+    kernel.epilogue.push_back(stg);
+  }
+  {
+    Instr exit;
+    exit.op = Op::kExit;
+    exit.stage = 3;
+    kernel.epilogue.push_back(exit);
+  }
+  return kernel;
+}
+
+}  // namespace egemm::sass

@@ -1,0 +1,40 @@
+#pragma once
+// Per-warp SASS code generation for the EGEMM-TC block kernel.
+//
+// Emits the kernel one warp's thread executes, in the *naive* order: every
+// k'-step loads its A/B fragments into a single buffer immediately before
+// the HMMA burst that consumes them, and the next block tile's global
+// loads sit in a clump after the compute. Control codes are assigned
+// conservatively (each fragment load/consume pair synchronizes through
+// dependency barriers). The §5.1 optimization is a separate pass
+// (schedule.hpp) so the ablation compares a real before/after.
+
+#include "gemm/tiling.hpp"
+#include "sass/ir.hpp"
+
+namespace egemm::sass {
+
+struct CodegenParams {
+  gemm::TileConfig tile = gemm::table4_config();
+  std::uint32_t k_iterations = 256;
+  int emulation_instructions = 4;  ///< Alg. 1 (4) or Dekker-style (16)
+};
+
+/// Generates the naive-order kernel. Register operands are virtual; run
+/// allocate_kernel_registers() to map them to physical R0..R255.
+Kernel generate_egemm_kernel(const CodegenParams& params);
+
+/// Per-warp work volumes implied by the tiling (used by codegen and the
+/// tests that cross-check it against tcsim::egemm_iteration_shape).
+struct WarpShape {
+  std::uint32_t ldg_per_iter;        ///< LDG.E.128 per thread
+  std::uint32_t sts_per_iter;        ///< STS.128 per thread
+  std::uint32_t lds_per_step;        ///< LDS.128 per thread per k'-step
+  std::uint32_t hmma_per_step;       ///< HMMA.1688 per thread per k'-step
+  std::uint32_t steps;
+  std::uint32_t tile_positions;      ///< m16n8 accumulator tiles per warp
+};
+WarpShape warp_shape(const gemm::TileConfig& tile,
+                     int emulation_instructions);
+
+}  // namespace egemm::sass

@@ -1,0 +1,127 @@
+#include "sass/lower.hpp"
+
+#include <array>
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace egemm::sass {
+
+namespace {
+
+struct LoweringState {
+  tcsim::SimProgram program;
+  /// Current token per dependency barrier (-1 when never armed).
+  std::array<std::int32_t, kNumDepBarriers> barrier_token;
+
+  LoweringState() { barrier_token.fill(-1); }
+
+  void lower(const Instr& instr, int warps) {
+    // Resolve waits first (up to two distinct barriers per mask).
+    std::int32_t wait1 = -1, wait2 = -1;
+    for (int b = 0; b < kNumDepBarriers; ++b) {
+      if ((instr.ctrl.wait_mask & (1u << b)) == 0) continue;
+      if (barrier_token[static_cast<std::size_t>(b)] < 0) continue;
+      if (wait1 < 0) {
+        wait1 = barrier_token[static_cast<std::size_t>(b)];
+      } else if (wait2 < 0) {
+        wait2 = barrier_token[static_cast<std::size_t>(b)];
+      } else {
+        EGEMM_EXPECTS(!"wait mask names more than two armed barriers");
+      }
+    }
+
+    // A fresh token per arming keeps iterations independent.
+    std::int32_t produce = -1;
+    const std::int32_t armed = instr.ctrl.write_barrier >= 0
+                                   ? instr.ctrl.write_barrier
+                                   : instr.ctrl.read_barrier;
+    if (armed >= 0) {
+      produce = program.new_token();
+      barrier_token[static_cast<std::size_t>(armed)] = produce;
+    }
+
+    tcsim::Opcode op = tcsim::Opcode::kFfma;
+    auto count = static_cast<std::uint32_t>(warps);
+    switch (instr.op) {
+      case Op::kLdg:
+      case Op::kStg:
+        op = tcsim::Opcode::kLdg;
+        break;
+      case Op::kSts:
+        op = tcsim::Opcode::kSts;
+        break;
+      case Op::kLds:
+        op = tcsim::Opcode::kLds;
+        count *= 4;  // LDS.128 = 4 x 128-byte LDS.32 warp units
+        break;
+      case Op::kHmma:
+        op = tcsim::Opcode::kHmma;
+        break;
+      case Op::kFfma:
+      case Op::kIadd:
+      case Op::kMov:
+        op = tcsim::Opcode::kFfma;
+        break;
+      case Op::kBar:
+        op = tcsim::Opcode::kBar;
+        count = 1;
+        break;
+      case Op::kBra:
+      case Op::kExit:
+        return;  // control flow handled by the unrolling
+    }
+    // Read barriers fire once the sources are consumed (issue end), write
+    // barriers once the result lands (completion).
+    const bool at_issue =
+        instr.ctrl.write_barrier < 0 && instr.ctrl.read_barrier >= 0;
+
+    // Coalesce runs of identical-op instructions into one aggregate group:
+    // the in-order cursor models the *inter-warp* issue stream, and other
+    // warps keep issuing while one warp's back-to-back loads queue on
+    // their port -- a per-instruction lowering would wrongly let port
+    // backlog stall the whole SM. A new group starts whenever the
+    // instruction carries waits, and a group closes once it produced a
+    // token.
+    if (!program.instrs.empty()) {
+      tcsim::SimInstr& last = program.instrs.back();
+      if (last.op == op && wait1 < 0 && wait2 < 0 &&
+          last.produce_token < 0 && produce < 0 &&
+          op != tcsim::Opcode::kBar) {
+        last.count += count;
+        return;
+      }
+      if (last.op == op && wait1 < 0 && wait2 < 0 &&
+          last.produce_token < 0 && produce >= 0 &&
+          op != tcsim::Opcode::kBar) {
+        last.count += count;
+        last.produce_token = produce;
+        last.produce_at_issue = at_issue;
+        return;
+      }
+    }
+    program.instrs.push_back(
+        tcsim::SimInstr{op, wait1, produce, count, wait2, at_issue});
+  }
+};
+
+}  // namespace
+
+tcsim::SimProgram lower_kernel(const Kernel& kernel, int warps_per_block) {
+  EGEMM_EXPECTS(warps_per_block >= 1);
+  LoweringState state;
+  for (const Instr& instr : kernel.prologue) {
+    state.lower(instr, warps_per_block);
+  }
+  for (std::uint32_t trip = 0; trip < kernel.loop_trips; ++trip) {
+    for (const Instr& instr : kernel.body) {
+      state.lower(instr, warps_per_block);
+    }
+  }
+  for (const Instr& instr : kernel.epilogue) {
+    state.lower(instr, warps_per_block);
+  }
+  return state.program;
+}
+
+}  // namespace egemm::sass

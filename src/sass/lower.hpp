@@ -1,0 +1,18 @@
+#pragma once
+// Lowering: kernel IR -> tcsim::SimProgram for the cycle model.
+//
+// Each per-warp IR instruction becomes an SM-aggregate instruction group
+// (count = warps per block; LDS.128 expands to 4 LDS.32-sized units), the
+// dependency barriers become pipeline tokens (a fresh token per arming, so
+// loop iterations stay independent), and the loop is unrolled to the trip
+// count. This is how a *generated and scheduled* kernel gets timed by the
+// same machinery as the hand-built streams in tcsim/instruction.cpp.
+
+#include "sass/ir.hpp"
+#include "tcsim/instruction.hpp"
+
+namespace egemm::sass {
+
+tcsim::SimProgram lower_kernel(const Kernel& kernel, int warps_per_block);
+
+}  // namespace egemm::sass

@@ -1,0 +1,102 @@
+#include "sass/regalloc.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace egemm::sass {
+
+namespace {
+
+struct RangeInfo {
+  std::int32_t width = 0;
+  std::int32_t min_stage = 99;
+  std::int32_t max_stage = -1;
+  std::int32_t physical = -1;
+};
+
+void observe(std::map<std::int32_t, RangeInfo>& ranges, const RegRange& range,
+             std::int32_t stage) {
+  if (!range.valid()) return;
+  RangeInfo& info = ranges[range.index];
+  info.width = std::max(info.width, range.width);
+  info.min_stage = std::min(info.min_stage, stage);
+  info.max_stage = std::max(info.max_stage, stage);
+}
+
+void scan(const std::vector<Instr>& instrs,
+          std::map<std::int32_t, RangeInfo>& ranges) {
+  for (const Instr& instr : instrs) {
+    observe(ranges, instr.dst, instr.stage);
+    for (const RegRange& src : instr.srcs) observe(ranges, src, instr.stage);
+  }
+}
+
+void rewrite(std::vector<Instr>& instrs,
+             const std::map<std::int32_t, RangeInfo>& ranges) {
+  auto remap = [&ranges](RegRange& range) {
+    if (!range.valid()) return;
+    const auto it = ranges.find(range.index);
+    EGEMM_EXPECTS(it != ranges.end());
+    range.index = it->second.physical;
+  };
+  for (Instr& instr : instrs) {
+    remap(instr.dst);
+    for (RegRange& src : instr.srcs) remap(src);
+  }
+}
+
+}  // namespace
+
+AllocationReport allocate_kernel_registers(Kernel& kernel, int budget) {
+  AllocationReport report;
+
+  std::map<std::int32_t, RangeInfo> ranges;
+  scan(kernel.prologue, ranges);
+  scan(kernel.body, ranges);
+  scan(kernel.epilogue, ranges);
+
+  // Classification: anything touched by the main loop (stage 2) or alive
+  // across stages is global; single-stage values are overlay candidates.
+  std::int32_t global_cursor = 0;
+  std::map<std::int32_t, std::int32_t> overlay_cursor;  // per stage
+  for (auto& [base, info] : ranges) {
+    (void)base;
+    report.naive_registers += info.width;
+    const bool global =
+        info.min_stage != info.max_stage || info.min_stage == 2;
+    if (global) {
+      info.physical = global_cursor;
+      global_cursor += info.width;
+      ++report.global_values;
+    }
+  }
+  std::int32_t overlay_peak = 0;
+  for (auto& [base, info] : ranges) {
+    (void)base;
+    if (info.physical >= 0) continue;
+    auto& cursor = overlay_cursor[info.min_stage];
+    info.physical = global_cursor + cursor;
+    cursor += info.width;
+    overlay_peak = std::max(overlay_peak, cursor);
+    ++report.overlay_values;
+  }
+
+  report.physical_registers = global_cursor + overlay_peak;
+  if (report.physical_registers > budget) {
+    report.errors.push_back(
+        "register demand " + std::to_string(report.physical_registers) +
+        " exceeds budget " + std::to_string(budget));
+    return report;
+  }
+
+  rewrite(kernel.prologue, ranges);
+  rewrite(kernel.body, ranges);
+  rewrite(kernel.epilogue, ranges);
+  kernel.virtual_regs = report.physical_registers;
+  report.success = true;
+  return report;
+}
+
+}  // namespace egemm::sass

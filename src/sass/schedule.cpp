@@ -1,0 +1,155 @@
+#include "sass/schedule.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace egemm::sass {
+
+namespace {
+
+constexpr int kWb[2] = {0, 4};  ///< fragment-ready barrier per buffer
+constexpr int kRb[2] = {1, 5};  ///< fragment-read barrier per buffer
+constexpr int kBarStaged = 2;
+constexpr int kBarStagingRead = 3;
+
+std::uint8_t wait(int barrier) {
+  return static_cast<std::uint8_t>(1u << barrier);
+}
+
+struct RangeLess {
+  bool operator()(const RegRange& a, const RegRange& b) const noexcept {
+    return a.index != b.index ? a.index < b.index : a.width < b.width;
+  }
+};
+
+}  // namespace
+
+ScheduleStats schedule_latency_hiding(Kernel& kernel) {
+  ScheduleStats stats;
+
+  // Partition the naive body.
+  std::int32_t steps = 0;
+  for (const Instr& instr : kernel.body) {
+    steps = std::max(steps, instr.step + 1);
+  }
+  EGEMM_EXPECTS(steps >= 1);
+  std::vector<std::vector<Instr>> lds(static_cast<std::size_t>(steps));
+  std::vector<std::vector<Instr>> hmma(static_cast<std::size_t>(steps));
+  std::vector<Instr> ldg;
+  std::vector<Instr> tail;
+  for (const Instr& instr : kernel.body) {
+    if (instr.op == Op::kLds && instr.step >= 0) {
+      lds[static_cast<std::size_t>(instr.step)].push_back(instr);
+    } else if (instr.op == Op::kHmma && instr.step >= 0) {
+      hmma[static_cast<std::size_t>(instr.step)].push_back(instr);
+    } else if (instr.op == Op::kLdg) {
+      ldg.push_back(instr);
+    } else {
+      tail.push_back(instr);
+    }
+  }
+
+  // Double-buffer the fragment registers: every LDS destination gets a
+  // shadow range used on odd steps.
+  std::map<RegRange, RegRange, RangeLess> shadow;
+  for (const auto& group : lds) {
+    for (const Instr& instr : group) {
+      if (!instr.dst.valid() || shadow.count(instr.dst) != 0) continue;
+      const RegRange copy{kernel.virtual_regs, instr.dst.width};
+      kernel.virtual_regs += instr.dst.width;
+      stats.added_registers += instr.dst.width;
+      shadow.emplace(instr.dst, copy);
+    }
+  }
+  auto rename = [&shadow](Instr& instr, int buffer) {
+    if (buffer == 0) return;
+    if (instr.dst.valid()) {
+      const auto it = shadow.find(instr.dst);
+      if (it != shadow.end()) instr.dst = it->second;
+    }
+    for (RegRange& src : instr.srcs) {
+      const auto it = shadow.find(src);
+      if (it != shadow.end()) src = it->second;
+    }
+  };
+
+  auto emit_lds_group = [&](std::vector<Instr>& out, std::size_t step) {
+    const int buffer = static_cast<int>(step) % 2;
+    auto group = lds[step];  // copy: renaming mutates
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      Instr& instr = group[i];
+      rename(instr, buffer);
+      instr.ctrl = Ctrl{};
+      // WAR against the HMMA burst that read this buffer two steps ago;
+      // by now its read barrier has long cleared, so this wait is free.
+      if (i == 0) instr.ctrl.wait_mask = wait(kRb[buffer]);
+      if (i + 1 == group.size()) instr.ctrl.write_barrier = kWb[buffer];
+      out.push_back(instr);
+      ++stats.hoisted_lds;
+    }
+  };
+
+  // Rebuild the body in the Fig. 6 order.
+  std::vector<Instr> body;
+  body.reserve(kernel.body.size());
+  emit_lds_group(body, 0);  // prime buffer 0
+
+  const std::size_t ldg_chunk =
+      (ldg.size() + static_cast<std::size_t>(steps) - 1) /
+      static_cast<std::size_t>(steps);
+  std::size_t ldg_cursor = 0;
+  for (std::size_t s = 0; s < static_cast<std::size_t>(steps); ++s) {
+    // A slice of the next tile's global loads, spread across the steps.
+    const std::size_t slice_end =
+        std::min(ldg.size(), ldg_cursor + ldg_chunk);
+    for (; ldg_cursor < slice_end; ++ldg_cursor) {
+      Instr instr = ldg[ldg_cursor];
+      instr.ctrl = Ctrl{};
+      if (ldg_cursor == 0) instr.ctrl.wait_mask = wait(kBarStagingRead);
+      if (ldg_cursor + 1 == ldg.size()) instr.ctrl.write_barrier = kBarStaged;
+      body.push_back(instr);
+      ++stats.spread_ldg;
+    }
+    // This step's compute, reading buffer s % 2, with the *next* step's
+    // fragment loads interleaved a third of the way into the burst
+    // (Fig. 6 draws exactly this LDS-between-HMMAs pattern). By then the
+    // target buffer's read barrier -- armed by the HMMA burst two steps
+    // back -- has long cleared, so the prefetch costs no tensor-pipe idle
+    // cycles, unlike a clean group-before-group hoist.
+    const int buffer = static_cast<int>(s) % 2;
+    auto group = hmma[s];
+    const std::size_t interleave_at = group.size() / 3;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      if (i == interleave_at && s + 1 < static_cast<std::size_t>(steps)) {
+        emit_lds_group(body, s + 1);
+      }
+      Instr& instr = group[i];
+      rename(instr, buffer);
+      instr.ctrl = Ctrl{};
+      if (i == 0) instr.ctrl.wait_mask = wait(kWb[buffer]);
+      if (i + 1 == group.size()) instr.ctrl.read_barrier = kRb[buffer];
+      body.push_back(instr);
+    }
+  }
+
+  // The deferred tail: barrier, STS (waits for the spread LDG), barrier,
+  // pointer updates, branch -- preserved from the naive order, with the
+  // STS wait retargeted at the staging barrier.
+  bool first_sts = true;
+  for (Instr instr : tail) {
+    if (instr.op == Op::kSts) {
+      instr.ctrl.wait_mask = first_sts ? wait(kBarStaged) : 0;
+      first_sts = false;
+    }
+    body.push_back(instr);
+  }
+
+  kernel.body = std::move(body);
+  kernel.name += " [latency-hiding]";
+  return stats;
+}
+
+}  // namespace egemm::sass

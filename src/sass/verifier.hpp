@@ -1,0 +1,35 @@
+#pragma once
+// Scoreboard verifier for the control codes of a generated kernel.
+//
+// Walks prologue + (body x unroll) + epilogue simulating the dependency
+// barriers and flags:
+//   * RAW: reading a register whose producing load is still in flight
+//     (its barrier neither signaled-and-waited nor attached yet),
+//   * WAR: overwriting a register with a pending guarded read,
+//   * WAW: overwriting a register with an in-flight load,
+//   * barrier reuse: arming a dependency barrier that still guards
+//     un-waited registers.
+//
+// HMMA accumulator chaining (same dst back to back) is hardware-forwarded
+// and exempt from RAW tracking; memory loads (LDG/LDS) are the tracked
+// variable-latency producers, exactly the hazards the §5.1 schedule has to
+// get right.
+
+#include <string>
+#include <vector>
+
+#include "sass/ir.hpp"
+
+namespace egemm::sass {
+
+struct Violation {
+  std::string where;       ///< "prologue"/"body[i]"/"epilogue"
+  std::size_t index = 0;   ///< instruction index within that section
+  std::string message;
+};
+
+/// Verifies the kernel; empty result means hazard-free. `unroll` controls
+/// how many body iterations are walked (2 catches cross-iteration WAR).
+std::vector<Violation> verify_kernel(const Kernel& kernel, int unroll = 2);
+
+}  // namespace egemm::sass

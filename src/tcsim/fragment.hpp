@@ -1,0 +1,77 @@
+#pragma once
+// FRAG: the Tensor-Core register-tile abstraction (§2.1, §4).
+//
+// On real hardware a fragment is a matrix tile striped across the 32
+// threads of a warp's register file; the simulator models it as a plain
+// fixed-size tile owned by the warp. The intra-warp FRAG-caching
+// optimization (Table 2) manipulates these objects: an accumulator
+// fragment stays resident for a whole block computation and the A-lo/hi
+// fragments are loaded once per k-step instead of once per HMMA.
+
+#include <array>
+#include <cstddef>
+#include <span>
+
+#include "fp/half.hpp"
+#include "util/assert.hpp"
+
+namespace egemm::tcsim {
+
+/// Fixed-size row-major register tile.
+template <typename T, int Rows, int Cols>
+class Fragment {
+ public:
+  static constexpr int kRows = Rows;
+  static constexpr int kCols = Cols;
+
+  constexpr T& at(int r, int c) noexcept {
+    return data_[static_cast<std::size_t>(r * Cols + c)];
+  }
+  constexpr const T& at(int r, int c) const noexcept {
+    return data_[static_cast<std::size_t>(r * Cols + c)];
+  }
+
+  constexpr std::span<T> flat() noexcept { return data_; }
+  constexpr std::span<const T> flat() const noexcept { return data_; }
+
+  constexpr void fill(T value) noexcept { data_.fill(value); }
+
+  /// Collaborative warp load (wmma::load_matrix_sync equivalent): copies a
+  /// Rows x Cols tile from row-major memory with leading dimension `ld`.
+  void load(std::span<const T> memory, std::size_t ld) {
+    EGEMM_EXPECTS(ld >= static_cast<std::size_t>(Cols));
+    EGEMM_EXPECTS(memory.size() >= (Rows - 1) * ld + Cols);
+    for (int r = 0; r < Rows; ++r) {
+      for (int c = 0; c < Cols; ++c) {
+        at(r, c) = memory[static_cast<std::size_t>(r) * ld +
+                          static_cast<std::size_t>(c)];
+      }
+    }
+  }
+
+  /// Collaborative warp store (wmma::store_matrix_sync equivalent).
+  void store(std::span<T> memory, std::size_t ld) const {
+    EGEMM_EXPECTS(ld >= static_cast<std::size_t>(Cols));
+    EGEMM_EXPECTS(memory.size() >= (Rows - 1) * ld + Cols);
+    for (int r = 0; r < Rows; ++r) {
+      for (int c = 0; c < Cols; ++c) {
+        memory[static_cast<std::size_t>(r) * ld +
+               static_cast<std::size_t>(c)] = at(r, c);
+      }
+    }
+  }
+
+ private:
+  std::array<T, static_cast<std::size_t>(Rows) * Cols> data_{};
+};
+
+/// The wmma-style 16x16x16 compute-primitive tile shapes.
+inline constexpr int kTcM = 16;
+inline constexpr int kTcN = 16;
+inline constexpr int kTcK = 16;
+
+using FragmentA = Fragment<fp::Half, kTcM, kTcK>;    ///< half, row-major
+using FragmentB = Fragment<fp::Half, kTcK, kTcN>;    ///< half, row-major
+using FragmentAcc = Fragment<float, kTcM, kTcN>;     ///< fp32 accumulator
+
+}  // namespace egemm::tcsim

@@ -1,0 +1,98 @@
+#pragma once
+// SASS-level instruction-stream model (§5).
+//
+// The simulator works at SM-aggregate granularity: one GPU block runs on
+// one SM (the paper's chosen occupancy, Table 4) and the instructions of
+// its warps are folded into a single in-order issue stream, the way the
+// hand-written SASS kernel lays them out. Four instruction kinds matter
+// (§5.1): LDG (global->register), STS (register->shared), LDS
+// (shared->register) and HMMA (Tensor Core compute); FFMA stands in for
+// CUDA-core epilogue work and BAR for __syncthreads().
+//
+// Dependencies are expressed with tokens: an instruction may wait on one
+// token (all its producers complete) and contribute to one token. The
+// register-enhanced scheduling of Fig. 6 is purely an *ordering* choice
+// over the same multiset of instructions -- exactly like the real SASS
+// optimization -- so the latency-hiding ablation (Fig. 11) compares two
+// orderings of identical work.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tcsim/gpu_spec.hpp"
+
+namespace egemm::tcsim {
+
+enum class Opcode : std::uint8_t { kLdg, kSts, kLds, kHmma, kFfma, kBar };
+
+enum class Port : std::uint8_t {
+  kTensor,  ///< HMMA
+  kMio,     ///< LDS / STS (shared-memory pipe)
+  kGlobal,  ///< LDG (L2/DRAM bandwidth share)
+  kCuda,    ///< FFMA and other CUDA-core work
+};
+
+Port port_of(Opcode op) noexcept;
+const char* opcode_name(Opcode op) noexcept;
+
+struct SimInstr {
+  Opcode op;
+  std::int32_t wait_token = -1;     ///< issue only after this token completes
+  std::int32_t produce_token = -1;  ///< completion feeds this token
+  /// Replication count: `count` back-to-back identical instructions. Groups
+  /// keep program vectors small without changing simulated behaviour.
+  std::uint32_t count = 1;
+  /// Optional second wait (e.g. a SASS wait mask naming two barriers).
+  std::int32_t wait_token2 = -1;
+  /// When true the produced token fires at issue completion (the moment
+  /// sources are consumed -- SASS *read* barriers) instead of at result
+  /// completion (SASS *write* barriers).
+  bool produce_at_issue = false;
+};
+
+struct SimProgram {
+  std::vector<SimInstr> instrs;
+  std::int32_t token_count = 0;
+
+  std::int32_t new_token() { return token_count++; }
+  void emit(Opcode op, std::uint32_t count = 1, std::int32_t wait = -1,
+            std::int32_t produce = -1) {
+    instrs.push_back(SimInstr{op, wait, produce, count});
+  }
+  /// Total dynamic instruction count (expanding replication).
+  std::uint64_t dynamic_size() const noexcept;
+};
+
+/// Work volumes of one EGEMM-TC main-loop iteration, derived from the
+/// tiling; shared by the stream builder and the analytic model.
+struct IterationShape {
+  std::uint32_t ldg = 0;            ///< LDG.128 warp instructions
+  std::uint32_t sts = 0;            ///< STS.128 warp instructions
+  std::uint32_t lds_per_step = 0;   ///< LDS.32 warp instructions per k'-step
+  std::uint32_t hmma_per_step = 0;  ///< HMMA.1688 instructions per k'-step
+  std::uint32_t steps = 0;          ///< k'-steps per iteration (bk / wk)
+};
+
+struct EgemmStreamOptions {
+  bool latency_hiding = true;  ///< Fig. 6 interleaved order vs naive order
+  bool frag_caching = true;    ///< Table 2 intra-warp FRAG caching
+  std::uint32_t emulation_instructions = 4;  ///< Alg. 1 (4) vs Dekker (16)
+};
+
+/// Computes the per-iteration instruction counts for a block tiling
+/// (bm, bn, bk) / warp tiling (wm, wn, wk); see DESIGN.md §6 for the
+/// derivation that matches the paper's Eqs. 2, 3 and 7 and Table 2.
+IterationShape egemm_iteration_shape(int bm, int bn, int bk, int wm, int wn,
+                                     int wk, const EgemmStreamOptions& opts);
+
+/// Builds the full block program for `iterations` main-loop iterations:
+/// cold-start load, software-pipelined (or naive) main loop, and an
+/// epilogue that writes the C block tile back through the global port
+/// (`epilogue_stg` STG.128-equivalent warp instructions).
+SimProgram build_egemm_block_program(const IterationShape& shape,
+                                     std::uint32_t iterations,
+                                     const EgemmStreamOptions& opts,
+                                     std::uint32_t epilogue_stg = 0);
+
+}  // namespace egemm::tcsim

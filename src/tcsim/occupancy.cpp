@@ -1,0 +1,59 @@
+#include "tcsim/occupancy.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace egemm::tcsim {
+
+Occupancy compute_occupancy(const GpuSpec& spec,
+                            const BlockResources& resources) {
+  EGEMM_EXPECTS(resources.threads > 0);
+  EGEMM_EXPECTS(resources.threads % 32 == 0);
+
+  Occupancy occ;
+  occ.blocks_per_sm = spec.max_warps_per_sm * 32 / resources.threads;
+  occ.limited_by = OccupancyLimit::kWarps;
+
+  if (resources.shared_memory_bytes > 0) {
+    const auto by_smem = static_cast<int>(spec.shared_memory_per_sm /
+                                          resources.shared_memory_bytes);
+    if (by_smem < occ.blocks_per_sm) {
+      occ.blocks_per_sm = by_smem;
+      occ.limited_by = OccupancyLimit::kSharedMemory;
+    }
+  }
+  if (resources.registers_per_thread > 0) {
+    const std::size_t regs_per_block =
+        static_cast<std::size_t>(resources.registers_per_thread) *
+        static_cast<std::size_t>(resources.threads) * 4u;  // 4 bytes each
+    const auto by_regs =
+        static_cast<int>(spec.register_file_per_sm / regs_per_block);
+    if (by_regs < occ.blocks_per_sm) {
+      occ.blocks_per_sm = by_regs;
+      occ.limited_by = OccupancyLimit::kRegisters;
+    }
+  }
+  if (occ.blocks_per_sm <= 0) {
+    occ.blocks_per_sm = 0;
+    return occ;
+  }
+  return occ;
+}
+
+std::uint32_t wave_count(std::uint64_t blocks, const GpuSpec& spec,
+                         int blocks_per_sm) noexcept {
+  if (blocks == 0 || blocks_per_sm <= 0) return 0;
+  const std::uint64_t concurrent =
+      static_cast<std::uint64_t>(spec.sm_count) *
+      static_cast<std::uint64_t>(blocks_per_sm);
+  return static_cast<std::uint32_t>((blocks + concurrent - 1) / concurrent);
+}
+
+double kernel_cycles(std::uint64_t blocks, double block_cycles,
+                     const GpuSpec& spec, int blocks_per_sm) noexcept {
+  return static_cast<double>(wave_count(blocks, spec, blocks_per_sm)) *
+         block_cycles;
+}
+
+}  // namespace egemm::tcsim

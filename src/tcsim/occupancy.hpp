@@ -1,0 +1,41 @@
+#pragma once
+// Occupancy and wave model: how many blocks fit on an SM given the shared
+// memory / register budgets, and how a grid of identical blocks schedules
+// onto the whole GPU (wave quantization). Feeds both the kernel-level
+// timing composition and the analytic model's feasibility checks.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "tcsim/gpu_spec.hpp"
+
+namespace egemm::tcsim {
+
+struct BlockResources {
+  std::size_t shared_memory_bytes = 0;
+  int registers_per_thread = 0;
+  int threads = 0;
+};
+
+enum class OccupancyLimit { kSharedMemory, kRegisters, kWarps, kNone };
+
+struct Occupancy {
+  int blocks_per_sm = 0;
+  OccupancyLimit limited_by = OccupancyLimit::kNone;
+};
+
+/// Blocks per SM under the hardware budgets; 0 means the block does not
+/// fit at all (e.g. shared-memory demand above 64 KB).
+Occupancy compute_occupancy(const GpuSpec& spec,
+                            const BlockResources& resources);
+
+/// Number of sequential waves needed to run `blocks` blocks.
+std::uint32_t wave_count(std::uint64_t blocks, const GpuSpec& spec,
+                         int blocks_per_sm) noexcept;
+
+/// Kernel makespan in cycles: per-block cycles quantized into waves, i.e.
+/// ceil(blocks / (sm_count * blocks_per_sm)) * block_cycles.
+double kernel_cycles(std::uint64_t blocks, double block_cycles,
+                     const GpuSpec& spec, int blocks_per_sm) noexcept;
+
+}  // namespace egemm::tcsim

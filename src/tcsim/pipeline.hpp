@@ -1,0 +1,72 @@
+#pragma once
+// Discrete-event SM pipeline model.
+//
+// Executes a SimProgram on four issue ports (tensor, MIO, global, CUDA)
+// with in-order issue, per-port occupancy and token scoreboarding -- the
+// minimal machine that distinguishes the paper's two instruction
+// schedules (Fig. 6 / Fig. 11) and exposes compute- vs memory-bound
+// behaviour of a tiling (§6).
+//
+// Semantics:
+//  * instructions issue strictly in program order;
+//  * an instruction issues at max(previous issue cursor, its port's free
+//    time, its wait-token completion time);
+//  * a replicated group of N instructions occupies its port for N x issue
+//    cycles and completes N x issue + latency after its start;
+//  * a token's completion time is the max over all producers;
+//  * BAR stalls the issue cursor for barrier_cost after its wait resolves.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tcsim/gpu_spec.hpp"
+#include "tcsim/instruction.hpp"
+
+namespace egemm::tcsim {
+
+struct SimStats {
+  double cycles = 0.0;        ///< makespan of the program
+  double stall_cycles = 0.0;  ///< issue-cursor time spent waiting on tokens
+  std::array<double, 4> port_busy{};  ///< indexed by Port
+  std::uint64_t instructions = 0;
+
+  double port_utilization(Port port) const noexcept {
+    return cycles > 0.0
+               ? port_busy[static_cast<std::size_t>(port)] / cycles
+               : 0.0;
+  }
+};
+
+/// Runs `program` against the spec's instruction timings; LDG issue
+/// intervals are derived from the spec's per-SM L2 bandwidth share.
+SimStats simulate_block(const SimProgram& program, const GpuSpec& spec);
+
+/// One port-occupancy interval of an executed instruction group.
+struct TraceEvent {
+  Opcode op;
+  Port port;
+  double start = 0.0;  ///< first issue cycle
+  double busy_until = 0.0;
+  double done = 0.0;   ///< completion (last result lands)
+  std::uint32_t count = 1;
+};
+
+struct TraceResult {
+  SimStats stats;
+  std::vector<TraceEvent> events;
+};
+
+/// As simulate_block, but records every group's occupancy interval
+/// (intended for inspection of short programs; events scale with the
+/// program's group count).
+TraceResult simulate_block_trace(const SimProgram& program,
+                                 const GpuSpec& spec);
+
+/// ASCII Gantt chart of the window [from, to): one row per port, `width`
+/// buckets; a bucket prints the port letter when any group occupied it.
+std::string render_timeline(const TraceResult& trace, double from, double to,
+                            int width = 96);
+
+}  // namespace egemm::tcsim

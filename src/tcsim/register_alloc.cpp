@@ -1,0 +1,95 @@
+#include "tcsim/register_alloc.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace egemm::tcsim {
+
+AllocationResult allocate_registers(const KernelRegisterPlan& plan,
+                                    int budget) {
+  EGEMM_EXPECTS(budget > 0);
+  EGEMM_EXPECTS(plan.stage_count > 0);
+
+  AllocationResult result;
+  result.stages.resize(static_cast<std::size_t>(plan.stage_count));
+  for (int s = 0; s < plan.stage_count; ++s) {
+    result.stages[static_cast<std::size_t>(s)].stage = s;
+  }
+
+  for (const RegisterValue& value : plan.values) {
+    EGEMM_EXPECTS(value.stage >= 0 && value.stage < plan.stage_count);
+    EGEMM_EXPECTS(value.registers >= 0);
+    result.naive_per_thread += value.registers;
+    if (value.persistent) {
+      // A persistent value is live from its declaring stage to the end.
+      for (int s = value.stage; s < plan.stage_count; ++s) {
+        result.stages[static_cast<std::size_t>(s)].persistent_registers +=
+            value.registers;
+      }
+    } else {
+      result.stages[static_cast<std::size_t>(value.stage)].local_registers +=
+          value.registers;
+    }
+  }
+
+  for (const StageUsage& stage : result.stages) {
+    result.per_thread = std::max(result.per_thread, stage.total());
+  }
+  result.spills = result.per_thread > budget;
+  result.spilled_registers = std::max(0, result.per_thread - budget);
+  return result;
+}
+
+KernelRegisterPlan egemm_register_plan(int bm, int bn, int bk, int wm, int wn,
+                                       int wk, int threads) {
+  EGEMM_EXPECTS(threads > 0 && threads % 32 == 0);
+  KernelRegisterPlan plan;
+  plan.stage_count = 4;  // context, load-C, compute, store-C (§5.2)
+
+  auto per_thread_regs = [threads](std::size_t bytes_per_block) {
+    return static_cast<int>(
+        (bytes_per_block + static_cast<std::size_t>(threads) * 4 - 1) /
+        (static_cast<std::size_t>(threads) * 4));
+  };
+  const int warps = (bm / wm) * (bn / wn);
+
+  // Persistent values (live for the whole kernel once declared).
+  // C accumulator FRAG: bm x bn binary32, resident per Table 2's caching.
+  plan.values.push_back({"c_accumulator_frag",
+                         per_thread_regs(static_cast<std::size_t>(bm) *
+                                         static_cast<std::size_t>(bn) * 4),
+                         1, true});
+  // Double-buffered A fragments: wm x wk, lo+hi halves, two buffers.
+  plan.values.push_back(
+      {"a_fragments",
+       per_thread_regs(static_cast<std::size_t>(warps) *
+                       static_cast<std::size_t>(wm) *
+                       static_cast<std::size_t>(wk) * 2 * 2 * 2),
+       2, true});
+  // Double-buffered B fragments: wk x wn, lo+hi halves, two buffers.
+  plan.values.push_back(
+      {"b_fragments",
+       per_thread_regs(static_cast<std::size_t>(warps) *
+                       static_cast<std::size_t>(wk) *
+                       static_cast<std::size_t>(wn) * 2 * 2 * 2),
+       2, true});
+  // Global->register staging for the software-pipelined LDG stream
+  // (register-enhanced scheduling, §5.1): one block tile of A+B halves.
+  plan.values.push_back(
+      {"ldg_staging",
+       per_thread_regs(4 * static_cast<std::size_t>(bm + bn) *
+                       static_cast<std::size_t>(bk)),
+       0, true});
+  // Loop counters, matrix pointers, predicates.
+  plan.values.push_back({"loop_state", 16, 0, true});
+
+  // Stage-local values, overlaid across stages by the allocator.
+  plan.values.push_back({"context_indices", 24, 0, false});
+  plan.values.push_back({"c_load_addresses", 40, 1, false});
+  plan.values.push_back({"compute_temporaries", 72, 2, false});
+  plan.values.push_back({"c_store_addresses", 48, 3, false});
+  return plan;
+}
+
+}  // namespace egemm::tcsim

@@ -1,0 +1,55 @@
+#pragma once
+// Stage-based heuristic register allocation (§5.2).
+//
+// The paper observes that a Tensor-Core GEMM kernel runs through four
+// stages -- (1) context/index computation, (2) loading C, (3) the main
+// compute loop, (4) storing C -- whose register demands barely overlap, and
+// manually reuses registers across stages, landing at 232 of the 256
+// per-thread registers with no spill. This module models that allocator:
+// values are declared with a stage and a persistence flag; persistent
+// values (the C accumulator FRAG, double-buffered A/B fragments, loop
+// state) live across stages, stage-local values are overlaid.
+
+#include <string>
+#include <vector>
+
+namespace egemm::tcsim {
+
+struct RegisterValue {
+  std::string name;
+  int registers = 0;   ///< 32-bit registers per thread
+  int stage = 0;       ///< 0-based stage index
+  bool persistent = false;  ///< lives across all stages from `stage` on
+};
+
+struct KernelRegisterPlan {
+  std::vector<RegisterValue> values;
+  int stage_count = 4;
+};
+
+struct StageUsage {
+  int stage = 0;
+  int persistent_registers = 0;
+  int local_registers = 0;
+  int total() const noexcept { return persistent_registers + local_registers; }
+};
+
+struct AllocationResult {
+  int per_thread = 0;        ///< registers with cross-stage reuse
+  int naive_per_thread = 0;  ///< registers if every value got its own slot
+  bool spills = false;       ///< per_thread exceeded the budget
+  int spilled_registers = 0;
+  std::vector<StageUsage> stages;
+};
+
+/// Allocates `plan` against a per-thread register budget.
+AllocationResult allocate_registers(const KernelRegisterPlan& plan,
+                                    int budget);
+
+/// Builds the EGEMM-TC register plan for a block tiling (bm,bn,bk) and warp
+/// tiling (wm,wn,wk) with `threads` threads per block. With the paper's
+/// Table 4 configuration this lands at 232 registers per thread.
+KernelRegisterPlan egemm_register_plan(int bm, int bn, int bk, int wm, int wn,
+                                       int wk, int threads);
+
+}  // namespace egemm::tcsim

@@ -1,0 +1,122 @@
+#include "tcsim/tensor_core.hpp"
+
+#include "util/assert.hpp"
+
+namespace egemm::tcsim {
+
+namespace {
+
+/// Accumulates the dot product of two half-valued float sequences onto `c`
+/// with the modeled Tensor Core semantics: exact binary16 products are
+/// summed two at a time (adjacent pairs) and the pair sums are chained
+/// onto the running accumulator starting from C -- the two-element
+/// inner-step documented for Volta/Turing HMMA [12, 13]. The within-pair
+/// reassociation is the only difference from a sequential binary32 CPU
+/// loop, which is why the result typically matches the sequential probe on
+/// >= 21 leading mantissa bits yet is not always bit-identical (the
+/// artifact's example shows a 1-bit difference, §A.3).
+inline float tc_accumulate(const float* a, std::size_t stride_a,
+                           const float* b, std::size_t stride_b, int k,
+                           float c) noexcept {
+  float acc = c;
+  int i = 0;
+  for (; i + 1 < k; i += 2) {
+    acc += a[static_cast<std::size_t>(i) * stride_a] *
+               b[static_cast<std::size_t>(i) * stride_b] +
+           a[static_cast<std::size_t>(i + 1) * stride_a] *
+               b[static_cast<std::size_t>(i + 1) * stride_b];
+  }
+  if (i < k) {
+    acc += a[static_cast<std::size_t>(i) * stride_a] *
+           b[static_cast<std::size_t>(i) * stride_b];
+  }
+  return acc;
+}
+
+}  // namespace
+
+void mma_sync(FragmentAcc& d, const FragmentA& a, const FragmentB& b,
+              const FragmentAcc& c) noexcept {
+  // Widen the half tiles once; the widening is exact.
+  float af[kTcM][kTcK];
+  float bf[kTcK][kTcN];
+  for (int i = 0; i < kTcM; ++i) {
+    for (int kk = 0; kk < kTcK; ++kk) af[i][kk] = a.at(i, kk).to_float();
+  }
+  for (int kk = 0; kk < kTcK; ++kk) {
+    for (int j = 0; j < kTcN; ++j) bf[kk][j] = b.at(kk, j).to_float();
+  }
+  for (int i = 0; i < kTcM; ++i) {
+    for (int j = 0; j < kTcN; ++j) {
+      d.at(i, j) = tc_accumulate(&af[i][0], 1, &bf[0][j], kTcN, kTcK,
+                                 c.at(i, j));
+    }
+  }
+}
+
+void mma_tile_f32(float* d, std::size_t ldd, const float* a, std::size_t lda,
+                  const float* b, std::size_t ldb, int m, int n,
+                  int k) noexcept {
+  EGEMM_EXPECTS(m > 0 && n > 0 && k > 0);
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * lda;
+    float* drow = d + static_cast<std::size_t>(i) * ldd;
+    for (int j = 0; j < n; ++j) {
+      drow[j] = tc_accumulate(arow, 1, b + j, ldb, k, drow[j]);
+    }
+  }
+}
+
+float tc_dot(std::span<const fp::Half> a, std::span<const fp::Half> b,
+             float c) noexcept {
+  EGEMM_EXPECTS(a.size() == b.size());
+  float acc = c;
+  std::size_t i = 0;
+  for (; i + 1 < a.size(); i += 2) {
+    acc += a[i].to_float() * b[i].to_float() +
+           a[i + 1].to_float() * b[i + 1].to_float();
+  }
+  if (i < a.size()) acc += a[i].to_float() * b[i].to_float();
+  return acc;
+}
+
+float tc_dot_f32(const float* a, const float* b, int k, float c) noexcept {
+  return tc_accumulate(a, 1, b, 1, k, c);
+}
+
+float probe_dot_half(std::span<const fp::Half> a, std::span<const fp::Half> b,
+                     float c) noexcept {
+  EGEMM_EXPECTS(a.size() == b.size());
+  fp::Half acc(c);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = acc + a[i] * b[i];  // every operation rounds to binary16
+  }
+  return acc.to_float();
+}
+
+float probe_dot_float(std::span<const fp::Half> a, std::span<const fp::Half> b,
+                      float c) noexcept {
+  EGEMM_EXPECTS(a.size() == b.size());
+  float acc = c;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += a[i].to_float() * b[i].to_float();
+  }
+  return acc;
+}
+
+double probe_dot_double(std::span<const fp::Half> a,
+                        std::span<const fp::Half> b, double c) noexcept {
+  EGEMM_EXPECTS(a.size() == b.size());
+  double acc = c;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += a[i].to_double() * b[i].to_double();
+  }
+  return acc;
+}
+
+float broken_tc_dot(std::span<const fp::Half> a, std::span<const fp::Half> b,
+                    float c) noexcept {
+  return probe_dot_half(a, b, c);
+}
+
+}  // namespace egemm::tcsim

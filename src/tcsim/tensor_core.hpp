@@ -1,0 +1,74 @@
+#pragma once
+// Bit-accurate functional model of the Tensor Core compute primitive
+// D = A x B + C (§2.1) plus the probing primitives used by the
+// generalized emulation-design workflow (§3.1, Fig. 2a / Fig. 3).
+//
+// Modeled operation precision (and what the profiling harness verifies):
+//  * A, B entries are IEEE binary16;
+//  * each product float(a)*float(b) is exact in binary32 (11-bit x 11-bit
+//    significands fit in 24 bits);
+//  * products are summed two at a time (adjacent pairs) and the pair sums
+//    chain onto the running accumulator starting from C -- the two-element
+//    inner step documented for Volta/Turing HMMA [12, 13].
+//
+// The within-pair reassociation is the only difference from the natural
+// sequential CPU loop, which reproduces the paper's empirical observation:
+// the Tensor Core result agrees with a sequential binary32 computation
+// ("d_FLOAT") on the leading 21+ mantissa bits in the typical trial while
+// not always being bit-identical (the artifact's example shows a 1-bit
+// difference), and is far from the binary16-accumulated probe ("d_HALF").
+
+#include <cstddef>
+#include <span>
+
+#include "fp/half.hpp"
+#include "tcsim/fragment.hpp"
+
+namespace egemm::tcsim {
+
+/// wmma::mma_sync equivalent on 16x16x16 tiles: d = a x b + c.
+void mma_sync(FragmentAcc& d, const FragmentA& a, const FragmentB& b,
+              const FragmentAcc& c) noexcept;
+
+/// Fast-path tile MMA on half-valued float arrays (the bulk GEMM path).
+/// `a` is m x k row-major with leading dimension `lda` (similarly b, d);
+/// every a/b entry must be exactly representable in binary16 -- callers get
+/// this for free because the values come from a data split. Accumulates
+/// into d (d += a x b) with the exact semantics described above.
+void mma_tile_f32(float* d, std::size_t ldd, const float* a, std::size_t lda,
+                  const float* b, std::size_t ldb, int m, int n,
+                  int k) noexcept;
+
+/// Dot product with Tensor-Core accumulation semantics (one output element
+/// of the primitive); exposed for the profiling workflow and tests.
+float tc_dot(std::span<const fp::Half> a, std::span<const fp::Half> b,
+             float c) noexcept;
+
+/// Contiguous fast-path variant of tc_dot over half-valued float arrays;
+/// the bulk-GEMM inner loop. Same accumulation semantics as mma_sync.
+float tc_dot_f32(const float* a, const float* b, int k, float c) noexcept;
+
+// -- Probing compute primitives (Fig. 2a) -----------------------------------
+// Each computes the same dot product under a hypothesised intermediate
+// precision; the profiling harness compares them bitwise against tc_dot.
+
+/// Hypothesis 1: multiply and accumulate entirely in binary16 ("d_HALF").
+float probe_dot_half(std::span<const fp::Half> a, std::span<const fp::Half> b,
+                     float c) noexcept;
+
+/// Hypothesis 2: operands widened to binary32, sequential binary32
+/// accumulation ("d_FLOAT").
+float probe_dot_float(std::span<const fp::Half> a, std::span<const fp::Half> b,
+                      float c) noexcept;
+
+/// CPU ground truth at binary64 (used to bound both hypotheses).
+double probe_dot_double(std::span<const fp::Half> a,
+                        std::span<const fp::Half> b, double c) noexcept;
+
+/// A deliberately wrong specialized core (binary16 accumulation) used by
+/// the failure-injection tests: the workflow must reject the binary32
+/// hypothesis for it.
+float broken_tc_dot(std::span<const fp::Half> a, std::span<const fp::Half> b,
+                    float c) noexcept;
+
+}  // namespace egemm::tcsim

@@ -1,0 +1,74 @@
+#include "tcsim/warp_layout.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace egemm::tcsim {
+
+ThreadLayout loading_layout(int rows, int cols, int element_bytes) {
+  EGEMM_EXPECTS(rows >= 1 && cols >= 1);
+  EGEMM_EXPECTS(element_bytes == 2 || element_bytes == 4);
+
+  // Each thread moves 16 bytes (one 128-bit transaction) per step.
+  const int elems_per_thread = 16 / element_bytes;
+  // Threads along a row: as many as the row supports.
+  int x = std::max(1, cols / elems_per_thread);
+  x = std::min(x, 32);
+  // Round x down to a power of two that divides 32 so y = 32/x is whole.
+  while (32 % x != 0) --x;
+  return ThreadLayout{x, 32 / x};
+}
+
+std::vector<ThreadSlice> loading_slices(int rows, int cols, int element_bytes,
+                                        const ThreadLayout& layout) {
+  EGEMM_EXPECTS(layout.valid());
+  const int elems_per_thread = 16 / element_bytes;
+
+  std::vector<ThreadSlice> slices;
+  // Threads sweep the tile in row blocks of layout.y rows; within a block,
+  // lane (tx, ty) owns the tx-th 16-byte chunk of row ty. Rows whose
+  // length exceeds x * elems_per_thread wrap to additional column passes.
+  const int row_chunk = layout.x * elems_per_thread;
+  for (int row0 = 0; row0 < rows; row0 += layout.y) {
+    for (int col0 = 0; col0 < cols; col0 += row_chunk) {
+      for (int lane = 0; lane < 32; ++lane) {
+        const int tx = lane % layout.x;
+        const int ty = lane / layout.x;
+        const int row = row0 + ty;
+        const int col = col0 + tx * elems_per_thread;
+        if (row >= rows || col >= cols) continue;
+        ThreadSlice slice;
+        slice.thread = lane;
+        slice.row = row;
+        slice.col = col;
+        slice.elements = std::min(elems_per_thread, cols - col);
+        slices.push_back(slice);
+      }
+    }
+  }
+  return slices;
+}
+
+WarpSharing warp_sharing(const gemm::TileConfig& config) {
+  EGEMM_EXPECTS(config.valid());
+  WarpSharing sharing;
+  const int row_warps = config.bm / config.wm;
+  const int col_warps = config.bn / config.wn;
+
+  // Warp w covers warp-tile (w / col_warps, w % col_warps) of the block.
+  sharing.a_bands.resize(static_cast<std::size_t>(row_warps));
+  sharing.b_bands.resize(static_cast<std::size_t>(col_warps));
+  for (int w = 0; w < config.warps_per_block(); ++w) {
+    const int wr = w / col_warps;
+    const int wc = w % col_warps;
+    // The A band of rows [wr*wm, (wr+1)*wm) feeds every warp in that row
+    // of the warp grid; the B band of columns likewise (Fig. 5's "a data
+    // fragment may be used by multiple warps").
+    sharing.a_bands[static_cast<std::size_t>(wr)].push_back(w);
+    sharing.b_bands[static_cast<std::size_t>(wc)].push_back(w);
+  }
+  return sharing;
+}
+
+}  // namespace egemm::tcsim

@@ -1,0 +1,71 @@
+#pragma once
+// Warp collaboration and two-phase thread layouts (§4, Fig. 5).
+//
+// A Tensor Core kernel runs each warp in two phases with *different*
+// logical thread organizations:
+//   * data-loading phase: the 32 threads take a 2D layout (e.g. 16x2) so
+//     each thread owns a disjoint, contiguous slice of the tile being
+//     staged -- "assigning non-overlapping memory access workload to each
+//     thread";
+//   * computation phase: the default (32,1) layout required for the
+//     collaborative mma_sync call.
+// And across the block, warps collaborate: during loading, all warps
+// together stage the whole block tile (each data fragment may later be
+// consumed by several warps -- Fig. 5's colored sharing).
+//
+// This module computes those assignments and exposes the invariants the
+// tests verify: per-thread slices are disjoint and cover the tile; vector
+// width matches the 128-bit transactions the stream model counts; warp
+// tile consumption maps every warp to the block-tile rows/columns it
+// reads.
+
+#include <cstdint>
+#include <vector>
+
+#include "gemm/tiling.hpp"
+
+namespace egemm::tcsim {
+
+/// A thread's slice of a staged tile, in elements of the tile's row-major
+/// storage.
+struct ThreadSlice {
+  int thread = 0;     ///< lane 0..31
+  int row = 0;        ///< tile row the slice starts in
+  int col = 0;        ///< tile column (elements)
+  int elements = 0;   ///< contiguous elements owned by this thread
+};
+
+/// 2D thread organization for the loading phase.
+struct ThreadLayout {
+  int x = 32;  ///< threads along rows
+  int y = 1;   ///< rows covered concurrently
+  bool valid() const noexcept { return x >= 1 && y >= 1 && x * y == 32; }
+};
+
+/// Picks the loading-phase layout for a (rows x cols) tile of
+/// `element_bytes`-sized elements: the widest 128-bit-per-thread shape
+/// whose x extent matches the tile's row length (the paper's example:
+/// a 16x16 tile is "much easier to program" as 16x2 than as 32x1).
+ThreadLayout loading_layout(int rows, int cols, int element_bytes);
+
+/// Per-thread slices for one pass of a warp loading a (rows x cols) tile
+/// under `layout`; threads sweep row blocks until the tile is covered.
+std::vector<ThreadSlice> loading_slices(int rows, int cols, int element_bytes,
+                                        const ThreadLayout& layout);
+
+/// The computation-phase organization (fixed by the CUDA programming
+/// guide: one warp, 32 lanes, collaborative fragment ops).
+constexpr ThreadLayout compute_layout() noexcept { return ThreadLayout{32, 1}; }
+
+/// Which warps of a block consume a given block-tile fragment during the
+/// computation phase (Fig. 5's sharing): for the A block tile, every warp
+/// whose warp-tile rows intersect the fragment's rows.
+struct WarpSharing {
+  /// sharing[f] = warp indexes reading fragment f (one fragment per
+  /// wm-rows band of A / wn-cols band of B).
+  std::vector<std::vector<int>> a_bands;
+  std::vector<std::vector<int>> b_bands;
+};
+WarpSharing warp_sharing(const gemm::TileConfig& config);
+
+}  // namespace egemm::tcsim

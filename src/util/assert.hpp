@@ -1,0 +1,34 @@
+#pragma once
+// Contract-checking macros in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects() for expressing preconditions").
+//
+// EGEMM_EXPECTS(cond)  -- precondition; aborts with a diagnostic on failure.
+// EGEMM_ENSURES(cond)  -- postcondition; same behaviour.
+//
+// Contracts are kept in release builds: this library backs numerical
+// experiments where silently continuing past a violated precondition would
+// corrupt results.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace egemm::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "egemm: %s violated: %s at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace egemm::detail
+
+#define EGEMM_EXPECTS(cond)                                              \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::egemm::detail::contract_failure("precondition", #cond,    \
+                                              __FILE__, __LINE__))
+
+#define EGEMM_ENSURES(cond)                                              \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::egemm::detail::contract_failure("postcondition", #cond,   \
+                                              __FILE__, __LINE__))

@@ -1,0 +1,86 @@
+#include "util/cli.hpp"
+
+#include <charconv>
+#include <cstdlib>
+
+namespace egemm::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    const std::string_view body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    Option option;
+    if (eq != std::string_view::npos) {
+      option.name = std::string(body.substr(0, eq));
+      option.value = std::string(body.substr(eq + 1));
+    } else {
+      option.name = std::string(body);
+      // `--key value` form: consume the next token if it is not an option.
+      if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+        option.value = std::string(argv[i + 1]);
+        ++i;
+      }
+    }
+    options_.push_back(std::move(option));
+  }
+}
+
+bool CliArgs::has_flag(std::string_view name) const {
+  for (const auto& option : options_) {
+    if (option.name == name) return true;
+  }
+  return false;
+}
+
+std::optional<std::string> CliArgs::value(std::string_view name) const {
+  for (const auto& option : options_) {
+    if (option.name == name) return option.value;
+  }
+  return std::nullopt;
+}
+
+std::int64_t CliArgs::value_or(std::string_view name,
+                               std::int64_t fallback) const {
+  const auto v = value(name);
+  if (!v || v->empty()) return fallback;
+  std::int64_t out = fallback;
+  std::from_chars(v->data(), v->data() + v->size(), out);
+  return out;
+}
+
+double CliArgs::value_or(std::string_view name, double fallback) const {
+  const auto v = value(name);
+  if (!v || v->empty()) return fallback;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+std::string CliArgs::value_or(std::string_view name,
+                              std::string fallback) const {
+  const auto v = value(name);
+  return (v && !v->empty()) ? *v : fallback;
+}
+
+std::vector<std::int64_t> CliArgs::int_list_or(
+    std::string_view name, std::vector<std::int64_t> fallback) const {
+  const auto v = value(name);
+  if (!v || v->empty()) return fallback;
+  std::vector<std::int64_t> out;
+  std::size_t pos = 0;
+  while (pos < v->size()) {
+    std::size_t comma = v->find(',', pos);
+    if (comma == std::string::npos) comma = v->size();
+    std::int64_t item = 0;
+    std::from_chars(v->data() + pos, v->data() + comma, item);
+    out.push_back(item);
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace egemm::util

@@ -1,0 +1,48 @@
+#pragma once
+// Tiny command-line option parser shared by the bench binaries and
+// examples. Supports `--flag`, `--key=value`, and `--key value` styles plus
+// comma-separated integer lists (used for `--sizes=128,256,...`).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace egemm::util {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// True if `--name` was present (with or without a value).
+  bool has_flag(std::string_view name) const;
+
+  std::optional<std::string> value(std::string_view name) const;
+
+  std::int64_t value_or(std::string_view name, std::int64_t fallback) const;
+  double value_or(std::string_view name, double fallback) const;
+  std::string value_or(std::string_view name, std::string fallback) const;
+
+  /// Parses `--name=a,b,c` into integers; returns fallback when absent.
+  std::vector<std::int64_t> int_list_or(
+      std::string_view name, std::vector<std::int64_t> fallback) const;
+
+  /// Positional (non `--`) arguments in order.
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  const std::string& program() const noexcept { return program_; }
+
+ private:
+  struct Option {
+    std::string name;
+    std::optional<std::string> value;
+  };
+  std::string program_;
+  std::vector<Option> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace egemm::util

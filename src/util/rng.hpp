@@ -1,0 +1,118 @@
+#pragma once
+// Deterministic, seedable pseudo-random number generation for experiments.
+//
+// All experiments in the repository draw randomness through this header so
+// every table/figure is reproducible from a seed printed in its output.
+// The generator is xoshiro256++ (public domain, Blackman & Vigna), seeded
+// through splitmix64 so that small consecutive seeds give independent
+// streams.
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace egemm::util {
+
+/// splitmix64 step; used for seeding and as a cheap stateless hash.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ PRNG. Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform float in [lo, hi). Uses the top 24 bits for an unbiased mantissa.
+  constexpr float uniform(float lo, float hi) noexcept {
+    const auto bits = static_cast<std::uint32_t>((*this)() >> 40);  // 24 bits
+    const float unit = static_cast<float>(bits) * 0x1.0p-24f;       // [0,1)
+    return lo + (hi - lo) * unit;
+  }
+
+  /// Uniform double in [lo, hi) using 53 random bits.
+  constexpr double uniform_double(double lo, double hi) noexcept {
+    const auto bits = (*this)() >> 11;  // 53 bits
+    const double unit = static_cast<double>(bits) * 0x1.0p-53;
+    return lo + (hi - lo) * unit;
+  }
+
+  /// Uniform integer in [0, bound) by rejection (unbiased).
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    const std::uint64_t threshold = (0ULL - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Standard-normal variates via the Marsaglia polar method.
+class NormalSampler {
+ public:
+  explicit NormalSampler(std::uint64_t seed) noexcept : rng_(seed) {}
+
+  double next() noexcept {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    for (;;) {
+      const double u = rng_.uniform_double(-1.0, 1.0);
+      const double v = rng_.uniform_double(-1.0, 1.0);
+      const double s = u * u + v * v;
+      if (s > 0.0 && s < 1.0) {
+        const double scale = sqrt_(-2.0 * log_(s) / s);
+        cached_ = v * scale;
+        has_cached_ = true;
+        return u * scale;
+      }
+    }
+  }
+
+  Xoshiro256& rng() noexcept { return rng_; }
+
+ private:
+  static double sqrt_(double x) noexcept { return std::sqrt(x); }
+  static double log_(double x) noexcept { return std::log(x); }
+
+  Xoshiro256 rng_;
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace egemm::util

@@ -1,0 +1,78 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace egemm::util {
+
+void Table::set_header(std::vector<std::string> header) {
+  EGEMM_EXPECTS(rows_.empty());
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  EGEMM_EXPECTS(header_.empty() || row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_footnote(std::string note) {
+  footnotes_.push_back(std::move(note));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto emit = [&os, &widths](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << row[i];
+      if (i + 1 < row.size()) {
+        os << std::string(widths[i] - row[i].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+  total = std::max<std::size_t>(total, title_.size());
+
+  os << title_ << '\n' << std::string(total, '=') << '\n';
+  if (!header_.empty()) {
+    emit(header_);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+  for (const auto& note : footnotes_) os << "  note: " << note << '\n';
+  os << '\n';
+}
+
+std::string fmt_fixed(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", digits, value);
+  return buffer;
+}
+
+std::string fmt_sci(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*e", digits, value);
+  return buffer;
+}
+
+std::string fmt_speedup(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.2fx", value);
+  return buffer;
+}
+
+}  // namespace egemm::util

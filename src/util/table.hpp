@@ -1,0 +1,41 @@
+#pragma once
+// Plain-text table formatting for the benchmark harness. Every bench binary
+// prints the rows/series of the paper table or figure it regenerates; this
+// keeps the output format uniform and diffable.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace egemm::util {
+
+/// A column-aligned text table with a title and optional footnotes.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before any add_row.
+  void set_header(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  void add_footnote(std::string note);
+
+  /// Renders to the stream with box-drawing-free ASCII (CI friendly).
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> footnotes_;
+};
+
+/// Fixed-precision float formatting helpers used by the bench binaries.
+std::string fmt_fixed(double value, int digits);
+std::string fmt_sci(double value, int digits);
+std::string fmt_speedup(double value);
+
+}  // namespace egemm::util

@@ -1,0 +1,53 @@
+#pragma once
+// Minimal work-stealing-free thread pool used to parallelize functional
+// GEMM tiles and Monte-Carlo profiling sweeps across host cores.
+//
+// Design notes (CppCoreGuidelines CP.*): all synchronization is confined to
+// this class; user tasks communicate only through their own captured state
+// and the returned futures, so callers never touch a mutex.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace egemm::util {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` workers; 0 means hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a nullary task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Splits [0, count) into roughly even chunks, runs `body(begin, end)` on
+  /// the pool, and blocks until every chunk finished. Exceptions from tasks
+  /// propagate to the caller (first one wins).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool shared by the functional kernels.
+ThreadPool& global_pool();
+
+}  // namespace egemm::util

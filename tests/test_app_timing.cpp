@@ -1,0 +1,105 @@
+// Tests for the application timing composition (apps/app_timing.hpp).
+#include "apps/app_timing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace egemm::apps {
+namespace {
+
+const tcsim::GpuSpec& t4() {
+  static const tcsim::GpuSpec spec = tcsim::tesla_t4();
+  return spec;
+}
+
+TEST(AppTiming, KnnGemmFractionNearPaperFigure) {
+  // §1: GEMM takes ~85% of the open-source kNN's time. The model should
+  // land in that neighborhood with the cuBLAS-CUDA-FP32 backend.
+  KnnWorkload workload;
+  workload.references = workload.queries = 8192;
+  const AppTiming timing =
+      knn_timing(workload, gemm::Backend::kCublasFp32, t4());
+  EXPECT_GT(timing.gemm_fraction, 0.65);
+  EXPECT_LT(timing.gemm_fraction, 0.95);
+}
+
+TEST(AppTiming, KMeansGemmFractionNearPaperFigure) {
+  // §1: ~67% for kMeans.
+  KMeansWorkload workload;
+  workload.points = 8192;
+  workload.dim = 256;
+  workload.clusters = 128;
+  const AppTiming timing =
+      kmeans_timing(workload, gemm::Backend::kCublasFp32, t4());
+  EXPECT_GT(timing.gemm_fraction, 0.5);
+  EXPECT_LT(timing.gemm_fraction, 0.85);
+}
+
+TEST(AppTiming, EgemmAcceleratesBothApps) {
+  KnnWorkload knn;
+  knn.references = knn.queries = 8192;
+  const double knn_speedup =
+      knn_timing(knn, gemm::Backend::kCublasFp32, t4()).total_seconds /
+      knn_timing(knn, gemm::Backend::kEgemmTC, t4()).total_seconds;
+  EXPECT_GT(knn_speedup, 1.3);
+  EXPECT_LT(knn_speedup, 2.6);  // Fig. 12b band
+
+  KMeansWorkload km;
+  km.points = 8192;
+  km.dim = 256;
+  km.clusters = 128;
+  const double km_speedup =
+      kmeans_timing(km, gemm::Backend::kCublasFp32, t4()).total_seconds /
+      kmeans_timing(km, gemm::Backend::kEgemmTC, t4()).total_seconds;
+  EXPECT_GT(km_speedup, 1.2);
+  EXPECT_LT(km_speedup, 2.2);  // Fig. 12a band
+}
+
+TEST(AppTiming, SpeedupGrowsWithDataSize) {
+  // Fig. 12: larger point counts amortize the fixed overheads.
+  KMeansWorkload small, large;
+  small.points = 2048;
+  large.points = 16384;
+  small.dim = large.dim = 256;
+  small.clusters = large.clusters = 128;
+  auto speedup = [&](const KMeansWorkload& w) {
+    return kmeans_timing(w, gemm::Backend::kCublasFp32, t4()).total_seconds /
+           kmeans_timing(w, gemm::Backend::kEgemmTC, t4()).total_seconds;
+  };
+  EXPECT_GT(speedup(large), speedup(small));
+}
+
+TEST(AppTiming, ComponentsAddUp) {
+  KnnWorkload workload;
+  const AppTiming timing =
+      knn_timing(workload, gemm::Backend::kEgemmTC, t4());
+  EXPECT_NEAR(timing.total_seconds,
+              timing.gemm_seconds + timing.other_seconds, 1e-12);
+  EXPECT_GT(timing.gemm_seconds, 0.0);
+  EXPECT_GT(timing.other_seconds, 0.0);
+}
+
+TEST(AppTiming, KMeansSplitAmortizationHelps) {
+  // The one-time point split must cost less than re-splitting every
+  // iteration: EGEMM's kMeans GEMM time is below iterations x standalone.
+  KMeansWorkload workload;
+  workload.points = 8192;
+  workload.dim = 256;
+  workload.clusters = 128;
+  const AppTiming timing =
+      kmeans_timing(workload, gemm::Backend::kEgemmTC, t4());
+  const gemm::KernelTiming standalone = gemm::time_gemm(
+      gemm::Backend::kEgemmTC, workload.points,
+      static_cast<std::uint64_t>(workload.clusters), workload.dim, t4());
+  EXPECT_LT(timing.gemm_seconds,
+            standalone.seconds * workload.iterations);
+}
+
+TEST(AppTiming, NonGemmPhasesAreBackendIndependent) {
+  KnnWorkload workload;
+  const AppTiming a = knn_timing(workload, gemm::Backend::kEgemmTC, t4());
+  const AppTiming b = knn_timing(workload, gemm::Backend::kCublasFp32, t4());
+  EXPECT_DOUBLE_EQ(a.other_seconds, b.other_seconds);
+}
+
+}  // namespace
+}  // namespace egemm::apps

@@ -1,0 +1,104 @@
+// Tests for GEMM-based kNN (apps/knn.hpp).
+#include "apps/knn.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "apps/dataset.hpp"
+
+namespace egemm::apps {
+namespace {
+
+TEST(Knn, SelfQueryFindsItselfFirst) {
+  const PointCloud cloud = uniform_cloud(128, 16, -1.0f, 1.0f, 1);
+  KnnOptions opts;
+  opts.k = 1;
+  const KnnResult result = knn_search(cloud.points, cloud.points, opts);
+  for (std::size_t i = 0; i < cloud.points.rows(); ++i) {
+    EXPECT_EQ(result.indices.at(i, 0), static_cast<std::int32_t>(i));
+    EXPECT_NEAR(result.distances.at(i, 0), 0.0f, 1e-4f);
+  }
+}
+
+class KnnBackendTest : public ::testing::TestWithParam<gemm::Backend> {};
+
+TEST_P(KnnBackendTest, AgreesWithBruteForce) {
+  const PointCloud refs = uniform_cloud(256, 24, -1.0f, 1.0f, 2);
+  const PointCloud queries = uniform_cloud(64, 24, -1.0f, 1.0f, 3);
+  KnnOptions opts;
+  opts.k = 8;
+  opts.backend = GetParam();
+  const KnnResult fast = knn_search(queries.points, refs.points, opts);
+  const KnnResult oracle = knn_bruteforce(queries.points, refs.points, 8);
+  // Extended-precision and fp32 backends must recover virtually all
+  // neighbors; ties at equal distance may swap, so demand >= 97%.
+  EXPECT_GE(knn_agreement(fast, oracle), 0.97)
+      << gemm::backend_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, KnnBackendTest,
+                         ::testing::Values(gemm::Backend::kEgemmTC,
+                                           gemm::Backend::kCublasFp32,
+                                           gemm::Backend::kCublasTcEmulation));
+
+TEST(Knn, HalfBackendDegradesNeighborQuality) {
+  // The motivation for extended precision (§1): half-precision distance
+  // matrices mis-rank neighbors more often.
+  const PointCloud refs = uniform_cloud(512, 64, -1.0f, 1.0f, 4);
+  const PointCloud queries = uniform_cloud(128, 64, -1.0f, 1.0f, 5);
+  const KnnResult oracle = knn_bruteforce(queries.points, refs.points, 8);
+  KnnOptions emu_opts;
+  emu_opts.k = 8;
+  KnnOptions half_opts = emu_opts;
+  half_opts.backend = gemm::Backend::kCublasTcHalf;
+  const double emu_agreement =
+      knn_agreement(knn_search(queries.points, refs.points, emu_opts), oracle);
+  const double half_agreement = knn_agreement(
+      knn_search(queries.points, refs.points, half_opts), oracle);
+  EXPECT_GE(emu_agreement, half_agreement);
+  EXPECT_GE(emu_agreement, 0.97);
+}
+
+TEST(Knn, DistancesAreSortedAscending) {
+  const PointCloud refs = uniform_cloud(200, 8, -1.0f, 1.0f, 6);
+  const PointCloud queries = uniform_cloud(50, 8, -1.0f, 1.0f, 7);
+  KnnOptions opts;
+  opts.k = 10;
+  const KnnResult result = knn_search(queries.points, refs.points, opts);
+  for (std::size_t i = 0; i < queries.points.rows(); ++i) {
+    for (int j = 1; j < opts.k; ++j) {
+      EXPECT_LE(result.distances.at(i, static_cast<std::size_t>(j - 1)),
+                result.distances.at(i, static_cast<std::size_t>(j)));
+    }
+  }
+}
+
+TEST(Knn, AgreementMetric) {
+  KnnResult a, b;
+  a.indices = gemm::BasicMatrix<std::int32_t>(2, 2);
+  b.indices = gemm::BasicMatrix<std::int32_t>(2, 2);
+  a.indices.at(0, 0) = 1;
+  b.indices.at(0, 0) = 1;
+  a.indices.at(1, 1) = 5;
+  b.indices.at(1, 1) = 6;
+  EXPECT_DOUBLE_EQ(knn_agreement(a, b), 0.75);
+}
+
+TEST(Knn, KEqualsReferenceCount) {
+  const PointCloud refs = uniform_cloud(8, 4, -1.0f, 1.0f, 8);
+  const PointCloud queries = uniform_cloud(3, 4, -1.0f, 1.0f, 9);
+  KnnOptions opts;
+  opts.k = 8;  // every reference is a neighbor
+  const KnnResult result = knn_search(queries.points, refs.points, opts);
+  for (std::size_t i = 0; i < 3; ++i) {
+    std::set<std::int32_t> seen;
+    for (int j = 0; j < 8; ++j) {
+      seen.insert(result.indices.at(i, static_cast<std::size_t>(j)));
+    }
+    EXPECT_EQ(seen.size(), 8u);  // a permutation of all references
+  }
+}
+
+}  // namespace
+}  // namespace egemm::apps

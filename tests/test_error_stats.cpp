@@ -1,0 +1,63 @@
+// Tests for the error-statistics accumulator (fp/error_stats.hpp).
+#include "fp/error_stats.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace egemm::fp {
+namespace {
+
+TEST(ErrorStats, AccumulateTracksMaxAndMean) {
+  ErrorStats stats;
+  stats.accumulate(1.0, 1.5);   // err 0.5
+  stats.accumulate(2.0, 2.25);  // err 0.25
+  stats.accumulate(-1.0, -1.0);
+  EXPECT_DOUBLE_EQ(stats.max_abs, 0.5);
+  EXPECT_DOUBLE_EQ(stats.mean_abs(), 0.75 / 3.0);
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_DOUBLE_EQ(stats.max_rel, 0.5);
+}
+
+TEST(ErrorStats, MergeCombines) {
+  ErrorStats a, b;
+  a.accumulate(1.0, 2.0);
+  b.accumulate(10.0, 10.1);
+  b.accumulate(1.0, 1.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.max_abs, 1.0);
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_NEAR(a.mean_abs(), 1.1 / 3.0, 1e-12);
+}
+
+TEST(ErrorStats, EmptyMeanIsZero) {
+  ErrorStats stats;
+  EXPECT_EQ(stats.mean_abs(), 0.0);
+  EXPECT_EQ(stats.max_abs, 0.0);
+}
+
+TEST(ErrorStats, CompareSpansDoubleReference) {
+  const std::vector<double> ref = {1.0, 2.0, 3.0};
+  const std::vector<float> cand = {1.0f, 2.5f, 3.0f};
+  const ErrorStats stats = compare(std::span<const double>(ref),
+                                   std::span<const float>(cand));
+  EXPECT_DOUBLE_EQ(stats.max_abs, 0.5);
+  EXPECT_EQ(stats.count, 3u);
+}
+
+TEST(ErrorStats, CompareSpansFloatReference) {
+  const std::vector<float> ref = {1.0f, -4.0f};
+  const std::vector<float> cand = {1.25f, -4.0f};
+  const ErrorStats stats =
+      compare(std::span<const float>(ref), std::span<const float>(cand));
+  EXPECT_DOUBLE_EQ(stats.max_abs, 0.25);
+}
+
+TEST(ErrorStats, RelativeErrorGuardsTinyReference) {
+  ErrorStats stats;
+  stats.accumulate(0.0, 1e-31);  // denominator floored at 1e-30
+  EXPECT_LE(stats.max_rel, 1.0);
+}
+
+}  // namespace
+}  // namespace egemm::fp

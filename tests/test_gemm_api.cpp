@@ -1,0 +1,71 @@
+// Tests for the unified backend registry (gemm/gemm_api.hpp).
+#include "gemm/gemm_api.hpp"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace egemm::gemm {
+namespace {
+
+TEST(GemmApi, BackendNamesMatchTable5) {
+  EXPECT_STREQ(backend_name(Backend::kEgemmTC), "EGEMM-TC");
+  EXPECT_STREQ(backend_name(Backend::kCublasFp32), "cuBLAS-CUDA-FP32");
+  EXPECT_STREQ(backend_name(Backend::kCublasTcHalf), "cuBLAS-TC-Half");
+  EXPECT_STREQ(backend_name(Backend::kCublasTcEmulation),
+               "cuBLAS-TC-Emulation");
+  EXPECT_STREQ(backend_name(Backend::kSdkFp32), "SDK-CUDA-FP32");
+  EXPECT_STREQ(backend_name(Backend::kMarkidis), "Markidis");
+  EXPECT_STREQ(backend_name(Backend::kDekker), "Dekker");
+}
+
+TEST(GemmApi, AllBackendsEnumerated) {
+  const auto backends = all_backends();
+  EXPECT_EQ(backends.size(), 7u);
+}
+
+class BackendDispatchTest : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(BackendDispatchTest, FunctionalResultIsCloseToReference) {
+  const Backend backend = GetParam();
+  const Matrix a = random_matrix(48, 32, -1, 1, 51);
+  const Matrix b = random_matrix(32, 48, -1, 1, 52);
+  const Matrix d = run_gemm(backend, a, b);
+  const MatrixD ref = gemm_reference(a, b, nullptr);
+  ASSERT_EQ(d.rows(), 48u);
+  ASSERT_EQ(d.cols(), 48u);
+  // Even the half backend stays within coarse absolute error at k=32.
+  EXPECT_LT(max_abs_error(ref, d), 0.1) << backend_name(backend);
+}
+
+TEST_P(BackendDispatchTest, TimingIsPositiveAndFinite) {
+  const Backend backend = GetParam();
+  const KernelTiming t =
+      time_gemm(backend, 2048, 2048, 2048, tcsim::tesla_t4());
+  EXPECT_GT(t.seconds, 0.0) << backend_name(backend);
+  EXPECT_GT(t.tflops, 0.0);
+  EXPECT_LT(t.tflops, 70.0);  // nothing beats the Tensor Core peak
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BackendDispatchTest,
+    ::testing::ValuesIn(all_backends()),
+    [](const ::testing::TestParamInfo<Backend>& info) {
+      std::string name = backend_name(info.param);
+      for (char& c : name) {
+        if (c == '-' || c == ' ') c = '_';
+      }
+      return name;
+    });
+
+TEST(GemmApi, DekkerTimingModelsSixteenInstructionSchedule) {
+  // The Dekker schedule carries 4x the Tensor Core work of Alg. 1.
+  const tcsim::GpuSpec spec = tcsim::tesla_t4();
+  const double alg1 = time_gemm(Backend::kEgemmTC, 4096, 4096, 4096, spec).seconds;
+  const double dekker = time_gemm(Backend::kDekker, 4096, 4096, 4096, spec).seconds;
+  EXPECT_GT(dekker, 3.0 * alg1);
+  EXPECT_LT(dekker, 5.0 * alg1);
+}
+
+}  // namespace
+}  // namespace egemm::gemm

@@ -1,0 +1,151 @@
+// Tests for the SASS-level stream builder (tcsim/instruction.hpp).
+#include "tcsim/instruction.hpp"
+
+#include <array>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace egemm::tcsim {
+namespace {
+
+EgemmStreamOptions default_opts() { return EgemmStreamOptions{}; }
+
+TEST(IterationShape, MatchesTable4HandDerivation) {
+  // (bm,bn,bk)=(128,128,32), (wm,wn,wk)=(64,32,8): the DESIGN.md §6
+  // hand-derived per-iteration counts.
+  const IterationShape s =
+      egemm_iteration_shape(128, 128, 32, 64, 32, 8, default_opts());
+  EXPECT_EQ(s.steps, 4u);                 // bk / wk
+  EXPECT_EQ(s.ldg, 64u);                  // 4(bm+bn)bk / 512
+  EXPECT_EQ(s.sts, 64u);
+  EXPECT_EQ(s.lds_per_step, 192u);        // Eq. 7: 768 per iteration
+  EXPECT_EQ(s.hmma_per_step, 512u);       // Eq. 3/5: 2048 per iteration
+}
+
+TEST(IterationShape, GlobalTrafficMatchesEq2) {
+  for (const auto& [bm, bn, bk] :
+       std::vector<std::array<int, 3>>{{128, 128, 32}, {64, 64, 16},
+                                       {256, 128, 16}}) {
+    const IterationShape s =
+        egemm_iteration_shape(bm, bn, bk, 64, 32, 8, default_opts());
+    EXPECT_EQ(s.ldg * 512u, static_cast<std::uint32_t>(4 * (bm + bn) * bk));
+  }
+}
+
+TEST(IterationShape, HmmaCountMatchesEq3) {
+  const IterationShape s =
+      egemm_iteration_shape(128, 128, 32, 64, 32, 8, default_opts());
+  // Eq. 3: 8 bm bn bk FLOPs per iteration; each HMMA.1688 retires 2048.
+  const std::uint64_t flops = 8ull * 128 * 128 * 32;
+  EXPECT_EQ(static_cast<std::uint64_t>(s.hmma_per_step) * s.steps,
+            flops / 2048);
+}
+
+TEST(IterationShape, DekkerScheduleIsFourTimesAlg1) {
+  EgemmStreamOptions dekker = default_opts();
+  dekker.emulation_instructions = 16;
+  const IterationShape a =
+      egemm_iteration_shape(128, 128, 32, 64, 32, 8, default_opts());
+  const IterationShape d =
+      egemm_iteration_shape(128, 128, 32, 64, 32, 8, dekker);
+  EXPECT_EQ(d.hmma_per_step, 4u * a.hmma_per_step);
+  EXPECT_EQ(d.ldg, a.ldg);  // memory volume unchanged
+}
+
+TEST(IterationShape, NoFragCachingInflatesSharedTraffic) {
+  EgemmStreamOptions no_frag = default_opts();
+  no_frag.frag_caching = false;
+  const IterationShape cached =
+      egemm_iteration_shape(128, 128, 32, 64, 32, 8, default_opts());
+  const IterationShape uncached =
+      egemm_iteration_shape(128, 128, 32, 64, 32, 8, no_frag);
+  // Table 2: A re-read wn/tn = 2 times, B wm/tm = 4 times, plus the C tile
+  // streaming through shared memory -- strictly more LDS and extra STS.
+  EXPECT_GT(uncached.lds_per_step, 2u * cached.lds_per_step);
+  EXPECT_GT(uncached.sts, cached.sts);
+  EXPECT_EQ(uncached.hmma_per_step, cached.hmma_per_step);
+}
+
+TEST(BlockProgram, ColdStartThenIterations) {
+  const IterationShape s =
+      egemm_iteration_shape(128, 128, 32, 64, 32, 8, default_opts());
+  const SimProgram prog = build_egemm_block_program(s, 3, default_opts(), 128);
+  ASSERT_FALSE(prog.instrs.empty());
+  // Cold start leads with the LDG group.
+  EXPECT_EQ(prog.instrs[0].op, Opcode::kLdg);
+  EXPECT_EQ(prog.instrs[0].count, s.ldg);
+  EXPECT_EQ(prog.instrs[1].op, Opcode::kSts);
+  // Epilogue STG at the end.
+  EXPECT_EQ(prog.instrs.back().op, Opcode::kLdg);
+  EXPECT_EQ(prog.instrs.back().count, 128u);
+}
+
+TEST(BlockProgram, DynamicInstructionCountsScaleWithIterations) {
+  const IterationShape s =
+      egemm_iteration_shape(128, 128, 32, 64, 32, 8, default_opts());
+  const SimProgram p1 = build_egemm_block_program(s, 1, default_opts());
+  const SimProgram p4 = build_egemm_block_program(s, 4, default_opts());
+  // HMMA work scales exactly with iterations.
+  auto hmma_count = [](const SimProgram& p) {
+    std::uint64_t total = 0;
+    for (const auto& i : p.instrs) {
+      if (i.op == Opcode::kHmma) total += i.count;
+    }
+    return total;
+  };
+  EXPECT_EQ(hmma_count(p4), 4 * hmma_count(p1));
+  EXPECT_EQ(hmma_count(p1), 2048u);
+}
+
+TEST(BlockProgram, BothSchedulesCarrySameWork) {
+  // The latency-hiding ablation must compare identical instruction
+  // multisets -- only the order (and hazard structure) differs.
+  const IterationShape s =
+      egemm_iteration_shape(128, 128, 32, 64, 32, 8, default_opts());
+  EgemmStreamOptions off = default_opts();
+  off.latency_hiding = false;
+  const SimProgram with = build_egemm_block_program(s, 8, default_opts());
+  const SimProgram without = build_egemm_block_program(s, 8, off);
+  auto count_op = [](const SimProgram& p, Opcode op) {
+    std::uint64_t total = 0;
+    for (const auto& i : p.instrs) {
+      if (i.op == op) total += i.count;
+    }
+    return total;
+  };
+  for (const Opcode op :
+       {Opcode::kLdg, Opcode::kSts, Opcode::kLds, Opcode::kHmma}) {
+    EXPECT_EQ(count_op(with, op), count_op(without, op))
+        << opcode_name(op);
+  }
+}
+
+TEST(BlockProgram, TokensAreWellFormed) {
+  const IterationShape s =
+      egemm_iteration_shape(128, 128, 32, 64, 32, 8, default_opts());
+  for (const bool hiding : {true, false}) {
+    EgemmStreamOptions opts = default_opts();
+    opts.latency_hiding = hiding;
+    const SimProgram prog = build_egemm_block_program(s, 5, opts);
+    for (const auto& instr : prog.instrs) {
+      EXPECT_LT(instr.wait_token, prog.token_count);
+      EXPECT_LT(instr.produce_token, prog.token_count);
+      EXPECT_GE(instr.wait_token, -1);
+      EXPECT_GT(instr.count, 0u);
+    }
+  }
+}
+
+TEST(Opcodes, PortsAndNames) {
+  EXPECT_EQ(port_of(Opcode::kHmma), Port::kTensor);
+  EXPECT_EQ(port_of(Opcode::kLds), Port::kMio);
+  EXPECT_EQ(port_of(Opcode::kSts), Port::kMio);
+  EXPECT_EQ(port_of(Opcode::kLdg), Port::kGlobal);
+  EXPECT_EQ(port_of(Opcode::kFfma), Port::kCuda);
+  EXPECT_STREQ(opcode_name(Opcode::kHmma), "HMMA");
+  EXPECT_STREQ(opcode_name(Opcode::kLdg), "LDG");
+}
+
+}  // namespace
+}  // namespace egemm::tcsim

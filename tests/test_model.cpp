@@ -1,0 +1,112 @@
+// Tests for the hardware-aware analytic model (model/analytic_model.hpp).
+#include "model/analytic_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace egemm::model {
+namespace {
+
+ResourceBudget t4_budget() {
+  return budget_from_spec(tcsim::tesla_t4());
+}
+
+TEST(AnalyticModel, BudgetFromSpecMatchesTable3) {
+  const ResourceBudget budget = t4_budget();
+  EXPECT_EQ(budget.shared_memory_bytes, 64u * 1024u);
+  EXPECT_EQ(budget.register_bytes, 256u * 1024u);
+  EXPECT_DOUBLE_EQ(budget.peak_tc_tflops, 65.0);  // ~2^6 TFLOPS
+  EXPECT_DOUBLE_EQ(budget.l2_gbps, 750.0);
+  EXPECT_EQ(budget.max_registers_per_thread, 256);
+}
+
+TEST(AnalyticModel, Table4ConfigEvaluation) {
+  const ModelEval eval =
+      evaluate_config(gemm::table4_config(), t4_budget());
+  // Eq. 2: 4(bm+bn)bk = 32768 bytes.
+  EXPECT_DOUBLE_EQ(eval.global_bytes_per_iter, 32768.0);
+  // Eq. 3: 8 bm bn bk.
+  EXPECT_DOUBLE_EQ(eval.flops_per_iter, 8.0 * 128 * 128 * 32);
+  // Eq. 4: 2*128*128/256 = 128.
+  EXPECT_DOUBLE_EQ(eval.compute_intensity, 128.0);
+  // Demands: 96 KB registers (Eq. 8 line 1), 36 KB shared (Table 4).
+  EXPECT_EQ(eval.register_demand_bytes, 98304u);
+  EXPECT_EQ(eval.shared_demand_bytes, 36864u);
+  EXPECT_EQ(eval.registers_per_thread, 232);
+  EXPECT_TRUE(eval.fits_registers);
+  EXPECT_TRUE(eval.fits_register_file);
+  EXPECT_TRUE(eval.fits_shared);
+  EXPECT_TRUE(eval.no_register_spill);
+  EXPECT_TRUE(eval.compute_bound);
+  EXPECT_TRUE(eval.feasible());
+  EXPECT_GT(eval.compute_margin(), 0.0);
+}
+
+TEST(AnalyticModel, Eq5To7CycleCounts) {
+  const ModelEval eval =
+      evaluate_config(gemm::table4_config(), t4_budget());
+  const ModelTimes times = times_from_budget(t4_budget());
+  // 2048 HMMA per iteration at the sustained interval.
+  EXPECT_NEAR(eval.t_comp, 2048.0 * times.t_hmma, 1e-9);
+  // 64 (LDG+STS).128 pairs.
+  EXPECT_NEAR(eval.t_mem1, 64.0 * (times.t_ldg128 + times.t_sts128), 1e-9);
+  // Eq. 7: 32 chains x 24 LDS.32.
+  EXPECT_NEAR(eval.t_mem2, 768.0 * times.t_lds32, 1e-9);
+}
+
+TEST(AnalyticModel, IntensityIsIndependentOfBk) {
+  // §6.1's observation: Eq. 4 does not involve bk.
+  const ResourceBudget budget = t4_budget();
+  gemm::TileConfig a = gemm::table4_config();
+  gemm::TileConfig b = gemm::table4_config();
+  b.bk = 16;
+  EXPECT_DOUBLE_EQ(evaluate_config(a, budget).compute_intensity,
+                   evaluate_config(b, budget).compute_intensity);
+}
+
+TEST(AnalyticModel, Bk64SpillsRegisters) {
+  // §6's pressure argument: growing bk raises the staging footprint past
+  // the per-thread budget.
+  gemm::TileConfig config = gemm::table4_config();
+  config.bk = 64;
+  const ModelEval eval = evaluate_config(config, t4_budget());
+  EXPECT_FALSE(eval.no_register_spill);
+  EXPECT_FALSE(eval.feasible());
+}
+
+TEST(AnalyticModel, NarrowWarpTileIsMemoryBound) {
+  // wn=16 doubles the LDS chains per output: T_mem1 + T_mem2 > T_comp.
+  gemm::TileConfig config = gemm::table4_config();
+  config.wn = 16;
+  const ModelEval eval = evaluate_config(config, t4_budget());
+  EXPECT_FALSE(eval.compute_bound);
+}
+
+TEST(AnalyticModel, WideBlockTileBlowsRegisterFile) {
+  // (256,128) fits the FRAG demand but not threads x per-thread registers.
+  gemm::TileConfig config{256, 128, 16, 64, 32, 8};
+  ASSERT_TRUE(config.valid());
+  const ModelEval eval = evaluate_config(config, t4_budget());
+  EXPECT_TRUE(eval.fits_registers);
+  EXPECT_FALSE(eval.fits_register_file);
+  EXPECT_FALSE(eval.feasible());
+}
+
+TEST(AnalyticModel, BiggerTilesRaiseIntensity) {
+  const ResourceBudget budget = t4_budget();
+  const ModelEval small =
+      evaluate_config(gemm::TileConfig{64, 64, 32, 32, 32, 8}, budget);
+  const ModelEval large = evaluate_config(gemm::table4_config(), budget);
+  EXPECT_GT(large.compute_intensity, small.compute_intensity);
+}
+
+TEST(AnalyticModel, TimesScaleWithBudget) {
+  ResourceBudget fast = t4_budget();
+  fast.l2_gbps = 1500.0;
+  const ModelTimes slow_times = times_from_budget(t4_budget());
+  const ModelTimes fast_times = times_from_budget(fast);
+  EXPECT_LT(fast_times.t_ldg128, slow_times.t_ldg128);
+  EXPECT_DOUBLE_EQ(fast_times.t_hmma, slow_times.t_hmma);
+}
+
+}  // namespace
+}  // namespace egemm::model

@@ -1,0 +1,81 @@
+// Tests for the occupancy/wave model (tcsim/occupancy.hpp).
+#include "tcsim/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace egemm::tcsim {
+namespace {
+
+TEST(Occupancy, Table4BlockGetsOneBlockPerSm) {
+  // 36 KB shared memory + 232 registers x 256 threads on a T4 SM: exactly
+  // one resident block (Table 4 "Active Blocks/SM: 1").
+  const GpuSpec spec = tesla_t4();
+  const BlockResources res{36 * 1024, 232, 256};
+  const Occupancy occ = compute_occupancy(spec, res);
+  EXPECT_EQ(occ.blocks_per_sm, 1);
+  EXPECT_EQ(occ.limited_by, OccupancyLimit::kSharedMemory);
+}
+
+TEST(Occupancy, SmallBlocksStackUp) {
+  const GpuSpec spec = tesla_t4();
+  const BlockResources res{8 * 1024, 32, 128};
+  const Occupancy occ = compute_occupancy(spec, res);
+  EXPECT_EQ(occ.blocks_per_sm, 8);  // shared-memory limited: 64/8
+}
+
+TEST(Occupancy, RegisterLimit) {
+  const GpuSpec spec = tesla_t4();
+  // 256 threads x 128 regs x 4 B = 128 KB -> 2 blocks by registers.
+  const BlockResources res{4 * 1024, 128, 256};
+  const Occupancy occ = compute_occupancy(spec, res);
+  EXPECT_EQ(occ.blocks_per_sm, 2);
+  EXPECT_EQ(occ.limited_by, OccupancyLimit::kRegisters);
+}
+
+TEST(Occupancy, WarpLimitWithoutOtherPressure) {
+  const GpuSpec spec = tesla_t4();
+  const BlockResources res{0, 0, 256};  // 8 warps, nothing else
+  const Occupancy occ = compute_occupancy(spec, res);
+  EXPECT_EQ(occ.blocks_per_sm, 4);  // 32 warps / 8
+  EXPECT_EQ(occ.limited_by, OccupancyLimit::kWarps);
+}
+
+TEST(Occupancy, OversizedBlockDoesNotFit) {
+  const GpuSpec spec = tesla_t4();
+  const BlockResources res{128 * 1024, 64, 256};  // > 64 KB shared
+  EXPECT_EQ(compute_occupancy(spec, res).blocks_per_sm, 0);
+}
+
+TEST(Waves, CeilDivision) {
+  const GpuSpec spec = tesla_t4();  // 40 SMs
+  EXPECT_EQ(wave_count(0, spec, 1), 0u);
+  EXPECT_EQ(wave_count(1, spec, 1), 1u);
+  EXPECT_EQ(wave_count(40, spec, 1), 1u);
+  EXPECT_EQ(wave_count(41, spec, 1), 2u);
+  EXPECT_EQ(wave_count(4096, spec, 1), 103u);
+  EXPECT_EQ(wave_count(80, spec, 2), 1u);
+}
+
+TEST(Waves, KernelCyclesQuantize) {
+  const GpuSpec spec = tesla_t4();
+  EXPECT_DOUBLE_EQ(kernel_cycles(41, 1000.0, spec, 1), 2000.0);
+  EXPECT_DOUBLE_EQ(kernel_cycles(40, 1000.0, spec, 1), 1000.0);
+}
+
+TEST(GpuSpec, DerivedRates) {
+  const GpuSpec spec = tesla_t4();
+  // 750 GB/s over 40 SMs at 1.59 GHz: ~11.8 B/cycle/SM.
+  EXPECT_NEAR(spec.l2_bytes_per_cycle_per_sm(), 11.79, 0.05);
+  // 65 TFLOPS over 40 SMs at 1.59 GHz: ~1022 FLOP/cycle/SM.
+  EXPECT_NEAR(spec.tc_flops_per_cycle_per_sm(), 1022.0, 2.0);
+  EXPECT_NEAR(spec.cycles_to_seconds(1.59e9), 1.0, 1e-9);
+}
+
+TEST(GpuSpec, LookupByName) {
+  EXPECT_EQ(spec_by_name("t4").sm_count, 40);
+  EXPECT_EQ(spec_by_name("rtx6000").sm_count, 72);
+  EXPECT_EQ(spec_by_name("RTX6000").tensor_cores_per_sm, 8);
+}
+
+}  // namespace
+}  // namespace egemm::tcsim

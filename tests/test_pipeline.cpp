@@ -1,0 +1,178 @@
+// Tests for the discrete-event SM pipeline model (tcsim/pipeline.hpp).
+#include "tcsim/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tcsim/instruction.hpp"
+
+namespace egemm::tcsim {
+namespace {
+
+GpuSpec t4() { return tesla_t4(); }
+
+TEST(Pipeline, EmptyProgramTakesNoTime) {
+  SimProgram prog;
+  const SimStats stats = simulate_block(prog, t4());
+  EXPECT_EQ(stats.cycles, 0.0);
+  EXPECT_EQ(stats.instructions, 0u);
+}
+
+TEST(Pipeline, SingleInstructionCostsIssuePlusLatency) {
+  SimProgram prog;
+  prog.emit(Opcode::kHmma, 1);
+  const SimStats stats = simulate_block(prog, t4());
+  const auto& timings = t4().timings;
+  EXPECT_DOUBLE_EQ(stats.cycles, timings.hmma_issue + timings.hmma_latency);
+}
+
+TEST(Pipeline, GroupOccupiesPortLinearly) {
+  SimProgram prog;
+  prog.emit(Opcode::kHmma, 100);
+  const SimStats stats = simulate_block(prog, t4());
+  const auto& timings = t4().timings;
+  EXPECT_DOUBLE_EQ(stats.cycles,
+                   100 * timings.hmma_issue + timings.hmma_latency);
+  EXPECT_DOUBLE_EQ(stats.port_busy[static_cast<std::size_t>(Port::kTensor)],
+                   100 * timings.hmma_issue);
+}
+
+TEST(Pipeline, IndependentPortsOverlap) {
+  // An HMMA burst and an LDS burst with no dependency must overlap almost
+  // fully rather than serialize.
+  SimProgram prog;
+  prog.emit(Opcode::kLds, 200);   // 200 cycles on MIO
+  prog.emit(Opcode::kHmma, 200);  // 470 cycles on tensor
+  const SimStats stats = simulate_block(prog, t4());
+  const double serial = 200 * 1.0 + 200 * 2.35;
+  EXPECT_LT(stats.cycles, serial * 0.85);
+}
+
+TEST(Pipeline, TokenDependencySerializes) {
+  SimProgram prog;
+  const auto token = prog.new_token();
+  prog.emit(Opcode::kLds, 200, -1, token);
+  prog.emit(Opcode::kHmma, 200, token, -1);
+  const SimStats stats = simulate_block(prog, t4());
+  const auto& timings = t4().timings;
+  const double expected = 200 * timings.lds_issue + timings.lds_latency +
+                          200 * timings.hmma_issue + timings.hmma_latency;
+  EXPECT_DOUBLE_EQ(stats.cycles, expected);
+  EXPECT_GT(stats.stall_cycles, 0.0);
+}
+
+TEST(Pipeline, SamePortGroupsQueue) {
+  SimProgram prog;
+  prog.emit(Opcode::kLds, 100);
+  prog.emit(Opcode::kSts, 100);  // same MIO port
+  const SimStats stats = simulate_block(prog, t4());
+  const auto& timings = t4().timings;
+  EXPECT_GE(stats.cycles, 100 * timings.lds_issue + 100 * timings.sts_issue);
+}
+
+TEST(Pipeline, BarrierBlocksIssueCursor) {
+  SimProgram prog;
+  const auto token = prog.new_token();
+  prog.emit(Opcode::kLdg, 10, -1, token);
+  prog.emit(Opcode::kBar, 1, token, -1);
+  prog.emit(Opcode::kHmma, 1, -1, -1);
+  const SimStats stats = simulate_block(prog, t4());
+  const GpuSpec spec = t4();
+  // The HMMA cannot start before the LDG completion + barrier drain.
+  const double ldg_issue = 512.0 / spec.l2_bytes_per_cycle_per_sm();
+  const double earliest = 10 * ldg_issue + spec.timings.ldg_latency +
+                          spec.timings.barrier_cost;
+  EXPECT_GE(stats.cycles, earliest);
+}
+
+TEST(Pipeline, MultipleProducersMergeIntoMaxCompletion) {
+  SimProgram prog;
+  const auto token = prog.new_token();
+  prog.emit(Opcode::kLds, 1, -1, token);    // completes early
+  prog.emit(Opcode::kHmma, 300, -1, token); // completes late
+  prog.emit(Opcode::kSts, 1, token, -1);    // must wait for the LATER one
+  const SimStats stats = simulate_block(prog, t4());
+  const auto& timings = t4().timings;
+  EXPECT_GE(stats.cycles,
+            300 * timings.hmma_issue + timings.hmma_latency +
+                timings.sts_issue);
+}
+
+TEST(Pipeline, LatencyHidingScheduleBeatsNaive) {
+  const EgemmStreamOptions on{};
+  EgemmStreamOptions off;
+  off.latency_hiding = false;
+  const IterationShape shape = egemm_iteration_shape(128, 128, 32, 64, 32, 8, on);
+  const SimProgram fast = build_egemm_block_program(shape, 64, on);
+  const SimProgram slow = build_egemm_block_program(shape, 64, off);
+  const SimStats fast_stats = simulate_block(fast, t4());
+  const SimStats slow_stats = simulate_block(slow, t4());
+  const double ratio = slow_stats.cycles / fast_stats.cycles;
+  // Fig. 11: ~1.14x mean. The model must land in a credible band.
+  EXPECT_GT(ratio, 1.05);
+  EXPECT_LT(ratio, 1.45);
+}
+
+TEST(Pipeline, SteadyStateIsComputeBoundForTable4) {
+  // The Table 4 tiling was chosen compute-bound: the tensor port must be
+  // the busiest resource by a wide margin.
+  const EgemmStreamOptions opts{};
+  const IterationShape shape =
+      egemm_iteration_shape(128, 128, 32, 64, 32, 8, opts);
+  const SimProgram prog = build_egemm_block_program(shape, 128, opts);
+  const SimStats stats = simulate_block(prog, t4());
+  const double tensor_util = stats.port_utilization(Port::kTensor);
+  EXPECT_GT(tensor_util, 0.85);
+  EXPECT_GT(tensor_util, stats.port_utilization(Port::kMio));
+  EXPECT_GT(tensor_util, stats.port_utilization(Port::kGlobal));
+}
+
+TEST(PipelineTrace, RecordsEveryGroupOnItsPort) {
+  SimProgram prog;
+  prog.emit(Opcode::kLds, 10);
+  prog.emit(Opcode::kHmma, 5);
+  prog.emit(Opcode::kBar, 1);  // control flow: not a port event
+  const TraceResult trace = simulate_block_trace(prog, t4());
+  ASSERT_EQ(trace.events.size(), 2u);
+  EXPECT_EQ(trace.events[0].op, Opcode::kLds);
+  EXPECT_EQ(trace.events[0].port, Port::kMio);
+  EXPECT_EQ(trace.events[0].count, 10u);
+  EXPECT_EQ(trace.events[1].port, Port::kTensor);
+  EXPECT_LT(trace.events[0].start, trace.events[0].busy_until);
+  EXPECT_LE(trace.events[1].busy_until, trace.events[1].done);
+  // Stats agree with the untraced run.
+  EXPECT_EQ(trace.stats.cycles, simulate_block(prog, t4()).cycles);
+}
+
+TEST(PipelineTrace, TimelineMarksBusyBuckets) {
+  SimProgram prog;
+  prog.emit(Opcode::kHmma, 100);  // 235 cycles on tensor
+  prog.emit(Opcode::kLds, 50);    // 50 cycles on MIO, overlapping
+  const TraceResult trace = simulate_block_trace(prog, t4());
+  const std::string chart = render_timeline(trace, 0, 300, 30);
+  EXPECT_NE(chart.find('H'), std::string::npos);
+  EXPECT_NE(chart.find('S'), std::string::npos);
+  EXPECT_NE(chart.find("tensor"), std::string::npos);
+  // Tensor row busy for ~235 of 300 cycles -> roughly 3/4 of its buckets.
+  std::size_t h_count = 0;
+  for (const char c : chart) h_count += c == 'H';
+  EXPECT_GE(h_count, 20u);
+  EXPECT_LE(h_count, 26u);
+}
+
+TEST(PipelineTrace, EmptyWindowRendersNothing) {
+  const TraceResult trace;
+  EXPECT_EQ(render_timeline(trace, 10, 10, 50), "");
+  EXPECT_EQ(render_timeline(trace, 0, 100, 0), "");
+}
+
+TEST(Pipeline, InstructionsCounted) {
+  SimProgram prog;
+  prog.emit(Opcode::kLds, 10);
+  prog.emit(Opcode::kHmma, 5);
+  prog.emit(Opcode::kBar, 1);
+  const SimStats stats = simulate_block(prog, t4());
+  EXPECT_EQ(stats.instructions, 16u);
+}
+
+}  // namespace
+}  // namespace egemm::tcsim

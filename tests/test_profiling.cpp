@@ -1,0 +1,115 @@
+// Tests for the generalized precision-profiling workflow (core/profiling.hpp).
+#include "core/profiling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fp/float_bits.hpp"
+#include "tcsim/tensor_core.hpp"
+
+namespace egemm::core {
+namespace {
+
+ProfilingConfig quick_config(std::uint64_t trials = 2000) {
+  ProfilingConfig config;
+  config.trials = trials;
+  config.seed = 2021;
+  return config;
+}
+
+TEST(Profiling, TensorCoreCertifiesFloatHypothesis) {
+  // The paper's central profiling result: the Tensor Core result matches
+  // the binary32 probe on >= 21 leading mantissa bits over every trial.
+  const ProfilingReport report = profile_tensor_core(quick_config(10000));
+  ASSERT_TRUE(report.certified());
+  EXPECT_EQ(report.certified_probe, "d_FLOAT");
+  EXPECT_GE(report.certified_mantissa_bits, 21);
+}
+
+TEST(Profiling, TensorCoreRejectsHalfHypothesis) {
+  const ProfilingReport report = profile_tensor_core(quick_config());
+  ASSERT_EQ(report.probes.size(), 2u);
+  const ProbeOutcome& half_probe = report.probes[0];
+  EXPECT_EQ(half_probe.name, "d_HALF");
+  EXPECT_LT(half_probe.min_matching_mantissa_bits, 21);
+  EXPECT_FALSE(half_probe.bitwise_identical_always);
+}
+
+TEST(Profiling, FloatProbeIsNotAlwaysBitIdentical) {
+  // The artifact shows a 1-bit difference in its example trial: the model
+  // (grouped accumulation) matches sequential binary32 to >= 21 bits but
+  // not always all 24 -- certify, but do not claim bitwise identity.
+  const ProfilingReport report = profile_tensor_core(quick_config(10000));
+  const ProbeOutcome& float_probe = report.probes[1];
+  EXPECT_EQ(float_probe.name, "d_FLOAT");
+  EXPECT_FALSE(float_probe.bitwise_identical_always);
+  EXPECT_GE(float_probe.min_scale_relative_bits, 21.0);
+}
+
+TEST(Profiling, FailureInjectionBrokenCoreDoesNotLicenseEmulation) {
+  // Fig. 2a as a *detector*: a specialized core that accumulates in
+  // binary16 is correctly profiled as half-precision -- it certifies the
+  // d_HALF hypothesis (bitwise identical) and must NOT license the
+  // extended-precision 4-instruction design.
+  const ProfilingReport report = profile_core(
+      [](std::span<const fp::Half> a, std::span<const fp::Half> b, float c) {
+        return tcsim::broken_tc_dot(a, b, c);
+      },
+      quick_config());
+  EXPECT_TRUE(report.certified());
+  EXPECT_EQ(report.certified_probe, "d_HALF");
+  EXPECT_FALSE(report.licenses_extended_precision());
+  for (const ProbeOutcome& probe : report.probes) {
+    if (probe.name == "d_FLOAT") {
+      EXPECT_LT(probe.min_scale_relative_bits, 21.0);
+    }
+  }
+}
+
+TEST(Profiling, BrokenCoreStillMatchesHalfProbeBitwise) {
+  // ...and it matches the binary16 hypothesis exactly, identifying the
+  // actual operation precision.
+  const ProfilingReport report = profile_core(
+      [](std::span<const fp::Half> a, std::span<const fp::Half> b, float c) {
+        return tcsim::broken_tc_dot(a, b, c);
+      },
+      quick_config());
+  EXPECT_TRUE(report.probes[0].bitwise_identical_always);
+}
+
+TEST(Profiling, DeterministicBySeed) {
+  const ProfilingReport a = profile_tensor_core(quick_config());
+  const ProfilingReport b = profile_tensor_core(quick_config());
+  EXPECT_EQ(a.probes[1].min_matching_mantissa_bits,
+            b.probes[1].min_matching_mantissa_bits);
+  EXPECT_EQ(a.certified_mantissa_bits, b.certified_mantissa_bits);
+}
+
+TEST(Profiling, SampleTrialMirrorsArtifactPrintout) {
+  const ProfilingSample sample = sample_trial(7);
+  // Ordering claim from §A.3: the TC result is far from the half result and
+  // within a few ulps of the single result.
+  EXPECT_GE(fp::matching_mantissa_bits(sample.tc_result, sample.single_result),
+            21);
+  EXPECT_LT(fp::matching_mantissa_bits(sample.tc_result, sample.half_result),
+            21);
+}
+
+TEST(Profiling, RequiredBitsAreConfigurable) {
+  ProfilingConfig strict = quick_config();
+  strict.required_mantissa_bits = 24;  // demand bitwise identity
+  const ProfilingReport report = profile_tensor_core(strict);
+  // The grouped accumulation differs from sequential in low bits, so full
+  // 24-bit certification must fail.
+  EXPECT_FALSE(report.certified());
+}
+
+TEST(Profiling, DotLengthIsConfigurable) {
+  ProfilingConfig config = quick_config(500);
+  config.dot_length = 64;
+  const ProfilingReport report = profile_tensor_core(config);
+  EXPECT_TRUE(report.certified());
+  EXPECT_EQ(report.trials, 500u);
+}
+
+}  // namespace
+}  // namespace egemm::core

@@ -1,0 +1,134 @@
+// Cross-cutting property sweeps: invariants that must hold over whole
+// families of configurations, not just the defaults the other suites pin.
+#include <gtest/gtest.h>
+
+#include "gemm/gemm_api.hpp"
+#include "model/solver.hpp"
+#include "sass/codegen.hpp"
+#include "sass/lower.hpp"
+#include "sass/regalloc.hpp"
+#include "sass/schedule.hpp"
+#include "sass/verifier.hpp"
+#include "tcsim/pipeline.hpp"
+
+namespace egemm {
+namespace {
+
+std::vector<gemm::TileConfig> feasible_tilings() {
+  const model::SolverResult solved =
+      model::solve(model::budget_from_spec(tcsim::tesla_t4()));
+  std::vector<gemm::TileConfig> configs;
+  for (const auto& candidate : solved.feasible) {
+    configs.push_back(candidate.config);
+  }
+  return configs;
+}
+
+class FeasibleTilingTest
+    : public ::testing::TestWithParam<gemm::TileConfig> {};
+
+TEST_P(FeasibleTilingTest, TimedPathAcceptsEverySolverCandidate) {
+  // Anything the analytic model calls feasible must run on the pipeline
+  // model without spilling, and below the effective Tensor Core ceiling
+  // (peak / 4 emulation instructions).
+  const tcsim::GpuSpec spec = tcsim::tesla_t4();
+  gemm::EgemmOptions opts;
+  opts.tile = GetParam();
+  const gemm::KernelTiming t = gemm::egemm_timing(4096, 4096, 4096, spec, opts);
+  EXPECT_TRUE(t.feasible) << GetParam().describe();
+  EXPECT_FALSE(t.register_spill);
+  EXPECT_GT(t.tflops, 1.0);
+  EXPECT_LT(t.tflops, spec.peak_fp16_tc_tflops / 4.0);
+}
+
+TEST_P(FeasibleTilingTest, LatencyHidingNeverHurts) {
+  const tcsim::GpuSpec spec = tcsim::tesla_t4();
+  gemm::EgemmOptions on, off;
+  on.tile = off.tile = GetParam();
+  off.latency_hiding = false;
+  const double with = gemm::egemm_timing(4096, 4096, 4096, spec, on).tflops;
+  const double without =
+      gemm::egemm_timing(4096, 4096, 4096, spec, off).tflops;
+  EXPECT_GE(with, without * 0.999) << GetParam().describe();
+}
+
+TEST_P(FeasibleTilingTest, FragCachingNeverHurts) {
+  const tcsim::GpuSpec spec = tcsim::tesla_t4();
+  gemm::EgemmOptions on, off;
+  on.tile = off.tile = GetParam();
+  off.frag_caching = false;
+  const double with = gemm::egemm_timing(4096, 4096, 4096, spec, on).tflops;
+  const double without =
+      gemm::egemm_timing(4096, 4096, 4096, spec, off).tflops;
+  EXPECT_GE(with, without * 0.999) << GetParam().describe();
+}
+
+TEST_P(FeasibleTilingTest, GeneratedKernelVerifiesAndAllocates) {
+  // The SASS toolchain must handle every solver-feasible tiling: codegen,
+  // the schedule pass, hazard verification, and register allocation.
+  sass::CodegenParams params;
+  params.tile = GetParam();
+  params.k_iterations = 4;
+  sass::Kernel kernel = sass::generate_egemm_kernel(params);
+  sass::schedule_latency_hiding(kernel);
+  const auto violations = sass::verify_kernel(kernel, 3);
+  EXPECT_TRUE(violations.empty())
+      << GetParam().describe() << ": " << violations.size() << " violations, "
+      << (violations.empty() ? "" : violations.front().message);
+  const sass::AllocationReport report =
+      sass::allocate_kernel_registers(kernel);
+  EXPECT_TRUE(report.success) << GetParam().describe();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SolverFeasible, FeasibleTilingTest, ::testing::ValuesIn(feasible_tilings()),
+    [](const ::testing::TestParamInfo<gemm::TileConfig>& info) {
+      const gemm::TileConfig& c = info.param;
+      return std::to_string(c.bm) + "_" + std::to_string(c.bn) + "_" +
+             std::to_string(c.bk) + "__" + std::to_string(c.wm) + "_" +
+             std::to_string(c.wn) + "_" + std::to_string(c.wk);
+    });
+
+class GpuSweepTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GpuSweepTest, OrderingInvariantsHoldAtEverySize) {
+  const tcsim::GpuSpec spec = tcsim::spec_by_name(GetParam());
+  for (const std::uint64_t n : {1024u, 2048u, 4096u, 8192u, 16384u}) {
+    const double egemm =
+        gemm::time_gemm(gemm::Backend::kEgemmTC, n, n, n, spec).tflops;
+    const double half =
+        gemm::time_gemm(gemm::Backend::kCublasTcHalf, n, n, n, spec).tflops;
+    const double dekker =
+        gemm::time_gemm(gemm::Backend::kDekker, n, n, n, spec).tflops;
+    const double sdk =
+        gemm::time_gemm(gemm::Backend::kSdkFp32, n, n, n, spec).tflops;
+    // Half (no emulation) > EGEMM (4x) > Dekker schedule (16x) > SDK.
+    EXPECT_GT(half, egemm) << GetParam() << " " << n;
+    EXPECT_GT(egemm, dekker) << GetParam() << " " << n;
+    EXPECT_GT(dekker, sdk) << GetParam() << " " << n;
+  }
+}
+
+TEST_P(GpuSweepTest, SolverFindsAFeasibleTiling) {
+  const model::SolverResult solved = model::solve(
+      model::budget_from_spec(tcsim::spec_by_name(GetParam())));
+  ASSERT_TRUE(solved.found);
+  EXPECT_TRUE(solved.best_eval.feasible());
+}
+
+INSTANTIATE_TEST_SUITE_P(Gpus, GpuSweepTest,
+                         ::testing::Values("t4", "rtx6000"));
+
+TEST(TimingMonotonicity, MoreWorkNeverRunsFaster) {
+  const tcsim::GpuSpec spec = tcsim::tesla_t4();
+  double prev = 0.0;
+  for (const std::uint64_t k : {512u, 1024u, 2048u, 4096u, 8192u}) {
+    const double seconds =
+        gemm::time_gemm(gemm::Backend::kEgemmTC, 4096, 4096, k, spec).seconds;
+    EXPECT_GT(seconds, prev) << "k=" << k;
+    prev = seconds;
+  }
+}
+
+}  // namespace
+}  // namespace egemm

@@ -1,0 +1,82 @@
+// Tests for the stage-based register allocator (tcsim/register_alloc.hpp).
+#include "tcsim/register_alloc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace egemm::tcsim {
+namespace {
+
+TEST(RegisterAlloc, Table4PlanLandsAt232Of256) {
+  // §5.2: "we utilize 232 out of 256 registers on each thread".
+  const KernelRegisterPlan plan =
+      egemm_register_plan(128, 128, 32, 64, 32, 8, 256);
+  const AllocationResult result = allocate_registers(plan, 256);
+  EXPECT_EQ(result.per_thread, 232);
+  EXPECT_FALSE(result.spills);
+  EXPECT_EQ(result.spilled_registers, 0);
+}
+
+TEST(RegisterAlloc, NaiveAllocationWouldSpill) {
+  // Without cross-stage reuse the same plan exceeds the 256 budget -- the
+  // §5.2 motivation.
+  const KernelRegisterPlan plan =
+      egemm_register_plan(128, 128, 32, 64, 32, 8, 256);
+  const AllocationResult result = allocate_registers(plan, 256);
+  EXPECT_GT(result.naive_per_thread, 256);
+}
+
+TEST(RegisterAlloc, ComputeStageIsPeak) {
+  const KernelRegisterPlan plan =
+      egemm_register_plan(128, 128, 32, 64, 32, 8, 256);
+  const AllocationResult result = allocate_registers(plan, 256);
+  ASSERT_EQ(result.stages.size(), 4u);
+  int peak_stage = 0;
+  for (const StageUsage& stage : result.stages) {
+    if (stage.total() > result.stages[static_cast<std::size_t>(peak_stage)]
+                            .total()) {
+      peak_stage = stage.stage;
+    }
+  }
+  EXPECT_EQ(peak_stage, 2);  // the main compute loop
+}
+
+TEST(RegisterAlloc, FailureInjectionTightBudgetSpills) {
+  const KernelRegisterPlan plan =
+      egemm_register_plan(128, 128, 32, 64, 32, 8, 256);
+  const AllocationResult result = allocate_registers(plan, 128);
+  EXPECT_TRUE(result.spills);
+  EXPECT_EQ(result.spilled_registers, 232 - 128);
+}
+
+TEST(RegisterAlloc, WiderTilesDemandMoreRegisters) {
+  const AllocationResult narrow = allocate_registers(
+      egemm_register_plan(64, 64, 32, 32, 32, 8, 128), 256);
+  const AllocationResult wide = allocate_registers(
+      egemm_register_plan(128, 128, 64, 64, 32, 8, 256), 256);
+  EXPECT_LT(narrow.per_thread, wide.per_thread);
+  EXPECT_TRUE(wide.spills);  // bk=64 staging blows the budget (§6 ablation)
+}
+
+TEST(RegisterAlloc, PersistentValuesLiveAcrossLaterStages) {
+  KernelRegisterPlan plan;
+  plan.stage_count = 3;
+  plan.values.push_back({"persistent", 10, 1, true});
+  plan.values.push_back({"local0", 5, 0, false});
+  plan.values.push_back({"local2", 7, 2, false});
+  const AllocationResult result = allocate_registers(plan, 64);
+  EXPECT_EQ(result.stages[0].total(), 5);
+  EXPECT_EQ(result.stages[1].total(), 10);
+  EXPECT_EQ(result.stages[2].total(), 17);
+  EXPECT_EQ(result.per_thread, 17);
+  EXPECT_EQ(result.naive_per_thread, 22);
+}
+
+TEST(RegisterAlloc, EmptyPlanAllocatesNothing) {
+  KernelRegisterPlan plan;
+  const AllocationResult result = allocate_registers(plan, 64);
+  EXPECT_EQ(result.per_thread, 0);
+  EXPECT_FALSE(result.spills);
+}
+
+}  // namespace
+}  // namespace egemm::tcsim

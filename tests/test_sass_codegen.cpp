@@ -1,0 +1,122 @@
+// Tests for the SASS code generator (sass/codegen.hpp) and its agreement
+// with the block-level instruction-shape accounting.
+#include "sass/codegen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sass/verifier.hpp"
+#include "tcsim/instruction.hpp"
+
+namespace egemm::sass {
+namespace {
+
+CodegenParams table4_params(std::uint32_t iters = 8) {
+  CodegenParams params;
+  params.k_iterations = iters;
+  return params;
+}
+
+std::uint64_t count_op(const std::vector<Instr>& instrs, Op op) {
+  std::uint64_t total = 0;
+  for (const Instr& instr : instrs) {
+    if (instr.op == op) ++total;
+  }
+  return total;
+}
+
+TEST(SassCodegen, WarpShapeMatchesHandDerivation) {
+  const WarpShape ws = warp_shape(gemm::table4_config(), 4);
+  EXPECT_EQ(ws.steps, 4u);
+  EXPECT_EQ(ws.ldg_per_iter, 8u);   // 64 block LDG.128 over 8 warps
+  EXPECT_EQ(ws.sts_per_iter, 8u);
+  EXPECT_EQ(ws.lds_per_step, 6u);   // 3072 B / 512 B
+  EXPECT_EQ(ws.hmma_per_step, 64u); // 16 tiles x 4 emulation terms
+  EXPECT_EQ(ws.tile_positions, 16u);
+}
+
+TEST(SassCodegen, WarpShapeAgreesWithBlockShape) {
+  // Per-warp SASS counts x warps must equal the SM-aggregate stream's
+  // per-iteration counts (tcsim::egemm_iteration_shape).
+  const gemm::TileConfig tile = gemm::table4_config();
+  const tcsim::EgemmStreamOptions opts{};
+  const tcsim::IterationShape block = tcsim::egemm_iteration_shape(
+      tile.bm, tile.bn, tile.bk, tile.wm, tile.wn, tile.wk, opts);
+  const WarpShape warp = warp_shape(tile, 4);
+  const auto warps = static_cast<std::uint32_t>(tile.warps_per_block());
+  EXPECT_EQ(warp.ldg_per_iter * warps, block.ldg);
+  EXPECT_EQ(warp.sts_per_iter * warps, block.sts);
+  // LDS.128 moves 4x the 128-byte LDS.32 unit.
+  EXPECT_EQ(warp.lds_per_step * warps * 4, block.lds_per_step);
+  EXPECT_EQ(warp.hmma_per_step * warps, block.hmma_per_step);
+}
+
+TEST(SassCodegen, BodyCarriesTheExpectedInstructionMix) {
+  const Kernel kernel = generate_egemm_kernel(table4_params());
+  const WarpShape ws = warp_shape(gemm::table4_config(), 4);
+  EXPECT_EQ(count_op(kernel.body, Op::kLds), ws.lds_per_step * ws.steps);
+  EXPECT_EQ(count_op(kernel.body, Op::kHmma), ws.hmma_per_step * ws.steps);
+  EXPECT_EQ(count_op(kernel.body, Op::kLdg), ws.ldg_per_iter);
+  EXPECT_EQ(count_op(kernel.body, Op::kSts), ws.sts_per_iter);
+  EXPECT_EQ(count_op(kernel.body, Op::kBar), 2u);
+  EXPECT_EQ(count_op(kernel.body, Op::kBra), 1u);
+}
+
+TEST(SassCodegen, PrologueColdStartAndEpilogueStore) {
+  const Kernel kernel = generate_egemm_kernel(table4_params());
+  EXPECT_EQ(count_op(kernel.prologue, Op::kLdg), 8u);
+  EXPECT_EQ(count_op(kernel.prologue, Op::kSts), 8u);
+  EXPECT_EQ(count_op(kernel.epilogue, Op::kStg), 16u);  // wm*wn*4B / 512B
+  EXPECT_EQ(kernel.epilogue.back().op, Op::kExit);
+  EXPECT_EQ(kernel.loop_trips, 8u);
+}
+
+TEST(SassCodegen, StagesAreTagged) {
+  const Kernel kernel = generate_egemm_kernel(table4_params());
+  bool saw_stage0 = false, saw_stage1 = false;
+  for (const Instr& instr : kernel.prologue) {
+    saw_stage0 |= instr.stage == 0;
+    saw_stage1 |= instr.stage == 1;
+  }
+  EXPECT_TRUE(saw_stage0);
+  EXPECT_TRUE(saw_stage1);
+  for (const Instr& instr : kernel.body) EXPECT_EQ(instr.stage, 2);
+  for (const Instr& instr : kernel.epilogue) EXPECT_EQ(instr.stage, 3);
+}
+
+TEST(SassCodegen, NaiveKernelIsHazardFree) {
+  const Kernel kernel = generate_egemm_kernel(table4_params());
+  const std::vector<Violation> violations = verify_kernel(kernel, 3);
+  for (const Violation& v : violations) {
+    ADD_FAILURE() << v.where << "[" << v.index << "]: " << v.message;
+  }
+}
+
+TEST(SassCodegen, DekkerScheduleQuadruplesHmma) {
+  CodegenParams dekker = table4_params();
+  dekker.emulation_instructions = 16;
+  const Kernel alg1 = generate_egemm_kernel(table4_params());
+  const Kernel dk = generate_egemm_kernel(dekker);
+  EXPECT_EQ(count_op(dk.body, Op::kHmma), 4 * count_op(alg1.body, Op::kHmma));
+  EXPECT_EQ(count_op(dk.body, Op::kLds), count_op(alg1.body, Op::kLds));
+}
+
+TEST(SassCodegen, VirtualRegistersAreDense) {
+  const Kernel kernel = generate_egemm_kernel(table4_params());
+  EXPECT_GT(kernel.virtual_regs, 0);
+  auto check = [&kernel](const std::vector<Instr>& instrs) {
+    for (const Instr& instr : instrs) {
+      if (instr.dst.valid()) {
+        EXPECT_LE(instr.dst.index + instr.dst.width, kernel.virtual_regs);
+      }
+      for (const RegRange& src : instr.srcs) {
+        EXPECT_LE(src.index + src.width, kernel.virtual_regs);
+      }
+    }
+  };
+  check(kernel.prologue);
+  check(kernel.body);
+  check(kernel.epilogue);
+}
+
+}  // namespace
+}  // namespace egemm::sass

@@ -1,0 +1,192 @@
+// Tests for the latency-hiding scheduling pass (sass/schedule.hpp), the
+// hazard verifier on both schedules, and the lowered cycle comparison
+// (the IR-level version of Fig. 11).
+#include "sass/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sass/codegen.hpp"
+#include "sass/lower.hpp"
+#include "sass/verifier.hpp"
+#include "tcsim/pipeline.hpp"
+
+namespace egemm::sass {
+namespace {
+
+CodegenParams table4_params(std::uint32_t iters = 16) {
+  CodegenParams params;
+  params.k_iterations = iters;
+  return params;
+}
+
+std::uint64_t count_op(const std::vector<Instr>& instrs, Op op) {
+  std::uint64_t total = 0;
+  for (const Instr& instr : instrs) {
+    if (instr.op == op) ++total;
+  }
+  return total;
+}
+
+TEST(SassSchedule, PreservesTheInstructionMultiset) {
+  Kernel kernel = generate_egemm_kernel(table4_params());
+  const Kernel naive = kernel;
+  schedule_latency_hiding(kernel);
+  for (const Op op : {Op::kLds, Op::kHmma, Op::kLdg, Op::kSts, Op::kBar,
+                      Op::kIadd, Op::kBra}) {
+    EXPECT_EQ(count_op(kernel.body, op), count_op(naive.body, op))
+        << op_name(op);
+  }
+  EXPECT_EQ(kernel.body.size(), naive.body.size());
+}
+
+TEST(SassSchedule, AddsDoubleBufferRegisters) {
+  Kernel kernel = generate_egemm_kernel(table4_params());
+  const std::int32_t before = kernel.virtual_regs;
+  const ScheduleStats stats = schedule_latency_hiding(kernel);
+  // 6 LDS.128 destinations x 4 registers get shadow copies.
+  EXPECT_EQ(stats.added_registers, 24);
+  EXPECT_EQ(kernel.virtual_regs, before + 24);
+  EXPECT_GT(stats.hoisted_lds, 0u);
+  EXPECT_GT(stats.spread_ldg, 0u);
+}
+
+TEST(SassSchedule, InterleavesFragmentLoadsIntoTheCompute) {
+  Kernel kernel = generate_egemm_kernel(table4_params());
+  schedule_latency_hiding(kernel);
+  // In the scheduled body, step s+1's LDS group must sit *inside* step s's
+  // HMMA burst (after its first instruction, before its last) -- the
+  // Fig. 6 interleave.
+  std::vector<std::size_t> first_lds(5, 0), first_hmma(5, 0), last_hmma(5, 0);
+  for (std::size_t i = 0; i < kernel.body.size(); ++i) {
+    const Instr& instr = kernel.body[i];
+    if (instr.step < 0) continue;
+    const auto s = static_cast<std::size_t>(instr.step);
+    if (instr.op == Op::kLds && first_lds[s] == 0) first_lds[s] = i + 1;
+    if (instr.op == Op::kHmma) {
+      if (first_hmma[s] == 0) first_hmma[s] = i + 1;
+      last_hmma[s] = i + 1;
+    }
+  }
+  for (std::size_t s = 0; s + 1 < 4; ++s) {
+    EXPECT_GT(first_lds[s + 1], first_hmma[s]) << "step " << s;
+    EXPECT_LT(first_lds[s + 1], last_hmma[s]) << "step " << s;
+  }
+}
+
+TEST(SassSchedule, ScheduledKernelIsHazardFree) {
+  Kernel kernel = generate_egemm_kernel(table4_params());
+  schedule_latency_hiding(kernel);
+  const std::vector<Violation> violations = verify_kernel(kernel, 3);
+  for (const Violation& v : violations) {
+    ADD_FAILURE() << v.where << "[" << v.index << "]: " << v.message;
+  }
+}
+
+TEST(SassSchedule, OddStepsUseTheShadowBuffer) {
+  Kernel kernel = generate_egemm_kernel(table4_params());
+  const Kernel naive = kernel;
+  schedule_latency_hiding(kernel);
+  // Collect the naive fragment destinations.
+  std::set<std::int32_t> original;
+  for (const Instr& instr : naive.body) {
+    if (instr.op == Op::kLds) original.insert(instr.dst.index);
+  }
+  for (const Instr& instr : kernel.body) {
+    if (instr.op != Op::kLds || instr.step < 0) continue;
+    const bool uses_original = original.count(instr.dst.index) != 0;
+    if (instr.step % 2 == 0) {
+      EXPECT_TRUE(uses_original) << "step " << instr.step;
+    } else {
+      EXPECT_FALSE(uses_original) << "step " << instr.step;
+    }
+  }
+}
+
+TEST(SassSchedule, LoweredCyclesReproduceFig11) {
+  const tcsim::GpuSpec spec = tcsim::tesla_t4();
+  const int warps = gemm::table4_config().warps_per_block();
+  Kernel naive = generate_egemm_kernel(table4_params(64));
+  Kernel fast = naive;
+  schedule_latency_hiding(fast);
+  const tcsim::SimStats naive_stats =
+      tcsim::simulate_block(lower_kernel(naive, warps), spec);
+  const tcsim::SimStats fast_stats =
+      tcsim::simulate_block(lower_kernel(fast, warps), spec);
+  const double ratio = naive_stats.cycles / fast_stats.cycles;
+  EXPECT_GT(ratio, 1.05);  // Fig. 11 band
+  EXPECT_LT(ratio, 1.5);
+}
+
+TEST(SassSchedule, LoweredCyclesTrackTheHandBuiltStream) {
+  // The generated+scheduled kernel and the hand-built aggregate stream
+  // (tcsim::build_egemm_block_program) must agree within ~15% -- they
+  // describe the same kernel.
+  const tcsim::GpuSpec spec = tcsim::tesla_t4();
+  const gemm::TileConfig tile = gemm::table4_config();
+  const tcsim::EgemmStreamOptions opts{};
+  const auto iters = 64u;
+
+  Kernel kernel = generate_egemm_kernel(table4_params(iters));
+  schedule_latency_hiding(kernel);
+  const tcsim::SimStats ir_stats = tcsim::simulate_block(
+      lower_kernel(kernel, tile.warps_per_block()), spec);
+
+  const tcsim::IterationShape shape = tcsim::egemm_iteration_shape(
+      tile.bm, tile.bn, tile.bk, tile.wm, tile.wn, tile.wk, opts);
+  const tcsim::SimStats hand_stats = tcsim::simulate_block(
+      tcsim::build_egemm_block_program(shape, iters, opts, 128), spec);
+
+  EXPECT_NEAR(ir_stats.cycles / hand_stats.cycles, 1.0, 0.15);
+}
+
+TEST(SassVerifier, FailureInjectionMissingWaitIsCaught) {
+  Kernel kernel = generate_egemm_kernel(table4_params());
+  // Drop the HMMA wait on the fragment-ready barrier: a classic scheduling
+  // bug the verifier must catch as a RAW hazard.
+  bool mutated = false;
+  for (Instr& instr : kernel.body) {
+    if (instr.op == Op::kHmma && instr.ctrl.wait_mask != 0) {
+      instr.ctrl.wait_mask = 0;
+      mutated = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(mutated);
+  EXPECT_FALSE(verify_kernel(kernel).empty());
+}
+
+TEST(SassVerifier, FailureInjectionEarlyOverwriteIsCaught) {
+  Kernel kernel = generate_egemm_kernel(table4_params());
+  schedule_latency_hiding(kernel);
+  // Remove the WAR wait from an LDS group: overwriting a buffer with
+  // pending guarded reads must be flagged.
+  bool mutated = false;
+  for (Instr& instr : kernel.body) {
+    if (instr.op == Op::kLds && instr.ctrl.wait_mask != 0) {
+      instr.ctrl.wait_mask = 0;
+      mutated = true;
+    }
+  }
+  ASSERT_TRUE(mutated);
+  EXPECT_FALSE(verify_kernel(kernel, 3).empty());
+}
+
+TEST(SassVerifier, BarrierReuseIsCaught) {
+  Kernel kernel;
+  Instr ldg;
+  ldg.op = Op::kLdg;
+  ldg.dst = RegRange{0, 4};
+  ldg.ctrl.write_barrier = 0;
+  kernel.body.push_back(ldg);
+  Instr ldg2 = ldg;
+  ldg2.dst = RegRange{4, 4};
+  kernel.body.push_back(ldg2);  // re-arms barrier 0 with no wait
+  kernel.loop_trips = 1;
+  kernel.virtual_regs = 8;
+  const auto violations = verify_kernel(kernel, 1);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().message.find("re-armed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace egemm::sass

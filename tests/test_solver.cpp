@@ -1,0 +1,86 @@
+// Tests for the analytic solver (model/solver.hpp).
+#include "model/solver.hpp"
+
+#include <gtest/gtest.h>
+
+namespace egemm::model {
+namespace {
+
+TEST(Solver, ReproducesTable4OnT4Budget) {
+  // The paper's Table 4: (128,128,32)/(64,32,8), 36 KB SMEM, 8 warps,
+  // 1 block/SM, 232 registers/thread.
+  const SolverResult result = solve(budget_from_spec(tcsim::tesla_t4()));
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.best.bm, 128);
+  EXPECT_EQ(result.best.bn, 128);
+  EXPECT_EQ(result.best.bk, 32);
+  EXPECT_EQ(result.best.wm, 64);
+  EXPECT_EQ(result.best.wn, 32);
+  EXPECT_EQ(result.best.wk, 8);
+  EXPECT_EQ(result.best.warps_per_block(), 8);
+  EXPECT_EQ(result.best_eval.registers_per_thread, 232);
+  EXPECT_EQ(result.best_eval.shared_demand_bytes, 36864u);
+}
+
+TEST(Solver, EveryReturnedCandidateIsFeasible) {
+  const SolverResult result = solve(budget_from_spec(tcsim::tesla_t4()));
+  ASSERT_FALSE(result.feasible.empty());
+  for (const SolverCandidate& candidate : result.feasible) {
+    EXPECT_TRUE(candidate.config.valid());
+    EXPECT_TRUE(candidate.eval.feasible()) << candidate.config.describe();
+    EXPECT_GE(candidate.config.warps_per_block(), 8);
+  }
+}
+
+TEST(Solver, CandidatesAreSortedBestFirst) {
+  const SolverResult result = solve(budget_from_spec(tcsim::tesla_t4()));
+  for (std::size_t i = 1; i < result.feasible.size(); ++i) {
+    // The head never loses to a later candidate under the objective.
+    EXPECT_FALSE(
+        objective_less(result.feasible[i - 1], result.feasible[i]))
+        << "rank " << i;
+  }
+  EXPECT_GE(result.feasible.front().eval.compute_intensity,
+            result.feasible.back().eval.compute_intensity);
+}
+
+TEST(Solver, ExploredSpaceIsLarge) {
+  const SolverResult result = solve(budget_from_spec(tcsim::tesla_t4()));
+  // Trial-and-error over this space is what the model replaces (§6).
+  EXPECT_GT(result.explored, 100u);
+  EXPECT_LT(result.feasible.size(), result.explored);
+}
+
+TEST(Solver, TighterSharedMemoryShrinksTheTile) {
+  ResourceBudget tight = budget_from_spec(tcsim::tesla_t4());
+  tight.shared_memory_bytes = 24 * 1024;  // below Table 4's 36 KB demand
+  const SolverResult result = solve(tight);
+  if (result.found) {
+    EXPECT_LE(result.best_eval.shared_demand_bytes, 24u * 1024u);
+    // The winning intensity cannot beat the unconstrained one.
+    const SolverResult full = solve(budget_from_spec(tcsim::tesla_t4()));
+    EXPECT_LE(result.best_eval.compute_intensity,
+              full.best_eval.compute_intensity);
+  }
+}
+
+TEST(Solver, RtxBudgetAlsoSolvable) {
+  const SolverResult result = solve(budget_from_spec(tcsim::rtx6000()));
+  ASSERT_TRUE(result.found);
+  EXPECT_TRUE(result.best_eval.feasible());
+  // Same per-SM budgets as T4 -> same tiling family.
+  EXPECT_EQ(result.best.bm, 128);
+  EXPECT_EQ(result.best.bn, 128);
+}
+
+TEST(Solver, ImpossibleBudgetFindsNothing) {
+  ResourceBudget impossible = budget_from_spec(tcsim::tesla_t4());
+  impossible.shared_memory_bytes = 1024;
+  impossible.register_bytes = 4096;
+  const SolverResult result = solve(impossible);
+  EXPECT_FALSE(result.found);
+  EXPECT_TRUE(result.feasible.empty());
+}
+
+}  // namespace
+}  // namespace egemm::model

@@ -1,0 +1,215 @@
+// Tests for the bit-accurate Tensor Core model (tcsim/tensor_core.hpp).
+#include "tcsim/tensor_core.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fp/float_bits.hpp"
+#include "util/rng.hpp"
+
+namespace egemm::tcsim {
+namespace {
+
+std::vector<fp::Half> random_halves(std::size_t n, util::Xoshiro256& rng,
+                                    float lo = -1.0f, float hi = 1.0f) {
+  std::vector<fp::Half> out(n);
+  for (auto& h : out) h = fp::Half(rng.uniform(lo, hi));
+  return out;
+}
+
+TEST(TensorCore, ProductOfHalvesIsExactInFloat) {
+  // The model's foundation: any binary16 x binary16 product fits binary32.
+  util::Xoshiro256 rng(1);
+  for (int trial = 0; trial < 100000; ++trial) {
+    const fp::Half a(rng.uniform(-100.0f, 100.0f));
+    const fp::Half b(rng.uniform(-100.0f, 100.0f));
+    const double exact = a.to_double() * b.to_double();
+    const float prod = a.to_float() * b.to_float();
+    EXPECT_EQ(static_cast<double>(prod), exact);
+  }
+}
+
+TEST(TensorCore, DotMatchesPairChainedReference) {
+  // Hand-evaluate the modeled accumulation: adjacent-pair product sums
+  // chained onto the accumulator starting from C.
+  std::vector<fp::Half> a(8), b(8);
+  for (int i = 0; i < 8; ++i) {
+    a[static_cast<std::size_t>(i)] = fp::Half(0.1f * static_cast<float>(i + 1));
+    b[static_cast<std::size_t>(i)] = fp::Half(0.25f);
+  }
+  float acc = 0.5f;
+  for (int i = 0; i < 8; i += 2) {
+    acc += a[static_cast<std::size_t>(i)].to_float() *
+               b[static_cast<std::size_t>(i)].to_float() +
+           a[static_cast<std::size_t>(i + 1)].to_float() *
+               b[static_cast<std::size_t>(i + 1)].to_float();
+  }
+  EXPECT_EQ(tc_dot(a, b, 0.5f), acc);
+}
+
+TEST(TensorCore, DotHandlesNonMultipleOfFourK) {
+  util::Xoshiro256 rng(2);
+  for (const std::size_t k : {1u, 2u, 3u, 5u, 7u, 13u}) {
+    const auto a = random_halves(k, rng);
+    const auto b = random_halves(k, rng);
+    const float result = tc_dot(a, b, 0.0f);
+    const double exact = probe_dot_double(a, b, 0.0);
+    EXPECT_NEAR(result, exact, 1e-5) << "k=" << k;
+  }
+}
+
+TEST(TensorCore, AgreesWithFloatProbeTo21Bits) {
+  // The profiling claim, asserted directly at the primitive level: the TC
+  // result stays within 2^-21 of the sequential binary32 result relative
+  // to the accumulated magnitude, for every trial.
+  util::Xoshiro256 rng(3);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const auto a = random_halves(16, rng);
+    const auto b = random_halves(16, rng);
+    const float c = fp::Half(rng.uniform(-1.0f, 1.0f)).to_float();
+    const float tc = tc_dot(a, b, c);
+    const float probe = probe_dot_float(a, b, c);
+    double scale = std::fabs(static_cast<double>(c));
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      scale += std::fabs(a[i].to_double() * b[i].to_double());
+    }
+    EXPECT_LE(std::fabs(static_cast<double>(tc) - static_cast<double>(probe)),
+              scale * 0x1.0p-21);
+  }
+}
+
+TEST(TensorCore, TypicallyMatchesFloatProbeTo21MantissaBitsBitwise) {
+  // The artifact-style bitwise comparison. The typical trial agrees on
+  // >= 21 leading mantissa bits; the exceptions are trials whose dot
+  // product cancels toward zero, where a few-ulp absolute difference
+  // dominates the tiny result (EXPERIMENTS.md discusses this caveat to the
+  // paper's "all 10,000 trials" phrasing).
+  util::Xoshiro256 rng(3);
+  int ge21 = 0, ge18 = 0;
+  constexpr int kTrials = 20000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto a = random_halves(16, rng);
+    const auto b = random_halves(16, rng);
+    const float c = fp::Half(rng.uniform(-1.0f, 1.0f)).to_float();
+    const int bits = fp::matching_mantissa_bits(tc_dot(a, b, c),
+                                                probe_dot_float(a, b, c));
+    if (bits >= 21) ++ge21;
+    if (bits >= 18) ++ge18;
+  }
+  EXPECT_GT(ge21, kTrials * 88 / 100);
+  EXPECT_GT(ge18, kTrials * 97 / 100);
+}
+
+TEST(TensorCore, FarFromHalfProbe) {
+  util::Xoshiro256 rng(4);
+  double max_half_err = 0.0, max_tc_err = 0.0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto a = random_halves(16, rng);
+    const auto b = random_halves(16, rng);
+    const double exact = probe_dot_double(a, b, 0.0);
+    max_half_err = std::max(
+        max_half_err, std::fabs(static_cast<double>(probe_dot_half(a, b, 0.0f)) - exact));
+    max_tc_err = std::max(
+        max_tc_err, std::fabs(static_cast<double>(tc_dot(a, b, 0.0f)) - exact));
+  }
+  // Binary16 accumulation is orders of magnitude worse than the TC model.
+  EXPECT_GT(max_half_err, 50.0 * max_tc_err);
+}
+
+TEST(TensorCore, BrokenCoreMatchesHalfProbe) {
+  util::Xoshiro256 rng(5);
+  const auto a = random_halves(16, rng);
+  const auto b = random_halves(16, rng);
+  EXPECT_EQ(broken_tc_dot(a, b, 0.25f), probe_dot_half(a, b, 0.25f));
+}
+
+TEST(TensorCore, MmaSyncMatchesTcDotPerElement) {
+  util::Xoshiro256 rng(6);
+  FragmentA a;
+  FragmentB b;
+  FragmentAcc c, d;
+  for (int i = 0; i < kTcM; ++i) {
+    for (int k = 0; k < kTcK; ++k) a.at(i, k) = fp::Half(rng.uniform(-1, 1));
+  }
+  for (int k = 0; k < kTcK; ++k) {
+    for (int j = 0; j < kTcN; ++j) b.at(k, j) = fp::Half(rng.uniform(-1, 1));
+  }
+  for (int i = 0; i < kTcM; ++i) {
+    for (int j = 0; j < kTcN; ++j) c.at(i, j) = rng.uniform(-1, 1);
+  }
+  mma_sync(d, a, b, c);
+  for (int i = 0; i < kTcM; ++i) {
+    for (int j = 0; j < kTcN; ++j) {
+      std::vector<fp::Half> arow(kTcK), bcol(kTcK);
+      for (int k = 0; k < kTcK; ++k) {
+        arow[static_cast<std::size_t>(k)] = a.at(i, k);
+        bcol[static_cast<std::size_t>(k)] = b.at(k, j);
+      }
+      EXPECT_EQ(d.at(i, j), tc_dot(arow, bcol, c.at(i, j)))
+          << "element (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(TensorCore, MmaTileF32MatchesMmaSync) {
+  util::Xoshiro256 rng(7);
+  FragmentA a;
+  FragmentB b;
+  FragmentAcc c, d;
+  float af[kTcM * kTcK], bf[kTcK * kTcN], df[kTcM * kTcN];
+  for (int i = 0; i < kTcM; ++i) {
+    for (int k = 0; k < kTcK; ++k) {
+      a.at(i, k) = fp::Half(rng.uniform(-1, 1));
+      af[i * kTcK + k] = a.at(i, k).to_float();
+    }
+  }
+  for (int k = 0; k < kTcK; ++k) {
+    for (int j = 0; j < kTcN; ++j) {
+      b.at(k, j) = fp::Half(rng.uniform(-1, 1));
+      bf[k * kTcN + j] = b.at(k, j).to_float();
+    }
+  }
+  for (int i = 0; i < kTcM; ++i) {
+    for (int j = 0; j < kTcN; ++j) {
+      c.at(i, j) = rng.uniform(-1, 1);
+      df[i * kTcN + j] = c.at(i, j);
+    }
+  }
+  mma_sync(d, a, b, c);
+  mma_tile_f32(df, kTcN, af, kTcK, bf, kTcN, kTcM, kTcN, kTcK);
+  for (int i = 0; i < kTcM; ++i) {
+    for (int j = 0; j < kTcN; ++j) {
+      EXPECT_EQ(df[i * kTcN + j], d.at(i, j));
+    }
+  }
+}
+
+TEST(Fragment, LoadStoreRoundTrip) {
+  std::vector<float> memory(20 * 32, 0.0f);
+  util::Xoshiro256 rng(8);
+  for (auto& v : memory) v = rng.uniform(-1, 1);
+  Fragment<float, 16, 16> frag;
+  frag.load(std::span<const float>(memory), 32);
+  EXPECT_EQ(frag.at(0, 0), memory[0]);
+  EXPECT_EQ(frag.at(1, 0), memory[32]);
+  EXPECT_EQ(frag.at(15, 15), memory[15 * 32 + 15]);
+  std::vector<float> out(20 * 32, 0.0f);
+  frag.store(std::span<float>(out), 32);
+  for (int r = 0; r < 16; ++r) {
+    for (int c = 0; c < 16; ++c) {
+      EXPECT_EQ(out[static_cast<std::size_t>(r * 32 + c)],
+                memory[static_cast<std::size_t>(r * 32 + c)]);
+    }
+  }
+}
+
+TEST(Fragment, FillSetsEveryElement) {
+  FragmentAcc frag;
+  frag.fill(3.5f);
+  for (const float v : frag.flat()) EXPECT_EQ(v, 3.5f);
+}
+
+}  // namespace
+}  // namespace egemm::tcsim

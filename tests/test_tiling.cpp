@@ -1,0 +1,89 @@
+// Tests for the tensorization hierarchy (gemm/tiling.hpp).
+#include "gemm/tiling.hpp"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace egemm::gemm {
+namespace {
+
+TEST(TileConfig, Table4IsValidAndMatchesPaper) {
+  const TileConfig cfg = table4_config();
+  EXPECT_TRUE(cfg.valid());
+  EXPECT_EQ(cfg.warps_per_block(), 8);       // Table 4: 8 active warps
+  EXPECT_EQ(cfg.threads_per_block(), 256);
+  EXPECT_EQ(cfg.shared_memory_bytes(), 36u * 1024u);  // Table 4: 36 KB
+}
+
+TEST(TileConfig, ValidityRules) {
+  EXPECT_FALSE((TileConfig{100, 128, 32, 64, 32, 8}.valid()));  // bm % wm
+  EXPECT_FALSE((TileConfig{128, 128, 32, 24, 32, 8}.valid()));  // wm % 16
+  EXPECT_FALSE((TileConfig{128, 128, 30, 64, 32, 8}.valid()));  // bk % wk
+  EXPECT_FALSE((TileConfig{0, 128, 32, 64, 32, 8}.valid()));
+  EXPECT_TRUE((TileConfig{64, 64, 16, 32, 32, 8}.valid()));
+  // 33+ warps per block is impossible on hardware.
+  EXPECT_FALSE((TileConfig{256, 256, 32, 16, 16, 8}.valid()));
+}
+
+TEST(TileConfig, DerivedCounts) {
+  const TileConfig cfg = table4_config();
+  EXPECT_EQ(cfg.k_iterations(8192), 256u);
+  EXPECT_EQ(cfg.k_iterations(1), 1u);
+  EXPECT_EQ(cfg.k_iterations(33), 2u);
+  EXPECT_EQ(cfg.grid_blocks(8192, 8192), 4096u);
+  EXPECT_EQ(cfg.grid_blocks(100, 100), 1u);
+  EXPECT_EQ(cfg.grid_blocks(129, 128), 2u);
+}
+
+TEST(TileConfig, FragBytesMatchSection6) {
+  const TileConfig cfg = table4_config();
+  // 4 bm bn + 4(bm+bn)bk = 64 KB + 32 KB.
+  EXPECT_EQ(cfg.frag_bytes(), 4u * 128 * 128 + 4u * 256 * 32);
+}
+
+TEST(TileConfig, Describe) {
+  EXPECT_EQ(table4_config().describe(),
+            "(bm,bn,bk)=(128,128,32) (wm,wn,wk)=(64,32,8)");
+}
+
+class CoverageTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(CoverageTest, BlockTilesPartitionTheOutput) {
+  const auto [m, n] = GetParam();
+  const TileConfig cfg = table4_config();
+  std::vector<std::vector<int>> covered(m, std::vector<int>(n, 0));
+  std::set<std::pair<std::size_t, std::size_t>> block_ids;
+  for_each_block_tile(m, n, cfg, [&](const BlockTile& tile) {
+    EXPECT_LE(tile.row0 + tile.rows, m);
+    EXPECT_LE(tile.col0 + tile.cols, n);
+    EXPECT_GT(tile.rows, 0u);
+    EXPECT_GT(tile.cols, 0u);
+    EXPECT_TRUE(block_ids.emplace(tile.block_row, tile.block_col).second);
+    for (std::size_t r = tile.row0; r < tile.row0 + tile.rows; ++r) {
+      for (std::size_t c = tile.col0; c < tile.col0 + tile.cols; ++c) {
+        ++covered[r][c];
+      }
+    }
+  });
+  // Exactly-once coverage: a partition, not an overlap.
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      EXPECT_EQ(covered[r][c], 1) << "(" << r << "," << c << ")";
+    }
+  }
+  EXPECT_EQ(block_ids.size(), cfg.grid_blocks(m, n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CoverageTest,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{128, 128},
+                      std::pair<std::size_t, std::size_t>{256, 384},
+                      std::pair<std::size_t, std::size_t>{130, 257},
+                      std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{127, 500}));
+
+}  // namespace
+}  // namespace egemm::gemm

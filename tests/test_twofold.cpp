@@ -1,0 +1,119 @@
+// Tests for the error-free transformations (fp/twofold.hpp).
+#include "fp/twofold.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace egemm::fp {
+namespace {
+
+class EftPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EftPropertyTest, TwoSumIsErrorFree) {
+  util::Xoshiro256 rng(GetParam());
+  for (int trial = 0; trial < 50000; ++trial) {
+    const double a = rng.uniform_double(-1e6, 1e6);
+    const double b = rng.uniform_double(-1e-6, 1e-6);
+    const TwoFold r = two_sum(a, b);
+    EXPECT_EQ(r.value, a + b);
+    // Error term is exact: reconstruct with long double (64-bit mantissa on
+    // x86 -- enough headroom for these magnitudes).
+    const long double exact = static_cast<long double>(a) + b;
+    EXPECT_EQ(static_cast<long double>(r.value) + r.error, exact);
+  }
+}
+
+TEST_P(EftPropertyTest, FastTwoSumMatchesTwoSumWhenOrdered) {
+  util::Xoshiro256 rng(GetParam());
+  for (int trial = 0; trial < 50000; ++trial) {
+    double a = rng.uniform_double(-1e3, 1e3);
+    double b = rng.uniform_double(-1e3, 1e3);
+    if (std::fabs(a) < std::fabs(b)) std::swap(a, b);
+    const TwoFold fast = fast_two_sum(a, b);
+    const TwoFold full = two_sum(a, b);
+    EXPECT_EQ(fast.value, full.value);
+    EXPECT_EQ(fast.error, full.error);
+  }
+}
+
+TEST_P(EftPropertyTest, TwoProdIsErrorFree) {
+  util::Xoshiro256 rng(GetParam());
+  for (int trial = 0; trial < 50000; ++trial) {
+    const double a = rng.uniform_double(-1e3, 1e3);
+    const double b = rng.uniform_double(-1e3, 1e3);
+    const TwoFold r = two_prod(a, b);
+    EXPECT_EQ(r.value, a * b);
+    const long double exact =
+        static_cast<long double>(a) * static_cast<long double>(b);
+    // value + error == a*b exactly (the fma recovers the rounding error).
+    EXPECT_EQ(static_cast<long double>(r.value) + r.error, exact);
+  }
+}
+
+TEST_P(EftPropertyTest, VeltkampSplitReconstructsExactly) {
+  util::Xoshiro256 rng(GetParam());
+  for (int trial = 0; trial < 50000; ++trial) {
+    const double a = rng.uniform_double(-1e8, 1e8);
+    const auto [hi, lo] = veltkamp_split(a);
+    EXPECT_EQ(hi + lo, a);
+    // hi carries at most 26 significand bits: hi * hi is exact.
+    const TwoFold sq = two_prod(hi, hi);
+    EXPECT_EQ(sq.error, 0.0) << "hi not 26-bit: " << hi;
+  }
+}
+
+TEST_P(EftPropertyTest, FloatVariantsAreErrorFree) {
+  util::Xoshiro256 rng(GetParam());
+  for (int trial = 0; trial < 50000; ++trial) {
+    const float a = rng.uniform(-1e3f, 1e3f);
+    const float b = rng.uniform(-1e3f, 1e3f);
+    const TwoFoldF s = two_sum_f(a, b);
+    EXPECT_EQ(static_cast<double>(s.value) + static_cast<double>(s.error),
+              static_cast<double>(a) + static_cast<double>(b));
+    const TwoFoldF p = two_prod_f(a, b);
+    EXPECT_EQ(static_cast<double>(p.value) + static_cast<double>(p.error),
+              static_cast<double>(a) * static_cast<double>(b));
+    const auto [hi, lo] = veltkamp_split_f(a);
+    EXPECT_EQ(hi + lo, a);
+  }
+}
+
+TEST_P(EftPropertyTest, DoubleDoubleAccumulationBeatsPlainDouble) {
+  util::Xoshiro256 rng(GetParam());
+  // Sum many values whose naive double sum loses low-order bits.
+  double plain = 0.0;
+  double hi = 0.0, lo = 0.0;
+  long double exact = 0.0L;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.uniform_double(-1.0, 1.0) +
+                     rng.uniform_double(-1e-14, 1e-14);
+    plain += x;
+    dd_add(hi, lo, x);
+    exact += x;
+  }
+  const double dd_err =
+      std::fabs(static_cast<double>(static_cast<long double>(hi) + lo - exact));
+  const double plain_err =
+      std::fabs(static_cast<double>(static_cast<long double>(plain) - exact));
+  EXPECT_LE(dd_err, plain_err);
+  EXPECT_LT(dd_err, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EftPropertyTest,
+                         ::testing::Values(3u, 99u, 31415u));
+
+TEST(EftEdgeCases, ZerosAndExactSums) {
+  EXPECT_EQ(two_sum(0.0, 0.0).error, 0.0);
+  EXPECT_EQ(two_sum(1.0, 2.0).error, 0.0);  // exact
+  EXPECT_EQ(two_prod(3.0, 4.0).error, 0.0);
+  // Classic inexact case: 1 + 2^-53 loses the low bit to rounding.
+  const TwoFold r = two_sum(1.0, 0x1.0p-53);
+  EXPECT_EQ(r.value, 1.0);
+  EXPECT_EQ(r.error, 0x1.0p-53);
+}
+
+}  // namespace
+}  // namespace egemm::fp

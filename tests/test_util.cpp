@@ -1,0 +1,151 @@
+// Tests for the infrastructure: RNG, thread pool, CLI parsing, tables.
+#include <atomic>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace egemm::util {
+namespace {
+
+TEST(Rng, DeterministicBySeed) {
+  Xoshiro256 a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+  bool differs = false;
+  Xoshiro256 a2(42);
+  for (int i = 0; i < 100; ++i) {
+    if (a2() != c()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const float f = rng.uniform(-1.0f, 1.0f);
+    EXPECT_GE(f, -1.0f);
+    EXPECT_LT(f, 1.0f);
+    const double d = rng.uniform_double(2.0, 3.0);
+    EXPECT_GE(d, 2.0);
+    EXPECT_LT(d, 3.0);
+  }
+}
+
+TEST(Rng, BelowIsUnbiasedEnough) {
+  Xoshiro256 rng(11);
+  std::vector<int> buckets(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++buckets[rng.below(10)];
+  }
+  for (const int count : buckets) {
+    EXPECT_NEAR(count, kDraws / 10, kDraws / 100);
+  }
+}
+
+TEST(Rng, NormalSamplerHasPlausibleMoments) {
+  NormalSampler normal(5);
+  double sum = 0.0, sumsq = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = normal.next();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / kDraws, 1.0, 0.02);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ExceptionsPropagate) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(10,
+                        [](std::size_t b, std::size_t) {
+                          if (b == 0) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<int> value{0};
+  auto future = pool.submit([&value] { value = 42; });
+  future.get();
+  EXPECT_EQ(value.load(), 42);
+}
+
+TEST(Cli, ParsesFlagsValuesAndLists) {
+  const char* argv[] = {"prog",          "--full",     "--sizes=1,2,3",
+                        "--gpu",         "t4",         "--trials=100",
+                        "--scale=0.5",   "positional"};
+  const CliArgs args(8, argv);
+  EXPECT_TRUE(args.has_flag("full"));
+  EXPECT_FALSE(args.has_flag("missing"));
+  EXPECT_EQ(args.value_or("gpu", std::string("x")), "t4");
+  EXPECT_EQ(args.value_or("trials", std::int64_t{0}), 100);
+  EXPECT_DOUBLE_EQ(args.value_or("scale", 1.0), 0.5);
+  const auto sizes = args.int_list_or("sizes", {});
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 1);
+  EXPECT_EQ(sizes[2], 3);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "positional");
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  const CliArgs args(1, argv);
+  EXPECT_EQ(args.value_or("n", std::int64_t{7}), 7);
+  const auto def = args.int_list_or("sizes", {128, 256});
+  ASSERT_EQ(def.size(), 2u);
+  EXPECT_EQ(def[1], 256);
+}
+
+TEST(Table, RendersAlignedRowsAndNotes) {
+  Table table("Demo");
+  table.set_header({"a", "longer"});
+  table.add_row({"1", "2"});
+  table.add_row({"333", "4"});
+  table.add_footnote("note text");
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Demo"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+  EXPECT_NE(out.find("note text"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_speedup(2.5), "2.50x");
+  EXPECT_EQ(fmt_sci(0.000123, 2), "1.23e-04");
+}
+
+}  // namespace
+}  // namespace egemm::util
