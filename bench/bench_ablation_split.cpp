@@ -77,21 +77,22 @@ int main(int argc, char** argv) {
     const gemm::Matrix three = gemm::egemm_multiply_3split(a, b);
     const double diff = gemm::max_abs_error(alg1, three);
     const tcsim::GpuSpec t4 = tcsim::tesla_t4();
-    util::Table table("Ablation: three-way split (9 instructions) vs Alg. 1");
-    table.set_header({"metric", "value"});
-    table.add_row({"max |D_3split - D_alg1| at 256x256x64",
-                   util::fmt_sci(diff, 2)});
-    table.add_row({"modeled TFLOPS (Alg. 1, 8192^3, T4)",
-                   util::fmt_fixed(
-                       gemm::egemm_timing(8192, 8192, 8192, t4).tflops, 2)});
-    table.add_row({"modeled TFLOPS (3-split, 8192^3, T4)",
-                   util::fmt_fixed(
-                       gemm::egemm_3split_timing(8192, 8192, 8192, t4).tflops,
-                       2)});
-    table.add_footnote(
+    util::Table ablation("Ablation: three-way split (9 instructions) vs Alg. 1");
+    ablation.set_header({"metric", "value"});
+    ablation.add_row({"max |D_3split - D_alg1| at 256x256x64",
+                      util::fmt_sci(diff, 2)});
+    ablation.add_row({"modeled TFLOPS (Alg. 1, 8192^3, T4)",
+                      util::fmt_fixed(
+                          gemm::egemm_timing(8192, 8192, 8192, t4).tflops, 2)});
+    ablation.add_row({"modeled TFLOPS (3-split, 8192^3, T4)",
+                      util::fmt_fixed(
+                          gemm::egemm_3split_timing(8192, 8192, 8192, t4)
+                              .tflops,
+                          2)});
+    ablation.add_footnote(
         "identical results at 2.25x the Tensor Core work: past 21 bits the "
         "bottleneck is the fp32 accumulator, not the operand split");
-    table.print(std::cout);
+    ablation.print(std::cout);
   }
   return 0;
 }

@@ -1,0 +1,109 @@
+// sass_lint: run the static-analysis passes over a SASS kernel and report
+// diagnostics (DESIGN.md "SASS static analysis" has the code table).
+//
+//   build/examples/sass_lint [kernel.sass] [options]
+//
+// With a positional .sass file the kernel is parsed from the TuringAs-like
+// text form; without one the default EGEMM kernel is generated, scheduled,
+// and register-allocated, then round-tripped through the assembler before
+// linting (so the lint always sees what the text form preserves).
+//
+//   --iters=N       loop trip count of the generated kernel (default 8)
+//   --unroll=N      body trips the trace-based passes walk (default 3)
+//   --naive         skip the §5.1 latency-hiding schedule
+//   --no-regalloc   keep operands virtual (skips the register-bank pass)
+//   --budget=N      per-thread register budget (default 255)
+//   --emu=N         emulation instructions per HMMA position (default 4)
+//   --physical      treat a parsed kernel's operands as physical R0..R255
+//   --json          machine-readable report
+//
+// Exit status: 0 when no error-severity diagnostics, 1 otherwise (2 for
+// usage/parse failures).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sass/analysis/passes.hpp"
+#include "sass/assembler.hpp"
+#include "sass/build.hpp"
+#include "util/cli.hpp"
+
+using namespace egemm;
+using namespace egemm::sass;
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+
+  analysis::AnalysisOptions options;
+  options.unroll =
+      static_cast<int>(args.value_or("unroll", std::int64_t{3}));
+  if (options.unroll < 1) {
+    std::fprintf(stderr, "sass_lint: --unroll must be >= 1\n");
+    return 2;
+  }
+  options.register_budget =
+      static_cast<int>(args.value_or("budget", std::int64_t{255}));
+
+  Kernel kernel;
+  AllocationReport alloc;
+  if (!args.positional().empty()) {
+    const std::string& path = args.positional().front();
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "sass_lint: cannot open %s\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const ParseResult parsed = parse_text(text.str());
+    if (!parsed.success) {
+      std::fprintf(stderr, "sass_lint: parse error in %s: %s\n", path.c_str(),
+                   parsed.error.c_str());
+      return 2;
+    }
+    kernel = parsed.kernel;
+    options.physical_registers = args.has_flag("physical");
+  } else {
+    BuildOptions bopts;
+    bopts.k_iterations =
+        static_cast<std::uint32_t>(args.value_or("iters", std::int64_t{8}));
+    bopts.emulation_instructions =
+        static_cast<int>(args.value_or("emu", std::int64_t{4}));
+    bopts.latency_hiding = !args.has_flag("naive");
+    bopts.allocate = !args.has_flag("no-regalloc");
+    bopts.register_budget = options.register_budget;
+    BuiltKernel built = build_egemm_kernel(bopts);
+
+    options.tile = bopts.tile;
+    options.has_tile = true;
+    if (bopts.allocate) {
+      alloc = built.alloc;
+      options.alloc = &alloc;
+      options.physical_registers = alloc.success;
+    }
+
+    // Round-trip through the assembler so the lint sees exactly what the
+    // text form preserves, as it would for a hand-written kernel.
+    const ParseResult reparsed = parse_text(emit_text(built.kernel));
+    if (!reparsed.success) {
+      std::fprintf(stderr, "sass_lint: assembler round-trip failed: %s\n",
+                   reparsed.error.c_str());
+      return 2;
+    }
+    kernel = reparsed.kernel;
+  }
+
+  analysis::DiagnosticEngine engine;
+  analysis::run_all_passes(kernel, options, engine);
+
+  if (args.has_flag("json")) {
+    std::printf("%s\n", engine.render_json().c_str());
+  } else {
+    std::printf("linting %s (%zu instructions, unroll %d)\n",
+                kernel.name.empty() ? "<kernel>" : kernel.name.c_str(),
+                kernel.size(), options.unroll);
+    std::printf("%s", engine.render_text().c_str());
+  }
+  return engine.errors() == 0 ? 0 : 1;
+}

@@ -1,7 +1,13 @@
 #include "gemm/egemm.hpp"
 
 #include <algorithm>
+#ifndef NDEBUG
+#include <mutex>
+#include <set>
+#include <string>
+#endif
 
+#include "sass/build.hpp"
 #include "tcsim/instruction.hpp"
 #include "tcsim/occupancy.hpp"
 #include "tcsim/register_alloc.hpp"
@@ -106,6 +112,39 @@ Matrix plane_gemm(std::span<const Matrix> ap, std::span<const Matrix> bp,
   return d;
 }
 
+#ifndef NDEBUG
+/// Debug self-check: the SASS kernel this configuration implies must lint
+/// clean of hazard/liveness errors (EG1xx/EG2xx) before we trust its
+/// timing. Checked once per distinct configuration; resource findings
+/// (EG4xx) are not asserted on -- an infeasible tiling is a legitimate
+/// query here, answered through timing.feasible.
+void debug_lint_kernel(const TileConfig& tile, const EgemmOptions& opts) {
+  const sass::WarpShape shape =
+      sass::warp_shape(tile, opts.emulation_instructions);
+  // Codegen needs at least one LDG per warp and a split-able LDS group.
+  if (shape.ldg_per_iter < 1 || shape.lds_per_step < 2 ||
+      shape.tile_positions < 1) {
+    return;
+  }
+  static std::mutex mutex;
+  static std::set<std::string> checked;
+  const std::string key = tile.describe() +
+                          (opts.latency_hiding ? "+sched" : "+naive") + ":" +
+                          std::to_string(opts.emulation_instructions);
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (!checked.insert(key).second) return;
+  }
+  sass::BuildOptions bopts;
+  bopts.tile = tile;
+  bopts.k_iterations = 4;  // loop analysis does not depend on the trip count
+  bopts.emulation_instructions = opts.emulation_instructions;
+  bopts.latency_hiding = opts.latency_hiding;
+  const sass::BuiltKernel built = sass::build_egemm_kernel(bopts);
+  EGEMM_ENSURES(!sass::has_blocking_errors(built.diagnostics));
+}
+#endif
+
 }  // namespace
 
 Matrix emulated_gemm(const Matrix& a, const Matrix& b, const Matrix* c,
@@ -178,6 +217,9 @@ KernelTiming egemm_timing(std::uint64_t m, std::uint64_t n, std::uint64_t k,
   EGEMM_EXPECTS(m > 0 && n > 0 && k > 0);
   EGEMM_EXPECTS(opts.tile.valid());
   const TileConfig& tile = opts.tile;
+#ifndef NDEBUG
+  debug_lint_kernel(tile, opts);
+#endif
 
   KernelTiming timing;
 

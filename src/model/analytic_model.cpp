@@ -90,4 +90,15 @@ ModelEval evaluate_config(const gemm::TileConfig& config,
   return eval;
 }
 
+int estimated_registers_per_thread(const gemm::TileConfig& config,
+                                   int max_registers_per_thread) {
+  EGEMM_EXPECTS(config.valid());
+  const tcsim::AllocationResult regs = tcsim::allocate_registers(
+      tcsim::egemm_register_plan(config.bm, config.bn, config.bk, config.wm,
+                                 config.wn, config.wk,
+                                 config.threads_per_block()),
+      max_registers_per_thread);
+  return regs.per_thread;
+}
+
 }  // namespace egemm::model

@@ -78,4 +78,10 @@ struct ModelEval {
 ModelEval evaluate_config(const gemm::TileConfig& config,
                           const ResourceBudget& budget);
 
+/// The model's per-thread register estimate for a tiling (the §5.2 stage
+/// plan fed through the simulator's allocator) -- the reference the EG403
+/// lint pass cross-checks the SASS IR allocation against.
+int estimated_registers_per_thread(const gemm::TileConfig& config,
+                                   int max_registers_per_thread = 256);
+
 }  // namespace egemm::model

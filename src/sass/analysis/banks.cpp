@@ -1,0 +1,119 @@
+// EG301/EG302/EG310: bank-conflict analyses.
+//
+// Shared memory (EG301/EG302): the IR carries no shared addresses, so the
+// pass reconstructs the access patterns from the tiling context -- staging
+// stores follow tcsim's loading-phase layout, fragment loads read octets
+// of consecutive tile rows -- and scores them with the warp_layout bank
+// model. The diagnostic lands on the first LDS/STS site so the renderers
+// can quote a representative instruction.
+//
+// Registers (EG310): Turing's register file has two banks (index parity);
+// an instruction sourcing >= 3 distinct base registers from one bank needs
+// an extra operand-collector cycle. Only meaningful once operands are
+// physical, and the accumulator operand (source overlapping the
+// destination, forwarded in the pipeline) is exempt -- which is why the
+// generated HMMA sequences are clean by construction.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "sass/analysis/dataflow.hpp"
+#include "sass/analysis/passes.hpp"
+#include "tcsim/warp_layout.hpp"
+
+namespace egemm::sass::analysis {
+
+namespace {
+
+/// First site of `op` across the kernel, as a diagnostic anchor.
+bool find_first_site(const Kernel& kernel, Op op, SourceLoc* loc) {
+  const auto scan = [&](const std::vector<Instr>& instrs, Section section) {
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+      if (instrs[i].op == op) {
+        *loc = SourceLoc{section, i, -1};
+        return true;
+      }
+    }
+    return false;
+  };
+  return scan(kernel.prologue, Section::kPrologue) ||
+         scan(kernel.body, Section::kBody) ||
+         scan(kernel.epilogue, Section::kEpilogue);
+}
+
+void check_shared_banks(const Kernel& kernel, const AnalysisOptions& options,
+                        DiagnosticEngine& engine) {
+  if (!options.has_tile && options.shared_pitch_halves < 0) return;
+  const int bk = options.has_tile ? options.tile.bk : 0;
+  const int pitch_halves = options.shared_pitch_halves >= 0
+                               ? options.shared_pitch_halves
+                               : bk + 4;  // TileConfig's padded layout
+  if (pitch_halves < 2 || pitch_halves % 2 != 0) return;
+
+  SourceLoc loc;
+  if (options.has_tile && find_first_site(kernel, Op::kSts, &loc)) {
+    const int degree = tcsim::staging_conflict_degree(bk, pitch_halves);
+    if (degree > 1) {
+      engine.report("EG302", Severity::kWarning, loc,
+                    "STS staging stores hit each shared-memory bank " +
+                        std::to_string(degree) + " ways per phase (pitch " +
+                        std::to_string(pitch_halves) + " halves)");
+    }
+  }
+  if (find_first_site(kernel, Op::kLds, &loc)) {
+    const int rows =
+        options.has_tile ? std::max(options.tile.wm, options.tile.wn) : 32;
+    const int degree = tcsim::fragment_conflict_degree(rows, pitch_halves);
+    if (degree > 1) {
+      engine.report("EG301", Severity::kWarning, loc,
+                    "LDS fragment loads conflict " + std::to_string(degree) +
+                        "-way on the shared-memory banks (row pitch " +
+                        std::to_string(pitch_halves) +
+                        " halves; pad the pitch off the power of two)");
+    }
+  }
+}
+
+void check_register_banks(const Kernel& kernel, DiagnosticEngine& engine) {
+  const auto scan = [&](const std::vector<Instr>& instrs, Section section) {
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+      const Instr& instr = instrs[i];
+      // Distinct source base registers per bank (parity), skipping the
+      // forwarded accumulator operand.
+      std::vector<std::int32_t> bases[2];
+      for (const RegRange& src : instr.srcs) {
+        if (!src.valid() || src.overlaps(instr.dst)) continue;
+        std::vector<std::int32_t>& bank =
+            bases[static_cast<std::size_t>(src.index % 2)];
+        if (std::find(bank.begin(), bank.end(), src.index) == bank.end()) {
+          bank.push_back(src.index);
+        }
+      }
+      for (int b = 0; b < 2; ++b) {
+        if (bases[b].size() >= 3) {
+          engine.report("EG310", Severity::kNote,
+                        SourceLoc{section, i, -1},
+                        std::string(op_name(instr.op)) + " sources " +
+                            std::to_string(bases[b].size()) +
+                            " operands from register bank " +
+                            std::to_string(b) +
+                            " (extra operand-collector cycle)");
+        }
+      }
+    }
+  };
+  scan(kernel.prologue, Section::kPrologue);
+  scan(kernel.body, Section::kBody);
+  scan(kernel.epilogue, Section::kEpilogue);
+}
+
+}  // namespace
+
+void run_bank_conflict_pass(const Kernel& kernel,
+                            const AnalysisOptions& options,
+                            DiagnosticEngine& engine) {
+  check_shared_banks(kernel, options, engine);
+  if (options.physical_registers) check_register_banks(kernel, engine);
+}
+
+}  // namespace egemm::sass::analysis

@@ -1,0 +1,122 @@
+// EG110-EG112: dependency-barrier lifetime analysis.
+//
+// Two static checks over the whole kernel:
+//   EG110  a barrier is armed (write or read side) at some site but no
+//          instruction anywhere carries its bit in a wait mask -- the
+//          synchronization is lost and the barrier slot leaks;
+//   EG111  a wait mask names a barrier no instruction ever arms -- the
+//          wait is either dead weight or, worse, a missing arm.
+//
+// One dynamic check over the unrolled trace:
+//   EG112  "wait-mask liveness": a wait site never finds its barrier
+//          pending in ANY walked trip. First-trip-only emptiness (the
+//          steady-state pattern of waits whose arm rides the loop back
+//          edge, e.g. the fragment-read barrier) is deliberately not
+//          reported -- a site must be redundant in every encounter.
+#include <algorithm>
+#include <array>
+#include <map>
+#include <string>
+
+#include "sass/analysis/dataflow.hpp"
+#include "sass/analysis/passes.hpp"
+
+namespace egemm::sass::analysis {
+
+namespace {
+
+struct WaitSiteStats {
+  SourceLoc loc;
+  int encounters = 0;
+  int redundant = 0;
+};
+
+}  // namespace
+
+void run_barrier_lifetime_pass(const Kernel& kernel,
+                               const AnalysisOptions& options,
+                               DiagnosticEngine& engine) {
+  const int unroll = std::max(options.unroll, 2);
+
+  // Static masks: which barriers are armed / waited anywhere.
+  std::uint8_t armed_mask = 0;
+  std::uint8_t waited_mask = 0;
+  const auto scan = [&](const std::vector<Instr>& instrs) {
+    for (const Instr& instr : instrs) {
+      if (instr.ctrl.write_barrier >= 0) {
+        armed_mask |= static_cast<std::uint8_t>(1u << instr.ctrl.write_barrier);
+      }
+      if (instr.ctrl.read_barrier >= 0) {
+        armed_mask |= static_cast<std::uint8_t>(1u << instr.ctrl.read_barrier);
+      }
+      waited_mask |= instr.ctrl.wait_mask;
+    }
+  };
+  scan(kernel.prologue);
+  scan(kernel.body);
+  scan(kernel.epilogue);
+
+  const auto static_checks = [&](const std::vector<Instr>& instrs,
+                                 Section section) {
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+      const Instr& instr = instrs[i];
+      const SourceLoc loc{section, i, -1};
+      for (const int b : {instr.ctrl.write_barrier, instr.ctrl.read_barrier}) {
+        if (b >= 0 && (waited_mask & (1u << b)) == 0) {
+          engine.report("EG110", Severity::kWarning, loc,
+                        "dependency barrier " + std::to_string(b) +
+                            " armed here but never waited anywhere in the "
+                            "kernel");
+        }
+      }
+      for (int b = 0; b < kNumDepBarriers; ++b) {
+        if ((instr.ctrl.wait_mask & (1u << b)) != 0 &&
+            (armed_mask & (1u << b)) == 0) {
+          engine.report("EG111", Severity::kError, loc,
+                        "waits on dependency barrier " + std::to_string(b) +
+                            " which no instruction arms");
+        }
+      }
+    }
+  };
+  static_checks(kernel.prologue, Section::kPrologue);
+  static_checks(kernel.body, Section::kBody);
+  static_checks(kernel.epilogue, Section::kEpilogue);
+
+  // Dynamic redundancy: track per-barrier pending state through the trace
+  // and aggregate per wait site (section + index).
+  std::array<bool, kNumDepBarriers> pending{};
+  std::map<std::pair<int, std::size_t>, WaitSiteStats> wait_sites;
+  for_each_trace_instr(
+      kernel, unroll, [&](const Instr& instr, const SourceLoc& loc) {
+        if (instr.ctrl.wait_mask != 0) {
+          const auto key = std::make_pair(static_cast<int>(loc.section),
+                                          loc.index);
+          WaitSiteStats& stats = wait_sites[key];
+          stats.loc = SourceLoc{loc.section, loc.index, -1};
+          ++stats.encounters;
+          bool any_pending = false;
+          for (int b = 0; b < kNumDepBarriers; ++b) {
+            if ((instr.ctrl.wait_mask & (1u << b)) == 0) continue;
+            any_pending = any_pending || pending[static_cast<std::size_t>(b)];
+            pending[static_cast<std::size_t>(b)] = false;
+          }
+          if (!any_pending) ++stats.redundant;
+        }
+        for (const int b :
+             {instr.ctrl.write_barrier, instr.ctrl.read_barrier}) {
+          if (b >= 0) pending[static_cast<std::size_t>(b)] = true;
+        }
+      });
+  for (const auto& [key, stats] : wait_sites) {
+    (void)key;
+    if (stats.encounters > 0 && stats.redundant == stats.encounters) {
+      engine.report("EG112", Severity::kNote, stats.loc,
+                    "wait mask never finds a pending barrier in any of " +
+                        std::to_string(unroll) +
+                        " walked trips (redundant wait)");
+    }
+  }
+}
+
+}  // namespace egemm::sass::analysis

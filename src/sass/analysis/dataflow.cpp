@@ -1,0 +1,311 @@
+#include "sass/analysis/dataflow.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace egemm::sass::analysis {
+
+namespace {
+
+#if defined(__GNUC__) || defined(__clang__)
+int popcount64(std::uint64_t word) { return __builtin_popcountll(word); }
+#else
+int popcount64(std::uint64_t word) {
+  int bits = 0;
+  while (word != 0) {
+    word &= word - 1;
+    ++bits;
+  }
+  return bits;
+}
+#endif
+
+template <typename Fn>
+void for_each_reg(const RegRange& range, Fn&& fn) {
+  if (!range.valid()) return;
+  for (std::int32_t r = range.index; r < range.index + range.width; ++r) {
+    fn(r);
+  }
+}
+
+}  // namespace
+
+void Dataflow::Bitset::fill() {
+  std::fill(words.begin(), words.end(), ~std::uint64_t{0});
+  if (bits % 64 != 0 && !words.empty()) {
+    words.back() &= (std::uint64_t{1} << (bits % 64)) - 1;
+  }
+}
+
+bool Dataflow::Bitset::merge_or(const Bitset& other) {
+  bool changed = false;
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    const std::uint64_t merged = words[w] | other.words[w];
+    changed = changed || merged != words[w];
+    words[w] = merged;
+  }
+  return changed;
+}
+
+bool Dataflow::Bitset::merge_and(const Bitset& other) {
+  bool changed = false;
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    const std::uint64_t merged = words[w] & other.words[w];
+    changed = changed || merged != words[w];
+    words[w] = merged;
+  }
+  return changed;
+}
+
+std::size_t Dataflow::Bitset::count() const {
+  std::size_t total = 0;
+  for (const std::uint64_t word : words) {
+    total += static_cast<std::size_t>(popcount64(word));
+  }
+  return total;
+}
+
+Dataflow::Dataflow(const Kernel& kernel) {
+  flatten(kernel);
+  compute_liveness();
+  compute_initialization();
+  compute_def_use();
+}
+
+void Dataflow::flatten(const Kernel& kernel) {
+  instrs_.reserve(kernel.size());
+  for (std::size_t i = 0; i < kernel.prologue.size(); ++i) {
+    instrs_.push_back(
+        FlatInstr{&kernel.prologue[i], SourceLoc{Section::kPrologue, i, -1}});
+  }
+  body_begin_ = instrs_.size();
+  for (std::size_t i = 0; i < kernel.body.size(); ++i) {
+    instrs_.push_back(
+        FlatInstr{&kernel.body[i], SourceLoc{Section::kBody, i, -1}});
+  }
+  body_end_ = instrs_.size();
+  for (std::size_t i = 0; i < kernel.epilogue.size(); ++i) {
+    instrs_.push_back(
+        FlatInstr{&kernel.epilogue[i], SourceLoc{Section::kEpilogue, i, -1}});
+  }
+
+  num_regs_ = 0;
+  for (const FlatInstr& flat : instrs_) {
+    const Instr& instr = *flat.instr;
+    const auto observe = [this](const RegRange& range) {
+      if (range.valid()) {
+        num_regs_ = std::max(num_regs_, range.index + range.width);
+      }
+    };
+    observe(instr.dst);
+    for (const RegRange& src : instr.srcs) observe(src);
+  }
+}
+
+std::vector<std::size_t> Dataflow::successors(std::size_t i) const {
+  std::vector<std::size_t> succs;
+  const bool has_body = body_begin_ != body_end_;
+  const bool last_of_prologue = i + 1 == body_begin_;
+  const bool last_of_body = has_body && i + 1 == body_end_;
+  if (last_of_body) {
+    // Loop back edge plus the loop exit.
+    succs.push_back(body_begin_);
+    if (body_end_ < instrs_.size()) succs.push_back(body_end_);
+  } else if (last_of_prologue && !has_body) {
+    if (body_end_ < instrs_.size()) succs.push_back(body_end_);
+  } else if (i + 1 < instrs_.size()) {
+    succs.push_back(i + 1);
+  }
+  return succs;
+}
+
+std::vector<std::size_t> Dataflow::predecessors(std::size_t i) const {
+  std::vector<std::size_t> preds;
+  const bool has_body = body_begin_ != body_end_;
+  if (i == body_begin_ && has_body) {
+    if (body_begin_ > 0) preds.push_back(body_begin_ - 1);
+    preds.push_back(body_end_ - 1);  // back edge
+  } else if (i == body_end_) {
+    // First epilogue instruction: falls in from the loop exit (or straight
+    // from the prologue when the body is empty).
+    if (has_body) {
+      preds.push_back(body_end_ - 1);
+    } else if (body_begin_ > 0) {
+      preds.push_back(body_begin_ - 1);
+    }
+  } else if (i > 0) {
+    preds.push_back(i - 1);
+  }
+  return preds;
+}
+
+void Dataflow::compute_liveness() {
+  const std::size_t n = instrs_.size();
+  const auto regs = static_cast<std::size_t>(num_regs_);
+  live_in_.assign(n, Bitset(regs));
+  live_out_.assign(n, Bitset(regs));
+
+  std::vector<Bitset> defs(n, Bitset(regs));
+  std::vector<Bitset> uses(n, Bitset(regs));
+  for (std::size_t i = 0; i < n; ++i) {
+    const Instr& instr = *instrs_[i].instr;
+    for_each_reg(instr.dst, [&](std::int32_t r) {
+      defs[i].set(static_cast<std::size_t>(r));
+    });
+    for (const RegRange& src : instr.srcs) {
+      for_each_reg(src, [&](std::int32_t r) {
+        uses[i].set(static_cast<std::size_t>(r));
+      });
+    }
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t step = n; step > 0; --step) {
+      const std::size_t i = step - 1;
+      Bitset out(regs);
+      for (const std::size_t s : successors(i)) out.merge_or(live_in_[s]);
+      Bitset in = out;
+      for (std::size_t w = 0; w < in.words.size(); ++w) {
+        in.words[w] = (in.words[w] & ~defs[i].words[w]) | uses[i].words[w];
+      }
+      if (!(out == live_out_[i])) {
+        live_out_[i] = std::move(out);
+        changed = true;
+      }
+      if (!(in == live_in_[i])) {
+        live_in_[i] = std::move(in);
+        changed = true;
+      }
+    }
+  }
+
+  peak_live_ = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    peak_live_ = std::max(peak_live_, static_cast<int>(live_in_[i].count()));
+  }
+}
+
+void Dataflow::compute_initialization() {
+  const std::size_t n = instrs_.size();
+  const auto regs = static_cast<std::size_t>(num_regs_);
+  init_in_.assign(n, Bitset(regs));
+  std::vector<Bitset> init_out(n, Bitset(regs));
+  // Must-analysis: start from "everything initialized" (top) everywhere and
+  // shrink via intersection; the entry point alone starts empty.
+  for (std::size_t i = 0; i < n; ++i) {
+    init_in_[i].fill();
+    init_out[i].fill();
+  }
+  if (n != 0) init_in_[0] = Bitset(regs);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      Bitset in(regs);
+      const std::vector<std::size_t> preds = predecessors(i);
+      if (i == 0) {
+        // Kernel entry: no register starts initialized.
+      } else if (preds.empty()) {
+        in.fill();  // unreachable
+      } else {
+        in.fill();
+        for (const std::size_t p : preds) in.merge_and(init_out[p]);
+      }
+      if (!(in == init_in_[i])) {
+        init_in_[i] = in;
+        changed = true;
+      }
+      Bitset out = in;
+      for_each_reg(instrs_[i].instr->dst, [&](std::int32_t r) {
+        out.set(static_cast<std::size_t>(r));
+      });
+      if (!(out == init_out[i])) {
+        init_out[i] = std::move(out);
+        changed = true;
+      }
+    }
+  }
+}
+
+void Dataflow::compute_def_use() {
+  const std::size_t n = instrs_.size();
+  uses_of_def_.assign(n, {});
+  defs_of_use_.assign(n, {});
+
+  // Register-granular reaching definitions: reach[r] = def sites whose
+  // write to r may still be visible. The loop head merges the prologue
+  // exit with the body exit; iterate body sweeps until that merged state
+  // stabilizes, then run one recording sweep over every section.
+  std::vector<Bitset> reach(static_cast<std::size_t>(num_regs_), Bitset(n));
+
+  const auto transfer = [&](std::size_t i, bool record) {
+    const Instr& instr = *instrs_[i].instr;
+    if (record) {
+      for (const RegRange& src : instr.srcs) {
+        for_each_reg(src, [&](std::int32_t r) {
+          const Bitset& sites = reach[static_cast<std::size_t>(r)];
+          for (std::size_t d = 0; d < n; ++d) {
+            if (sites.test(d)) {
+              defs_of_use_[i].push_back(static_cast<std::uint32_t>(d));
+            }
+          }
+        });
+      }
+    }
+    for_each_reg(instr.dst, [&](std::int32_t r) {
+      Bitset& sites = reach[static_cast<std::size_t>(r)];
+      sites = Bitset(n);
+      sites.set(i);
+    });
+  };
+
+  for (std::size_t i = 0; i < body_begin_; ++i) transfer(i, false);
+  const std::vector<Bitset> prologue_exit = reach;
+  std::vector<Bitset> loop_head = prologue_exit;
+  bool head_changed = true;
+  while (head_changed) {
+    reach = loop_head;
+    for (std::size_t i = body_begin_; i < body_end_; ++i) transfer(i, false);
+    head_changed = false;
+    for (std::size_t r = 0; r < reach.size(); ++r) {
+      head_changed = loop_head[r].merge_or(reach[r]) || head_changed;
+    }
+  }
+
+  // Recording sweep: prologue from the empty entry state, body from the
+  // stabilized loop-head state, epilogue continuing from the body exit.
+  for (auto& sites : reach) sites = Bitset(n);
+  for (std::size_t i = 0; i < body_begin_; ++i) transfer(i, true);
+  reach = loop_head;
+  for (std::size_t i = body_begin_; i < body_end_; ++i) transfer(i, true);
+  for (std::size_t i = body_end_; i < n; ++i) transfer(i, true);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::uint32_t>& defs = defs_of_use_[i];
+    std::sort(defs.begin(), defs.end());
+    defs.erase(std::unique(defs.begin(), defs.end()), defs.end());
+    for (const std::uint32_t d : defs) uses_of_def_[d].push_back(
+        static_cast<std::uint32_t>(i));
+  }
+}
+
+bool Dataflow::live_out(std::size_t i, std::int32_t reg) const {
+  EGEMM_EXPECTS(i < instrs_.size() && reg >= 0 && reg < num_regs_);
+  return live_out_[i].test(static_cast<std::size_t>(reg));
+}
+
+bool Dataflow::live_in(std::size_t i, std::int32_t reg) const {
+  EGEMM_EXPECTS(i < instrs_.size() && reg >= 0 && reg < num_regs_);
+  return live_in_[i].test(static_cast<std::size_t>(reg));
+}
+
+bool Dataflow::definitely_initialized(std::size_t i, std::int32_t reg) const {
+  EGEMM_EXPECTS(i < instrs_.size() && reg >= 0 && reg < num_regs_);
+  return init_in_[i].test(static_cast<std::size_t>(reg));
+}
+
+}  // namespace egemm::sass::analysis

@@ -1,0 +1,133 @@
+#pragma once
+// Dataflow engine over the SASS kernel IR.
+//
+// The kernel's three sections form a three-block CFG:
+//
+//   prologue -> body <-+        (back edge: the loop executes >= 1 trip)
+//                 |____|
+//                 v
+//              epilogue
+//
+// On that graph the engine computes, to a fixpoint across the loop back
+// edge:
+//   * per-register liveness (backward, may-analysis),
+//   * definite initialization (forward, must-analysis: a register counts as
+//     initialized only when every path from kernel entry defines it),
+//   * reaching definitions at register granularity, exposed as def-use
+//     chains (which instructions may read the value a given instruction
+//     wrote, and which definitions may feed a given read).
+//
+// Passes built on top: uninitialized-read detection (EG201), dead-write
+// detection (EG202), and the register-pressure peak-live estimate (EG4xx).
+//
+// Register indexes may be virtual (pre-regalloc) or physical; the engine
+// does not care -- it sizes its sets from the largest index observed.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sass/analysis/diagnostics.hpp"
+#include "sass/ir.hpp"
+
+namespace egemm::sass::analysis {
+
+/// One instruction of the flattened kernel (prologue, body, epilogue
+/// concatenated) with its section-relative location.
+struct FlatInstr {
+  const Instr* instr = nullptr;
+  SourceLoc loc;
+};
+
+class Dataflow {
+ public:
+  explicit Dataflow(const Kernel& kernel);
+
+  std::size_t size() const noexcept { return instrs_.size(); }
+  const FlatInstr& at(std::size_t i) const { return instrs_[i]; }
+  /// 1 + the largest register index any operand touches.
+  std::int32_t num_regs() const noexcept { return num_regs_; }
+
+  /// May `reg` still be read after instruction `i` executes?
+  bool live_out(std::size_t i, std::int32_t reg) const;
+  /// May `reg` be read by an instruction at or after `i`'s program point?
+  bool live_in(std::size_t i, std::int32_t reg) const;
+  /// Is `reg` definitely written on every path reaching instruction `i`?
+  bool definitely_initialized(std::size_t i, std::int32_t reg) const;
+
+  /// Flattened indexes of instructions that may read the value written by
+  /// definition site `def` (empty when the write is dead).
+  const std::vector<std::uint32_t>& uses_of_def(std::size_t def) const {
+    return uses_of_def_[def];
+  }
+  /// Flattened indexes of definitions that may feed any source register of
+  /// instruction `use` (sorted, deduplicated).
+  const std::vector<std::uint32_t>& defs_of_use(std::size_t use) const {
+    return defs_of_use_[use];
+  }
+
+  /// Peak number of simultaneously live registers at any program point --
+  /// the analytic floor on the register allocation.
+  int peak_live() const noexcept { return peak_live_; }
+
+ private:
+  struct Bitset {
+    std::vector<std::uint64_t> words;
+    std::size_t bits = 0;
+
+    explicit Bitset(std::size_t n = 0) : words((n + 63) / 64, 0), bits(n) {}
+    void set(std::size_t i) { words[i >> 6] |= std::uint64_t{1} << (i & 63); }
+    void reset(std::size_t i) {
+      words[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+    }
+    bool test(std::size_t i) const {
+      return ((words[i >> 6] >> (i & 63)) & 1) != 0;
+    }
+    void fill();
+    /// this |= other; returns true when any bit changed.
+    bool merge_or(const Bitset& other);
+    /// this &= other; returns true when any bit changed.
+    bool merge_and(const Bitset& other);
+    std::size_t count() const;
+    friend bool operator==(const Bitset&, const Bitset&) = default;
+  };
+
+  void flatten(const Kernel& kernel);
+  void compute_liveness();
+  void compute_initialization();
+  void compute_def_use();
+  std::vector<std::size_t> successors(std::size_t i) const;
+  std::vector<std::size_t> predecessors(std::size_t i) const;
+
+  std::vector<FlatInstr> instrs_;
+  std::size_t body_begin_ = 0;   ///< flattened index of the first body instr
+  std::size_t body_end_ = 0;     ///< one past the last body instr
+  std::int32_t num_regs_ = 0;
+  int peak_live_ = 0;
+
+  std::vector<Bitset> live_in_;
+  std::vector<Bitset> live_out_;
+  std::vector<Bitset> init_in_;
+  std::vector<std::vector<std::uint32_t>> uses_of_def_;
+  std::vector<std::vector<std::uint32_t>> defs_of_use_;
+};
+
+/// Walks the execution trace -- prologue, `unroll` body trips, epilogue --
+/// invoking `fn(instr, loc)` with `loc.trip` set for body instructions.
+/// Trace-based passes (scoreboard, barrier lifetime, dead STS) share this.
+template <typename Fn>
+void for_each_trace_instr(const Kernel& kernel, int unroll, Fn&& fn) {
+  for (std::size_t i = 0; i < kernel.prologue.size(); ++i) {
+    fn(kernel.prologue[i], SourceLoc{Section::kPrologue, i, -1});
+  }
+  for (int trip = 0; trip < unroll; ++trip) {
+    for (std::size_t i = 0; i < kernel.body.size(); ++i) {
+      fn(kernel.body[i], SourceLoc{Section::kBody, i, trip});
+    }
+  }
+  for (std::size_t i = 0; i < kernel.epilogue.size(); ++i) {
+    fn(kernel.epilogue[i], SourceLoc{Section::kEpilogue, i, -1});
+  }
+}
+
+}  // namespace egemm::sass::analysis

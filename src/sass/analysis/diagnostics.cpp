@@ -1,0 +1,145 @@
+#include "sass/analysis/diagnostics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace egemm::sass::analysis {
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+const char* severity_name(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+const char* section_name(Section section) noexcept {
+  switch (section) {
+    case Section::kPrologue:
+      return "prologue";
+    case Section::kBody:
+      return "body";
+    case Section::kEpilogue:
+      return "epilogue";
+  }
+  return "?";
+}
+
+std::string SourceLoc::text() const {
+  std::string out = section_name(section);
+  if (trip >= 0) out += "[" + std::to_string(trip) + "]";
+  out += "[" + std::to_string(index) + "]";
+  return out;
+}
+
+void DiagnosticEngine::report(std::string code, Severity severity,
+                              SourceLoc loc, std::string message) {
+  if (per_code_cap_ != 0) {
+    std::size_t same_code = 0;
+    for (const Diagnostic& d : diagnostics_) {
+      if (d.code == code) ++same_code;
+    }
+    if (same_code >= per_code_cap_) {
+      ++suppressed_;
+      return;
+    }
+  }
+  diagnostics_.push_back(
+      Diagnostic{std::move(code), severity, loc, std::move(message)});
+}
+
+std::size_t DiagnosticEngine::count(Severity severity) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics_.begin(), diagnostics_.end(),
+                    [severity](const Diagnostic& d) {
+                      return d.severity == severity;
+                    }));
+}
+
+bool DiagnosticEngine::has_code(const std::string& code) const noexcept {
+  return std::any_of(
+      diagnostics_.begin(), diagnostics_.end(),
+      [&code](const Diagnostic& d) { return d.code == code; });
+}
+
+std::string DiagnosticEngine::render_text() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics_) {
+    out += d.code;
+    out += " ";
+    out += severity_name(d.severity);
+    out += " @ " + d.loc.text() + ": " + d.message + "\n";
+  }
+  out += std::to_string(errors()) + " error(s), " +
+         std::to_string(count(Severity::kWarning)) + " warning(s), " +
+         std::to_string(count(Severity::kNote)) + " note(s)";
+  if (suppressed_ != 0) {
+    out += " (+" + std::to_string(suppressed_) + " suppressed by per-code cap)";
+  }
+  out += "\n";
+  return out;
+}
+
+std::string DiagnosticEngine::render_json() const {
+  std::string out = "{\"diagnostics\":[";
+  for (std::size_t i = 0; i < diagnostics_.size(); ++i) {
+    const Diagnostic& d = diagnostics_[i];
+    if (i != 0) out += ",";
+    out += "{\"code\":";
+    append_json_string(out, d.code);
+    out += ",\"severity\":";
+    append_json_string(out, severity_name(d.severity));
+    out += ",\"section\":";
+    append_json_string(out, section_name(d.loc.section));
+    out += ",\"index\":" + std::to_string(d.loc.index);
+    out += ",\"trip\":" + std::to_string(d.loc.trip);
+    out += ",\"message\":";
+    append_json_string(out, d.message);
+    out += "}";
+  }
+  out += "],\"counts\":{\"error\":" + std::to_string(errors()) +
+         ",\"warning\":" + std::to_string(count(Severity::kWarning)) +
+         ",\"note\":" + std::to_string(count(Severity::kNote)) +
+         ",\"suppressed\":" + std::to_string(suppressed_) + "}}";
+  return out;
+}
+
+}  // namespace egemm::sass::analysis

@@ -1,0 +1,80 @@
+#pragma once
+// Shared diagnostic infrastructure for the SASS static-analysis passes.
+//
+// Every pass reports through one DiagnosticEngine so a lint run produces a
+// single ordered stream of findings with stable codes:
+//
+//   EG1xx  control-code hazards (scoreboard: RAW/WAR/WAW, barrier lifetime)
+//   EG2xx  liveness (uninitialized reads, dead writes, dead shared stores)
+//   EG3xx  bank conflicts (shared-memory phases, register operand banks)
+//   EG4xx  register pressure (near-spill, over budget, model cross-check)
+//
+// A diagnostic pins down *where* in the kernel it fired (section +
+// instruction index, plus the walked body trip for trace-based passes) so
+// the renderers can quote the offending instruction. The engine caps the
+// number of diagnostics kept per code (a broken kernel tends to repeat one
+// mistake hundreds of times) and counts what it suppressed.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace egemm::sass::analysis {
+
+enum class Severity : std::uint8_t { kNote, kWarning, kError };
+const char* severity_name(Severity severity) noexcept;
+
+enum class Section : std::uint8_t { kPrologue, kBody, kEpilogue };
+const char* section_name(Section section) noexcept;
+
+/// Location of a finding: instruction `index` within `section`; for passes
+/// that walk the unrolled trace, `trip` is the body iteration (else -1).
+struct SourceLoc {
+  Section section = Section::kBody;
+  std::size_t index = 0;
+  std::int32_t trip = -1;
+
+  /// "prologue[3]" / "body[1][12]" (trip then index) / "epilogue[0]".
+  std::string text() const;
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+struct Diagnostic {
+  std::string code;  ///< stable "EGnnn" identifier
+  Severity severity = Severity::kWarning;
+  SourceLoc loc;
+  std::string message;
+};
+
+class DiagnosticEngine {
+ public:
+  /// `per_code_cap` bounds how many diagnostics are kept per code;
+  /// 0 means unlimited (the verify_kernel adapter needs every occurrence).
+  explicit DiagnosticEngine(std::size_t per_code_cap = 25)
+      : per_code_cap_(per_code_cap) {}
+
+  void report(std::string code, Severity severity, SourceLoc loc,
+              std::string message);
+
+  const std::vector<Diagnostic>& diagnostics() const noexcept {
+    return diagnostics_;
+  }
+  std::size_t count(Severity severity) const noexcept;
+  std::size_t errors() const noexcept { return count(Severity::kError); }
+  /// Diagnostics dropped by the per-code cap.
+  std::size_t suppressed() const noexcept { return suppressed_; }
+  bool has_code(const std::string& code) const noexcept;
+
+  /// Human-readable report, one line per diagnostic plus a summary.
+  std::string render_text() const;
+  /// Machine-readable report: {"diagnostics": [...], "counts": {...}}.
+  std::string render_json() const;
+
+ private:
+  std::size_t per_code_cap_;
+  std::size_t suppressed_ = 0;
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace egemm::sass::analysis

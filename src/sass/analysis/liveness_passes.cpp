@@ -1,0 +1,99 @@
+// EG201-EG203: the liveness-family passes built on the Dataflow engine.
+//
+//   EG201  a source register is read at a point where the must-initialize
+//          analysis cannot prove a prior write on every path -- on real
+//          hardware this reads whatever the previous kernel left in the
+//          register file (the classic uninitialized-HMMA-source bug);
+//   EG202  a register write none of whose destination registers is live
+//          afterwards -- the value is unreachable by any reader;
+//   EG203  an STS whose staged data no LDS ever consumes in the walked
+//          trace. The IR carries no shared-memory addresses, so the model
+//          is coarse: a store site is dead only when EVERY dynamic
+//          instance is past the last LDS of the trace (body stores that
+//          feed the next trip's fragment loads via the back edge are
+//          therefore live, as they should be).
+#include <algorithm>
+#include <string>
+
+#include "sass/analysis/dataflow.hpp"
+#include "sass/analysis/passes.hpp"
+
+namespace egemm::sass::analysis {
+
+void run_uninitialized_read_pass(const Kernel& kernel, const Dataflow& dataflow,
+                                 DiagnosticEngine& engine) {
+  (void)kernel;
+  for (std::size_t i = 0; i < dataflow.size(); ++i) {
+    const FlatInstr& flat = dataflow.at(i);
+    for (const RegRange& src : flat.instr->srcs) {
+      if (!src.valid()) continue;
+      for (std::int32_t r = src.index; r < src.index + src.width; ++r) {
+        if (!dataflow.definitely_initialized(i, r)) {
+          engine.report("EG201", Severity::kError, flat.loc,
+                        std::string(op_name(flat.instr->op)) + " reads R" +
+                            std::to_string(r) +
+                            " which is not initialized on every path from "
+                            "kernel entry");
+        }
+      }
+    }
+  }
+}
+
+void run_dead_code_pass(const Kernel& kernel, const Dataflow& dataflow,
+                        const AnalysisOptions& options,
+                        DiagnosticEngine& engine) {
+  // EG202: dead register writes.
+  for (std::size_t i = 0; i < dataflow.size(); ++i) {
+    const FlatInstr& flat = dataflow.at(i);
+    const RegRange& dst = flat.instr->dst;
+    if (!dst.valid()) continue;
+    bool any_live = false;
+    for (std::int32_t r = dst.index; r < dst.index + dst.width; ++r) {
+      any_live = any_live || dataflow.live_out(i, r);
+    }
+    if (!any_live) {
+      engine.report("EG202", Severity::kWarning, flat.loc,
+                    std::string(op_name(flat.instr->op)) + " writes R" +
+                        std::to_string(dst.index) +
+                        (dst.width > 1 ? "." + std::to_string(dst.width) : "") +
+                        " but no instruction can ever read it (dead write)");
+    }
+  }
+
+  // EG203: dead shared stores, aggregated per site over the walked trace.
+  const int unroll = std::max(options.unroll, 2);
+  std::size_t position = 0;
+  std::size_t last_lds_position = 0;
+  bool any_lds = false;
+  struct StsSite {
+    SourceLoc loc;
+    std::size_t first_position = 0;
+  };
+  std::vector<StsSite> sts_sites;
+  for_each_trace_instr(
+      kernel, unroll, [&](const Instr& instr, const SourceLoc& loc) {
+        if (instr.op == Op::kLds) {
+          last_lds_position = position;
+          any_lds = true;
+        } else if (instr.op == Op::kSts) {
+          const SourceLoc site{loc.section, loc.index, -1};
+          const auto found =
+              std::find_if(sts_sites.begin(), sts_sites.end(),
+                           [&site](const StsSite& s) { return s.loc == site; });
+          if (found == sts_sites.end()) {
+            sts_sites.push_back(StsSite{site, position});
+          }
+        }
+        ++position;
+      });
+  for (const StsSite& site : sts_sites) {
+    if (!any_lds || site.first_position > last_lds_position) {
+      engine.report("EG203", Severity::kWarning, site.loc,
+                    "STS stores data that no LDS ever consumes (dead "
+                    "shared-memory store)");
+    }
+  }
+}
+
+}  // namespace egemm::sass::analysis

@@ -1,0 +1,99 @@
+#pragma once
+// The SASS lint passes. Each pass reads a Kernel (plus optional context in
+// AnalysisOptions) and reports through a DiagnosticEngine.
+//
+// Diagnostic code table (see DESIGN.md "SASS static analysis"):
+//
+//   EG101 error   RAW: source read before waiting on its load barrier
+//   EG102 error   RAW: source read from an in-flight load with no barrier
+//   EG103 error   WAR: destination overwritten with a pending guarded read
+//   EG104 error   WAW: destination overwritten while a load is in flight
+//   EG105 error   dependency barrier re-armed while guarding registers
+//   EG110 warning dependency barrier armed but never waited anywhere
+//   EG111 error   wait on a dependency barrier no instruction arms
+//   EG112 note    wait never finds its barrier pending (redundant wait)
+//   EG201 error   source register read before any definite initialization
+//   EG202 warning register write that no instruction can ever read
+//   EG203 warning STS whose data no LDS ever consumes (dead shared store)
+//   EG301 warning shared-memory bank conflicts in the LDS fragment loads
+//   EG302 warning shared-memory bank conflicts in the STS staging stores
+//   EG310 note    >= 3 source operands drawn from one register bank
+//   EG401 warning register allocation within 10% of the budget (near-spill)
+//   EG402 error   register demand exceeds the per-thread budget
+//   EG403 warning IR register usage diverges from the analytic model (Eq. 8)
+//
+// The scoreboard pass is the old src/sass/verifier.cpp logic rehosted;
+// verify_kernel() remains as a thin adapter over it.
+
+#include "gemm/tiling.hpp"
+#include "sass/analysis/dataflow.hpp"
+#include "sass/analysis/diagnostics.hpp"
+#include "sass/ir.hpp"
+#include "sass/regalloc.hpp"
+
+namespace egemm::sass::analysis {
+
+struct AnalysisOptions {
+  /// Body trips the trace-based passes walk (>= 2 catches cross-iteration
+  /// hazards; 3 is the default used across the test suite).
+  int unroll = 3;
+
+  /// Tiling context for the bank-conflict and register-pressure passes;
+  /// leave `has_tile` false for kernels of unknown provenance (e.g. a
+  /// hand-written .sass file) and those passes degrade gracefully.
+  gemm::TileConfig tile;
+  bool has_tile = false;
+
+  /// Shared-memory row pitch in halves for the bank model; -1 derives the
+  /// padded pitch (bk + 4) from `tile`, matching TileConfig's layout.
+  int shared_pitch_halves = -1;
+
+  /// Per-thread register budget for the pressure pass.
+  int register_budget = 255;
+  /// Regalloc outcome, when the caller ran it (enables EG401/EG402/EG403
+  /// against the real allocation instead of the dataflow peak-live bound).
+  const AllocationReport* alloc = nullptr;
+  /// True once operands are physical R0..R255; enables the register-bank
+  /// model (bank assignment is meaningless for virtual indexes).
+  bool physical_registers = false;
+};
+
+/// EG101-EG105: the dependency-barrier scoreboard (RAW/WAR/WAW hazards and
+/// guarded barrier reuse) over the unrolled trace.
+void run_scoreboard_pass(const Kernel& kernel, const AnalysisOptions& options,
+                         DiagnosticEngine& engine);
+
+/// EG110-EG112: barrier lifetime -- armed-but-never-waited, waits on
+/// never-armed barriers, and waits that are redundant in every walked trip.
+void run_barrier_lifetime_pass(const Kernel& kernel,
+                               const AnalysisOptions& options,
+                               DiagnosticEngine& engine);
+
+/// EG201: reads of registers not definitely initialized on every path.
+void run_uninitialized_read_pass(const Kernel& kernel, const Dataflow& dataflow,
+                                 DiagnosticEngine& engine);
+
+/// EG202/EG203: dead register writes (liveness) and dead shared stores
+/// (no LDS consumes any dynamic instance of the STS in the walked trace).
+void run_dead_code_pass(const Kernel& kernel, const Dataflow& dataflow,
+                        const AnalysisOptions& options,
+                        DiagnosticEngine& engine);
+
+/// EG301/EG302/EG310: shared-memory bank conflicts via the
+/// tcsim::warp_layout access patterns, and register-operand bank conflicts
+/// (Turing's two-bank register file) once operands are physical.
+void run_bank_conflict_pass(const Kernel& kernel,
+                            const AnalysisOptions& options,
+                            DiagnosticEngine& engine);
+
+/// EG401-EG403: register pressure against the budget and the analytic
+/// model's per-thread estimate (Eq. 8's no-spill constraint).
+void run_register_pressure_pass(const Kernel& kernel, const Dataflow& dataflow,
+                                const AnalysisOptions& options,
+                                DiagnosticEngine& engine);
+
+/// Runs every pass (one shared Dataflow construction).
+void run_all_passes(const Kernel& kernel, const AnalysisOptions& options,
+                    DiagnosticEngine& engine);
+
+}  // namespace egemm::sass::analysis

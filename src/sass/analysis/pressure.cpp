@@ -1,0 +1,85 @@
+// EG401-EG403: register pressure, and the run_all_passes driver.
+//
+// The demand figure prefers the strongest evidence available: a completed
+// regalloc report, else the physical index span, else the dataflow
+// engine's peak-live bound (a floor on any allocation). EG403 cross-checks
+// that demand against the analytic model's per-thread estimate for the
+// tiling (the no-spill input to Eq. 8) -- a divergence beyond 2x in either
+// direction means the IR and the model are no longer describing the same
+// kernel.
+#include <algorithm>
+#include <string>
+
+#include "model/analytic_model.hpp"
+#include "sass/analysis/dataflow.hpp"
+#include "sass/analysis/passes.hpp"
+
+namespace egemm::sass::analysis {
+
+void run_register_pressure_pass(const Kernel& kernel, const Dataflow& dataflow,
+                                const AnalysisOptions& options,
+                                DiagnosticEngine& engine) {
+  (void)kernel;
+  // Kernel-level findings anchor on the first instruction.
+  const SourceLoc loc{Section::kPrologue, 0, -1};
+  const int budget = options.register_budget;
+
+  int demand = 0;
+  std::string basis;
+  if (options.alloc != nullptr && options.alloc->success) {
+    demand = options.alloc->physical_registers;
+    basis = "allocated";
+  } else if (options.alloc != nullptr) {
+    engine.report("EG402", Severity::kError, loc,
+                  "register allocation failed against a budget of " +
+                      std::to_string(budget) + " registers" +
+                      (options.alloc->errors.empty()
+                           ? std::string()
+                           : ": " + options.alloc->errors.front()));
+    demand = dataflow.peak_live();
+    basis = "peak-live";
+  } else if (options.physical_registers) {
+    demand = dataflow.num_regs();
+    basis = "physical-span";
+  } else {
+    demand = dataflow.peak_live();
+    basis = "peak-live";
+  }
+
+  if (demand > budget) {
+    engine.report("EG402", Severity::kError, loc,
+                  basis + " register demand " + std::to_string(demand) +
+                      " exceeds the per-thread budget of " +
+                      std::to_string(budget));
+  } else if (demand * 10 >= budget * 9) {
+    engine.report("EG401", Severity::kWarning, loc,
+                  basis + " register demand " + std::to_string(demand) +
+                      " is within 10% of the budget of " +
+                      std::to_string(budget) + " (near-spill)");
+  }
+
+  if (options.has_tile) {
+    const int estimate = model::estimated_registers_per_thread(
+        options.tile, std::max(budget, 1));
+    if (estimate > 0 && (demand > 2 * estimate || estimate > 2 * demand)) {
+      engine.report("EG403", Severity::kWarning, loc,
+                    basis + " register demand " + std::to_string(demand) +
+                        " diverges from the analytic model's estimate of " +
+                        std::to_string(estimate) + " for tile " +
+                        options.tile.describe());
+    }
+  }
+}
+
+void run_all_passes(const Kernel& kernel, const AnalysisOptions& options,
+                    DiagnosticEngine& engine) {
+  const Dataflow dataflow(kernel);
+  run_scoreboard_pass(kernel, options, engine);
+  run_barrier_lifetime_pass(kernel, options, engine);
+  run_uninitialized_read_pass(kernel, dataflow, engine);
+  run_dead_code_pass(kernel, dataflow, options, engine);
+  run_bank_conflict_pass(kernel, options, engine);
+  run_register_pressure_pass(kernel, dataflow, options, engine);
+}
+
+}  // namespace egemm::sass::analysis

@@ -1,0 +1,48 @@
+#include "sass/build.hpp"
+
+#include "sass/analysis/passes.hpp"
+#include "util/assert.hpp"
+
+namespace egemm::sass {
+
+BuiltKernel build_egemm_kernel(const BuildOptions& options) {
+  EGEMM_EXPECTS(options.tile.valid());
+  EGEMM_EXPECTS(options.k_iterations >= 1);
+
+  BuiltKernel built;
+  CodegenParams params;
+  params.tile = options.tile;
+  params.k_iterations = options.k_iterations;
+  params.emulation_instructions = options.emulation_instructions;
+  built.kernel = generate_egemm_kernel(params);
+  if (options.latency_hiding) {
+    built.schedule = schedule_latency_hiding(built.kernel);
+  }
+
+  analysis::AnalysisOptions aopts;
+  aopts.unroll = options.lint_unroll;
+  aopts.tile = options.tile;
+  aopts.has_tile = true;
+  aopts.register_budget = options.register_budget;
+  if (options.allocate) {
+    built.alloc =
+        allocate_kernel_registers(built.kernel, options.register_budget);
+    aopts.alloc = &built.alloc;
+    aopts.physical_registers = built.alloc.success;
+  }
+  analysis::run_all_passes(built.kernel, aopts, built.diagnostics);
+  return built;
+}
+
+bool has_blocking_errors(const analysis::DiagnosticEngine& engine) {
+  for (const analysis::Diagnostic& diagnostic : engine.diagnostics()) {
+    if (diagnostic.severity != analysis::Severity::kError) continue;
+    if (diagnostic.code.rfind("EG1", 0) == 0 ||
+        diagnostic.code.rfind("EG2", 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace egemm::sass

@@ -1,0 +1,45 @@
+#pragma once
+// One-call kernel build pipeline: codegen -> §5.1 schedule -> §5.2
+// regalloc, with the static-analysis passes run over the result. This is
+// the entry the sass_lint tool and the GEMM layer's debug self-check
+// share, so "the kernel we time is the kernel the lint passes bless"
+// holds by construction.
+
+#include "sass/analysis/diagnostics.hpp"
+#include "sass/codegen.hpp"
+#include "sass/regalloc.hpp"
+#include "sass/schedule.hpp"
+
+namespace egemm::sass {
+
+struct BuildOptions {
+  gemm::TileConfig tile = gemm::table4_config();
+  std::uint32_t k_iterations = 256;
+  int emulation_instructions = 4;  ///< Alg. 1 (4) or Dekker-style (16)
+  /// Apply the §5.1 latency-hiding schedule (false = the naive ablation).
+  bool latency_hiding = true;
+  /// Run the §5.2 register allocator (false leaves operands virtual).
+  bool allocate = true;
+  int register_budget = 255;
+  /// Body trips the trace-based lint passes walk.
+  int lint_unroll = 3;
+};
+
+struct BuiltKernel {
+  Kernel kernel;
+  ScheduleStats schedule;      ///< zeroes when latency_hiding is off
+  AllocationReport alloc;      ///< success=false when allocate is off
+  analysis::DiagnosticEngine diagnostics;
+};
+
+/// Runs the pipeline and lints the result.
+BuiltKernel build_egemm_kernel(const BuildOptions& options);
+
+/// True when `engine` holds an error-severity hazard or liveness finding
+/// (EG1xx/EG2xx) -- the classes that mean the generated kernel would
+/// compute wrong answers, as opposed to resource findings (EG4xx) that
+/// merely mean the tiling does not fit. The debug self-check asserts on
+/// exactly these.
+bool has_blocking_errors(const analysis::DiagnosticEngine& engine);
+
+}  // namespace egemm::sass

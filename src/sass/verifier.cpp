@@ -1,168 +1,32 @@
 #include "sass/verifier.hpp"
 
-#include <set>
 #include <string>
+
+#include "sass/analysis/diagnostics.hpp"
+#include "sass/analysis/passes.hpp"
 
 namespace egemm::sass {
 
-namespace {
-
-struct Scoreboard {
-  /// In-flight load results not yet attached to a barrier (earlier members
-  /// of a load group; the group's last member arms the barrier for all).
-  /// Tracked per pipe -- the shared-memory (LDS) and global (LDG) pipes
-  /// each complete in order internally but not relative to each other, so
-  /// a barrier armed by an LDS must not adopt in-flight LDG results.
-  std::set<std::int32_t> unguarded_lds;
-  std::set<std::int32_t> unguarded_ldg;
-  /// Register -> barrier guarding its in-flight write.
-  std::set<std::pair<std::int32_t, std::int32_t>> pending_writes;  // (reg, b)
-  /// Register -> barrier guarding its pending read (WAR protection).
-  std::set<std::pair<std::int32_t, std::int32_t>> pending_reads;
-  std::vector<Violation>* out = nullptr;
-
-  void fail(const std::string& where, std::size_t index,
-            const std::string& message) {
-    out->push_back(Violation{where, index, message});
-  }
-
-  bool write_pending(std::int32_t reg) const {
-    for (const auto& [r, b] : pending_writes) {
-      (void)b;
-      if (r == reg) return true;
-    }
-    return false;
-  }
-  bool read_pending(std::int32_t reg) const {
-    for (const auto& [r, b] : pending_reads) {
-      (void)b;
-      if (r == reg) return true;
-    }
-    return false;
-  }
-  bool barrier_busy(std::int32_t barrier) const {
-    for (const auto& [r, b] : pending_writes) {
-      (void)r;
-      if (b == barrier) return true;
-    }
-    for (const auto& [r, b] : pending_reads) {
-      (void)r;
-      if (b == barrier) return true;
-    }
-    return false;
-  }
-
-  void clear_barrier(std::int32_t barrier) {
-    for (auto it = pending_writes.begin(); it != pending_writes.end();) {
-      it = it->second == barrier ? pending_writes.erase(it) : std::next(it);
-    }
-    for (auto it = pending_reads.begin(); it != pending_reads.end();) {
-      it = it->second == barrier ? pending_reads.erase(it) : std::next(it);
-    }
-  }
-
-  void step(const Instr& instr, const std::string& where, std::size_t index) {
-    // 1. Waits clear barriers before issue.
-    for (int b = 0; b < kNumDepBarriers; ++b) {
-      if (instr.ctrl.wait_mask & (1u << b)) clear_barrier(b);
-    }
-
-    // 2. Source hazards.
-    for (const RegRange& src : instr.srcs) {
-      if (!src.valid()) continue;
-      for (std::int32_t r = src.index; r < src.index + src.width; ++r) {
-        if (write_pending(r)) {
-          fail(where, index,
-               "RAW: reads R" + std::to_string(r) +
-                   " before waiting on its load barrier");
-        } else if (unguarded_lds.count(r) != 0 ||
-                   unguarded_ldg.count(r) != 0) {
-          fail(where, index,
-               "RAW: reads R" + std::to_string(r) +
-                   " from an in-flight load with no barrier armed");
-        }
-      }
-    }
-
-    // 3. Destination hazards.
-    if (instr.dst.valid() && instr.op != Op::kMov) {
-      for (std::int32_t r = instr.dst.index; r < instr.dst.index + instr.dst.width;
-           ++r) {
-        if (read_pending(r)) {
-          fail(where, index,
-               "WAR: overwrites R" + std::to_string(r) +
-                   " with a pending guarded read");
-        }
-        if (write_pending(r) || unguarded_lds.count(r) != 0 ||
-            unguarded_ldg.count(r) != 0) {
-          fail(where, index,
-               "WAW: overwrites R" + std::to_string(r) +
-                   " while a load into it is in flight");
-        }
-      }
-    }
-
-    // 4. Arm this instruction's effects.
-    const bool is_load = instr.op == Op::kLdg || instr.op == Op::kLds;
-    std::set<std::int32_t>* pipe =
-        instr.op == Op::kLds ? &unguarded_lds
-        : instr.op == Op::kLdg ? &unguarded_ldg
-                               : nullptr;
-    if (is_load && instr.dst.valid()) {
-      for (std::int32_t r = instr.dst.index; r < instr.dst.index + instr.dst.width;
-           ++r) {
-        pipe->insert(r);
-      }
-    }
-    if (instr.ctrl.write_barrier >= 0) {
-      if (barrier_busy(instr.ctrl.write_barrier)) {
-        fail(where, index,
-             "barrier " + std::to_string(instr.ctrl.write_barrier) +
-                 " re-armed while still guarding registers");
-      }
-      // The barrier adopts every unguarded in-flight load of this pipe
-      // (in-order completion within a pipe: the group's last completion
-      // implies the earlier ones).
-      if (pipe != nullptr) {
-        for (const std::int32_t r : *pipe) {
-          pending_writes.emplace(r, instr.ctrl.write_barrier);
-        }
-        pipe->clear();
-      }
-    }
-    if (instr.ctrl.read_barrier >= 0) {
-      for (const RegRange& src : instr.srcs) {
-        if (!src.valid()) continue;
-        // An accumulator that is both source and destination (HMMA's
-        // D = A x B + C with D == C) is read-then-written inside the
-        // pipeline; it needs no WAR protection against later writers.
-        if (src.overlaps(instr.dst)) continue;
-        for (std::int32_t r = src.index; r < src.index + src.width; ++r) {
-          pending_reads.emplace(r, instr.ctrl.read_barrier);
-        }
-      }
-    }
-  }
-};
-
-}  // namespace
-
+// The scoreboard itself lives in sass/analysis/scoreboard.cpp as the
+// EG101-EG105 lint pass; this entry point keeps the original Violation
+// interface (and exact message text) for callers that want a plain list.
 std::vector<Violation> verify_kernel(const Kernel& kernel, int unroll) {
-  std::vector<Violation> violations;
-  Scoreboard board;
-  board.out = &violations;
+  // Unlimited per-code cap: verification wants every occurrence, not the
+  // lint renderers' truncated view.
+  analysis::DiagnosticEngine engine(0);
+  analysis::AnalysisOptions options;
+  options.unroll = unroll;
+  analysis::run_scoreboard_pass(kernel, options, engine);
 
-  for (std::size_t i = 0; i < kernel.prologue.size(); ++i) {
-    board.step(kernel.prologue[i], "prologue", i);
-  }
-  for (int trip = 0; trip < unroll; ++trip) {
-    const std::string where = "body[" + std::to_string(trip) + "]";
-    for (std::size_t i = 0; i < kernel.body.size(); ++i) {
-      board.step(kernel.body[i], where, i);
+  std::vector<Violation> violations;
+  violations.reserve(engine.diagnostics().size());
+  for (const analysis::Diagnostic& diagnostic : engine.diagnostics()) {
+    std::string where = analysis::section_name(diagnostic.loc.section);
+    if (diagnostic.loc.section == analysis::Section::kBody) {
+      where += "[" + std::to_string(diagnostic.loc.trip) + "]";
     }
-  }
-  for (std::size_t i = 0; i < kernel.epilogue.size(); ++i) {
-    board.step(kernel.epilogue[i], "epilogue", i);
+    violations.push_back(
+        Violation{std::move(where), diagnostic.loc.index, diagnostic.message});
   }
   return violations;
 }

@@ -1,6 +1,9 @@
 #include "tcsim/warp_layout.hpp"
 
 #include <algorithm>
+#include <array>
+#include <map>
+#include <utility>
 
 #include "util/assert.hpp"
 
@@ -48,6 +51,73 @@ std::vector<ThreadSlice> loading_slices(int rows, int cols, int element_bytes,
     }
   }
   return slices;
+}
+
+int bank_conflict_degree(const std::vector<int>& word_addrs) {
+  constexpr int kBanks = 32;
+  // Distinct starting words per bank; duplicates broadcast for free.
+  std::array<std::vector<int>, kBanks> words_in_bank{};
+  for (const int word : word_addrs) {
+    EGEMM_EXPECTS(word >= 0);
+    std::vector<int>& words = words_in_bank[static_cast<std::size_t>(
+        word % kBanks)];
+    if (std::find(words.begin(), words.end(), word) == words.end()) {
+      words.push_back(word);
+    }
+  }
+  std::size_t worst = 0;
+  for (const std::vector<int>& words : words_in_bank) {
+    worst = std::max(worst, words.size());
+  }
+  return static_cast<int>(worst);
+}
+
+int staging_conflict_degree(int cols, int pitch_halves) {
+  EGEMM_EXPECTS(cols >= 8 && cols % 8 == 0);
+  EGEMM_EXPECTS(pitch_halves >= cols && pitch_halves % 2 == 0);
+  const ThreadLayout layout = loading_layout(32, cols, /*element_bytes=*/2);
+  EGEMM_EXPECTS(cols % (layout.x * 8) == 0);
+
+  // Walk enough passes (32 rows) to expose mod-32 wrap effects, grouping
+  // each pass's slices into its four quarter-warp phases.
+  const std::vector<ThreadSlice> slices =
+      loading_slices(32, cols, /*element_bytes=*/2, layout);
+  struct PhaseWords {
+    std::array<std::vector<int>, 4> words;
+  };
+  std::map<std::pair<int, int>, PhaseWords> passes;  // (row0, col0) -> phases
+  for (const ThreadSlice& slice : slices) {
+    const int ty = slice.thread / layout.x;
+    const int tx = slice.thread % layout.x;
+    const auto pass_key = std::make_pair(slice.row - ty, slice.col - tx * 8);
+    const int word = (slice.row * pitch_halves + slice.col) / 2;
+    passes[pass_key]
+        .words[static_cast<std::size_t>(slice.thread / 8)]
+        .push_back(word);
+  }
+  int worst = 0;
+  for (const auto& [key, phases] : passes) {
+    (void)key;
+    for (const std::vector<int>& words : phases.words) {
+      worst = std::max(worst, bank_conflict_degree(words));
+    }
+  }
+  return worst;
+}
+
+int fragment_conflict_degree(int rows, int pitch_halves) {
+  EGEMM_EXPECTS(rows >= 1);
+  EGEMM_EXPECTS(pitch_halves >= 2 && pitch_halves % 2 == 0);
+  const int pitch_words = pitch_halves / 2;
+  int worst = 0;
+  for (int row0 = 0; row0 < rows; row0 += 8) {
+    std::vector<int> words;
+    for (int row = row0; row < std::min(row0 + 8, rows); ++row) {
+      words.push_back(row * pitch_words);
+    }
+    worst = std::max(worst, bank_conflict_degree(words));
+  }
+  return worst;
 }
 
 WarpSharing warp_sharing(const gemm::TileConfig& config) {

@@ -57,6 +57,25 @@ std::vector<ThreadSlice> loading_slices(int rows, int cols, int element_bytes,
 /// guide: one warp, 32 lanes, collaborative fragment ops).
 constexpr ThreadLayout compute_layout() noexcept { return ThreadLayout{32, 1}; }
 
+/// Shared memory has 32 banks of 4-byte words; a 128-bit access issues in
+/// quarter-warp phases of 8 lanes and conflicts when two lanes of a phase
+/// start in *different* words of the same bank (same-word access is a
+/// broadcast/merge). Returns the worst per-bank multiplicity of the given
+/// starting-word addresses (1 = conflict-free, 0 for no addresses).
+int bank_conflict_degree(const std::vector<int>& word_addrs);
+
+/// Worst phase conflict degree of the staging stores (STS.128): a warp
+/// stores tile rows of `cols` halves under loading_layout/loading_slices
+/// into shared rows of `pitch_halves` halves. `cols` must fill whole
+/// lane rows (cols % (layout.x * 8) == 0) and the pitch whole words.
+int staging_conflict_degree(int cols, int pitch_halves);
+
+/// Worst octet conflict degree of the fragment loads (LDS): groups of 8
+/// lanes read 8 consecutive tile rows at `pitch_halves`. The padded pitch
+/// (bk + 4 halves) makes this 1; the unpadded power-of-two pitch makes
+/// every octet collide 4-way (the conflict Table 4's padding removes).
+int fragment_conflict_degree(int rows, int pitch_halves);
+
 /// Which warps of a block consume a given block-tile fragment during the
 /// computation phase (Fig. 5's sharing): for the A block tile, every warp
 /// whose warp-tile rows intersect the fragment's rows.

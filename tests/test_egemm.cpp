@@ -50,9 +50,10 @@ INSTANTIATE_TEST_SUITE_P(
                       Shape{33, 65, 47},    // edge tiles on every dimension
                       Shape{1, 1, 1}, Shape{256, 16, 16},
                       Shape{16, 256, 128}),
-    [](const ::testing::TestParamInfo<Shape>& info) {
-      return std::to_string(info.param.m) + "x" +
-             std::to_string(info.param.n) + "x" + std::to_string(info.param.k);
+    [](const ::testing::TestParamInfo<Shape>& shape) {
+      return std::to_string(shape.param.m) + "x" +
+             std::to_string(shape.param.n) + "x" +
+             std::to_string(shape.param.k);
     });
 
 TEST(EgemmFunctional, AccumulatesC) {

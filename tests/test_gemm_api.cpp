@@ -50,8 +50,8 @@ TEST_P(BackendDispatchTest, TimingIsPositiveAndFinite) {
 INSTANTIATE_TEST_SUITE_P(
     AllBackends, BackendDispatchTest,
     ::testing::ValuesIn(all_backends()),
-    [](const ::testing::TestParamInfo<Backend>& info) {
-      std::string name = backend_name(info.param);
+    [](const ::testing::TestParamInfo<Backend>& backend) {
+      std::string name = backend_name(backend.param);
       for (char& c : name) {
         if (c == '-' || c == ' ') c = '_';
       }

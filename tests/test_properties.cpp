@@ -82,8 +82,8 @@ TEST_P(FeasibleTilingTest, GeneratedKernelVerifiesAndAllocates) {
 
 INSTANTIATE_TEST_SUITE_P(
     SolverFeasible, FeasibleTilingTest, ::testing::ValuesIn(feasible_tilings()),
-    [](const ::testing::TestParamInfo<gemm::TileConfig>& info) {
-      const gemm::TileConfig& c = info.param;
+    [](const ::testing::TestParamInfo<gemm::TileConfig>& tiling) {
+      const gemm::TileConfig& c = tiling.param;
       return std::to_string(c.bm) + "_" + std::to_string(c.bn) + "_" +
              std::to_string(c.bk) + "__" + std::to_string(c.wm) + "_" +
              std::to_string(c.wn) + "_" + std::to_string(c.wk);

@@ -1,0 +1,465 @@
+// Tests for the SASS static-analysis framework (sass/analysis/): the
+// dataflow engine, every lint pass's broken-kernel trigger, the diagnostic
+// engine, and the acceptance property that the default EGEMM build lints
+// clean of errors.
+#include "sass/analysis/passes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sass/analysis/dataflow.hpp"
+#include "sass/build.hpp"
+#include "sass/codegen.hpp"
+#include "sass/schedule.hpp"
+#include "sass/verifier.hpp"
+
+namespace egemm::sass::analysis {
+namespace {
+
+Instr make(Op op, RegRange dst, std::vector<RegRange> srcs = {}) {
+  Instr instr;
+  instr.op = op;
+  instr.dst = dst;
+  instr.srcs = std::move(srcs);
+  return instr;
+}
+
+BuiltKernel default_build() {
+  BuildOptions options;
+  options.k_iterations = 8;
+  return build_egemm_kernel(options);
+}
+
+// -- acceptance: the shipped kernel is clean -------------------------------
+
+TEST(SassAnalysis, DefaultKernelLintsWithZeroErrors) {
+  const BuiltKernel built = default_build();
+  ASSERT_TRUE(built.alloc.success);
+  EXPECT_GT(built.schedule.hoisted_lds, 0u);
+  EXPECT_EQ(built.diagnostics.errors(), 0u)
+      << built.diagnostics.render_text();
+  EXPECT_FALSE(has_blocking_errors(built.diagnostics))
+      << built.diagnostics.render_text();
+}
+
+TEST(SassAnalysis, DefaultKernelKnownFindings) {
+  const BuiltKernel built = default_build();
+  // The one expected warning: codegen's sixth context MOV is never read.
+  EXPECT_TRUE(built.diagnostics.has_code("EG202"));
+  // Barrier lifetime is clean -- in particular the loop-carried waits
+  // (arm rides the back edge, first trip finds nothing pending) must NOT
+  // be called redundant.
+  EXPECT_FALSE(built.diagnostics.has_code("EG110"));
+  EXPECT_FALSE(built.diagnostics.has_code("EG111"));
+  EXPECT_FALSE(built.diagnostics.has_code("EG112"));
+  // The padded shared layout and the accumulator-exempt register-bank rule
+  // keep the bank passes quiet.
+  EXPECT_FALSE(built.diagnostics.has_code("EG301"));
+  EXPECT_FALSE(built.diagnostics.has_code("EG302"));
+  EXPECT_FALSE(built.diagnostics.has_code("EG310"));
+}
+
+// -- dataflow engine -------------------------------------------------------
+
+TEST(SassDataflow, LivenessCrossesTheLoopBackEdge) {
+  Kernel kernel;
+  kernel.prologue.push_back(make(Op::kMov, RegRange{0, 1}));
+  kernel.body.push_back(
+      make(Op::kIadd, RegRange{1, 1}, {RegRange{0, 1}}));  // reads R0
+  kernel.body.push_back(
+      make(Op::kIadd, RegRange{0, 1}, {RegRange{1, 1}}));  // rewrites R0
+  kernel.epilogue.push_back(make(Op::kStg, RegRange{}, {RegRange{1, 1}}));
+  const Dataflow dataflow(kernel);
+
+  // R0 written by the last body instruction is consumed by the next trip's
+  // first instruction: live across the back edge.
+  EXPECT_TRUE(dataflow.live_out(2, 0));
+  // The read of R0 at body[0] may see the prologue MOV or the previous
+  // trip's IADD -- both definitions reach around the loop.
+  EXPECT_EQ(dataflow.defs_of_use(1).size(), 2u);
+  // The prologue MOV is definitely initialized everywhere downstream.
+  EXPECT_TRUE(dataflow.definitely_initialized(1, 0));
+  EXPECT_GE(dataflow.peak_live(), 1);
+}
+
+TEST(SassDataflow, MustInitializationRejectsUnwrittenRegisters) {
+  Kernel kernel;
+  kernel.body.push_back(
+      make(Op::kIadd, RegRange{0, 1}, {RegRange{5, 1}}));  // R5 never written
+  const Dataflow dataflow(kernel);
+  EXPECT_FALSE(dataflow.definitely_initialized(0, 5));
+  EXPECT_TRUE(dataflow.defs_of_use(0).empty());
+}
+
+// -- scoreboard pass (EG101-EG105) ----------------------------------------
+
+AnalysisOptions trace_options(int unroll = 3) {
+  AnalysisOptions options;
+  options.unroll = unroll;
+  return options;
+}
+
+TEST(SassAnalysis, MissingHmmaWaitIsEG101) {
+  Kernel kernel = generate_egemm_kernel(CodegenParams{});
+  bool mutated = false;
+  for (Instr& instr : kernel.body) {
+    if (instr.op == Op::kHmma && instr.ctrl.wait_mask != 0) {
+      instr.ctrl.wait_mask = 0;
+      mutated = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(mutated);
+  DiagnosticEngine engine;
+  run_scoreboard_pass(kernel, trace_options(), engine);
+  EXPECT_TRUE(engine.has_code("EG101")) << engine.render_text();
+}
+
+TEST(SassAnalysis, UnguardedInFlightReadIsEG102) {
+  Kernel kernel;
+  kernel.body.push_back(make(Op::kLds, RegRange{0, 4}, {RegRange{8, 1}}));
+  kernel.body.push_back(
+      make(Op::kFfma, RegRange{4, 1}, {RegRange{0, 1}}));  // no barrier at all
+  DiagnosticEngine engine;
+  run_scoreboard_pass(kernel, trace_options(1), engine);
+  EXPECT_TRUE(engine.has_code("EG102")) << engine.render_text();
+}
+
+TEST(SassAnalysis, CrossIterationWarNeedsUnrollTwoPlus) {
+  // The ISSUE's edge case: strip the WAR wait from the scheduled kernel's
+  // first body LDS group (the buffer-0 prime). Trip 0 is clean -- nothing
+  // guards the buffer yet -- so walking one trip misses the hazard; from
+  // trip 1 on, the previous trip's HMMA read guard is pending and the
+  // overwrite is a WAR violation.
+  Kernel kernel = generate_egemm_kernel(CodegenParams{});
+  schedule_latency_hiding(kernel);
+  bool mutated = false;
+  for (Instr& instr : kernel.body) {
+    if (instr.op == Op::kLds) {
+      ASSERT_NE(instr.ctrl.wait_mask, 0);
+      instr.ctrl.wait_mask = 0;
+      mutated = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(mutated);
+
+  DiagnosticEngine one_trip;
+  run_scoreboard_pass(kernel, trace_options(1), one_trip);
+  EXPECT_FALSE(one_trip.has_code("EG103")) << one_trip.render_text();
+
+  DiagnosticEngine three_trips;
+  run_scoreboard_pass(kernel, trace_options(3), three_trips);
+  ASSERT_TRUE(three_trips.has_code("EG103")) << three_trips.render_text();
+  for (const Diagnostic& d : three_trips.diagnostics()) {
+    if (d.code == "EG103") {
+      EXPECT_GE(d.loc.trip, 1);
+    }
+  }
+}
+
+TEST(SassAnalysis, OverwritingInFlightLoadIsEG104) {
+  Kernel kernel;
+  Instr ldg = make(Op::kLdg, RegRange{0, 4}, {RegRange{8, 1}});
+  ldg.ctrl.write_barrier = 0;
+  kernel.body.push_back(ldg);
+  kernel.body.push_back(make(Op::kIadd, RegRange{0, 1}, {RegRange{8, 1}}));
+  DiagnosticEngine engine;
+  run_scoreboard_pass(kernel, trace_options(1), engine);
+  EXPECT_TRUE(engine.has_code("EG104")) << engine.render_text();
+}
+
+TEST(SassAnalysis, GuardedBarrierReuseIsEG105) {
+  // The ISSUE's edge case: re-arming a barrier whose registers are still
+  // guarded (no intervening wait).
+  Kernel kernel;
+  Instr ldg = make(Op::kLdg, RegRange{0, 4}, {RegRange{8, 1}});
+  ldg.ctrl.write_barrier = 0;
+  kernel.body.push_back(ldg);
+  Instr ldg2 = make(Op::kLdg, RegRange{4, 4}, {RegRange{8, 1}});
+  ldg2.ctrl.write_barrier = 0;
+  kernel.body.push_back(ldg2);
+  DiagnosticEngine engine;
+  run_scoreboard_pass(kernel, trace_options(1), engine);
+  EXPECT_TRUE(engine.has_code("EG105")) << engine.render_text();
+}
+
+// -- barrier lifetime (EG110-EG112) ---------------------------------------
+
+TEST(SassAnalysis, ArmedButNeverWaitedIsEG110) {
+  Kernel kernel;
+  Instr ldg = make(Op::kLdg, RegRange{0, 4}, {RegRange{8, 1}});
+  ldg.ctrl.write_barrier = 2;
+  kernel.body.push_back(ldg);
+  DiagnosticEngine engine;
+  run_barrier_lifetime_pass(kernel, trace_options(), engine);
+  EXPECT_TRUE(engine.has_code("EG110")) << engine.render_text();
+}
+
+TEST(SassAnalysis, WaitOnNeverArmedBarrierIsEG111) {
+  Kernel kernel;
+  Instr iadd = make(Op::kIadd, RegRange{0, 1}, {RegRange{0, 1}});
+  iadd.ctrl.wait_mask = 1u << 3;
+  kernel.body.push_back(iadd);
+  DiagnosticEngine engine;
+  run_barrier_lifetime_pass(kernel, trace_options(), engine);
+  EXPECT_TRUE(engine.has_code("EG111")) << engine.render_text();
+  EXPECT_EQ(engine.errors(), 1u);
+}
+
+TEST(SassAnalysis, WaitRedundantInEveryTripIsEG112) {
+  Kernel kernel;
+  Instr ldg = make(Op::kLdg, RegRange{0, 4}, {RegRange{8, 1}});
+  ldg.ctrl.write_barrier = 0;
+  Instr wait_once = make(Op::kIadd, RegRange{4, 1}, {RegRange{4, 1}});
+  wait_once.ctrl.wait_mask = 1u << 0;
+  Instr wait_again = wait_once;
+  kernel.body.push_back(ldg);
+  kernel.body.push_back(wait_once);   // clears barrier 0
+  kernel.body.push_back(wait_again);  // never finds it pending
+  DiagnosticEngine engine;
+  run_barrier_lifetime_pass(kernel, trace_options(), engine);
+  ASSERT_TRUE(engine.has_code("EG112")) << engine.render_text();
+  // Only the second wait site is redundant; and it is a note, not an error.
+  EXPECT_EQ(engine.errors(), 0u);
+  for (const Diagnostic& d : engine.diagnostics()) {
+    if (d.code == "EG112") {
+      EXPECT_EQ(d.loc.index, 2u);
+    }
+  }
+}
+
+// -- liveness passes (EG201-EG203) ----------------------------------------
+
+TEST(SassAnalysis, UninitializedHmmaSourceIsEG201) {
+  // The ISSUE's edge case: an HMMA consuming fragment registers no load
+  // ever wrote.
+  Kernel kernel;
+  kernel.prologue.push_back(make(Op::kMov, RegRange{0, 4}));  // acc only
+  kernel.body.push_back(make(
+      Op::kHmma, RegRange{0, 4},
+      {RegRange{4, 4}, RegRange{8, 4}, RegRange{0, 4}}));  // A/B unwritten
+  const Dataflow dataflow(kernel);
+  DiagnosticEngine engine;
+  run_uninitialized_read_pass(kernel, dataflow, engine);
+  ASSERT_TRUE(engine.has_code("EG201")) << engine.render_text();
+  EXPECT_GT(engine.errors(), 0u);
+}
+
+TEST(SassAnalysis, DeadRegisterWriteIsEG202) {
+  Kernel kernel;
+  kernel.prologue.push_back(make(Op::kMov, RegRange{0, 1}));
+  kernel.prologue.push_back(make(Op::kMov, RegRange{1, 1}));
+  kernel.epilogue.push_back(make(Op::kStg, RegRange{}, {RegRange{0, 1}}));
+  const Dataflow dataflow(kernel);
+  DiagnosticEngine engine;
+  run_dead_code_pass(kernel, dataflow, trace_options(), engine);
+  ASSERT_TRUE(engine.has_code("EG202")) << engine.render_text();
+  for (const Diagnostic& d : engine.diagnostics()) {
+    EXPECT_EQ(d.loc.index, 1u);  // only the unread MOV
+  }
+}
+
+TEST(SassAnalysis, DeadSharedStoreIsEG203) {
+  // The ISSUE's edge case: an STS whose data no LDS ever consumes. The
+  // body STS is live (it feeds the next trip's fragment loads around the
+  // back edge); the epilogue STS is past every LDS in the trace -- dead.
+  Kernel kernel;
+  kernel.prologue.push_back(make(Op::kMov, RegRange{0, 4}));
+  kernel.prologue.push_back(make(Op::kMov, RegRange{8, 1}));
+  kernel.body.push_back(
+      make(Op::kLds, RegRange{4, 4}, {RegRange{8, 1}}));
+  kernel.body.push_back(
+      make(Op::kSts, RegRange{}, {RegRange{8, 1}, RegRange{0, 4}}));
+  kernel.epilogue.push_back(
+      make(Op::kSts, RegRange{}, {RegRange{8, 1}, RegRange{4, 4}}));
+  const Dataflow dataflow(kernel);
+  DiagnosticEngine engine;
+  run_dead_code_pass(kernel, dataflow, trace_options(), engine);
+  ASSERT_TRUE(engine.has_code("EG203")) << engine.render_text();
+  for (const Diagnostic& d : engine.diagnostics()) {
+    if (d.code == "EG203") {
+      EXPECT_EQ(d.loc.section, Section::kEpilogue);
+    }
+  }
+}
+
+// -- bank conflicts (EG301/EG302/EG310) -----------------------------------
+
+TEST(SassAnalysis, UnpaddedSharedPitchIsEG301) {
+  Kernel kernel = generate_egemm_kernel(CodegenParams{});
+  AnalysisOptions options = trace_options();
+  options.tile = gemm::table4_config();
+  options.has_tile = true;
+  options.shared_pitch_halves = options.tile.bk;  // power-of-two pitch
+  DiagnosticEngine engine;
+  run_bank_conflict_pass(kernel, options, engine);
+  EXPECT_TRUE(engine.has_code("EG301")) << engine.render_text();
+  EXPECT_EQ(engine.errors(), 0u);  // bank findings are warnings
+}
+
+TEST(SassAnalysis, PaddedSharedPitchIsCleanOfEG301) {
+  Kernel kernel = generate_egemm_kernel(CodegenParams{});
+  AnalysisOptions options = trace_options();
+  options.tile = gemm::table4_config();
+  options.has_tile = true;  // default pitch bk + 4
+  DiagnosticEngine engine;
+  run_bank_conflict_pass(kernel, options, engine);
+  EXPECT_FALSE(engine.has_code("EG301")) << engine.render_text();
+  EXPECT_FALSE(engine.has_code("EG302")) << engine.render_text();
+}
+
+TEST(SassAnalysis, ConflictingStagingPitchIsEG302) {
+  Kernel kernel = generate_egemm_kernel(CodegenParams{});
+  AnalysisOptions options = trace_options();
+  options.tile = gemm::table4_config();
+  options.has_tile = true;
+  // A 64-half (32-word) pitch folds successive lane rows onto the same
+  // banks during the 128-bit staging stores.
+  options.shared_pitch_halves = 64;
+  DiagnosticEngine engine;
+  run_bank_conflict_pass(kernel, options, engine);
+  EXPECT_TRUE(engine.has_code("EG302")) << engine.render_text();
+}
+
+TEST(SassAnalysis, ThreeSameBankSourcesAreEG310) {
+  Kernel kernel;
+  kernel.prologue.push_back(make(Op::kMov, RegRange{0, 1}));
+  kernel.prologue.push_back(make(Op::kMov, RegRange{2, 1}));
+  kernel.prologue.push_back(make(Op::kMov, RegRange{4, 1}));
+  kernel.body.push_back(
+      make(Op::kFfma, RegRange{7, 1},
+           {RegRange{0, 1}, RegRange{2, 1}, RegRange{4, 1}}));  // bank 0 x3
+  AnalysisOptions options = trace_options();
+  options.physical_registers = true;
+  DiagnosticEngine engine;
+  run_bank_conflict_pass(kernel, options, engine);
+  EXPECT_TRUE(engine.has_code("EG310")) << engine.render_text();
+
+  // Without the physical-register claim the pass stays silent: virtual
+  // indexes carry no bank assignment.
+  AnalysisOptions virtual_options = trace_options();
+  DiagnosticEngine virtual_engine;
+  run_bank_conflict_pass(kernel, virtual_options, virtual_engine);
+  EXPECT_FALSE(virtual_engine.has_code("EG310"));
+}
+
+// -- register pressure (EG401-EG403) --------------------------------------
+
+TEST(SassAnalysis, NearBudgetAllocationIsEG401) {
+  BuiltKernel built = default_build();
+  ASSERT_TRUE(built.alloc.success);
+  const Dataflow dataflow(built.kernel);
+  AnalysisOptions options = trace_options();
+  options.alloc = &built.alloc;
+  options.register_budget = built.alloc.physical_registers;  // exactly fits
+  DiagnosticEngine engine;
+  run_register_pressure_pass(built.kernel, dataflow, options, engine);
+  EXPECT_TRUE(engine.has_code("EG401")) << engine.render_text();
+  EXPECT_FALSE(engine.has_code("EG402"));
+}
+
+TEST(SassAnalysis, OverBudgetAllocationIsEG402) {
+  BuiltKernel built = default_build();
+  ASSERT_TRUE(built.alloc.success);
+  const Dataflow dataflow(built.kernel);
+  AnalysisOptions options = trace_options();
+  options.alloc = &built.alloc;
+  options.register_budget = built.alloc.physical_registers - 1;
+  DiagnosticEngine engine;
+  run_register_pressure_pass(built.kernel, dataflow, options, engine);
+  EXPECT_TRUE(engine.has_code("EG402")) << engine.render_text();
+  EXPECT_GT(engine.errors(), 0u);
+}
+
+TEST(SassAnalysis, ModelDivergenceIsEG403) {
+  // A trivial kernel claiming to implement the Table 4 tiling: its
+  // register demand sits far below the model's estimate.
+  Kernel kernel;
+  kernel.prologue.push_back(make(Op::kMov, RegRange{0, 1}));
+  kernel.body.push_back(make(Op::kIadd, RegRange{0, 1}, {RegRange{0, 1}}));
+  const Dataflow dataflow(kernel);
+  AnalysisOptions options = trace_options();
+  options.tile = gemm::table4_config();
+  options.has_tile = true;
+  DiagnosticEngine engine;
+  run_register_pressure_pass(kernel, dataflow, options, engine);
+  EXPECT_TRUE(engine.has_code("EG403")) << engine.render_text();
+}
+
+// -- blocking-error classification ----------------------------------------
+
+TEST(SassAnalysis, OnlyHazardAndLivenessErrorsBlock) {
+  DiagnosticEngine resource_only;
+  resource_only.report("EG402", Severity::kError, SourceLoc{}, "over budget");
+  EXPECT_FALSE(has_blocking_errors(resource_only));
+
+  DiagnosticEngine hazard;
+  hazard.report("EG101", Severity::kError, SourceLoc{}, "raw");
+  EXPECT_TRUE(has_blocking_errors(hazard));
+
+  DiagnosticEngine warning_only;
+  warning_only.report("EG202", Severity::kWarning, SourceLoc{}, "dead");
+  EXPECT_FALSE(has_blocking_errors(warning_only));
+}
+
+// -- diagnostics engine ----------------------------------------------------
+
+TEST(SassDiagnostics, PerCodeCapSuppresses) {
+  DiagnosticEngine engine(2);
+  for (int i = 0; i < 5; ++i) {
+    engine.report("EG101", Severity::kError, SourceLoc{}, "x");
+  }
+  engine.report("EG202", Severity::kWarning, SourceLoc{}, "y");
+  EXPECT_EQ(engine.diagnostics().size(), 3u);
+  EXPECT_EQ(engine.suppressed(), 3u);
+  EXPECT_EQ(engine.errors(), 2u);
+  EXPECT_NE(engine.render_text().find("suppressed"), std::string::npos);
+}
+
+TEST(SassDiagnostics, JsonRendererEscapes) {
+  DiagnosticEngine engine;
+  engine.report("EG101", Severity::kError,
+                SourceLoc{Section::kBody, 7, 2}, "says \"quoted\"");
+  const std::string json = engine.render_json();
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"section\":\"body\""), std::string::npos);
+  EXPECT_NE(json.find("\"index\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"trip\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"counts\""), std::string::npos);
+}
+
+TEST(SassDiagnostics, SourceLocTextFormat) {
+  EXPECT_EQ((SourceLoc{Section::kPrologue, 3, -1}.text()), "prologue[3]");
+  EXPECT_EQ((SourceLoc{Section::kBody, 12, 1}.text()), "body[1][12]");
+  EXPECT_EQ((SourceLoc{Section::kEpilogue, 0, -1}.text()), "epilogue[0]");
+}
+
+// -- verify_kernel adapter -------------------------------------------------
+
+TEST(SassVerifierAdapter, PreservesWhereStrings) {
+  Kernel kernel;
+  Instr ldg = make(Op::kLdg, RegRange{0, 4}, {RegRange{8, 1}});
+  ldg.ctrl.write_barrier = 0;
+  kernel.prologue.push_back(ldg);
+  kernel.prologue.push_back(
+      make(Op::kIadd, RegRange{0, 1}, {RegRange{8, 1}}));  // WAW in prologue
+  Instr body_ldg = ldg;
+  body_ldg.dst = RegRange{4, 4};
+  kernel.body.push_back(body_ldg);  // re-arms barrier 0 each trip
+  const std::vector<Violation> violations = verify_kernel(kernel, 2);
+  ASSERT_GE(violations.size(), 3u);
+  EXPECT_EQ(violations[0].where, "prologue");
+  EXPECT_EQ(violations[0].index, 1u);
+  bool saw_trip0 = false, saw_trip1 = false;
+  for (const Violation& v : violations) {
+    saw_trip0 = saw_trip0 || v.where == "body[0]";
+    saw_trip1 = saw_trip1 || v.where == "body[1]";
+  }
+  EXPECT_TRUE(saw_trip0);
+  EXPECT_TRUE(saw_trip1);
+}
+
+}  // namespace
+}  // namespace egemm::sass::analysis

@@ -137,7 +137,9 @@ TEST(SassRegalloc, RewritesOperandsConsistently) {
     if (virt.dst.valid()) {
       const auto [it, inserted] =
           mapping.emplace(virt.dst.index, phys.dst.index);
-      if (!inserted) EXPECT_EQ(it->second, phys.dst.index);
+      if (!inserted) {
+        EXPECT_EQ(it->second, phys.dst.index);
+      }
       EXPECT_LT(phys.dst.index + phys.dst.width, 256);
     }
   }

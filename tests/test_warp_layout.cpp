@@ -84,6 +84,34 @@ INSTANTIATE_TEST_SUITE_P(
                       LayoutCase{8, 64, 4}, LayoutCase{64, 8, 2},
                       LayoutCase{16, 20, 4}));  // ragged row length
 
+TEST(BankModel, ConflictDegreeCountsDistinctWordsPerBank) {
+  EXPECT_EQ(bank_conflict_degree({}), 0);
+  EXPECT_EQ(bank_conflict_degree({0, 1, 2, 3}), 1);   // all different banks
+  EXPECT_EQ(bank_conflict_degree({0, 32}), 2);        // same bank, new word
+  EXPECT_EQ(bank_conflict_degree({0, 0, 0}), 1);      // broadcast is free
+  EXPECT_EQ(bank_conflict_degree({5, 37, 69, 6}), 3);
+}
+
+TEST(BankModel, PaddedStagingPitchIsConflictFree) {
+  // The padded Table 4 layout: bk = 32 halves staged at pitch bk + 4 = 36.
+  EXPECT_EQ(staging_conflict_degree(32, 36), 1);
+  // An unpadded power-of-two pitch also happens to be clean for the
+  // row-major 128-bit staging stores (successive lanes walk the row).
+  EXPECT_EQ(staging_conflict_degree(32, 32), 1);
+  // A two-row (64-half) pitch folds the phase's two lane rows onto the
+  // same banks.
+  EXPECT_EQ(staging_conflict_degree(32, 64), 2);
+}
+
+TEST(BankModel, FragmentLoadsNeedThePaddedPitch) {
+  // The fragment LDS reads a column of tile rows; with a 16-word row the
+  // octet lands on two banks (4-way conflict), the 18-word padded row
+  // spreads it across eight.
+  EXPECT_EQ(fragment_conflict_degree(64, 36), 1);
+  EXPECT_EQ(fragment_conflict_degree(64, 32), 4);
+  EXPECT_EQ(fragment_conflict_degree(8, 36), 1);
+}
+
 TEST(WarpSharingMap, Table4FragmentsAreShared) {
   const WarpSharing sharing = warp_sharing(gemm::table4_config());
   // 2 row bands x 4 column bands of warps.
