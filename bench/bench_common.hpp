@@ -41,4 +41,62 @@ inline double geomean(const std::vector<double>& values) {
   return std::exp(log_sum / static_cast<double>(values.size()));
 }
 
+// -- machine-readable results ------------------------------------------------
+
+/// One measured benchmark row for the persistent JSON artifact.
+struct BenchRecord {
+  std::string name;            ///< benchmark name incl. size, e.g. "X/1024"
+  double ns_per_iter = 0.0;    ///< real time per iteration
+  double items_per_second = 0.0;  ///< rate counter (FLOP/s for GEMM benches)
+};
+
+inline void append_json_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Writes the benchmark records as a small self-describing JSON document
+/// (consumed by CI as an artifact; "gflops" is items_per_second / 1e9 and is
+/// GFLOP/s for the GEMM benches, whose item count is the FLOP count).
+inline bool write_bench_json(const std::string& path,
+                             const std::string& git_sha,
+                             const std::vector<BenchRecord>& records) {
+  std::string out = "{\n  \"git_sha\": \"";
+  append_json_escaped(out, git_sha);
+  out += "\",\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    char buf[160];
+    out += "    {\"name\": \"";
+    append_json_escaped(out, r.name);
+    std::snprintf(buf, sizeof(buf),
+                  "\", \"ns_per_iter\": %.6g, \"items_per_second\": %.6g, "
+                  "\"gflops\": %.6g}%s\n",
+                  r.ns_per_iter, r.items_per_second, r.items_per_second / 1e9,
+                  i + 1 < records.size() ? "," : "");
+    out += buf;
+  }
+  out += "  ]\n}\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  return std::fclose(f) == 0 && ok;
+}
+
 }  // namespace egemm::bench

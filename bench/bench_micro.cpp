@@ -1,12 +1,21 @@
 // google-benchmark microbenchmarks for the CPU-side primitives: binary16
 // conversion, data splits, the functional Tensor Core tile, the emulated
-// tile algorithms, the pipeline simulator and a small end-to-end GEMM.
-// These measure the *substrate's* host performance (useful when extending
-// the library), not the simulated GPU numbers of the fig/table benches.
+// tile algorithms, the pipeline simulator and an end-to-end GEMM on both
+// execution engines. These measure the *substrate's* host performance
+// (useful when extending the library), not the simulated GPU numbers of
+// the fig/table benches.
+//
+// Extra flags on top of google-benchmark's own:
+//   --smoke        drop the 1024^3 GEMM sizes and shorten the min time (CI)
+//   --json=PATH    where to write the machine-readable results
+//                  (default BENCH_micro.json in the working directory)
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/emulation.hpp"
 #include "core/split.hpp"
 #include "gemm/baselines.hpp"
@@ -128,18 +137,19 @@ void BM_PipelineSimulate(benchmark::State& state) {
 }
 BENCHMARK(BM_PipelineSimulate)->Arg(32)->Arg(256);
 
-void BM_EgemmMultiply(benchmark::State& state) {
+void BM_EgemmMultiply(benchmark::State& state, gemm::ExecEngine engine) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const gemm::Matrix a = gemm::random_matrix(n, n, -1, 1, 5);
   const gemm::Matrix b = gemm::random_matrix(n, n, -1, 1, 6);
+  gemm::EgemmOptions opts;
+  opts.engine = engine;
   for (auto _ : state) {
-    const gemm::Matrix d = gemm::egemm_multiply(a, b);
+    const gemm::Matrix d = gemm::egemm_multiply(a, b, nullptr, opts);
     benchmark::DoNotOptimize(d.data().data());
   }
   state.SetItemsProcessed(state.iterations() * 2 *
                           static_cast<std::int64_t>(n * n * n));
 }
-BENCHMARK(BM_EgemmMultiply)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_SgemmFp32(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -154,6 +164,104 @@ void BM_SgemmFp32(benchmark::State& state) {
 }
 BENCHMARK(BM_SgemmFp32)->Arg(128)->Arg(256);
 
+/// Console reporter that also captures every per-iteration run so main()
+/// can persist the results as JSON after the sweep.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      egemm::bench::BenchRecord rec;
+      rec.name = run.benchmark_name();
+      if (run.iterations > 0) {
+        rec.ns_per_iter = run.real_accumulated_time /
+                          static_cast<double>(run.iterations) * 1e9;
+      }
+      // google-benchmark finalizes rate counters against CPU time, which
+      // under-counts work done on pool worker threads; rescale to a
+      // wall-clock rate so the GEMM GFLOP/s numbers are meaningful.
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end() && run.real_accumulated_time > 0.0) {
+        rec.items_per_second = it->second.value * run.cpu_accumulated_time /
+                               run.real_accumulated_time;
+      }
+      records_.push_back(std::move(rec));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<egemm::bench::BenchRecord>& records() const {
+    return records_;
+  }
+
+ private:
+  std::vector<egemm::bench::BenchRecord> records_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+#ifndef EGEMM_GIT_SHA
+#define EGEMM_GIT_SHA "unknown"
+#endif
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_micro.json";
+  bool min_time_given = false;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      if (std::strncmp(argv[i], "--benchmark_min_time", 20) == 0) {
+        min_time_given = true;
+      }
+      passthrough.push_back(argv[i]);
+    }
+  }
+  // The smoke sweep is a CI regression canary: tiny min time, no 1024^3.
+  std::string min_time_arg = "--benchmark_min_time=0.05";
+  if (smoke && !min_time_given) passthrough.push_back(min_time_arg.data());
+
+  // The end-to-end GEMM sweep runs both engines at each size so the JSON
+  // artifact always carries the packed-vs-reference ratio. The full sweep
+  // adds the 1024^3 headline size (README's perf table; several seconds on
+  // the reference engine).
+  std::vector<std::int64_t> sizes = {64, 128, 256};
+  if (!smoke) sizes.push_back(1024);
+  for (const std::int64_t n : sizes) {
+    benchmark::RegisterBenchmark("BM_EgemmMultiply",
+                                 [](benchmark::State& state) {
+                                   BM_EgemmMultiply(
+                                       state, gemm::ExecEngine::kPacked);
+                                 })
+        ->Arg(n);
+    benchmark::RegisterBenchmark("BM_EgemmMultiplyReference",
+                                 [](benchmark::State& state) {
+                                   BM_EgemmMultiply(
+                                       state, gemm::ExecEngine::kReference);
+                                 })
+        ->Arg(n);
+  }
+
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!egemm::bench::write_bench_json(json_path, EGEMM_GIT_SHA,
+                                      reporter.records())) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s (%zu records, sha %s)\n", json_path.c_str(),
+               reporter.records().size(), EGEMM_GIT_SHA);
+  return 0;
+}

@@ -1,8 +1,45 @@
 #include "core/split.hpp"
 
+#include <algorithm>
+#ifndef NDEBUG
+#include <atomic>
+#endif
+
+#include "fp/half_batch.hpp"
 #include "util/assert.hpp"
 
 namespace egemm::core {
+
+namespace {
+
+#ifndef NDEBUG
+std::atomic<std::uint64_t> g_split_elements{0};
+#endif
+
+inline void count_split(std::size_t elements) noexcept {
+#ifndef NDEBUG
+  g_split_elements.fetch_add(elements, std::memory_order_relaxed);
+#else
+  (void)elements;
+#endif
+}
+
+constexpr std::size_t kChunk = 512;  // staging rows live in L1
+
+inline fp::Rounding split_rounding(SplitMethod method) noexcept {
+  return method == SplitMethod::kRoundSplit ? fp::Rounding::kNearestEven
+                                            : fp::Rounding::kTowardZero;
+}
+
+}  // namespace
+
+std::uint64_t debug_split_elements() noexcept {
+#ifndef NDEBUG
+  return g_split_elements.load(std::memory_order_relaxed);
+#else
+  return 0;
+#endif
+}
 
 const char* split_method_name(SplitMethod method) noexcept {
   switch (method) {
@@ -33,20 +70,43 @@ double combine_scalar(SplitHalves halves) noexcept {
 void split_span(std::span<const float> input, std::span<fp::Half> hi,
                 std::span<fp::Half> lo, SplitMethod method) {
   EGEMM_EXPECTS(input.size() == hi.size() && input.size() == lo.size());
-  for (std::size_t i = 0; i < input.size(); ++i) {
-    const SplitHalves halves = split_scalar(input[i], method);
-    hi[i] = halves.hi;
-    lo[i] = halves.lo;
+  count_split(input.size());
+  const fp::Rounding mode = split_rounding(method);
+  std::uint16_t bits[kChunk];
+  float hi_f[kChunk];
+  float residual[kChunk];
+  for (std::size_t base = 0; base < input.size(); base += kChunk) {
+    const std::size_t len = std::min(kChunk, input.size() - base);
+    const std::span<const float> in = input.subspan(base, len);
+    fp::f32_to_f16_bits_span(in, {bits, len}, mode);
+    fp::f16_bits_to_f32_span({bits, len}, {hi_f, len});
+    for (std::size_t i = 0; i < len; ++i) {
+      hi[base + i] = fp::Half::from_bits(bits[i]);
+      residual[i] = in[i] - hi_f[i];  // exact in binary32
+    }
+    fp::f32_to_f16_bits_span({residual, len}, {bits, len}, mode);
+    for (std::size_t i = 0; i < len; ++i) {
+      lo[base + i] = fp::Half::from_bits(bits[i]);
+    }
   }
 }
 
 void split_span_f32(std::span<const float> input, std::span<float> hi,
                     std::span<float> lo, SplitMethod method) {
   EGEMM_EXPECTS(input.size() == hi.size() && input.size() == lo.size());
-  for (std::size_t i = 0; i < input.size(); ++i) {
-    const SplitHalves halves = split_scalar(input[i], method);
-    hi[i] = halves.hi.to_float();
-    lo[i] = halves.lo.to_float();
+  count_split(input.size());
+  const fp::Rounding mode = split_rounding(method);
+  float residual[kChunk];
+  for (std::size_t base = 0; base < input.size(); base += kChunk) {
+    const std::size_t len = std::min(kChunk, input.size() - base);
+    const std::span<const float> in = input.subspan(base, len);
+    const std::span<float> hi_out = hi.subspan(base, len);
+    fp::f32_round_through_f16_span(in, hi_out, mode);
+    for (std::size_t i = 0; i < len; ++i) {
+      residual[i] = in[i] - hi_out[i];  // exact in binary32
+    }
+    fp::f32_round_through_f16_span({residual, len}, lo.subspan(base, len),
+                                   mode);
   }
 }
 
@@ -68,11 +128,20 @@ void split3_span_f32(std::span<const float> input, std::span<float> hi,
                      std::span<float> mid, std::span<float> lo) {
   EGEMM_EXPECTS(input.size() == hi.size() && input.size() == mid.size() &&
                 input.size() == lo.size());
-  for (std::size_t i = 0; i < input.size(); ++i) {
-    const SplitThirds thirds = split3_scalar(input[i]);
-    hi[i] = thirds.hi.to_float();
-    mid[i] = thirds.mid.to_float();
-    lo[i] = thirds.lo.to_float();
+  count_split(input.size());
+  constexpr fp::Rounding kMode = fp::Rounding::kNearestEven;
+  float r1[kChunk];
+  float r2[kChunk];
+  for (std::size_t base = 0; base < input.size(); base += kChunk) {
+    const std::size_t len = std::min(kChunk, input.size() - base);
+    const std::span<const float> in = input.subspan(base, len);
+    const std::span<float> hi_out = hi.subspan(base, len);
+    const std::span<float> mid_out = mid.subspan(base, len);
+    fp::f32_round_through_f16_span(in, hi_out, kMode);
+    for (std::size_t i = 0; i < len; ++i) r1[i] = in[i] - hi_out[i];
+    fp::f32_round_through_f16_span({r1, len}, mid_out, kMode);
+    for (std::size_t i = 0; i < len; ++i) r2[i] = r1[i] - mid_out[i];
+    fp::f32_round_through_f16_span({r2, len}, lo.subspan(base, len), kMode);
   }
 }
 

@@ -21,6 +21,7 @@
 // Core input conversion.
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 
 #include "fp/half.hpp"
@@ -47,6 +48,8 @@ double combine_scalar(SplitHalves halves) noexcept;
 
 /// Splits a matrix/vector into binary16 hi/lo planes. This is the O(N^2)
 /// pass EGEMM-TC runs on CUDA cores before the O(N^3) Tensor Core work.
+/// Batched over whole rows via the fp::half_batch kernels; bit-identical
+/// to calling split_scalar per element.
 void split_span(std::span<const float> input, std::span<fp::Half> hi,
                 std::span<fp::Half> lo, SplitMethod method);
 
@@ -55,6 +58,12 @@ void split_span(std::span<const float> input, std::span<fp::Half> hi,
 /// (tcsim::mma_tile_f32 consumes these directly).
 void split_span_f32(std::span<const float> input, std::span<float> hi,
                     std::span<float> lo, SplitMethod method);
+
+/// Debug accounting for the split passes: total elements split so far in
+/// this process (monotone counter; always 0 in NDEBUG builds). The GEMM
+/// drivers assert with it that plane splitting + widening happens exactly
+/// once per input matrix per call -- never per tile.
+std::uint64_t debug_split_elements() noexcept;
 
 /// Worst-case representation error bound |x - (hi + lo)| for |x| <= scale:
 /// 2^-22 * scale for round-split, 2^-21 * scale for truncate-split.

@@ -1,0 +1,41 @@
+#pragma once
+// Batched binary16 conversion kernels for the functional hot path.
+//
+// The scalar `fp::Half` constructor routes every conversion through
+// binary64 (`f64_to_f16_bits`), which is convenient for the bit-accuracy
+// proofs but costs a widening, a 64-bit shift cascade and a function call
+// per element. The O(N^2) data-split pass (§3.2) converts every matrix
+// element twice, so the GEMM front-end wants a flat, branch-light loop the
+// compiler can vectorize.
+//
+// Every kernel here is BIT-IDENTICAL to its scalar counterpart -- the
+// 32-bit integer rounding below mirrors `f64_to_f16_bits` exactly (the
+// binary32 -> binary64 widening is exact, so the rounding decisions are
+// the same; verified exhaustively over all 2^32 inputs in both modes).
+// tests/test_half.cpp pins the equivalence on boundary and random inputs.
+
+#include <cstdint>
+#include <span>
+
+#include "fp/rounding.hpp"
+
+namespace egemm::fp {
+
+/// Converts a contiguous span of binary32 values to binary16 bits with a
+/// single rounding each; out[i] == f32_to_f16_bits(in[i], mode).
+void f32_to_f16_bits_span(std::span<const float> in,
+                          std::span<std::uint16_t> out, Rounding mode);
+
+/// Widens a contiguous span of binary16 bit patterns to the exactly-equal
+/// binary32 values; out[i] == f16_bits_to_f32(in[i]).
+void f16_bits_to_f32_span(std::span<const std::uint16_t> in,
+                          std::span<float> out);
+
+/// Fused round-trip: rounds each binary32 value to its nearest (or
+/// toward-zero) binary16 neighbour and widens back to binary32 in one
+/// pass -- the data-split building block, with no uint16 staging buffer.
+/// out[i] == f16_bits_to_f32(f32_to_f16_bits(in[i], mode)).
+void f32_round_through_f16_span(std::span<const float> in,
+                                std::span<float> out, Rounding mode);
+
+}  // namespace egemm::fp

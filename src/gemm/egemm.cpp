@@ -7,6 +7,7 @@
 #include <string>
 #endif
 
+#include "gemm/packing.hpp"
 #include "sass/build.hpp"
 #include "tcsim/instruction.hpp"
 #include "tcsim/occupancy.hpp"
@@ -20,6 +21,8 @@ namespace egemm::gemm {
 namespace {
 
 constexpr std::size_t kTile = 16;  // wmma primitive extent
+static_assert(kTile == kPackTile && kTile == tcsim::kTcM &&
+              kTile == tcsim::kTcN);
 
 /// A split-product term over arbitrary plane sets: multiply A-plane
 /// `a_plane` by B-plane `b_plane`.
@@ -73,11 +76,14 @@ void compute_c_tile(float acc[kTile][kTile], std::span<const Matrix> ap,
   }
 }
 
-/// Shared driver: D = sum over combos of Aplane x Bplane (+ C), tiled and
-/// parallelized over row blocks.
-Matrix plane_gemm(std::span<const Matrix> ap, std::span<const Matrix> bp,
-                  const Matrix* c, std::span<const PlaneCombo> combos,
-                  ComboOrder order) {
+/// Retained scalar reference driver: D = sum over combos of Aplane x
+/// Bplane (+ C), tiled and parallelized over row blocks. This is the
+/// seed's execution path, kept as the semantics oracle the packed engine
+/// is pinned against (tests/test_packed_gemm.cpp).
+Matrix plane_gemm_reference(std::span<const Matrix> ap,
+                            std::span<const Matrix> bp, const Matrix* c,
+                            std::span<const PlaneCombo> combos,
+                            ComboOrder order) {
   const std::size_t m = ap[0].rows();
   const std::size_t n = bp[0].cols();
 
@@ -110,6 +116,86 @@ Matrix plane_gemm(std::span<const Matrix> ap, std::span<const Matrix> bp,
         }
       });
   return d;
+}
+
+/// Packed engine (DESIGN.md §10): packs every plane once into tile-blocked
+/// contiguous buffers, then walks the output tiles on a 2D block schedule;
+/// each tile streams its k-slabs through the vectorized
+/// tcsim::mma_block_packed kernel. Per output element the operation
+/// sequence is identical to the reference driver, so the result is
+/// bit-identical.
+Matrix plane_gemm_packed(std::span<const Matrix> ap,
+                         std::span<const Matrix> bp, const Matrix* c,
+                         std::span<const PlaneCombo> combos,
+                         ComboOrder order) {
+  const std::size_t m = ap[0].rows();
+  const std::size_t n = bp[0].cols();
+  const std::size_t k = ap[0].cols();
+
+  // Pack once per call; reused by every k-tile, combo, and output tile.
+  const PackedPlanesA apack(ap);
+  const PackedPlanesB bpack(bp);
+
+  Matrix d(m, n);
+  if (c != nullptr) {
+    std::copy(c->data().begin(), c->data().end(), d.data().begin());
+  }
+
+  util::global_pool().parallel_for_2d(
+      apack.row_blocks(), bpack.col_blocks(), /*grain=*/0,
+      [&](std::size_t rb0, std::size_t rb1, std::size_t cb0, std::size_t cb1) {
+        for (std::size_t rb = rb0; rb < rb1; ++rb) {
+          const std::size_t i0 = rb * kTile;
+          const std::size_t mt = std::min(kTile, m - i0);
+          for (std::size_t cb = cb0; cb < cb1; ++cb) {
+            const std::size_t j0 = cb * kTile;
+            const std::size_t nt = std::min(kTile, n - j0);
+            // Full 16x16 accumulator; lanes past (mt, nt) compute against
+            // the packs' zero padding and are never copied back.
+            alignas(64) float acc[kTile][kTile] = {};
+            for (std::size_t i = 0; i < mt; ++i) {
+              for (std::size_t j = 0; j < nt; ++j) {
+                acc[i][j] = d.at(i0 + i, j0 + j);
+              }
+            }
+            const auto k_slab = [&](const PlaneCombo& combo, std::size_t k0) {
+              const std::size_t kt = std::min(kTile, k - k0);
+              tcsim::mma_block_packed(
+                  &acc[0][0],
+                  apack.block(static_cast<std::size_t>(combo.a_plane), rb) + k0,
+                  k,
+                  bpack.block(static_cast<std::size_t>(combo.b_plane), cb) +
+                      k0 * kTile,
+                  static_cast<int>(kt));
+            };
+            if (order == ComboOrder::kFusedPerTile) {
+              for (std::size_t k0 = 0; k0 < k; k0 += kTile) {
+                for (const PlaneCombo& combo : combos) k_slab(combo, k0);
+              }
+            } else {
+              for (const PlaneCombo& combo : combos) {
+                for (std::size_t k0 = 0; k0 < k; k0 += kTile) {
+                  k_slab(combo, k0);
+                }
+              }
+            }
+            for (std::size_t i = 0; i < mt; ++i) {
+              for (std::size_t j = 0; j < nt; ++j) {
+                d.at(i0 + i, j0 + j) = acc[i][j];
+              }
+            }
+          }
+        }
+      });
+  return d;
+}
+
+Matrix plane_gemm(std::span<const Matrix> ap, std::span<const Matrix> bp,
+                  const Matrix* c, std::span<const PlaneCombo> combos,
+                  ComboOrder order, ExecEngine engine) {
+  return engine == ExecEngine::kPacked
+             ? plane_gemm_packed(ap, bp, c, combos, order)
+             : plane_gemm_reference(ap, bp, c, combos, order);
 }
 
 #ifndef NDEBUG
@@ -149,7 +235,7 @@ void debug_lint_kernel(const TileConfig& tile, const EgemmOptions& opts) {
 
 Matrix emulated_gemm(const Matrix& a, const Matrix& b, const Matrix* c,
                      core::SplitMethod split, std::span<const Combo> combos,
-                     ComboOrder order) {
+                     ComboOrder order, ExecEngine engine) {
   EGEMM_EXPECTS(a.cols() == b.rows());
   EGEMM_EXPECTS(c == nullptr ||
                 (c->rows() == a.rows() && c->cols() == b.cols()));
@@ -157,36 +243,53 @@ Matrix emulated_gemm(const Matrix& a, const Matrix& b, const Matrix* c,
 
   // The O(N^2) data-split pass (runs on CUDA cores in the real kernel).
   // Plane 0 = lo, plane 1 = hi.
+#ifndef NDEBUG
+  const std::uint64_t split_before = core::debug_split_elements();
+#endif
   std::vector<Matrix> ap(2, Matrix(a.rows(), a.cols()));
   std::vector<Matrix> bp(2, Matrix(b.rows(), b.cols()));
   core::split_span_f32(a.data(), ap[1].data(), ap[0].data(), split);
   core::split_span_f32(b.data(), bp[1].data(), bp[0].data(), split);
+#ifndef NDEBUG
+  // Each input element must be split exactly once per GEMM call -- the
+  // plane cache is the point of the packed engine, so re-splitting
+  // anywhere downstream is a bug.
+  EGEMM_ENSURES(core::debug_split_elements() - split_before ==
+                a.data().size() + b.data().size());
+#endif
 
   std::vector<PlaneCombo> plane_combos;
   plane_combos.reserve(combos.size());
   for (const Combo& combo : combos) {
     plane_combos.push_back(PlaneCombo{combo.a_hi ? 1 : 0, combo.b_hi ? 1 : 0});
   }
-  return plane_gemm(ap, bp, c, plane_combos, order);
+  return plane_gemm(ap, bp, c, plane_combos, order, engine);
 }
 
-Matrix egemm_multiply_3split(const Matrix& a, const Matrix& b,
-                             const Matrix* c) {
+Matrix egemm_multiply_3split(const Matrix& a, const Matrix& b, const Matrix* c,
+                             ExecEngine engine) {
   EGEMM_EXPECTS(a.cols() == b.rows());
   EGEMM_EXPECTS(c == nullptr ||
                 (c->rows() == a.rows() && c->cols() == b.cols()));
 
   // Planes 0 = lo, 1 = mid, 2 = hi; x == p0 + p1 + p2 exactly.
+#ifndef NDEBUG
+  const std::uint64_t split_before = core::debug_split_elements();
+#endif
   std::vector<Matrix> ap(3, Matrix(a.rows(), a.cols()));
   std::vector<Matrix> bp(3, Matrix(b.rows(), b.cols()));
   core::split3_span_f32(a.data(), ap[2].data(), ap[1].data(), ap[0].data());
   core::split3_span_f32(b.data(), bp[2].data(), bp[1].data(), bp[0].data());
+#ifndef NDEBUG
+  EGEMM_ENSURES(core::debug_split_elements() - split_before ==
+                a.data().size() + b.data().size());
+#endif
 
   // All 9 products, smallest-magnitude terms first so they are absorbed
   // before the dominant hi x hi partial product.
   static constexpr PlaneCombo kCombos[] = {
       {0, 0}, {0, 1}, {1, 0}, {0, 2}, {1, 1}, {2, 0}, {1, 2}, {2, 1}, {2, 2}};
-  return plane_gemm(ap, bp, c, kCombos, ComboOrder::kFusedPerTile);
+  return plane_gemm(ap, bp, c, kCombos, ComboOrder::kFusedPerTile, engine);
 }
 
 KernelTiming egemm_3split_timing(std::uint64_t m, std::uint64_t n,
@@ -208,7 +311,8 @@ Matrix egemm_multiply(const Matrix& a, const Matrix& b, const Matrix* c,
   static constexpr Combo kAlg1[] = {
       {false, false}, {false, true}, {true, false}, {true, true}};
   EGEMM_EXPECTS(opts.emulation_instructions == 4);
-  return emulated_gemm(a, b, c, opts.split, kAlg1, ComboOrder::kFusedPerTile);
+  return emulated_gemm(a, b, c, opts.split, kAlg1, ComboOrder::kFusedPerTile,
+                       opts.engine);
 }
 
 KernelTiming egemm_timing(std::uint64_t m, std::uint64_t n, std::uint64_t k,

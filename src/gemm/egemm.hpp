@@ -21,12 +21,21 @@
 
 namespace egemm::gemm {
 
+/// Which host-side execution engine the functional path runs on
+/// (DESIGN.md §10). Both are bit-identical by construction and by test;
+/// the reference engine is retained as the semantics oracle.
+enum class ExecEngine {
+  kPacked,     ///< plane-cached, tile-packed, vectorized block kernel
+  kReference,  ///< the seed's scalar per-tile dot-product path
+};
+
 struct EgemmOptions {
   core::SplitMethod split = core::SplitMethod::kRoundSplit;
   bool latency_hiding = true;   ///< §5.1 register-enhanced scheduling
   bool frag_caching = true;     ///< §4 intra-warp FRAG caching
   int emulation_instructions = 4;  ///< Alg. 1; 16 models a Dekker schedule
   TileConfig tile = table4_config();
+  ExecEngine engine = ExecEngine::kPacked;  ///< functional-path engine
 };
 
 /// Functional extended-precision GEMM: D = A x B (+ C).
@@ -49,9 +58,12 @@ struct Combo {
 
 /// Generic emulated-GEMM driver shared with the baselines: computes
 /// D = sum over combos of Aplane x Bplane (+ C) on the Tensor Core model.
+/// Splits + widens each input matrix exactly once, then runs the
+/// requested engine over the cached planes.
 Matrix emulated_gemm(const Matrix& a, const Matrix& b, const Matrix* c,
                      core::SplitMethod split, std::span<const Combo> combos,
-                     ComboOrder order);
+                     ComboOrder order,
+                     ExecEngine engine = ExecEngine::kPacked);
 
 /// Extension ablation (DESIGN.md §4 "optional/extension features"): the
 /// three-way split generalization of Alg. 1 -- each input decomposes
@@ -67,7 +79,8 @@ Matrix emulated_gemm(const Matrix& a, const Matrix& b, const Matrix* c,
 /// schemes (Ozaki-style int8 emulation) exist. Kept as a public API so the
 /// negative result stays reproducible.
 Matrix egemm_multiply_3split(const Matrix& a, const Matrix& b,
-                             const Matrix* c = nullptr);
+                             const Matrix* c = nullptr,
+                             ExecEngine engine = ExecEngine::kPacked);
 
 /// Result of the timed path.
 struct KernelTiming {

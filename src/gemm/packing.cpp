@@ -1,0 +1,49 @@
+#include "gemm/packing.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace egemm::gemm {
+
+PackedPlanesA::PackedPlanesA(std::span<const Matrix> planes) {
+  EGEMM_EXPECTS(!planes.empty());
+  const std::size_t m = planes[0].rows();
+  k_ = planes[0].cols();
+  row_blocks_ = (m + kPackTile - 1) / kPackTile;
+  planes_.reserve(planes.size());
+  for (const Matrix& plane : planes) {
+    EGEMM_EXPECTS(plane.rows() == m && plane.cols() == k_);
+    std::vector<float>& pack =
+        planes_.emplace_back(row_blocks_ * kPackTile * k_, 0.0f);
+    // Rows of a block are consecutive in both layouts, so the copy is one
+    // contiguous memcpy per source row (padded rows stay zero).
+    for (std::size_t r = 0; r < m; ++r) {
+      std::memcpy(pack.data() + r * k_, plane.row(r), k_ * sizeof(float));
+    }
+  }
+}
+
+PackedPlanesB::PackedPlanesB(std::span<const Matrix> planes) {
+  EGEMM_EXPECTS(!planes.empty());
+  k_ = planes[0].rows();
+  const std::size_t n = planes[0].cols();
+  col_blocks_ = (n + kPackTile - 1) / kPackTile;
+  planes_.reserve(planes.size());
+  for (const Matrix& plane : planes) {
+    EGEMM_EXPECTS(plane.rows() == k_ && plane.cols() == n);
+    std::vector<float>& pack =
+        planes_.emplace_back(col_blocks_ * k_ * kPackTile, 0.0f);
+    for (std::size_t r = 0; r < k_; ++r) {
+      const float* src = plane.row(r);
+      for (std::size_t cb = 0; cb < col_blocks_; ++cb) {
+        const std::size_t width = std::min(kPackTile, n - cb * kPackTile);
+        std::memcpy(pack.data() + cb * k_ * kPackTile + r * kPackTile,
+                    src + cb * kPackTile, width * sizeof(float));
+      }
+    }
+  }
+}
+
+}  // namespace egemm::gemm

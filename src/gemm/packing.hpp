@@ -1,0 +1,78 @@
+#pragma once
+// Tile packing for the packed execution engine (DESIGN.md §10).
+//
+// Per GEMM call, each input matrix is split into binary16 planes exactly
+// once (the O(N^2) pass), and each plane is then copied ONCE into a
+// tile-blocked contiguous layout that the packed block kernel
+// (tcsim::mma_block_packed) streams at unit stride:
+//
+//   A plane (m x k)  ->  row blocks: block rb holds rows
+//       [rb*16, rb*16+16) as 16 contiguous rows of k floats (rows past m
+//       are zero). A k-slab of the block starts at column offset k0 with
+//       leading dimension k.
+//   B plane (k x n)  ->  column blocks: block cb holds columns
+//       [cb*16, cb*16+16) as k contiguous rows of 16 floats (columns past
+//       n are zero). A k-slab starts at row offset k0*16 and is fully
+//       contiguous -- this is what turns the seed path's stride-n column
+//       walk into the kernel's unit-stride vector loads.
+//
+// The packs are shared across every k-tile, every plane combo, and every
+// output tile of the call -- the host-side analogue of §4's FRAG caching
+// (stage once, reuse across the O(N^3) loop). Zero padding is harmless:
+// padded lanes are computed and discarded (never copied back into D), and
+// the k extent is never padded, so the pair-sum structure over k -- the
+// bit-exactness-critical part -- is untouched.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "gemm/matrix.hpp"
+
+namespace egemm::gemm {
+
+/// Extent of the packing tiles; matches the wmma primitive and the packed
+/// block kernel's fixed shape.
+inline constexpr std::size_t kPackTile = 16;
+
+/// Row-blocked packed copy of a stack of A planes.
+class PackedPlanesA {
+ public:
+  PackedPlanesA(std::span<const Matrix> planes);
+
+  std::size_t row_blocks() const noexcept { return row_blocks_; }
+  std::size_t k() const noexcept { return k_; }
+
+  /// 16 x k row-major block (leading dimension k) for `block_row` of
+  /// plane `plane`.
+  const float* block(std::size_t plane, std::size_t block_row) const noexcept {
+    return planes_[plane].data() + block_row * kPackTile * k_;
+  }
+
+ private:
+  std::size_t row_blocks_ = 0;
+  std::size_t k_ = 0;
+  std::vector<std::vector<float>> planes_;
+};
+
+/// Column-blocked packed copy of a stack of B planes.
+class PackedPlanesB {
+ public:
+  PackedPlanesB(std::span<const Matrix> planes);
+
+  std::size_t col_blocks() const noexcept { return col_blocks_; }
+  std::size_t k() const noexcept { return k_; }
+
+  /// k x 16 row-major contiguous block for `block_col` of plane `plane`;
+  /// the k-slab at row offset k0 starts at `block(...) + k0 * kPackTile`.
+  const float* block(std::size_t plane, std::size_t block_col) const noexcept {
+    return planes_[plane].data() + block_col * k_ * kPackTile;
+  }
+
+ private:
+  std::size_t col_blocks_ = 0;
+  std::size_t k_ = 0;
+  std::vector<std::vector<float>> planes_;
+};
+
+}  // namespace egemm::gemm

@@ -6,11 +6,9 @@ namespace egemm::tcsim {
 
 namespace {
 
-/// Accumulates the dot product of two half-valued float sequences onto `c`
-/// with the modeled Tensor Core semantics: exact binary16 products are
-/// summed two at a time (adjacent pairs) and the pair sums are chained
-/// onto the running accumulator starting from C -- the two-element
-/// inner-step documented for Volta/Turing HMMA [12, 13]. The within-pair
+/// Strided instantiation of the shared pair-sum core (detail::
+/// pair_sum_accumulate): the dot product of two half-valued float
+/// sequences with the modeled Tensor Core semantics. The within-pair
 /// reassociation is the only difference from a sequential binary32 CPU
 /// loop, which is why the result typically matches the sequential probe on
 /// >= 21 leading mantissa bits yet is not always bit-identical (the
@@ -18,19 +16,10 @@ namespace {
 inline float tc_accumulate(const float* a, std::size_t stride_a,
                            const float* b, std::size_t stride_b, int k,
                            float c) noexcept {
-  float acc = c;
-  int i = 0;
-  for (; i + 1 < k; i += 2) {
-    acc += a[static_cast<std::size_t>(i) * stride_a] *
-               b[static_cast<std::size_t>(i) * stride_b] +
-           a[static_cast<std::size_t>(i + 1) * stride_a] *
-               b[static_cast<std::size_t>(i + 1) * stride_b];
-  }
-  if (i < k) {
-    acc += a[static_cast<std::size_t>(i) * stride_a] *
-           b[static_cast<std::size_t>(i) * stride_b];
-  }
-  return acc;
+  return detail::pair_sum_accumulate(
+      static_cast<std::size_t>(k), c, [=](std::size_t i) noexcept {
+        return a[i * stride_a] * b[i * stride_b];
+      });
 }
 
 }  // namespace
@@ -70,18 +59,52 @@ void mma_tile_f32(float* d, std::size_t ldd, const float* a, std::size_t lda,
 float tc_dot(std::span<const fp::Half> a, std::span<const fp::Half> b,
              float c) noexcept {
   EGEMM_EXPECTS(a.size() == b.size());
-  float acc = c;
-  std::size_t i = 0;
-  for (; i + 1 < a.size(); i += 2) {
-    acc += a[i].to_float() * b[i].to_float() +
-           a[i + 1].to_float() * b[i + 1].to_float();
-  }
-  if (i < a.size()) acc += a[i].to_float() * b[i].to_float();
-  return acc;
+  return detail::pair_sum_accumulate(
+      a.size(), c, [&](std::size_t i) noexcept {
+        return a[i].to_float() * b[i].to_float();
+      });
 }
 
 float tc_dot_f32(const float* a, const float* b, int k, float c) noexcept {
   return tc_accumulate(a, 1, b, 1, k, c);
+}
+
+void mma_block_packed(float* acc, const float* a, std::size_t lda,
+                      const float* b, int k) noexcept {
+  // Two A rows per pass share each streamed B row; per output element the
+  // operation sequence is exactly pair_sum_accumulate (one rounded p0 + p1
+  // per k pair, chained onto the accumulator), with the j loop as the
+  // vector lane dimension. -ffp-contract=off (top-level CMakeLists) keeps
+  // the compiler from fusing the products differently per path.
+  static_assert(kTcM % 2 == 0);
+  for (int i = 0; i < kTcM; i += 2) {
+    const float* arow0 = a + static_cast<std::size_t>(i) * lda;
+    const float* arow1 = arow0 + lda;
+    float* acc0 = acc + static_cast<std::size_t>(i) * kTcN;
+    float* acc1 = acc0 + kTcN;
+    int kk = 0;
+    for (; kk + 1 < k; kk += 2) {
+      const float a00 = arow0[kk];
+      const float a01 = arow0[kk + 1];
+      const float a10 = arow1[kk];
+      const float a11 = arow1[kk + 1];
+      const float* b0 = b + static_cast<std::size_t>(kk) * kTcN;
+      const float* b1 = b0 + kTcN;
+      for (int j = 0; j < kTcN; ++j) {
+        acc0[j] += a00 * b0[j] + a01 * b1[j];
+        acc1[j] += a10 * b0[j] + a11 * b1[j];
+      }
+    }
+    if (kk < k) {
+      const float a00 = arow0[kk];
+      const float a10 = arow1[kk];
+      const float* b0 = b + static_cast<std::size_t>(kk) * kTcN;
+      for (int j = 0; j < kTcN; ++j) {
+        acc0[j] += a00 * b0[j];
+        acc1[j] += a10 * b0[j];
+      }
+    }
+  }
 }
 
 float probe_dot_half(std::span<const fp::Half> a, std::span<const fp::Half> b,

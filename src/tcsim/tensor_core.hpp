@@ -26,6 +26,32 @@
 
 namespace egemm::tcsim {
 
+namespace detail {
+
+/// The ONE pair-sum accumulation core every Tensor-Core path shares:
+/// exact binary16 products are summed two at a time (adjacent pairs) and
+/// the pair sums chain onto the running accumulator starting from C -- the
+/// two-element inner step documented for Volta/Turing HMMA [12, 13].
+/// `product(i)` returns the i-th (exact) widened product. mma_sync,
+/// mma_tile_f32, tc_dot and the packed block kernel all reduce to this
+/// sequence per output element, so the semantics cannot drift between
+/// paths (tests pin them bitwise against each other).
+template <typename ProductAt>
+inline float pair_sum_accumulate(std::size_t k, float c,
+                                 ProductAt product) noexcept {
+  float acc = c;
+  std::size_t i = 0;
+  for (; i + 1 < k; i += 2) {
+    const float p0 = product(i);
+    const float p1 = product(i + 1);
+    acc += p0 + p1;
+  }
+  if (i < k) acc += product(i);
+  return acc;
+}
+
+}  // namespace detail
+
 /// wmma::mma_sync equivalent on 16x16x16 tiles: d = a x b + c.
 void mma_sync(FragmentAcc& d, const FragmentA& a, const FragmentB& b,
               const FragmentAcc& c) noexcept;
@@ -47,6 +73,17 @@ float tc_dot(std::span<const fp::Half> a, std::span<const fp::Half> b,
 /// Contiguous fast-path variant of tc_dot over half-valued float arrays;
 /// the bulk-GEMM inner loop. Same accumulation semantics as mma_sync.
 float tc_dot_f32(const float* a, const float* b, int k, float c) noexcept;
+
+/// Packed-tile MMA: the vectorized bulk-GEMM kernel (DESIGN.md §10).
+/// Accumulates a kTcM x kTcN tile: acc (row-major, leading dimension kTcN)
+/// += Ablk x Bblk, where Ablk is kTcM rows of pre-widened half-valued
+/// floats with leading dimension `lda` (a packed A-plane tile) and Bblk is
+/// `k` contiguous rows of kTcN floats (a packed B-plane k-slab). Each
+/// output element performs exactly the pair_sum_accumulate sequence; the
+/// column index is the SIMD lane dimension, so the inner loop walks both
+/// packs at unit stride and vectorizes without reassociating anything.
+void mma_block_packed(float* acc, const float* a, std::size_t lda,
+                      const float* b, int k) noexcept;
 
 // -- Probing compute primitives (Fig. 2a) -----------------------------------
 // Each computes the same dot product under a hypothesised intermediate

@@ -7,6 +7,15 @@
 
 namespace egemm::util {
 
+namespace {
+
+/// Set for the duration of worker_loop; identifies which pool (if any) the
+/// calling thread belongs to, so nested parallel_for calls can run inline
+/// instead of deadlocking a worker on its own queue.
+thread_local const ThreadPool* tl_worker_pool = nullptr;
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -26,6 +35,10 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+bool ThreadPool::in_worker_thread() const noexcept {
+  return tl_worker_pool == this;
+}
+
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   EGEMM_EXPECTS(static_cast<bool>(task));
   std::packaged_task<void()> packaged(std::move(task));
@@ -43,6 +56,13 @@ void ThreadPool::parallel_for(
     std::size_t count,
     const std::function<void(std::size_t, std::size_t)>& body) {
   if (count == 0) return;
+  if (in_worker_thread()) {
+    // Nested call from our own worker: the caller already holds one of the
+    // pool's threads, so run inline rather than blocking it on futures
+    // that this same pool has to serve.
+    body(0, count);
+    return;
+  }
   const std::size_t chunks = std::min(count, std::max<std::size_t>(1, size() * 4));
   const std::size_t chunk = (count + chunks - 1) / chunks;
   std::vector<std::future<void>> futures;
@@ -54,7 +74,46 @@ void ThreadPool::parallel_for(
   for (auto& future : futures) future.get();
 }
 
+void ThreadPool::parallel_for_2d(
+    std::size_t rows, std::size_t cols, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t,
+                             std::size_t)>& body) {
+  if (rows == 0 || cols == 0) return;
+  if (in_worker_thread()) {
+    body(0, rows, 0, cols);
+    return;
+  }
+  const std::size_t cells = rows * cols;
+  if (grain == 0) grain = cells / (size() * 8);
+  grain = std::clamp<std::size_t>(grain, 1, cells);
+  // Blocks as square as the grain allows, clipped to the grid: a square
+  // block maximizes the number of independent blocks on skewed grids while
+  // keeping per-block working sets compact.
+  std::size_t block_cols = std::min(
+      cols, static_cast<std::size_t>(
+                std::ceil(std::sqrt(static_cast<double>(grain)))));
+  std::size_t block_rows =
+      std::min(rows, std::max<std::size_t>(1, grain / block_cols));
+  // Degenerate grids: spend the whole grain along the long axis.
+  if (block_rows == rows) {
+    block_cols = std::min(cols, std::max<std::size_t>(1, grain / block_rows));
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(((rows + block_rows - 1) / block_rows) *
+                  ((cols + block_cols - 1) / block_cols));
+  for (std::size_t r0 = 0; r0 < rows; r0 += block_rows) {
+    const std::size_t r1 = std::min(rows, r0 + block_rows);
+    for (std::size_t c0 = 0; c0 < cols; c0 += block_cols) {
+      const std::size_t c1 = std::min(cols, c0 + block_cols);
+      futures.push_back(
+          submit([&body, r0, r1, c0, c1] { body(r0, r1, c0, c1); }));
+    }
+  }
+  for (auto& future : futures) future.get();
+}
+
 void ThreadPool::worker_loop() {
+  tl_worker_pool = this;
   for (;;) {
     std::packaged_task<void()> task;
     {

@@ -5,6 +5,11 @@
 // Design notes (CppCoreGuidelines CP.*): all synchronization is confined to
 // this class; user tasks communicate only through their own captured state
 // and the returned futures, so callers never touch a mutex.
+//
+// Reentrancy: parallel_for / parallel_for_2d called from inside one of this
+// pool's own workers run the body inline on the calling thread instead of
+// enqueueing -- a nested call would otherwise park a worker on futures that
+// only the same (possibly single-threaded) pool can serve.
 
 #include <condition_variable>
 #include <cstddef>
@@ -28,14 +33,30 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return workers_.size(); }
 
+  /// True when the calling thread is one of this pool's workers.
+  bool in_worker_thread() const noexcept;
+
   /// Enqueue a nullary task; returns a future for its completion.
   std::future<void> submit(std::function<void()> task);
 
   /// Splits [0, count) into roughly even chunks, runs `body(begin, end)` on
   /// the pool, and blocks until every chunk finished. Exceptions from tasks
-  /// propagate to the caller (first one wins).
+  /// propagate to the caller (first one wins). Called from a worker of this
+  /// pool, the whole range runs inline on the calling thread.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// 2D blocked schedule: splits the [0, rows) x [0, cols) grid into
+  /// rectangular blocks of roughly `grain` cells each (0 picks a block size
+  /// that yields ~8 blocks per worker) and runs
+  /// body(row_begin, row_end, col_begin, col_end) per block on the pool.
+  /// Blocks are as square as the grain allows, so skewed grids (tall-skinny
+  /// GEMMs) still produce enough independent blocks to load-balance.
+  /// Same blocking, exception, and reentrancy behavior as parallel_for.
+  void parallel_for_2d(
+      std::size_t rows, std::size_t cols, std::size_t grain,
+      const std::function<void(std::size_t, std::size_t, std::size_t,
+                               std::size_t)>& body);
 
  private:
   void worker_loop();

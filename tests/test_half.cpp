@@ -3,10 +3,13 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <limits>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "fp/half_batch.hpp"
 #include "util/rng.hpp"
 
 namespace egemm::fp {
@@ -238,6 +241,91 @@ TEST(HalfClassification, Predicates) {
   EXPECT_TRUE(Half::quiet_nan().is_nan());
   EXPECT_TRUE(Half(-3.0f).sign_bit());
   EXPECT_EQ(Half(2.0f).hex(), "0x4000");
+}
+
+// -- batch kernels (fp/half_batch.hpp) ---------------------------------------
+// The span kernels are the scalar Half conversions restated as flat integer
+// loops; they must agree bit-for-bit on every input, so the tests sweep the
+// hand-picked boundary patterns plus a broad random sample in both modes.
+
+std::vector<float> boundary_floats() {
+  std::vector<float> v = {
+      0.0f, -0.0f, 1.0f, -1.0f, 65504.0f, -65504.0f,
+      65520.0f,                        // RN overflow midpoint -> inf
+      65519.996f,                      // just under the midpoint
+      100000.0f, -100000.0f,           // clear overflow
+      0x1.0p-14f, 0x1.0p-24f,          // min normal / min subnormal half
+      0x1.0p-25f,                      // RN ties to even -> zero
+      0x1.008p-25f,                    // just above -> min subnormal
+      0x1.ff8p-15f, -0x1.ff8p-15f,     // max subnormal
+      1.0f + 0x1.0p-11f,               // tie -> even
+      1.0f + 3 * 0x1.0p-11f,           // tie -> even (up)
+      1.0f + 0x1.2p-11f,               // above tie
+      0x1.0p-126f,                     // min normal float (half zero)
+      std::numeric_limits<float>::denorm_min(),
+      std::numeric_limits<float>::infinity(),
+      -std::numeric_limits<float>::infinity(),
+      std::numeric_limits<float>::quiet_NaN(),
+      std::numeric_limits<float>::max(),
+      -std::numeric_limits<float>::max(),
+  };
+  return v;
+}
+
+TEST(HalfBatch, NarrowingMatchesScalarOnBoundariesAndRandom) {
+  util::Xoshiro256 rng(77);
+  std::vector<float> in = boundary_floats();
+  for (int i = 0; i < 50000; ++i) {
+    // Random bit patterns cover the full encoding space, not just the
+    // sampler's range.
+    const auto bits = static_cast<std::uint32_t>(rng());
+    float f;
+    std::memcpy(&f, &bits, sizeof(f));
+    in.push_back(f);
+  }
+  std::vector<std::uint16_t> out(in.size());
+  for (const Rounding mode : {Rounding::kNearestEven, Rounding::kTowardZero}) {
+    f32_to_f16_bits_span(in, out, mode);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      ASSERT_EQ(out[i], f32_to_f16_bits(in[i], mode))
+          << "i=" << i << " value=" << in[i]
+          << " mode=" << (mode == Rounding::kNearestEven ? "RN" : "RZ");
+    }
+  }
+}
+
+TEST(HalfBatch, WideningMatchesScalarOnAllPatterns) {
+  // All 2^16 encodings fit in one call.
+  std::vector<std::uint16_t> bits(1 << 16);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    bits[i] = static_cast<std::uint16_t>(i);
+  }
+  std::vector<float> widened(bits.size());
+  f16_bits_to_f32_span(bits, widened);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const float scalar = f16_bits_to_f32(bits[i]);
+    std::uint32_t got, want;
+    std::memcpy(&got, &widened[i], sizeof(got));
+    std::memcpy(&want, &scalar, sizeof(want));
+    ASSERT_EQ(got, want) << "half bits 0x" << std::hex << bits[i];
+  }
+}
+
+TEST(HalfBatch, RoundThroughComposesNarrowAndWiden) {
+  util::Xoshiro256 rng(78);
+  std::vector<float> in = boundary_floats();
+  for (int i = 0; i < 20000; ++i) in.push_back(rng.uniform(-70000.f, 70000.f));
+  std::vector<float> out(in.size());
+  for (const Rounding mode : {Rounding::kNearestEven, Rounding::kTowardZero}) {
+    f32_round_through_f16_span(in, out, mode);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const float scalar = f16_bits_to_f32(f32_to_f16_bits(in[i], mode));
+      std::uint32_t got, want;
+      std::memcpy(&got, &out[i], sizeof(got));
+      std::memcpy(&want, &scalar, sizeof(want));
+      ASSERT_EQ(got, want) << "i=" << i << " value=" << in[i];
+    }
+  }
 }
 
 }  // namespace

@@ -186,6 +186,87 @@ TEST(TensorCore, MmaTileF32MatchesMmaSync) {
   }
 }
 
+TEST(TensorCore, TcDotMatchesMmaSyncBitwiseOnRandomInputs) {
+  // The dedup contract: tc_dot and mma_sync reduce to the same shared
+  // pair-sum core, so for matching operands the per-element results must be
+  // bitwise identical -- not merely close.
+  util::Xoshiro256 rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    FragmentA a;
+    FragmentB b;
+    FragmentAcc c, d;
+    for (int i = 0; i < kTcM; ++i) {
+      for (int k = 0; k < kTcK; ++k) {
+        a.at(i, k) = fp::Half(rng.uniform(-4.0f, 4.0f));
+      }
+    }
+    for (int k = 0; k < kTcK; ++k) {
+      for (int j = 0; j < kTcN; ++j) {
+        b.at(k, j) = fp::Half(rng.uniform(-4.0f, 4.0f));
+      }
+    }
+    for (int i = 0; i < kTcM; ++i) {
+      for (int j = 0; j < kTcN; ++j) c.at(i, j) = rng.uniform(-4.0f, 4.0f);
+    }
+    mma_sync(d, a, b, c);
+    std::vector<fp::Half> arow(kTcK), bcol(kTcK);
+    for (int i = 0; i < kTcM; ++i) {
+      for (int j = 0; j < kTcN; ++j) {
+        for (int k = 0; k < kTcK; ++k) {
+          arow[static_cast<std::size_t>(k)] = a.at(i, k);
+          bcol[static_cast<std::size_t>(k)] = b.at(k, j);
+        }
+        ASSERT_EQ(d.at(i, j), tc_dot(arow, bcol, c.at(i, j)))
+            << "trial " << trial << " element (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(TensorCore, TcDotVariantsAgreeBitwiseIncludingOddK) {
+  // tc_dot (Half spans) and tc_dot_f32 (pre-widened floats) share the same
+  // core; odd k exercises the single-product remainder.
+  util::Xoshiro256 rng(10);
+  for (const std::size_t k : {1u, 2u, 3u, 5u, 8u, 13u, 15u, 16u, 17u, 31u}) {
+    for (int trial = 0; trial < 50; ++trial) {
+      const auto a = random_halves(k, rng, -4.0f, 4.0f);
+      const auto b = random_halves(k, rng, -4.0f, 4.0f);
+      std::vector<float> af(k), bf(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        af[i] = a[i].to_float();
+        bf[i] = b[i].to_float();
+      }
+      const float c = rng.uniform(-4.0f, 4.0f);
+      EXPECT_EQ(tc_dot(a, b, c),
+                tc_dot_f32(af.data(), bf.data(), static_cast<int>(k), c))
+          << "k=" << k << " trial=" << trial;
+    }
+  }
+}
+
+TEST(TensorCore, MmaBlockPackedMatchesMmaTileF32Bitwise) {
+  // The packed block kernel against the strided tile path, including the
+  // odd-k remainder and k < kTcK slabs. A is packed with leading dimension
+  // lda >= k (a k-slab of a wider pack); B is k contiguous rows of kTcN.
+  util::Xoshiro256 rng(11);
+  for (const int k : {1, 2, 3, 7, 15, 16}) {
+    const std::size_t lda = 24;  // slab inside a wider pack row
+    std::vector<float> a(kTcM * lda), b(static_cast<std::size_t>(k) * kTcN);
+    for (auto& v : a) v = fp::Half(rng.uniform(-2.0f, 2.0f)).to_float();
+    for (auto& v : b) v = fp::Half(rng.uniform(-2.0f, 2.0f)).to_float();
+    std::vector<float> acc_packed(kTcM * kTcN), acc_ref(kTcM * kTcN);
+    for (std::size_t i = 0; i < acc_packed.size(); ++i) {
+      acc_packed[i] = acc_ref[i] = rng.uniform(-1.0f, 1.0f);
+    }
+    mma_block_packed(acc_packed.data(), a.data(), lda, b.data(), k);
+    mma_tile_f32(acc_ref.data(), kTcN, a.data(), lda, b.data(), kTcN, kTcM,
+                 kTcN, k);
+    for (std::size_t i = 0; i < acc_packed.size(); ++i) {
+      ASSERT_EQ(acc_packed[i], acc_ref[i]) << "k=" << k << " flat=" << i;
+    }
+  }
+}
+
 TEST(Fragment, LoadStoreRoundTrip) {
   std::vector<float> memory(20 * 32, 0.0f);
   util::Xoshiro256 rng(8);

@@ -98,6 +98,96 @@ TEST(ThreadPool, SubmitRunsTask) {
   EXPECT_EQ(value.load(), 42);
 }
 
+TEST(ThreadPool, NestedParallelForRunsInlineInsteadOfDeadlocking) {
+  // With a single worker, a nested parallel_for that queued tasks would
+  // deadlock: the worker would block on futures only it can serve. The
+  // pool must detect the worker context and run the nested body inline.
+  ThreadPool pool(1);
+  std::vector<std::atomic<int>> hits(64);
+  std::atomic<int> inner_calls{0};
+  pool.parallel_for(4, [&](std::size_t ob, std::size_t oe) {
+    EXPECT_TRUE(pool.in_worker_thread());
+    for (std::size_t o = ob; o < oe; ++o) {
+      pool.parallel_for(16, [&](std::size_t ib, std::size_t ie) {
+        inner_calls.fetch_add(1);
+        for (std::size_t i = ib; i < ie; ++i) hits[o * 16 + i].fetch_add(1);
+      });
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_GT(inner_calls.load(), 0);
+  EXPECT_FALSE(pool.in_worker_thread());
+}
+
+TEST(ThreadPool, InWorkerThreadDistinguishesPools) {
+  ThreadPool a(1), b(1);
+  a.submit([&] {
+     EXPECT_TRUE(a.in_worker_thread());
+     EXPECT_FALSE(b.in_worker_thread());
+   }).get();
+}
+
+TEST(ThreadPool, ParallelFor2dCoversGridExactlyOnce) {
+  ThreadPool pool(4);
+  for (const std::size_t grain : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{7}, std::size_t{64},
+                                  std::size_t{100000}}) {
+    constexpr std::size_t kRows = 23, kCols = 17;
+    std::vector<std::atomic<int>> hits(kRows * kCols);
+    pool.parallel_for_2d(
+        kRows, kCols, grain,
+        [&](std::size_t r0, std::size_t r1, std::size_t c0, std::size_t c1) {
+          EXPECT_LE(r1, kRows);
+          EXPECT_LE(c1, kCols);
+          for (std::size_t r = r0; r < r1; ++r) {
+            for (std::size_t c = c0; c < c1; ++c) {
+              hits[r * kCols + c].fetch_add(1);
+            }
+          }
+        });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << "grain=" << grain;
+  }
+}
+
+TEST(ThreadPool, ParallelFor2dDegenerateGrids) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for_2d(0, 5, 0,
+                       [&](std::size_t, std::size_t, std::size_t,
+                           std::size_t) { called = true; });
+  pool.parallel_for_2d(5, 0, 0,
+                       [&](std::size_t, std::size_t, std::size_t,
+                           std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+
+  // Single row / single column grids still cover everything.
+  for (const auto& [rows, cols] : {std::pair<std::size_t, std::size_t>{1, 40},
+                                   std::pair<std::size_t, std::size_t>{40, 1}}) {
+    std::vector<std::atomic<int>> hits(rows * cols);
+    pool.parallel_for_2d(
+        rows, cols, 3,
+        [&](std::size_t r0, std::size_t r1, std::size_t c0, std::size_t c1) {
+          for (std::size_t r = r0; r < r1; ++r) {
+            for (std::size_t c = c0; c < c1; ++c) {
+              hits[r * cols + c].fetch_add(1);
+            }
+          }
+        });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelFor2dExceptionsPropagate) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for_2d(
+                   8, 8, 1,
+                   [](std::size_t r0, std::size_t, std::size_t c0,
+                      std::size_t) {
+                     if (r0 == 0 && c0 == 0) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+}
+
 TEST(Cli, ParsesFlagsValuesAndLists) {
   const char* argv[] = {"prog",          "--full",     "--sizes=1,2,3",
                         "--gpu",         "t4",         "--trials=100",
