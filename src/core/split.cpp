@@ -159,4 +159,34 @@ double split_error_bound(SplitMethod method, double scale) noexcept {
   return 0.0;
 }
 
+double split_residual_bound(SplitMethod method, double scale) noexcept {
+  // Below the binary16 normal range rounding quantizes on the fixed
+  // subnormal grid (quantum 2^-24), so the scale-relative bound no longer
+  // applies; the loss per rounding is at most half a quantum (round) or a
+  // full quantum (truncate), and the lo rounding cannot make it worse than
+  // one hi-stage quantum.
+  switch (method) {
+    case SplitMethod::kRoundSplit:
+      return std::max(scale * 0x1.0p-22, 0x1.0p-25);
+    case SplitMethod::kTruncateSplit:
+      return std::max(scale * 0x1.0p-21, 0x1.0p-24);
+  }
+  return 0.0;
+}
+
+double split_lo_plane_bound(SplitMethod method, double scale) noexcept {
+  // Round-split: |x - hi| <= 2^-11 |x| (half a binary16 ulp), and rounding
+  // that residual to binary16 can push lo half an ulp of the residual
+  // higher -- the 1 + 2^-11 factor, padded to 0x1.01p-11. Truncate-split:
+  // the residual reaches a full binary16 ulp, 2^-10 |x|, and truncating can
+  // only shrink it. Both floors are the binary16 subnormal quantum.
+  switch (method) {
+    case SplitMethod::kRoundSplit:
+      return std::max(scale * 0x1.01p-11, 0x1.0p-24);
+    case SplitMethod::kTruncateSplit:
+      return std::max(scale * 0x1.0p-10, 0x1.0p-24);
+  }
+  return 0.0;
+}
+
 }  // namespace egemm::core

@@ -69,6 +69,20 @@ std::uint64_t debug_split_elements() noexcept;
 /// 2^-22 * scale for round-split, 2^-21 * scale for truncate-split.
 double split_error_bound(SplitMethod method, double scale) noexcept;
 
+/// split_error_bound with the binary16 subnormal floor: when the residual
+/// lands below the binary16 normal range (|x| < 2^-14, or any |x| whose
+/// residual does), the loss is bounded by the subnormal quantum 2^-24
+/// rather than by a fraction of |x|. The a-priori error model
+/// (verify/error_model) uses this form so its bounds stay sound on
+/// denormal-heavy fuzz inputs.
+double split_residual_bound(SplitMethod method, double scale) noexcept;
+
+/// Worst-case magnitude of the lo plane for |x| <= scale (again with the
+/// subnormal floor): bounds the split-product terms an emulation scheme
+/// drops (Markidis' Alo x Blo) and the lo-plane contribution to the
+/// accumulated magnitude in the a-priori error model.
+double split_lo_plane_bound(SplitMethod method, double scale) noexcept;
+
 // -- three-way split (extension) ---------------------------------------------
 // Splitting into three binary16 planes captures 33 candidate significand
 // bits -- more than binary32's 24 -- so the decomposition of a normal

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fp/float_bits.hpp"
 #include "util/assert.hpp"
 
 namespace egemm::fp {
@@ -13,12 +14,14 @@ void ErrorStats::accumulate(double reference, double candidate) noexcept {
   sum_abs += abs_err;
   const double denom = std::max(std::fabs(reference), 1e-30);
   max_rel = std::max(max_rel, abs_err / denom);
+  max_ulp = std::max(max_ulp, ulp_error(reference, candidate));
   ++count;
 }
 
 void ErrorStats::merge(const ErrorStats& other) noexcept {
   max_abs = std::max(max_abs, other.max_abs);
   max_rel = std::max(max_rel, other.max_rel);
+  max_ulp = std::max(max_ulp, other.max_ulp);
   sum_abs += other.sum_abs;
   count += other.count;
 }

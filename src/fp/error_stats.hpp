@@ -15,6 +15,7 @@ struct ErrorStats {
   double max_abs = 0.0;    ///< max |candidate - reference|
   double sum_abs = 0.0;    ///< for mean error
   double max_rel = 0.0;    ///< max |candidate - reference| / max(|reference|, eps)
+  double max_ulp = 0.0;    ///< max error in binary32 ulps at the reference
   std::size_t count = 0;
 
   void accumulate(double reference, double candidate) noexcept;

@@ -4,8 +4,10 @@
 // the error statistics.
 
 #include <bit>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <limits>
 #include <string>
 
 namespace egemm::fp {
@@ -44,6 +46,40 @@ constexpr std::int64_t ulp_distance(float a, float b) noexcept {
   };
   const std::int64_t d = ordered(a) - ordered(b);
   return d < 0 ? -d : d;
+}
+
+/// Size of one unit in the last place of the binary32 grid at `magnitude`
+/// (a binary64 value): 2^(e-23) for normal magnitudes 2^e <= |x| < 2^(e+1),
+/// the subnormal quantum 2^-149 below the normal range, and the ulp of the
+/// top binade (2^104) at or beyond the overflow threshold. The verification
+/// subsystem uses this to express absolute errors and a-priori bounds in
+/// float ulps against a binary64/double-double reference.
+inline double f32_ulp_at(double magnitude) noexcept {
+  const double mag = magnitude < 0.0 ? -magnitude : magnitude;
+  if (std::isnan(mag)) return std::numeric_limits<double>::quiet_NaN();
+  if (mag < 0x1.0p-126) return 0x1.0p-149;  // subnormal quantum
+  if (mag >= 0x1.0p128) return 0x1.0p104;   // ulp of the top binade
+  int exp = 0;
+  (void)std::frexp(mag, &exp);  // mag = f * 2^exp with f in [0.5, 1)
+  return std::ldexp(1.0, exp - 24);
+}
+
+/// |candidate - reference| measured in binary32 ulps at the reference's
+/// magnitude; +inf when exactly one side is non-finite, 0 when both are NaN
+/// or both the same infinity. `candidate` is a binary64 value so callers
+/// can pass a float exactly.
+inline double ulp_error(double reference, double candidate) noexcept {
+  if (std::isnan(reference) || std::isnan(candidate)) {
+    return std::isnan(reference) && std::isnan(candidate)
+               ? 0.0
+               : std::numeric_limits<double>::infinity();
+  }
+  if (std::isinf(reference) || std::isinf(candidate)) {
+    return reference == candidate ? 0.0
+                                  : std::numeric_limits<double>::infinity();
+  }
+  const double diff = candidate - reference;
+  return (diff < 0.0 ? -diff : diff) / f32_ulp_at(reference);
 }
 
 /// Hex bit-pattern, e.g. "0x3f800000", matching the artifact's printouts.

@@ -1,6 +1,8 @@
 #include "gemm/egemm.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #ifndef NDEBUG
 #include <mutex>
 #include <set>
@@ -23,6 +25,15 @@ namespace {
 constexpr std::size_t kTile = 16;  // wmma primitive extent
 static_assert(kTile == kPackTile && kTile == tcsim::kTcM &&
               kTile == tcsim::kTcN);
+
+/// NaN canonicalization at the D store, as the modeled hardware does: the
+/// Tensor Core emits a canonical quiet NaN, never an input payload. Without
+/// this, x86 NaN propagation picks the *first* operand's payload, so the
+/// packed and reference engines could return bitwise-different NaNs for the
+/// same case purely from compiler register allocation.
+inline float canonical_store(float x) noexcept {
+  return std::isnan(x) ? std::numeric_limits<float>::quiet_NaN() : x;
+}
 
 /// A split-product term over arbitrary plane sets: multiply A-plane
 /// `a_plane` by B-plane `b_plane`.
@@ -109,7 +120,7 @@ Matrix plane_gemm_reference(std::span<const Matrix> ap,
             compute_c_tile(acc, ap, bp, i0, j0, mt, nt, combos, order);
             for (std::size_t i = 0; i < mt; ++i) {
               for (std::size_t j = 0; j < nt; ++j) {
-                d.at(i0 + i, j0 + j) = acc[i][j];
+                d.at(i0 + i, j0 + j) = canonical_store(acc[i][j]);
               }
             }
           }
@@ -181,7 +192,7 @@ Matrix plane_gemm_packed(std::span<const Matrix> ap,
             }
             for (std::size_t i = 0; i < mt; ++i) {
               for (std::size_t j = 0; j < nt; ++j) {
-                d.at(i0 + i, j0 + j) = acc[i][j];
+                d.at(i0 + i, j0 + j) = canonical_store(acc[i][j]);
               }
             }
           }

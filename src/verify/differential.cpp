@@ -1,0 +1,330 @@
+#include "verify/differential.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+#include "gemm/baselines.hpp"
+#include "gemm/egemm.hpp"
+#include "util/assert.hpp"
+#include "verify/oracle.hpp"
+
+namespace egemm::verify {
+
+namespace {
+
+/// Inputs at or beyond this magnitude risk an infinite hi plane (the
+/// binary16 overflow threshold is 65520); together with non-finite values
+/// they classify a case as special.
+constexpr float kSplitOverflowEdge = 32768.0f;
+
+bool span_special(std::span<const float> values, bool magnitude_check) {
+  for (const float v : values) {
+    if (!std::isfinite(v)) return true;
+    if (magnitude_check && std::fabs(v) >= kSplitOverflowEdge) return true;
+  }
+  return false;
+}
+
+bool inputs_special(const FuzzInputs& inputs) {
+  // C feeds the accumulator directly (no split), so only non-finite C is
+  // special; A and B also trip on split overflow.
+  return span_special(inputs.a.data(), true) ||
+         span_special(inputs.b.data(), true) ||
+         (inputs.use_c && span_special(inputs.c.data(), false));
+}
+
+bool bitwise_equal(const gemm::Matrix& x, const gemm::Matrix& y) {
+  return x.rows() == y.rows() && x.cols() == y.cols() &&
+         (x.size() == 0 ||
+          std::memcmp(x.data().data(), y.data().data(),
+                      x.size() * sizeof(float)) == 0);
+}
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+const char* path_name(Path path) noexcept {
+  switch (path) {
+    case Path::kEgemmRound:
+      return "egemm-round";
+    case Path::kEgemmTruncate:
+      return "egemm-truncate";
+    case Path::kSeparatePasses:
+      return "separate-passes";
+    case Path::kMarkidis:
+      return "markidis";
+    case Path::kTcHalf:
+      return "tc-half";
+    case Path::kCount:
+      break;
+  }
+  return "?";
+}
+
+PathProfile path_profile(Path path) noexcept {
+  PathProfile profile;  // round-split, all four terms
+  switch (path) {
+    case Path::kEgemmRound:
+    case Path::kSeparatePasses:
+      break;
+    case Path::kEgemmTruncate:
+      profile.split = core::SplitMethod::kTruncateSplit;
+      break;
+    case Path::kMarkidis:
+      profile.split = core::SplitMethod::kTruncateSplit;
+      profile.term_lo_lo = false;
+      break;
+    case Path::kTcHalf:
+      profile.half_only = true;
+      break;
+    case Path::kCount:
+      EGEMM_EXPECTS(false && "invalid Path");
+  }
+  return profile;
+}
+
+gemm::Matrix run_path(Path path, const gemm::Matrix& a, const gemm::Matrix& b,
+                      const gemm::Matrix* c) {
+  switch (path) {
+    case Path::kEgemmRound:
+      return gemm::egemm_multiply(a, b, c);
+    case Path::kEgemmTruncate: {
+      gemm::EgemmOptions options;
+      options.split = core::SplitMethod::kTruncateSplit;
+      return gemm::egemm_multiply(a, b, c, options);
+    }
+    case Path::kSeparatePasses:
+      return gemm::gemm_cublas_tc_emulation(a, b, c);
+    case Path::kMarkidis:
+      return gemm::gemm_markidis(a, b, c);
+    case Path::kTcHalf:
+      return gemm::gemm_tc_half(a, b, c);
+    case Path::kCount:
+      break;
+  }
+  EGEMM_EXPECTS(false && "invalid Path");
+  return gemm::Matrix();
+}
+
+void PathObservation::merge(const PathObservation& other) {
+  stats.merge(other.stats);
+  violations += other.violations;
+  if (other.worst_ratio > worst_ratio) {
+    worst_ratio = other.worst_ratio;
+    worst_measured = other.worst_measured;
+    worst_bound = other.worst_bound;
+  }
+}
+
+CaseResult run_case(const FuzzCase& fuzz) {
+  CaseResult result;
+  result.fuzz = fuzz;
+  const FuzzInputs inputs = generate_inputs(fuzz);
+  result.special = inputs_special(inputs);
+
+  // Engine differential: the packed engine's contract is bitwise equality
+  // with the scalar reference for EVERY input class, specials included.
+  gemm::EgemmOptions reference_engine;
+  reference_engine.engine = gemm::ExecEngine::kReference;
+  const gemm::Matrix packed =
+      gemm::egemm_multiply(inputs.a, inputs.b, inputs.c_ptr());
+  const gemm::Matrix reference = gemm::egemm_multiply(
+      inputs.a, inputs.b, inputs.c_ptr(), reference_engine);
+  result.engine_match = bitwise_equal(packed, reference);
+
+  if (result.special) {
+    // No numeric bounds for IEEE-propagation cases, but every path must
+    // still execute without tripping a contract or crashing.
+    for (std::size_t p = 1; p < kPathCount; ++p) {
+      (void)run_path(static_cast<Path>(p), inputs.a, inputs.b,
+                     inputs.c_ptr());
+    }
+    return result;
+  }
+
+  const OracleMatrix oracle = oracle_gemm(inputs.a, inputs.b, inputs.c_ptr());
+
+  // Per-row / per-column scale context for the element bounds.
+  std::vector<double> row_amax(fuzz.m, 0.0);
+  for (std::size_t i = 0; i < fuzz.m; ++i) {
+    for (std::size_t t = 0; t < fuzz.k; ++t) {
+      row_amax[i] = std::max(
+          row_amax[i], std::fabs(static_cast<double>(inputs.a.at(i, t))));
+    }
+  }
+  std::vector<double> col_bmax(fuzz.n, 0.0);
+  for (std::size_t t = 0; t < fuzz.k; ++t) {
+    for (std::size_t j = 0; j < fuzz.n; ++j) {
+      col_bmax[j] = std::max(
+          col_bmax[j], std::fabs(static_cast<double>(inputs.b.at(t, j))));
+    }
+  }
+
+  for (std::size_t p = 0; p < kPathCount; ++p) {
+    const Path path = static_cast<Path>(p);
+    const gemm::Matrix candidate =
+        path == Path::kEgemmRound
+            ? packed
+            : run_path(path, inputs.a, inputs.b, inputs.c_ptr());
+    const PathProfile profile = path_profile(path);
+    PathObservation& observed = result.paths[p];
+    for (std::size_t i = 0; i < fuzz.m; ++i) {
+      for (std::size_t j = 0; j < fuzz.n; ++j) {
+        const double ref = oracle.value(i, j);
+        const double cand = static_cast<double>(candidate.at(i, j));
+        observed.stats.accumulate(ref, cand);
+        BoundInputs context;
+        context.k = fuzz.k;
+        context.a_scale = row_amax[i];
+        context.b_scale = col_bmax[j];
+        context.c_abs =
+            inputs.use_c
+                ? std::fabs(static_cast<double>(inputs.c.at(i, j)))
+                : 0.0;
+        const ErrorBound bound = element_bound(profile, context);
+        const double err = std::fabs(cand - ref);
+        const double ratio =
+            bound.worst_abs > 0.0
+                ? err / bound.worst_abs
+                : (err > 0.0 ? std::numeric_limits<double>::infinity() : 0.0);
+        if (err > bound.worst_abs) ++observed.violations;
+        if (ratio > observed.worst_ratio) {
+          observed.worst_ratio = ratio;
+          observed.worst_measured = err;
+          observed.worst_bound = bound.worst_abs;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::size_t AuditReport::total_violations() const noexcept {
+  std::size_t total = 0;
+  for (const PathSummary& path : paths) total += path.observed.violations;
+  return total;
+}
+
+bool AuditReport::round_below_markidis() const noexcept {
+  const fp::ErrorStats& round =
+      uniform_stats[static_cast<std::size_t>(Path::kEgemmRound)];
+  const fp::ErrorStats& markidis =
+      uniform_stats[static_cast<std::size_t>(Path::kMarkidis)];
+  return round.count > 0 && round.max_ulp < markidis.max_ulp;
+}
+
+AuditReport run_audit(const AuditOptions& options) {
+  AuditReport report;
+  report.seed = options.seed;
+  const std::vector<FuzzCase> plan = fuzz_plan(options.seed, options.cases);
+  report.cases_planned = plan.size();
+  const auto start = std::chrono::steady_clock::now();
+  constexpr std::size_t kMaxFailingCases = 64;
+
+  for (const FuzzCase& fuzz : plan) {
+    if (options.time_budget_seconds > 0.0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (elapsed.count() >= options.time_budget_seconds) break;
+    }
+    const CaseResult result = run_case(fuzz);
+    ++report.cases_run;
+    if (result.special) ++report.special_cases;
+    bool failing = !result.engine_match;
+    if (!result.engine_match) ++report.engine_mismatches;
+    for (std::size_t p = 0; p < kPathCount; ++p) {
+      const PathObservation& observed = result.paths[p];
+      if (observed.violations > 0) failing = true;
+      PathSummary& summary = report.paths[p];
+      if (observed.worst_ratio > summary.observed.worst_ratio) {
+        summary.worst_case = format_case(fuzz);
+      }
+      summary.observed.merge(observed);
+      if (fuzz.kind == InputKind::kUniform) {
+        report.uniform_stats[p].merge(observed.stats);
+      }
+    }
+    if (failing && report.failing_cases.size() < kMaxFailingCases) {
+      report.failing_cases.push_back(format_case(fuzz));
+    }
+  }
+  return report;
+}
+
+bool write_audit_json(const std::string& path, const AuditReport& report,
+                      const std::string& git_sha) {
+  std::string out = "{\n  \"git_sha\": \"";
+  append_json_escaped(out, git_sha);
+  out += "\",\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  \"seed\": %llu,\n  \"cases_planned\": %zu,\n"
+                "  \"cases_run\": %zu,\n  \"special_cases\": %zu,\n"
+                "  \"engine_mismatches\": %zu,\n"
+                "  \"total_violations\": %zu,\n"
+                "  \"round_below_markidis\": %s,\n  \"paths\": [\n",
+                static_cast<unsigned long long>(report.seed),
+                report.cases_planned, report.cases_run, report.special_cases,
+                report.engine_mismatches, report.total_violations(),
+                report.round_below_markidis() ? "true" : "false");
+  out += buf;
+  for (std::size_t p = 0; p < kPathCount; ++p) {
+    const PathSummary& summary = report.paths[p];
+    out += "    {\"name\": \"";
+    append_json_escaped(out, path_name(static_cast<Path>(p)));
+    std::snprintf(buf, sizeof(buf),
+                  "\", \"max_abs\": %.9g, \"mean_abs\": %.9g, "
+                  "\"max_rel\": %.9g, \"max_ulp\": %.9g, "
+                  "\"uniform_max_ulp\": %.9g, \"elements\": %zu, "
+                  "\"violations\": %zu, \"worst_bound_ratio\": %.9g, "
+                  "\"worst_case\": \"",
+                  summary.observed.stats.max_abs,
+                  summary.observed.stats.mean_abs(),
+                  summary.observed.stats.max_rel,
+                  summary.observed.stats.max_ulp,
+                  report.uniform_stats[p].max_ulp,
+                  summary.observed.stats.count, summary.observed.violations,
+                  summary.observed.worst_ratio);
+    out += buf;
+    append_json_escaped(out, summary.worst_case);
+    out += "\"}";
+    out += p + 1 < kPathCount ? ",\n" : "\n";
+  }
+  out += "  ],\n  \"failing_cases\": [";
+  for (std::size_t i = 0; i < report.failing_cases.size(); ++i) {
+    out += i == 0 ? "\n    \"" : ",\n    \"";
+    append_json_escaped(out, report.failing_cases[i]);
+    out += "\"";
+  }
+  out += report.failing_cases.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace egemm::verify

@@ -1,0 +1,125 @@
+#pragma once
+// Differential accuracy runner (DESIGN.md §11): pits every functional GEMM
+// path against the double-double oracle and asserts each lands inside its
+// a-priori error-model bound, element by element.
+//
+// Three kinds of checks per fuzz case:
+//  * engine differential -- egemm_multiply on the packed engine must be
+//    bitwise identical to the retained scalar reference engine, for every
+//    input class including non-finite values;
+//  * oracle differential -- for finite cases, each path's per-element error
+//    against the oracle must stay below the error model's worst-case bound
+//    (a violation is a harness failure: either the kernel or the model is
+//    wrong, and both are bugs);
+//  * special-value cases (any NaN/Inf or split-overflow input) skip the
+//    numeric bounds -- IEEE propagation makes the "exact" value a
+//    convention, not a number -- but still run every path to prove the
+//    kernels neither crash nor disagree between engines.
+//
+// Every reported failure carries the replayable one-line case descriptor
+// (verify/fuzzer.hpp) so a nightly fuzz hit can be turned into a corpus
+// entry under tests/corpus/ verbatim.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fp/error_stats.hpp"
+#include "gemm/matrix.hpp"
+#include "verify/error_model.hpp"
+#include "verify/fuzzer.hpp"
+
+namespace egemm::verify {
+
+/// The functional paths under differential test.
+enum class Path : int {
+  kEgemmRound = 0,  ///< EGEMM-TC: round-split, all 4 terms (packed engine)
+  kEgemmTruncate,   ///< ablation: Alg. 1 with truncate-split
+  kSeparatePasses,  ///< cuBLAS-TC-Emulation: round-split, one pass per term
+  kMarkidis,        ///< truncate-split, Alo x Blo dropped
+  kTcHalf,          ///< cublasGemmEx with binary16 inputs
+  kCount
+};
+
+inline constexpr std::size_t kPathCount = static_cast<std::size_t>(Path::kCount);
+
+const char* path_name(Path path) noexcept;
+
+/// The numeric profile the error model uses for a path.
+PathProfile path_profile(Path path) noexcept;
+
+/// Executes a path functionally.
+gemm::Matrix run_path(Path path, const gemm::Matrix& a, const gemm::Matrix& b,
+                      const gemm::Matrix* c);
+
+/// Per-path measurements for one case (or aggregated over many).
+struct PathObservation {
+  fp::ErrorStats stats;        ///< vs the oracle
+  std::size_t violations = 0;  ///< elements with error > worst-case bound
+  double worst_ratio = 0.0;    ///< max over elements of error / bound
+  double worst_measured = 0.0; ///< |error| at the worst-ratio element
+  double worst_bound = 0.0;    ///< bound at the worst-ratio element
+
+  void merge(const PathObservation& other);
+};
+
+struct CaseResult {
+  FuzzCase fuzz;
+  bool special = false;      ///< non-finite or split-overflow inputs
+  bool engine_match = true;  ///< packed == reference, bitwise
+  std::array<PathObservation, kPathCount> paths;  ///< empty when special
+};
+
+/// Runs one case end to end (pure in the FuzzCase value).
+CaseResult run_case(const FuzzCase& fuzz);
+
+struct AuditOptions {
+  std::uint64_t seed = 1;
+  std::size_t cases = 500;
+  /// Stop planning new cases once this much wall time elapsed (0 = off);
+  /// the report's cases_run says how far the budget reached.
+  double time_budget_seconds = 0.0;
+};
+
+struct PathSummary {
+  PathObservation observed;
+  std::string worst_case;  ///< descriptor of the case with the worst ratio
+};
+
+struct AuditReport {
+  std::uint64_t seed = 0;
+  std::size_t cases_planned = 0;
+  std::size_t cases_run = 0;
+  std::size_t special_cases = 0;
+  std::size_t engine_mismatches = 0;
+  std::array<PathSummary, kPathCount> paths;
+  /// Per-path stats restricted to kUniform cases (the paper's §7.2 input
+  /// distribution). The adversarial kinds saturate every path identically
+  /// -- e.g. below-binary16 denormals are dropped by ALL splits -- so the
+  /// Fig. 4 round-vs-truncate ordering is measured where it is defined.
+  std::array<fp::ErrorStats, kPathCount> uniform_stats;
+  /// Replayable descriptors of every case with a violation or engine
+  /// mismatch (capped at 64 entries).
+  std::vector<std::string> failing_cases;
+
+  std::size_t total_violations() const noexcept;
+  /// The paper's §3.2 ordering as measured on the uniform kind: EGEMM-TC's
+  /// round-split max ulp error strictly below Markidis' truncate-split on
+  /// the same inputs.
+  bool round_below_markidis() const noexcept;
+  bool ok() const noexcept {
+    return engine_mismatches == 0 && total_violations() == 0;
+  }
+};
+
+AuditReport run_audit(const AuditOptions& options);
+
+/// Persists the report as a small self-describing JSON document (the
+/// accuracy analogue of BENCH_micro.json; consumed by the nightly
+/// accuracy-fuzz CI job).
+bool write_audit_json(const std::string& path, const AuditReport& report,
+                      const std::string& git_sha);
+
+}  // namespace egemm::verify

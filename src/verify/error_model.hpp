@@ -1,0 +1,77 @@
+#pragma once
+// A-priori error bounds for emulated GEMM paths (DESIGN.md §11).
+//
+// Given a path's numeric profile -- split method, which of Alg. 1's four
+// split-product terms it executes, whether it consumes raw binary16 inputs
+// instead of a two-plane split -- and an output element's scale context
+// (k, row/column magnitudes, |C|), the model emits
+//
+//   worst_abs     a sound per-element bound on |candidate - exact|, the sum
+//                 of three components derived from the paper's 21-bit
+//                 operation-precision profile (§3.2):
+//                   split_term    representation error of the planes,
+//                   dropped_term  split products the path does not compute,
+//                   accum_term    binary32 pair-sum accumulation (Higham's
+//                                 gamma_n over the product magnitudes);
+//   expected_abs  a statistical estimate of the typical max error under
+//                 random inputs -- NOT sound, used only to make the paper's
+//                 round-vs-truncate gap executable: truncate-split residuals
+//                 are one-signed, so their contribution grows linearly in k
+//                 while round-split residuals random-walk at sqrt(k); a
+//                 truncate path therefore lands far above the round-split
+//                 expected bound on cancellation-free inputs.
+//
+// The differential runner asserts measured <= worst_abs element-wise for
+// every path on every finite fuzz case; the bounds must hold for ALL
+// representable inputs below the binary16 overflow threshold, including
+// denormals (hence the subnormal floors from core::split_residual_bound).
+
+#include <cstddef>
+
+#include "core/split.hpp"
+
+namespace egemm::verify {
+
+/// Numeric description of an emulated-GEMM path.
+struct PathProfile {
+  core::SplitMethod split = core::SplitMethod::kRoundSplit;
+  bool term_hi_hi = true;
+  bool term_hi_lo = true;  ///< Ahi x Blo
+  bool term_lo_hi = true;  ///< Alo x Bhi
+  bool term_lo_lo = true;
+  /// cuBLAS-TC-Half: inputs are RN16(x) with no lo plane at all; the
+  /// representation error is a single binary16 rounding (2^-11 relative)
+  /// and the dropped/lo machinery does not apply.
+  bool half_only = false;
+
+  int combo_count() const noexcept {
+    if (half_only) return 1;
+    return (term_hi_hi ? 1 : 0) + (term_hi_lo ? 1 : 0) +
+           (term_lo_hi ? 1 : 0) + (term_lo_lo ? 1 : 0);
+  }
+};
+
+/// Scale context of one output element D[i][j].
+struct BoundInputs {
+  std::size_t k = 0;
+  double a_scale = 0.0;  ///< max |A[i][t]| over the element's row
+  double b_scale = 0.0;  ///< max |B[t][j]| over the element's column
+  double c_abs = 0.0;    ///< |C[i][j]|, 0 when C is absent
+};
+
+struct ErrorBound {
+  double split_term = 0.0;
+  double dropped_term = 0.0;
+  double accum_term = 0.0;
+  double worst_abs = 0.0;
+  double expected_abs = 0.0;
+};
+
+/// Per-element a-priori bound. Requires every |A|, |B| input magnitude to
+/// be below the binary16 overflow threshold (the split itself saturates
+/// beyond it); the differential runner classifies such cases as
+/// special-value cases and does not call the model on them.
+ErrorBound element_bound(const PathProfile& path,
+                         const BoundInputs& in) noexcept;
+
+}  // namespace egemm::verify

@@ -1,0 +1,267 @@
+#include "verify/fuzzer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace egemm::verify {
+
+namespace {
+
+/// Random sign * mantissa in [1, 2) * 2^e with e uniform in [e_lo, e_hi].
+float log_uniform(util::Xoshiro256& rng, int e_lo, int e_hi) {
+  const int e = e_lo + static_cast<int>(rng.below(
+                           static_cast<std::uint64_t>(e_hi - e_lo + 1)));
+  const float mant = rng.uniform(1.0f, 2.0f);
+  const float sign = (rng() & 1u) != 0 ? -1.0f : 1.0f;
+  return sign * std::ldexp(mant, e);
+}
+
+void fill_uniform(gemm::Matrix& m, util::Xoshiro256& rng) {
+  for (float& v : m.data()) v = rng.uniform(-1.0f, 1.0f);
+}
+
+void fill_log_uniform(gemm::Matrix& m, util::Xoshiro256& rng) {
+  for (float& v : m.data()) v = log_uniform(rng, -12, 3);
+}
+
+void fill_positive(gemm::Matrix& m, util::Xoshiro256& rng) {
+  for (float& v : m.data()) v = rng.uniform(0.5f, 1.0f);
+}
+
+void fill_denormal(gemm::Matrix& m, util::Xoshiro256& rng) {
+  // Mostly the binary16-subnormal-and-below band; a tail deep in the
+  // binary32 denormal range so plane products underflow to zero.
+  for (float& v : m.data()) {
+    v = rng.below(10) == 0 ? log_uniform(rng, -140, -45)
+                           : log_uniform(rng, -44, -13);
+  }
+}
+
+void fill_specials(gemm::Matrix& m, util::Xoshiro256& rng) {
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+  // 65520 is the binary16 overflow threshold: it splits to an infinite hi
+  // plane, the saturation edge the harness must survive.
+  constexpr float kSpecials[] = {kNan,     kInf,   -kInf,   -0.0f,
+                                 65504.0f, 65520.0f, 1e38f, 0x1.0p-149f};
+  for (float& v : m.data()) {
+    v = rng.below(20) == 0
+            ? kSpecials[rng.below(sizeof(kSpecials) / sizeof(kSpecials[0]))]
+            : rng.uniform(-1.0f, 1.0f);
+  }
+}
+
+/// Hilbert-like rows with random per-row binade scales: entries decay
+/// slowly and rows are nearly linearly dependent, the classic
+/// ill-conditioned profile.
+void fill_hilbert(gemm::Matrix& m, util::Xoshiro256& rng) {
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const float scale = log_uniform(rng, -3, 3);
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      m.at(i, j) = scale / static_cast<float>(i + j + 1);
+    }
+  }
+}
+
+void fill_kind(InputKind kind, gemm::Matrix& m, util::Xoshiro256& rng) {
+  switch (kind) {
+    case InputKind::kUniform:
+      fill_uniform(m, rng);
+      return;
+    case InputKind::kLogUniform:
+      fill_log_uniform(m, rng);
+      return;
+    case InputKind::kPositive:
+      fill_positive(m, rng);
+      return;
+    case InputKind::kCancellation:  // pair structure applied by the caller
+      fill_log_uniform(m, rng);
+      return;
+    case InputKind::kIllConditioned:
+      fill_hilbert(m, rng);
+      return;
+    case InputKind::kDenormal:
+      fill_denormal(m, rng);
+      return;
+    case InputKind::kSpecials:
+      fill_specials(m, rng);
+      return;
+    case InputKind::kCount:
+      break;
+  }
+  EGEMM_EXPECTS(false && "invalid InputKind");
+}
+
+}  // namespace
+
+const char* input_kind_name(InputKind kind) noexcept {
+  switch (kind) {
+    case InputKind::kUniform:
+      return "uniform";
+    case InputKind::kLogUniform:
+      return "log-uniform";
+    case InputKind::kPositive:
+      return "positive";
+    case InputKind::kCancellation:
+      return "cancellation";
+    case InputKind::kIllConditioned:
+      return "ill-conditioned";
+    case InputKind::kDenormal:
+      return "denormal";
+    case InputKind::kSpecials:
+      return "specials";
+    case InputKind::kCount:
+      break;
+  }
+  return "?";
+}
+
+FuzzInputs generate_inputs(const FuzzCase& fuzz) {
+  EGEMM_EXPECTS(fuzz.kind != InputKind::kCount);
+  // Independent streams per matrix so shapes do not alias values.
+  util::Xoshiro256 rng_a(fuzz.seed * 3 + 1);
+  util::Xoshiro256 rng_b(fuzz.seed * 3 + 2);
+  util::Xoshiro256 rng_c(fuzz.seed * 3 + 3);
+
+  FuzzInputs inputs{gemm::Matrix(fuzz.m, fuzz.k), gemm::Matrix(fuzz.k, fuzz.n),
+                    gemm::Matrix(fuzz.m, fuzz.n), fuzz.with_c};
+  fill_kind(fuzz.kind, inputs.a, rng_a);
+  fill_kind(fuzz.kind, inputs.b, rng_b);
+  if (fuzz.with_c) fill_kind(fuzz.kind, inputs.c, rng_c);
+
+  if (fuzz.kind == InputKind::kCancellation) {
+    // Exact +/- pairs along k: A negates odd columns, B duplicates odd
+    // rows, so each pair of products cancels exactly and the true sum is
+    // just the odd tail (or C) -- huge intermediate magnitudes over a tiny
+    // reference.
+    for (std::size_t i = 0; i < fuzz.m; ++i) {
+      for (std::size_t t = 1; t < fuzz.k; t += 2) {
+        inputs.a.at(i, t) = -inputs.a.at(i, t - 1);
+      }
+    }
+    for (std::size_t t = 1; t < fuzz.k; t += 2) {
+      for (std::size_t j = 0; j < fuzz.n; ++j) {
+        inputs.b.at(t, j) = inputs.b.at(t - 1, j);
+      }
+    }
+  }
+  return inputs;
+}
+
+std::vector<FuzzCase> fuzz_plan(std::uint64_t master_seed, std::size_t count) {
+  std::vector<FuzzCase> plan;
+  plan.reserve(count);
+  util::Xoshiro256 rng(master_seed ^ 0x5eedfa11ULL);
+  // Small ragged/degenerate extents get extra weight: k = 1, vectors, and
+  // sub-tile shapes are where padding and remainder paths diverge.
+  static constexpr std::size_t kDegenerate[] = {1, 1, 2, 3, 5, 15, 16, 17, 31};
+  static constexpr std::size_t kDegenerateCount =
+      sizeof(kDegenerate) / sizeof(kDegenerate[0]);
+  for (std::size_t i = 0; i < count; ++i) {
+    FuzzCase fuzz;
+    fuzz.seed = master_seed * 0x9e3779b97f4a7c15ULL + i;
+    const std::uint64_t shape_class = rng.below(100);
+    auto draw = [&rng](std::size_t hi) {
+      return static_cast<std::size_t>(1 + rng.below(hi));
+    };
+    if (shape_class < 30) {
+      fuzz.m = kDegenerate[rng.below(kDegenerateCount)];
+      fuzz.n = kDegenerate[rng.below(kDegenerateCount)];
+      fuzz.k = kDegenerate[rng.below(kDegenerateCount)];
+    } else if (shape_class < 90) {
+      fuzz.m = draw(48);
+      fuzz.n = draw(48);
+      fuzz.k = draw(48);
+    } else {
+      // One long axis: skewed shapes stress the wave/remainder logic and
+      // give the k-linear bound terms room to act.
+      fuzz.m = draw(24);
+      fuzz.n = draw(24);
+      fuzz.k = draw(24);
+      switch (rng.below(3)) {
+        case 0: fuzz.m = draw(160); break;
+        case 1: fuzz.n = draw(160); break;
+        default: fuzz.k = draw(160); break;
+      }
+    }
+    // Round-robin kinds so every distribution appears even in short runs.
+    fuzz.kind = static_cast<InputKind>(
+        i % static_cast<std::size_t>(InputKind::kCount));
+    fuzz.with_c = (rng() & 1u) != 0;
+    plan.push_back(fuzz);
+  }
+  return plan;
+}
+
+std::string format_case(const FuzzCase& fuzz) {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer), "seed=%llu m=%zu n=%zu k=%zu kind=%s c=%d",
+                static_cast<unsigned long long>(fuzz.seed), fuzz.m, fuzz.n,
+                fuzz.k, input_kind_name(fuzz.kind), fuzz.with_c ? 1 : 0);
+  return buffer;
+}
+
+std::optional<FuzzCase> parse_case(std::string_view line) {
+  // Strip comments and whitespace-only lines.
+  const std::size_t hash = line.find('#');
+  if (hash != std::string_view::npos) line = line.substr(0, hash);
+  FuzzCase fuzz;
+  bool have_seed = false, have_m = false, have_n = false, have_k = false,
+       have_kind = false;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() &&
+           (line[pos] == ' ' || line[pos] == '\t' || line[pos] == '\r')) {
+      ++pos;
+    }
+    if (pos >= line.size()) break;
+    const std::size_t end = std::min(line.find(' ', pos), line.size());
+    const std::string_view token = line.substr(pos, end - pos);
+    pos = end;
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos) return std::nullopt;
+    const std::string_view key = token.substr(0, eq);
+    const std::string value(token.substr(eq + 1));
+    if (key == "kind") {
+      for (int kind = 0; kind < static_cast<int>(InputKind::kCount); ++kind) {
+        if (value == input_kind_name(static_cast<InputKind>(kind))) {
+          fuzz.kind = static_cast<InputKind>(kind);
+          have_kind = true;
+        }
+      }
+      if (!have_kind) return std::nullopt;
+      continue;
+    }
+    char* parse_end = nullptr;
+    const unsigned long long parsed = std::strtoull(value.c_str(), &parse_end, 10);
+    if (parse_end == value.c_str() || *parse_end != '\0') return std::nullopt;
+    if (key == "seed") {
+      fuzz.seed = parsed;
+      have_seed = true;
+    } else if (key == "m") {
+      fuzz.m = parsed;
+      have_m = true;
+    } else if (key == "n") {
+      fuzz.n = parsed;
+      have_n = true;
+    } else if (key == "k") {
+      fuzz.k = parsed;
+      have_k = true;
+    } else if (key == "c") {
+      fuzz.with_c = parsed != 0;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!(have_seed && have_m && have_n && have_k && have_kind)) {
+    return std::nullopt;
+  }
+  return fuzz;
+}
+
+}  // namespace egemm::verify

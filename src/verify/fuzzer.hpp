@@ -1,0 +1,66 @@
+#pragma once
+// Deterministic, seed-reproducible adversarial input generation for the
+// differential accuracy harness (DESIGN.md §11).
+//
+// Every case is fully described by a FuzzCase value; generate_inputs() is a
+// pure function of it, so any failure reported by the harness can be
+// replayed from the one-line descriptor format_case() prints (and the
+// regression corpus under tests/corpus/ stores). fuzz_plan() expands a
+// master seed into a case list that mixes adversarial value distributions
+// with degenerate shapes (k = 1, vectors, sub-tile and ragged extents).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gemm/matrix.hpp"
+
+namespace egemm::verify {
+
+enum class InputKind : int {
+  kUniform = 0,     ///< uniform in [-1, 1): the paper's §7.2 distribution
+  kLogUniform,      ///< random sign, exponent uniform across many binades
+  kPositive,        ///< [0.5, 1): cancellation-free; exposes truncate bias
+  kCancellation,    ///< exact +/- pairs along k: reference sums near zero
+  kIllConditioned,  ///< Hilbert-like 1/(i+j+1) rows with random row scales
+  kDenormal,        ///< magnitudes below the binary16 normal range
+  kSpecials,        ///< NaN/Inf/signed-zero/overflow values sprinkled in
+  kCount
+};
+
+const char* input_kind_name(InputKind kind) noexcept;
+
+struct FuzzCase {
+  std::uint64_t seed = 0;
+  std::size_t m = 1;
+  std::size_t n = 1;
+  std::size_t k = 1;
+  InputKind kind = InputKind::kUniform;
+  bool with_c = false;
+};
+
+struct FuzzInputs {
+  gemm::Matrix a;
+  gemm::Matrix b;
+  gemm::Matrix c;
+  bool use_c = false;
+
+  const gemm::Matrix* c_ptr() const noexcept { return use_c ? &c : nullptr; }
+};
+
+/// Materializes the case's inputs; pure in the FuzzCase value.
+FuzzInputs generate_inputs(const FuzzCase& fuzz);
+
+/// Expands a master seed into `count` cases (deterministic).
+std::vector<FuzzCase> fuzz_plan(std::uint64_t master_seed, std::size_t count);
+
+/// One-line replayable descriptor: "seed=7 m=3 n=5 k=17 kind=log-uniform c=1".
+std::string format_case(const FuzzCase& fuzz);
+
+/// Parses format_case() output (also the tests/corpus entry format).
+/// Returns nullopt for blank lines, '#' comments, and malformed input.
+std::optional<FuzzCase> parse_case(std::string_view line);
+
+}  // namespace egemm::verify

@@ -1,0 +1,42 @@
+#include "verify/oracle.hpp"
+
+#include "fp/twofold.hpp"
+#include "util/assert.hpp"
+#include "util/thread_pool.hpp"
+
+namespace egemm::verify {
+
+OracleMatrix oracle_gemm(const gemm::Matrix& a, const gemm::Matrix& b,
+                         const gemm::Matrix* c) {
+  EGEMM_EXPECTS(a.cols() == b.rows());
+  EGEMM_EXPECTS(c == nullptr ||
+                (c->rows() == a.rows() && c->cols() == b.cols()));
+  const std::size_t m = a.rows();
+  const std::size_t n = b.cols();
+  const std::size_t k = a.cols();
+
+  OracleMatrix d{gemm::MatrixD(m, n), gemm::MatrixD(m, n)};
+  util::global_pool().parallel_for(m, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      double* hrow = d.hi.row(i);
+      double* lrow = d.lo.row(i);
+      if (c != nullptr) {
+        for (std::size_t j = 0; j < n; ++j) {
+          hrow[j] = static_cast<double>(c->at(i, j));
+        }
+      }
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const double av = static_cast<double>(a.at(i, kk));
+        const float* brow = b.row(kk);
+        for (std::size_t j = 0; j < n; ++j) {
+          // binary32 x binary32 widened to binary64 multiplies exactly, so
+          // the dd accumulation is the only (2^-105) rounding in the loop.
+          fp::dd_add(hrow[j], lrow[j], av * static_cast<double>(brow[j]));
+        }
+      }
+    }
+  });
+  return d;
+}
+
+}  // namespace egemm::verify

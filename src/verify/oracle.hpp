@@ -1,0 +1,47 @@
+#pragma once
+// Oracle GEMM for the accuracy-verification subsystem (DESIGN.md §11).
+//
+// The differential harness needs a reference that is *effectively exact* --
+// far below every bound it checks -- for arbitrary binary32 inputs, not
+// just the well-scaled matrices of the precision figures. The oracle
+// computes D = A x B + C with an unevaluated double-double accumulator per
+// output element (fp::dd_add over exact binary64 products; the product of
+// two binary32 values widened to binary64 is exact), so the only error in
+// the final value is the one collapse hi + lo at the end: relative 2^-105
+// before collapse, 2^-53 after -- at least 2^70 below the tightest bound
+// the error model ever emits (DESIGN.md §11 quantifies the slack).
+//
+// Unlike gemm::gemm_reference (which collapses eagerly per row and returns
+// a MatrixD), the oracle keeps the hi/lo planes so callers can measure a
+// candidate's error without first destroying the extra precision. Ulp
+// measurement against the binary32 grid lives in fp/float_bits.hpp
+// (fp::f32_ulp_at / fp::ulp_error).
+
+#include <cstddef>
+
+#include "gemm/matrix.hpp"
+
+namespace egemm::verify {
+
+/// D = A x B + C held as an unevaluated double-double sum per element.
+struct OracleMatrix {
+  gemm::MatrixD hi;
+  gemm::MatrixD lo;
+
+  std::size_t rows() const noexcept { return hi.rows(); }
+  std::size_t cols() const noexcept { return hi.cols(); }
+
+  /// Collapsed binary64 value (correctly rounded from the dd pair).
+  double value(std::size_t r, std::size_t c) const noexcept {
+    return hi.at(r, c) + lo.at(r, c);
+  }
+};
+
+/// Computes the oracle GEMM. A is m x k, B is k x n, C (optional) m x n.
+/// Finite inputs give an effectively exact result; non-finite inputs
+/// propagate through IEEE semantics (the differential runner classifies
+/// those cases separately and does not apply numeric bounds to them).
+OracleMatrix oracle_gemm(const gemm::Matrix& a, const gemm::Matrix& b,
+                         const gemm::Matrix* c = nullptr);
+
+}  // namespace egemm::verify

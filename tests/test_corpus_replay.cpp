@@ -1,0 +1,54 @@
+// Regression-corpus replay (DESIGN.md §11): every descriptor under
+// tests/corpus/ -- past fuzz failures and near-misses -- re-runs through the
+// full differential harness on every build. EGEMM_CORPUS_DIR points at the
+// source-tree corpus directory (set by tests/CMakeLists.txt).
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "verify/differential.hpp"
+
+namespace egemm::verify {
+namespace {
+
+std::vector<FuzzCase> load_corpus() {
+  std::vector<FuzzCase> cases;
+  const std::filesystem::path dir(EGEMM_CORPUS_DIR);
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".txt") continue;
+    std::ifstream in(entry.path());
+    std::string line;
+    while (std::getline(in, line)) {
+      if (const std::optional<FuzzCase> fuzz = parse_case(line)) {
+        cases.push_back(*fuzz);
+      }
+    }
+  }
+  return cases;
+}
+
+TEST(CorpusReplay, CorpusIsNonEmptyAndParses) {
+  EXPECT_GE(load_corpus().size(), 10u);
+}
+
+TEST(CorpusReplay, EveryEntryPassesTheDifferentialHarness) {
+  const std::vector<FuzzCase> corpus = load_corpus();
+  ASSERT_FALSE(corpus.empty());
+  for (const FuzzCase& fuzz : corpus) {
+    const CaseResult result = run_case(fuzz);
+    EXPECT_TRUE(result.engine_match) << format_case(fuzz);
+    if (!result.special) {
+      for (std::size_t p = 0; p < kPathCount; ++p) {
+        EXPECT_EQ(result.paths[p].violations, 0u)
+            << format_case(fuzz) << " path "
+            << path_name(static_cast<Path>(p));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace egemm::verify

@@ -1,6 +1,7 @@
 // Tests for the error-statistics accumulator (fp/error_stats.hpp).
 #include "fp/error_stats.hpp"
 
+#include <cmath>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -57,6 +58,58 @@ TEST(ErrorStats, RelativeErrorGuardsTinyReference) {
   ErrorStats stats;
   stats.accumulate(0.0, 1e-31);  // denominator floored at 1e-30
   EXPECT_LE(stats.max_rel, 1.0);
+}
+
+TEST(ErrorStats, CompareEmptySpansIsAValidZeroState) {
+  const ErrorStats from_doubles = compare(std::span<const double>(),
+                                          std::span<const float>());
+  EXPECT_EQ(from_doubles.count, 0u);
+  EXPECT_EQ(from_doubles.max_abs, 0.0);
+  EXPECT_EQ(from_doubles.max_ulp, 0.0);
+  EXPECT_EQ(from_doubles.mean_abs(), 0.0);
+  const ErrorStats from_floats =
+      compare(std::span<const float>(), std::span<const float>());
+  EXPECT_EQ(from_floats.count, 0u);
+}
+
+TEST(ErrorStats, MergeWithZeroCountOperandIsIdentity) {
+  ErrorStats stats;
+  stats.accumulate(1.0, 1.5);
+  const ErrorStats before = stats;
+  stats.merge(ErrorStats{});  // empty right operand changes nothing
+  EXPECT_EQ(stats.count, before.count);
+  EXPECT_DOUBLE_EQ(stats.max_abs, before.max_abs);
+  EXPECT_DOUBLE_EQ(stats.max_rel, before.max_rel);
+  EXPECT_DOUBLE_EQ(stats.max_ulp, before.max_ulp);
+  EXPECT_DOUBLE_EQ(stats.mean_abs(), before.mean_abs());
+
+  ErrorStats empty;  // and merging INTO an empty one adopts the operand
+  empty.merge(before);
+  EXPECT_EQ(empty.count, before.count);
+  EXPECT_DOUBLE_EQ(empty.max_abs, before.max_abs);
+}
+
+TEST(ErrorStats, ZeroReferenceColumnsDoNotBlowUpMaxRel) {
+  // A whole column of exact zeros in the reference (e.g. a zero row times
+  // anything): rel error must use the 1e-30 floor, not divide by zero.
+  ErrorStats stats;
+  for (int i = 0; i < 8; ++i) stats.accumulate(0.0, 0.0);
+  EXPECT_EQ(stats.max_rel, 0.0);
+  stats.accumulate(0.0, 2e-30);
+  EXPECT_TRUE(std::isfinite(stats.max_rel));
+  EXPECT_DOUBLE_EQ(stats.max_rel, 2.0);
+}
+
+TEST(ErrorStats, TracksUlpError) {
+  ErrorStats stats;
+  stats.accumulate(1.0, 1.0 + 0x1.0p-23);  // exactly 1 ulp at 1.0
+  EXPECT_DOUBLE_EQ(stats.max_ulp, 1.0);
+  stats.accumulate(1.0, 1.0 + 0x1.0p-21);  // 4 ulps
+  EXPECT_DOUBLE_EQ(stats.max_ulp, 4.0);
+  ErrorStats other;
+  other.accumulate(2.0, 2.0 + 0x1.0p-19);  // 8 ulps at 2.0
+  stats.merge(other);
+  EXPECT_DOUBLE_EQ(stats.max_ulp, 8.0);
 }
 
 }  // namespace

@@ -1,0 +1,149 @@
+// Tests for the deterministic fuzz-case generator and its replayable
+// one-line descriptor format (verify/fuzzer.hpp).
+#include <cmath>
+#include <cstring>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "verify/fuzzer.hpp"
+
+namespace egemm::verify {
+namespace {
+
+bool same_bits(const gemm::Matrix& x, const gemm::Matrix& y) {
+  return x.rows() == y.rows() && x.cols() == y.cols() &&
+         std::memcmp(x.data().data(), y.data().data(),
+                     x.size() * sizeof(float)) == 0;
+}
+
+TEST(Fuzzer, GenerateInputsIsPureInTheCase) {
+  FuzzCase fuzz;
+  fuzz.seed = 42;
+  fuzz.m = 7;
+  fuzz.n = 5;
+  fuzz.k = 13;
+  fuzz.kind = InputKind::kLogUniform;
+  fuzz.with_c = true;
+  const FuzzInputs first = generate_inputs(fuzz);
+  const FuzzInputs second = generate_inputs(fuzz);
+  EXPECT_TRUE(same_bits(first.a, second.a));
+  EXPECT_TRUE(same_bits(first.b, second.b));
+  EXPECT_TRUE(same_bits(first.c, second.c));
+  EXPECT_EQ(first.a.rows(), 7u);
+  EXPECT_EQ(first.a.cols(), 13u);
+  EXPECT_EQ(first.b.rows(), 13u);
+  EXPECT_EQ(first.b.cols(), 5u);
+  EXPECT_NE(first.c_ptr(), nullptr);
+}
+
+TEST(Fuzzer, SeedChangesTheData) {
+  FuzzCase fuzz;
+  fuzz.seed = 1;
+  fuzz.m = fuzz.n = fuzz.k = 8;
+  FuzzCase other = fuzz;
+  other.seed = 2;
+  EXPECT_FALSE(same_bits(generate_inputs(fuzz).a, generate_inputs(other).a));
+}
+
+TEST(Fuzzer, CancellationBuildsExactPairs) {
+  FuzzCase fuzz;
+  fuzz.seed = 9;
+  fuzz.m = 4;
+  fuzz.n = 3;
+  fuzz.k = 6;
+  fuzz.kind = InputKind::kCancellation;
+  const FuzzInputs inputs = generate_inputs(fuzz);
+  for (std::size_t i = 0; i < fuzz.m; ++i) {
+    for (std::size_t t = 1; t < fuzz.k; t += 2) {
+      EXPECT_EQ(inputs.a.at(i, t), -inputs.a.at(i, t - 1));
+    }
+  }
+  for (std::size_t t = 1; t < fuzz.k; t += 2) {
+    for (std::size_t j = 0; j < fuzz.n; ++j) {
+      EXPECT_EQ(inputs.b.at(t, j), inputs.b.at(t - 1, j));
+    }
+  }
+}
+
+TEST(Fuzzer, PlanIsDeterministicAndCoversEveryKind) {
+  const std::vector<FuzzCase> plan = fuzz_plan(123, 50);
+  const std::vector<FuzzCase> again = fuzz_plan(123, 50);
+  ASSERT_EQ(plan.size(), 50u);
+  std::set<int> kinds;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan[i].seed, again[i].seed);
+    EXPECT_EQ(plan[i].m, again[i].m);
+    EXPECT_EQ(plan[i].kind, again[i].kind);
+    EXPECT_GE(plan[i].m, 1u);
+    EXPECT_GE(plan[i].n, 1u);
+    EXPECT_GE(plan[i].k, 1u);
+    kinds.insert(static_cast<int>(plan[i].kind));
+  }
+  EXPECT_EQ(kinds.size(), static_cast<std::size_t>(InputKind::kCount));
+}
+
+TEST(Fuzzer, DifferentMasterSeedsGiveDifferentPlans) {
+  const std::vector<FuzzCase> one = fuzz_plan(1, 10);
+  const std::vector<FuzzCase> two = fuzz_plan(2, 10);
+  EXPECT_NE(one[0].seed, two[0].seed);
+}
+
+TEST(Fuzzer, FormatParseRoundTrip) {
+  for (int kind = 0; kind < static_cast<int>(InputKind::kCount); ++kind) {
+    FuzzCase fuzz;
+    fuzz.seed = std::uint64_t{0xdeadbeef} + static_cast<std::uint64_t>(kind);
+    fuzz.m = 17;
+    fuzz.n = 1;
+    fuzz.k = 33;
+    fuzz.kind = static_cast<InputKind>(kind);
+    fuzz.with_c = (kind % 2) == 0;
+    const std::optional<FuzzCase> parsed = parse_case(format_case(fuzz));
+    ASSERT_TRUE(parsed.has_value()) << format_case(fuzz);
+    EXPECT_EQ(parsed->seed, fuzz.seed);
+    EXPECT_EQ(parsed->m, fuzz.m);
+    EXPECT_EQ(parsed->n, fuzz.n);
+    EXPECT_EQ(parsed->k, fuzz.k);
+    EXPECT_EQ(parsed->kind, fuzz.kind);
+    EXPECT_EQ(parsed->with_c, fuzz.with_c);
+  }
+}
+
+TEST(Fuzzer, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(parse_case("").has_value());            // blank
+  EXPECT_FALSE(parse_case("# comment").has_value());   // comment only
+  EXPECT_FALSE(parse_case("seed=1 m=2").has_value());  // missing fields
+  EXPECT_FALSE(parse_case("seed=1 m=2 n=3 k=4 kind=bogus").has_value());
+  EXPECT_FALSE(parse_case("seed=x m=2 n=3 k=4 kind=uniform").has_value());
+  EXPECT_FALSE(parse_case("seed=1 m=2 n=3 k=4 kind=uniform junk").has_value());
+}
+
+TEST(Fuzzer, ParseAcceptsCommentsAndWhitespace) {
+  const std::optional<FuzzCase> parsed =
+      parse_case("  seed=7 m=2 n=3 k=4 kind=denormal c=1  # why it is here");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->seed, 7u);
+  EXPECT_EQ(parsed->kind, InputKind::kDenormal);
+  EXPECT_TRUE(parsed->with_c);
+}
+
+TEST(Fuzzer, SpecialsKindActuallyEmitsSpecials) {
+  FuzzCase fuzz;
+  fuzz.seed = 3;
+  fuzz.m = 32;
+  fuzz.n = 32;
+  fuzz.k = 32;
+  fuzz.kind = InputKind::kSpecials;
+  const FuzzInputs inputs = generate_inputs(fuzz);
+  bool any_nonfinite = false;
+  for (const float v : inputs.a.data()) {
+    if (!std::isfinite(v)) any_nonfinite = true;
+  }
+  for (const float v : inputs.b.data()) {
+    if (!std::isfinite(v)) any_nonfinite = true;
+  }
+  EXPECT_TRUE(any_nonfinite);
+}
+
+}  // namespace
+}  // namespace egemm::verify

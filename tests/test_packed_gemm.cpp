@@ -3,7 +3,10 @@
 // order, and C-accumulation variant -- including shapes smaller than one
 // tile, odd k, and k = 1, where the padding and remainder paths differ most
 // between the two engines.
+#include <array>
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -17,8 +20,9 @@ namespace {
 
 bool bitwise_equal(const Matrix& x, const Matrix& y) {
   return x.rows() == y.rows() && x.cols() == y.cols() &&
-         std::memcmp(x.data().data(), y.data().data(),
-                     x.data().size() * sizeof(float)) == 0;
+         (x.data().empty() ||
+          std::memcmp(x.data().data(), y.data().data(),
+                      x.data().size() * sizeof(float)) == 0);
 }
 
 struct Shape {
@@ -104,6 +108,70 @@ TEST(PackedEngine, WideValueRangeStaysBitIdentical) {
   reference.engine = ExecEngine::kReference;
   EXPECT_TRUE(bitwise_equal(egemm_multiply(a, b, nullptr, packed),
                             egemm_multiply(a, b, nullptr, reference)));
+}
+
+TEST(PackedEngine, SpecialValuesStayBitIdentical) {
+  // NaN/Inf/signed-zero/denormal inputs: both engines must produce the
+  // same bits, including the canonical NaN the modeled hardware emits
+  // (payload-propagation differences between scalar and vector x86 code
+  // are exactly what the canonicalizing store erases).
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  const float kNan = std::nanf("");
+  Matrix a = random_matrix(21, 19, -2, 2, 31);
+  Matrix b = random_matrix(19, 23, -2, 2, 32);
+  Matrix c = random_matrix(21, 23, -2, 2, 33);
+  a.at(0, 0) = kNan;
+  a.at(1, 2) = kInf;
+  a.at(2, 4) = -kInf;
+  a.at(3, 6) = 0x1.0p-140f;  // binary32 denormal
+  a.at(4, 8) = -0.0f;
+  a.at(5, 10) = 65520.0f;  // splits to an infinite hi plane
+  b.at(0, 1) = kNan;
+  b.at(2, 3) = kInf;
+  b.at(4, 5) = 0.0f;  // meets Inf rows: 0 * Inf = NaN inside the dot
+  b.at(6, 7) = 0x1.0p-149f;
+  c.at(0, 5) = kNan;
+  c.at(1, 6) = -kInf;
+
+  EgemmOptions reference;
+  reference.engine = ExecEngine::kReference;
+  for (const Matrix* cp :
+       {static_cast<const Matrix*>(nullptr), static_cast<const Matrix*>(&c)}) {
+    const Matrix packed = egemm_multiply(a, b, cp);
+    const Matrix scalar = egemm_multiply(a, b, cp, reference);
+    EXPECT_TRUE(bitwise_equal(packed, scalar)) << "c=" << (cp != nullptr);
+    // And the NaNs that do appear are canonical (positive quiet NaN).
+    for (const float v : packed.data()) {
+      if (std::isnan(v)) {
+        std::uint32_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        EXPECT_EQ(bits, 0x7fc00000u);
+      }
+    }
+  }
+}
+
+TEST(PackedEngine, EmptyShapesAgreeAndHaveTheRightSize) {
+  // m*n*k = 0: every combination of an empty extent must work on both
+  // engines and agree bitwise (k = 0 means D is a copy of C).
+  for (const auto [m, n, k] :
+       {std::array<std::size_t, 3>{0, 4, 3}, std::array<std::size_t, 3>{4, 0, 3},
+        std::array<std::size_t, 3>{4, 3, 0}, std::array<std::size_t, 3>{0, 0, 0}}) {
+    const Matrix a = random_matrix(m, k, -1, 1, 41);
+    const Matrix b = random_matrix(k, n, -1, 1, 42);
+    const Matrix c = random_matrix(m, n, -1, 1, 43);
+    EgemmOptions reference;
+    reference.engine = ExecEngine::kReference;
+    const Matrix packed = egemm_multiply(a, b, &c);
+    const Matrix scalar = egemm_multiply(a, b, &c, reference);
+    EXPECT_EQ(packed.rows(), m);
+    EXPECT_EQ(packed.cols(), n);
+    EXPECT_TRUE(bitwise_equal(packed, scalar))
+        << m << "x" << n << "x" << k;
+    if (k == 0 && m > 0 && n > 0) {
+      EXPECT_TRUE(bitwise_equal(packed, c));  // D = C exactly
+    }
+  }
 }
 
 #ifndef NDEBUG
