@@ -13,9 +13,12 @@
 #include <cstdint>
 #include <cstdio>
 #include <iostream>
+#include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/export.hpp"
 #include "tcsim/gpu_spec.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -33,9 +36,12 @@ inline std::vector<std::int64_t> sizes_from_args(
   return args.has_flag("full") ? full : quick;
 }
 
-/// Geometric mean helper for the headline "average speedup" rows.
+/// Geometric mean helper for the headline "average speedup" rows. An empty
+/// sweep has no geometric mean: returning NaN (rather than a 0.0 that reads
+/// as "infinitely slower") makes a silently empty sweep impossible to
+/// mistake for a measurement downstream.
 inline double geomean(const std::vector<double>& values) {
-  if (values.empty()) return 0.0;
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
   double log_sum = 0.0;
   for (const double v : values) log_sum += std::log(v);
   return std::exp(log_sum / static_cast<double>(values.size()));
@@ -50,30 +56,13 @@ struct BenchRecord {
   double items_per_second = 0.0;  ///< rate counter (FLOP/s for GEMM benches)
 };
 
-inline void append_json_escaped(std::string& out, const std::string& s) {
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-}
+using obs::append_json_escaped;
 
 /// Writes the benchmark records as a small self-describing JSON document
 /// (consumed by CI as an artifact; "gflops" is items_per_second / 1e9 and is
-/// GFLOP/s for the GEMM benches, whose item count is the FLOP count).
+/// GFLOP/s for the GEMM benches, whose item count is the FLOP count). The
+/// observability registry rides along as a "metrics" object so every
+/// BENCH_*.json carries the pipeline counters of the run that produced it.
 inline bool write_bench_json(const std::string& path,
                              const std::string& git_sha,
                              const std::vector<BenchRecord>& records) {
@@ -92,11 +81,60 @@ inline bool write_bench_json(const std::string& path,
                   i + 1 < records.size() ? "," : "");
     out += buf;
   }
-  out += "  ]\n}\n";
+  out += "  ],\n  \"metrics\": ";
+  out += obs::metrics_json_block("  ");
+  out += "\n}\n";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
   return std::fclose(f) == 0 && ok;
 }
+
+// -- observability flags -----------------------------------------------------
+
+/// Shared handling for the --trace=FILE / --metrics flags every harness
+/// binary accepts (DESIGN.md §12). Construct after CLI parsing (turns
+/// tracing on when --trace was given), call `finish()` once the measured
+/// work is done: it writes the Chrome trace and dumps the registry.
+class ObsSession {
+ public:
+  explicit ObsSession(const util::CliArgs& args)
+      : ObsSession(args.value_or("trace", std::string()),
+                   args.has_flag("metrics")) {}
+
+  ObsSession(std::string trace_path, bool dump_metrics)
+      : trace_path_(std::move(trace_path)), dump_metrics_(dump_metrics) {
+    obs::set_thread_name("main");
+    if (!trace_path_.empty()) obs::set_tracing(true);
+  }
+
+  /// Idempotent; returns false when the trace file could not be written.
+  bool finish() {
+    if (finished_) return ok_;
+    finished_ = true;
+    if (!trace_path_.empty()) {
+      obs::set_tracing(false);
+      ok_ = obs::write_chrome_trace(trace_path_);
+      if (ok_) {
+        std::cout << "wrote Chrome trace to " << trace_path_
+                  << " (load in chrome://tracing or ui.perfetto.dev)\n";
+      } else {
+        std::cerr << "error: failed to write trace to " << trace_path_
+                  << "\n";
+      }
+    }
+    if (dump_metrics_) {
+      std::cout << "\n-- metrics ------------------------------------------\n";
+      obs::dump_metrics(std::cout);
+    }
+    return ok_;
+  }
+
+ private:
+  std::string trace_path_;
+  bool dump_metrics_ = false;
+  bool finished_ = false;
+  bool ok_ = true;
+};
 
 }  // namespace egemm::bench

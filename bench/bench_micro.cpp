@@ -9,6 +9,9 @@
 //   --smoke        drop the 1024^3 GEMM sizes and shorten the min time (CI)
 //   --json=PATH    where to write the machine-readable results
 //                  (default BENCH_micro.json in the working directory)
+//   --trace=PATH   record pipeline spans and write a Chrome trace_event
+//                  JSON (chrome://tracing, ui.perfetto.dev)
+//   --metrics      dump the observability registry to stdout at exit
 #include <benchmark/benchmark.h>
 
 #include <cstring>
@@ -207,6 +210,8 @@ class CapturingReporter : public benchmark::ConsoleReporter {
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string json_path = "BENCH_micro.json";
+  std::string trace_path;
+  bool dump_metrics = false;
   bool min_time_given = false;
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
@@ -215,6 +220,10 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      dump_metrics = true;
     } else {
       if (std::strncmp(argv[i], "--benchmark_min_time", 20) == 0) {
         min_time_given = true;
@@ -252,15 +261,18 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
     return 1;
   }
+  egemm::bench::ObsSession obs_session(trace_path, dump_metrics);
   CapturingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
 
+  const bool obs_ok = obs_session.finish();
   if (!egemm::bench::write_bench_json(json_path, EGEMM_GIT_SHA,
                                       reporter.records())) {
     std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
     return 1;
   }
+  if (!obs_ok) return 1;
   std::fprintf(stderr, "wrote %s (%zu records, sha %s)\n", json_path.c_str(),
                reporter.records().size(), EGEMM_GIT_SHA);
   return 0;

@@ -11,6 +11,9 @@
 //   --json[=PATH]       also write a JSON report (default AUDIT_accuracy.json)
 //   --replay="DESC"     run one case from its replay descriptor and exit
 //                       (e.g. --replay="seed=7 m=3 n=5 k=17 kind=uniform c=1")
+//   --trace=PATH        record spans (oracle + per-path) to a Chrome
+//                       trace_event JSON
+//   --metrics           dump the observability registry to stdout at exit
 //
 // Exit status: 0 when every path satisfied its bound and the engines agree
 // bitwise, 1 on any violation or engine mismatch, 2 on usage errors.
@@ -21,6 +24,7 @@
 #include <string>
 
 #include "gemm/egemm.hpp"
+#include "obs/export.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "verify/differential.hpp"
@@ -93,6 +97,10 @@ int main(int argc, char** argv) {
 
   if (const auto replay = args.value("replay")) return replay_one(*replay);
 
+  const std::string trace_path = args.value_or("trace", std::string());
+  obs::set_thread_name("main");
+  if (!trace_path.empty()) obs::set_tracing(true);
+
   AuditOptions options;
   options.seed =
       static_cast<std::uint64_t>(args.value_or("seed", std::int64_t{1}));
@@ -105,6 +113,17 @@ int main(int argc, char** argv) {
   options.time_budget_seconds = args.value_or("time-budget-s", 0.0);
 
   const AuditReport report = run_audit(options);
+
+  if (!trace_path.empty()) {
+    obs::set_tracing(false);
+    if (!obs::write_chrome_trace(trace_path)) {
+      std::fprintf(stderr, "accuracy_audit: cannot write %s\n",
+                   trace_path.c_str());
+      return 2;
+    }
+    std::printf("wrote Chrome trace to %s (load in chrome://tracing)\n",
+                trace_path.c_str());
+  }
 
   util::Table table("Differential accuracy audit (seed " +
                     std::to_string(report.seed) + ", " +
@@ -144,6 +163,15 @@ int main(int argc, char** argv) {
       return 2;
     }
     std::printf("wrote %s\n", path.c_str());
+  }
+
+  if (args.has_flag("metrics")) {
+    std::printf("oracle time share: %.1f%% (%.3fs of %.3fs)\n",
+                report.wall_seconds > 0.0
+                    ? 100.0 * report.oracle_seconds / report.wall_seconds
+                    : 0.0,
+                report.oracle_seconds, report.wall_seconds);
+    obs::dump_metrics(std::cout);
   }
 
   return report.ok() ? 0 : 1;

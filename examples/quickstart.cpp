@@ -1,7 +1,11 @@
 // Quickstart: extended-precision GEMM on the (simulated) Tensor Core in a
 // dozen lines.
 //
-//   build/examples/quickstart [--n=512]
+//   build/examples/quickstart [--n=512] [--trace=out.json] [--metrics]
+//
+// --trace=PATH records the pipeline spans (split/pack/mma/combine) and
+// writes a Chrome trace_event JSON; --metrics dumps the observability
+// registry at exit.
 //
 // 1. make two binary32 matrices,
 // 2. multiply them with EGEMM-TC (Algorithm 1: round-split + 4 Tensor Core
@@ -9,14 +13,20 @@
 // 3. compare the error against plain half-precision Tensor Core compute,
 // 4. ask the performance model what this costs on a Tesla T4.
 #include <cstdio>
+#include <iostream>
+#include <string>
 
 #include "gemm/gemm_api.hpp"
+#include "obs/export.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace egemm;
   const util::CliArgs args(argc, argv);
   const auto n = static_cast<std::size_t>(args.value_or("n", std::int64_t{512}));
+  const std::string trace_path = args.value_or("trace", std::string());
+  obs::set_thread_name("main");
+  if (!trace_path.empty()) obs::set_tracing(true);
 
   // Random inputs in [-1, +1], the paper's evaluation distribution.
   const gemm::Matrix a = gemm::random_matrix(n, n, -1.0f, 1.0f, /*seed=*/1);
@@ -58,5 +68,17 @@ int main(int argc, char** argv) {
   std::printf(
       "\nSame (extended) precision as CUDA-core FP32 GEMM, Tensor Core "
       "speed.\n");
+
+  if (!trace_path.empty()) {
+    obs::set_tracing(false);
+    if (!obs::write_chrome_trace(trace_path)) {
+      std::fprintf(stderr, "quickstart: cannot write %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    std::printf("wrote Chrome trace to %s (load in chrome://tracing)\n",
+                trace_path.c_str());
+  }
+  if (args.has_flag("metrics")) obs::dump_metrics(std::cout);
   return 0;
 }

@@ -6,6 +6,7 @@
 #endif
 
 #include "fp/half_batch.hpp"
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace egemm::core {
@@ -16,15 +17,22 @@ namespace {
 std::atomic<std::uint64_t> g_split_elements{0};
 #endif
 
-inline void count_split(std::size_t elements) noexcept {
+constexpr std::size_t kChunk = 512;  // staging rows live in L1
+
+/// One bookkeeping stop per split call: the debug split-once counter plus
+/// the observability registry (elements, L1-chunk count, and the bytes the
+/// pass moves -- binary32 in, `planes` planes of `plane_elem_bytes` out).
+inline void count_split(std::size_t elements, std::size_t planes,
+                        std::size_t plane_elem_bytes) noexcept {
 #ifndef NDEBUG
   g_split_elements.fetch_add(elements, std::memory_order_relaxed);
-#else
-  (void)elements;
 #endif
+  EGEMM_COUNTER_ADD("split.elements", elements);
+  EGEMM_COUNTER_ADD("split.chunks", (elements + kChunk - 1) / kChunk);
+  EGEMM_COUNTER_ADD("split.bytes",
+                    elements * (sizeof(float) + planes * plane_elem_bytes));
+  EGEMM_COUNTER_ADD("split.calls", 1);
 }
-
-constexpr std::size_t kChunk = 512;  // staging rows live in L1
 
 inline fp::Rounding split_rounding(SplitMethod method) noexcept {
   return method == SplitMethod::kRoundSplit ? fp::Rounding::kNearestEven
@@ -70,7 +78,7 @@ double combine_scalar(SplitHalves halves) noexcept {
 void split_span(std::span<const float> input, std::span<fp::Half> hi,
                 std::span<fp::Half> lo, SplitMethod method) {
   EGEMM_EXPECTS(input.size() == hi.size() && input.size() == lo.size());
-  count_split(input.size());
+  count_split(input.size(), 2, sizeof(fp::Half));
   const fp::Rounding mode = split_rounding(method);
   std::uint16_t bits[kChunk];
   float hi_f[kChunk];
@@ -94,7 +102,7 @@ void split_span(std::span<const float> input, std::span<fp::Half> hi,
 void split_span_f32(std::span<const float> input, std::span<float> hi,
                     std::span<float> lo, SplitMethod method) {
   EGEMM_EXPECTS(input.size() == hi.size() && input.size() == lo.size());
-  count_split(input.size());
+  count_split(input.size(), 2, sizeof(float));
   const fp::Rounding mode = split_rounding(method);
   float residual[kChunk];
   for (std::size_t base = 0; base < input.size(); base += kChunk) {
@@ -128,7 +136,7 @@ void split3_span_f32(std::span<const float> input, std::span<float> hi,
                      std::span<float> mid, std::span<float> lo) {
   EGEMM_EXPECTS(input.size() == hi.size() && input.size() == mid.size() &&
                 input.size() == lo.size());
-  count_split(input.size());
+  count_split(input.size(), 3, sizeof(float));
   constexpr fp::Rounding kMode = fp::Rounding::kNearestEven;
   float r1[kChunk];
   float r2[kChunk];

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 #ifndef NDEBUG
 #include <mutex>
 #include <set>
@@ -10,6 +11,8 @@
 #endif
 
 #include "gemm/packing.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sass/build.hpp"
 #include "tcsim/instruction.hpp"
 #include "tcsim/occupancy.hpp"
@@ -106,6 +109,7 @@ Matrix plane_gemm_reference(std::span<const Matrix> ap,
   const std::size_t row_blocks = (m + kTile - 1) / kTile;
   util::global_pool().parallel_for(
       row_blocks, [&](std::size_t rb0, std::size_t rb1) {
+        EGEMM_TRACE_SCOPE("mma");
         for (std::size_t rb = rb0; rb < rb1; ++rb) {
           const std::size_t i0 = rb * kTile;
           const std::size_t mt = std::min(kTile, m - i0);
@@ -118,6 +122,7 @@ Matrix plane_gemm_reference(std::span<const Matrix> ap,
               }
             }
             compute_c_tile(acc, ap, bp, i0, j0, mt, nt, combos, order);
+            EGEMM_TRACE_SCOPE("combine");
             for (std::size_t i = 0; i < mt; ++i) {
               for (std::size_t j = 0; j < nt; ++j) {
                 d.at(i0 + i, j0 + j) = canonical_store(acc[i][j]);
@@ -144,8 +149,13 @@ Matrix plane_gemm_packed(std::span<const Matrix> ap,
   const std::size_t k = ap[0].cols();
 
   // Pack once per call; reused by every k-tile, combo, and output tile.
-  const PackedPlanesA apack(ap);
-  const PackedPlanesB bpack(bp);
+  const auto packs = [&] {
+    EGEMM_TRACE_SCOPE("pack");
+    return std::pair<PackedPlanesA, PackedPlanesB>(PackedPlanesA(ap),
+                                                   PackedPlanesB(bp));
+  }();
+  const PackedPlanesA& apack = packs.first;
+  const PackedPlanesB& bpack = packs.second;
 
   Matrix d(m, n);
   if (c != nullptr) {
@@ -155,6 +165,8 @@ Matrix plane_gemm_packed(std::span<const Matrix> ap,
   util::global_pool().parallel_for_2d(
       apack.row_blocks(), bpack.col_blocks(), /*grain=*/0,
       [&](std::size_t rb0, std::size_t rb1, std::size_t cb0, std::size_t cb1) {
+        EGEMM_TRACE_SCOPE("mma");
+        EGEMM_COUNTER_ADD("egemm.tiles", (rb1 - rb0) * (cb1 - cb0));
         for (std::size_t rb = rb0; rb < rb1; ++rb) {
           const std::size_t i0 = rb * kTile;
           const std::size_t mt = std::min(kTile, m - i0);
@@ -190,6 +202,7 @@ Matrix plane_gemm_packed(std::span<const Matrix> ap,
                 }
               }
             }
+            EGEMM_TRACE_SCOPE("combine");
             for (std::size_t i = 0; i < mt; ++i) {
               for (std::size_t j = 0; j < nt; ++j) {
                 d.at(i0 + i, j0 + j) = canonical_store(acc[i][j]);
@@ -252,6 +265,9 @@ Matrix emulated_gemm(const Matrix& a, const Matrix& b, const Matrix* c,
                 (c->rows() == a.rows() && c->cols() == b.cols()));
   EGEMM_EXPECTS(!combos.empty());
 
+  EGEMM_TRACE_SCOPE("egemm_multiply");
+  EGEMM_COUNTER_ADD("egemm.calls", 1);
+
   // The O(N^2) data-split pass (runs on CUDA cores in the real kernel).
   // Plane 0 = lo, plane 1 = hi.
 #ifndef NDEBUG
@@ -259,8 +275,11 @@ Matrix emulated_gemm(const Matrix& a, const Matrix& b, const Matrix* c,
 #endif
   std::vector<Matrix> ap(2, Matrix(a.rows(), a.cols()));
   std::vector<Matrix> bp(2, Matrix(b.rows(), b.cols()));
-  core::split_span_f32(a.data(), ap[1].data(), ap[0].data(), split);
-  core::split_span_f32(b.data(), bp[1].data(), bp[0].data(), split);
+  {
+    EGEMM_TRACE_SCOPE("split");
+    core::split_span_f32(a.data(), ap[1].data(), ap[0].data(), split);
+    core::split_span_f32(b.data(), bp[1].data(), bp[0].data(), split);
+  }
 #ifndef NDEBUG
   // Each input element must be split exactly once per GEMM call -- the
   // plane cache is the point of the packed engine, so re-splitting
@@ -283,14 +302,20 @@ Matrix egemm_multiply_3split(const Matrix& a, const Matrix& b, const Matrix* c,
   EGEMM_EXPECTS(c == nullptr ||
                 (c->rows() == a.rows() && c->cols() == b.cols()));
 
+  EGEMM_TRACE_SCOPE("egemm_multiply_3split");
+  EGEMM_COUNTER_ADD("egemm.calls", 1);
+
   // Planes 0 = lo, 1 = mid, 2 = hi; x == p0 + p1 + p2 exactly.
 #ifndef NDEBUG
   const std::uint64_t split_before = core::debug_split_elements();
 #endif
   std::vector<Matrix> ap(3, Matrix(a.rows(), a.cols()));
   std::vector<Matrix> bp(3, Matrix(b.rows(), b.cols()));
-  core::split3_span_f32(a.data(), ap[2].data(), ap[1].data(), ap[0].data());
-  core::split3_span_f32(b.data(), bp[2].data(), bp[1].data(), bp[0].data());
+  {
+    EGEMM_TRACE_SCOPE("split");
+    core::split3_span_f32(a.data(), ap[2].data(), ap[1].data(), ap[0].data());
+    core::split3_span_f32(b.data(), bp[2].data(), bp[1].data(), bp[0].data());
+  }
 #ifndef NDEBUG
   EGEMM_ENSURES(core::debug_split_elements() - split_before ==
                 a.data().size() + b.data().size());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace egemm::gemm {
@@ -22,7 +23,9 @@ PackedPlanesA::PackedPlanesA(std::span<const Matrix> planes) {
     for (std::size_t r = 0; r < m; ++r) {
       std::memcpy(pack.data() + r * k_, plane.row(r), k_ * sizeof(float));
     }
+    EGEMM_COUNTER_ADD("pack.a_bytes", pack.size() * sizeof(float));
   }
+  EGEMM_COUNTER_ADD("pack.calls", 1);
 }
 
 PackedPlanesB::PackedPlanesB(std::span<const Matrix> planes) {
@@ -43,7 +46,9 @@ PackedPlanesB::PackedPlanesB(std::span<const Matrix> planes) {
                     src + cb * kPackTile, width * sizeof(float));
       }
     }
+    EGEMM_COUNTER_ADD("pack.b_bytes", pack.size() * sizeof(float));
   }
+  EGEMM_COUNTER_ADD("pack.calls", 1);
 }
 
 }  // namespace egemm::gemm

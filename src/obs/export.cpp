@@ -1,0 +1,179 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace egemm::obs {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+void append_quoted(std::string& out, std::string_view s) {
+  out += '"';
+  append_json_escaped(out, s);
+  out += '"';
+}
+
+}  // namespace
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string metrics_json_block(const MetricsSnapshot& snapshot,
+                               const std::string& indent) {
+  std::string out = "{\n";
+  out += indent;
+  out += "  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += indent;
+    out += "    ";
+    append_quoted(out, snapshot.counters[i].name);
+    out += ": ";
+    append_u64(out, snapshot.counters[i].value);
+  }
+  out += snapshot.counters.empty() ? "},\n" : "\n" + indent + "  },\n";
+  out += indent;
+  out += "  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += indent;
+    out += "    ";
+    append_quoted(out, snapshot.gauges[i].name);
+    out += ": ";
+    append_i64(out, snapshot.gauges[i].value);
+  }
+  out += snapshot.gauges.empty() ? "},\n" : "\n" + indent + "  },\n";
+  out += indent;
+  out += "  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSample& h = snapshot.histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += indent;
+    out += "    ";
+    append_quoted(out, h.name);
+    out += ": {\"count\": ";
+    append_u64(out, h.count);
+    out += ", \"sum\": ";
+    append_u64(out, h.sum);
+    out += ", \"mean\": ";
+    append_double(out, h.mean());
+    // Sparse buckets keyed by bit width (bucket b covers [2^(b-1), 2^b)).
+    out += ", \"buckets\": {";
+    bool first = true;
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      if (!first) out += ", ";
+      first = false;
+      out += '"';
+      append_u64(out, b);
+      out += "\": ";
+      append_u64(out, h.buckets[b]);
+    }
+    out += "}}";
+  }
+  out += snapshot.histograms.empty() ? "}\n" : "\n" + indent + "  }\n";
+  out += indent;
+  out += "}";
+  return out;
+}
+
+std::string metrics_json_block(const std::string& indent) {
+  return metrics_json_block(registry().snapshot(), indent);
+}
+
+void dump_metrics(std::ostream& os, const MetricsSnapshot& snapshot) {
+  os << "== metrics ==\n";
+  for (const CounterSample& c : snapshot.counters) {
+    os << "counter    " << c.name << " = " << c.value << "\n";
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    os << "gauge      " << g.name << " = " << g.value << "\n";
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    os << "histogram  " << h.name << " count=" << h.count << " sum=" << h.sum
+       << " mean=" << h.mean() << "\n";
+  }
+}
+
+void dump_metrics(std::ostream& os) {
+  dump_metrics(os, registry().snapshot());
+}
+
+std::string chrome_trace_json() {
+  const std::vector<TraceEvent> events = collect_trace();
+  const auto thread_names = trace_thread_names();
+  std::string out = "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n";
+  bool first = true;
+  for (const auto& [tid, name] : thread_names) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  {\"ph\": \"M\", \"pid\": 1, \"tid\": ";
+    append_u64(out, tid);
+    out += ", \"name\": \"thread_name\", \"args\": {\"name\": ";
+    append_quoted(out, name);
+    out += "}}";
+  }
+  for (const TraceEvent& event : events) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  {\"ph\": \"X\", \"pid\": 1, \"tid\": ";
+    append_u64(out, event.tid);
+    out += ", \"name\": ";
+    append_quoted(out, event.name);
+    // Chrome trace timestamps are microseconds; keep ns resolution via the
+    // fractional part.
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ", \"ts\": %.3f, \"dur\": %.3f}",
+                  static_cast<double>(event.start_ns) / 1e3,
+                  static_cast<double>(event.dur_ns) / 1e3);
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  const std::string json = chrome_trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace egemm::obs

@@ -1,0 +1,43 @@
+#pragma once
+// Exporters for the observability layer (DESIGN.md §12):
+//  * Chrome trace_event JSON -- load the file in chrome://tracing or
+//    ui.perfetto.dev to see the span timeline per thread track;
+//  * plain-text metrics dump for terminals;
+//  * a JSON metrics *block* (an object, no trailing newline) that callers
+//    splice into their own documents (BENCH_micro.json, the accuracy-audit
+//    report).
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace egemm::obs {
+
+/// Appends `s` to `out` with JSON string escaping (quotes, backslash,
+/// control characters). Shared by every JSON writer in the repo.
+void append_json_escaped(std::string& out, std::string_view s);
+
+/// The registry as a JSON object:
+///   {"counters": {...}, "gauges": {...},
+///    "histograms": {name: {count, sum, mean, buckets: {bit_width: n}}}}
+/// Lines after the first are prefixed with `indent` so the block embeds
+/// cleanly at any nesting depth. No trailing newline.
+std::string metrics_json_block(const MetricsSnapshot& snapshot,
+                               const std::string& indent = "  ");
+std::string metrics_json_block(const std::string& indent = "  ");
+
+/// Human-readable registry dump, one metric per line.
+void dump_metrics(std::ostream& os);
+void dump_metrics(std::ostream& os, const MetricsSnapshot& snapshot);
+
+/// The recorded spans as a Chrome trace_event JSON document ("X" complete
+/// events plus thread_name metadata).
+std::string chrome_trace_json();
+
+/// Writes chrome_trace_json() to `path`; false on I/O failure.
+bool write_chrome_trace(const std::string& path);
+
+}  // namespace egemm::obs

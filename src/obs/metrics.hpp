@@ -1,0 +1,273 @@
+#pragma once
+// Process-wide metrics registry (DESIGN.md §12): named counters, gauges and
+// histograms behind hot-path-safe handles.
+//
+// Sharding: every counter/histogram slot is a per-thread cell; an increment
+// is a relaxed load+store on the calling thread's own cell (single writer,
+// so the pair is exact and never contends), and readers aggregate across
+// all thread blocks on demand. Gauges carry last-value semantics, which do
+// not shard, so they are a single relaxed atomic -- register gauges only on
+// low-rate paths (queue depth, configuration).
+//
+// Call sites use the EGEMM_COUNTER_ADD / EGEMM_GAUGE_* /
+// EGEMM_HISTOGRAM_RECORD macros below: the registry lookup happens once per
+// call site (function-local static), and with EGEMM_OBSERVABILITY=OFF every
+// macro compiles to literally nothing (tests/test_obs.cpp pins this with
+// constexpr/emptiness checks).
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef EGEMM_OBSERVABILITY_ENABLED
+#define EGEMM_OBSERVABILITY_ENABLED 1
+#endif
+
+namespace egemm::obs {
+
+/// Compile-time switch: EGEMM_OBSERVABILITY=OFF (CMake) defines
+/// EGEMM_OBSERVABILITY_ENABLED=0 and every recording path becomes a no-op.
+inline constexpr bool kEnabled = EGEMM_OBSERVABILITY_ENABLED != 0;
+
+namespace detail {
+
+/// Upper bound on sharded slots across all metrics; a histogram consumes
+/// kBuckets + 2 slots, a counter one. 1024 slots ~ hundreds of metrics,
+/// far beyond what a single binary registers.
+inline constexpr std::size_t kMaxSlots = 1024;
+
+struct SlotBlock {
+  std::array<std::atomic<std::uint64_t>, kMaxSlots> cells{};
+};
+
+/// Registers (once) and returns the calling thread's slot block. The block
+/// is owned by the registry so aggregation keeps working after the thread
+/// exits.
+SlotBlock* acquire_slot_block();
+
+extern thread_local SlotBlock* tl_slots;
+
+inline SlotBlock& thread_slots() {
+  SlotBlock* block = tl_slots;
+  if (block == nullptr) block = acquire_slot_block();
+  return *block;
+}
+
+/// Single-writer relaxed add: each cell is written only by its owning
+/// thread, so load+store (no RMW) is exact and uncontended.
+inline void cell_add(std::atomic<std::uint64_t>& cell,
+                     std::uint64_t n) noexcept {
+  cell.store(cell.load(std::memory_order_relaxed) + n,
+             std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+class Registry;
+
+/// Monotonic event/work counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    static_cast<void>(n);
+    if constexpr (kEnabled) {
+      detail::cell_add(detail::thread_slots().cells[slot_], n);
+    }
+  }
+
+  /// Aggregated value across every thread that ever incremented.
+  std::uint64_t value() const noexcept;
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class Registry;
+  Counter(std::string name, std::uint32_t slot)
+      : name_(std::move(name)), slot_(slot) {}
+
+  std::string name_;
+  std::uint32_t slot_;
+};
+
+/// Last-value instrument (queue depth, configuration). Signed, single
+/// atomic -- keep off hot paths.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    static_cast<void>(v);
+    if constexpr (kEnabled) value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    static_cast<void>(delta);
+    if constexpr (kEnabled) value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Power-of-two histogram: bucket i counts values whose bit width is i
+/// (bucket 0 is exactly zero, bucket i covers [2^(i-1), 2^i), the last
+/// bucket absorbs everything larger). Tracks count and sum alongside.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  void record(std::uint64_t value) noexcept {
+    static_cast<void>(value);
+    if constexpr (kEnabled) {
+      const auto width = static_cast<std::size_t>(std::bit_width(value));
+      const std::size_t bucket = width < kBuckets ? width : kBuckets - 1;
+      detail::SlotBlock& block = detail::thread_slots();
+      detail::cell_add(block.cells[slot_ + bucket], 1);
+      detail::cell_add(block.cells[slot_ + kBuckets], value);
+      detail::cell_add(block.cells[slot_ + kBuckets + 1], 1);
+    }
+  }
+
+  std::uint64_t count() const noexcept;
+  std::uint64_t sum() const noexcept;
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class Registry;
+  Histogram(std::string name, std::uint32_t slot)
+      : name_(std::move(name)), slot_(slot) {}
+
+  std::string name_;
+  std::uint32_t slot_;
+};
+
+// -- read-side snapshot ------------------------------------------------------
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+
+  double mean() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// A consistent-enough point-in-time read of the registry (individual cells
+/// are read relaxed; totals are exact once writers quiesce). Samples are
+/// sorted by name for stable output.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  bool empty() const noexcept {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+class Registry {
+ public:
+  /// Finds or creates the named metric. Handles are stable for the process
+  /// lifetime, so call sites cache the reference in a local static.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every slot and gauge. Not synchronized against concurrent
+  /// writers (a racing increment may be lost) -- quiesce first; intended
+  /// for tests and between benchmark phases.
+  void reset() noexcept;
+
+ private:
+  friend class Counter;
+  friend class Histogram;
+  friend detail::SlotBlock* detail::acquire_slot_block();
+
+  std::uint32_t allocate_slots(std::size_t n);
+  std::uint64_t aggregate(std::uint32_t slot) const noexcept;
+
+  mutable std::mutex mutex_;
+  std::deque<Counter> counters_;
+  std::deque<std::unique_ptr<Gauge>> gauges_;  // Gauge owns an atomic
+  std::deque<Histogram> histograms_;
+  std::vector<std::unique_ptr<detail::SlotBlock>> blocks_;
+  std::uint32_t next_slot_ = 0;
+};
+
+/// The process-wide registry every macro and exporter reads.
+Registry& registry();
+
+}  // namespace egemm::obs
+
+// -- recording macros --------------------------------------------------------
+
+#define EGEMM_OBS_CONCAT_INNER(a, b) a##b
+#define EGEMM_OBS_CONCAT(a, b) EGEMM_OBS_CONCAT_INNER(a, b)
+
+#if EGEMM_OBSERVABILITY_ENABLED
+
+#define EGEMM_COUNTER_ADD(name, delta)                          \
+  do {                                                          \
+    static ::egemm::obs::Counter& egemm_obs_counter_ref =       \
+        ::egemm::obs::registry().counter(name);                 \
+    egemm_obs_counter_ref.add(static_cast<std::uint64_t>(delta)); \
+  } while (0)
+
+#define EGEMM_GAUGE_ADD(name, delta)                          \
+  do {                                                        \
+    static ::egemm::obs::Gauge& egemm_obs_gauge_ref =         \
+        ::egemm::obs::registry().gauge(name);                 \
+    egemm_obs_gauge_ref.add(static_cast<std::int64_t>(delta)); \
+  } while (0)
+
+#define EGEMM_GAUGE_SET(name, value)                          \
+  do {                                                        \
+    static ::egemm::obs::Gauge& egemm_obs_gauge_ref =         \
+        ::egemm::obs::registry().gauge(name);                 \
+    egemm_obs_gauge_ref.set(static_cast<std::int64_t>(value)); \
+  } while (0)
+
+#define EGEMM_HISTOGRAM_RECORD(name, value)                        \
+  do {                                                             \
+    static ::egemm::obs::Histogram& egemm_obs_histogram_ref =      \
+        ::egemm::obs::registry().histogram(name);                  \
+    egemm_obs_histogram_ref.record(static_cast<std::uint64_t>(value)); \
+  } while (0)
+
+#else  // EGEMM_OBSERVABILITY_ENABLED
+
+#define EGEMM_COUNTER_ADD(name, delta) static_cast<void>(0)
+#define EGEMM_GAUGE_ADD(name, delta) static_cast<void>(0)
+#define EGEMM_GAUGE_SET(name, value) static_cast<void>(0)
+#define EGEMM_HISTOGRAM_RECORD(name, value) static_cast<void>(0)
+
+#endif  // EGEMM_OBSERVABILITY_ENABLED

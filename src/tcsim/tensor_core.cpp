@@ -1,5 +1,6 @@
 #include "tcsim/tensor_core.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace egemm::tcsim {
@@ -26,6 +27,7 @@ inline float tc_accumulate(const float* a, std::size_t stride_a,
 
 void mma_sync(FragmentAcc& d, const FragmentA& a, const FragmentB& b,
               const FragmentAcc& c) noexcept {
+  EGEMM_COUNTER_ADD("tcsim.mma_sync_ops", 1);
   // Widen the half tiles once; the widening is exact.
   float af[kTcM][kTcK];
   float bf[kTcK][kTcN];
@@ -47,6 +49,7 @@ void mma_tile_f32(float* d, std::size_t ldd, const float* a, std::size_t lda,
                   const float* b, std::size_t ldb, int m, int n,
                   int k) noexcept {
   EGEMM_EXPECTS(m > 0 && n > 0 && k > 0);
+  EGEMM_COUNTER_ADD("tcsim.mma_tile_ops", 1);
   for (int i = 0; i < m; ++i) {
     const float* arow = a + static_cast<std::size_t>(i) * lda;
     float* drow = d + static_cast<std::size_t>(i) * ldd;
@@ -76,6 +79,7 @@ void mma_block_packed(float* acc, const float* a, std::size_t lda,
   // per k pair, chained onto the accumulator), with the j loop as the
   // vector lane dimension. -ffp-contract=off (top-level CMakeLists) keeps
   // the compiler from fusing the products differently per path.
+  EGEMM_COUNTER_ADD("tcsim.mma_block_ops", 1);
   static_assert(kTcM % 2 == 0);
   for (int i = 0; i < kTcM; i += 2) {
     const float* arow0 = a + static_cast<std::size_t>(i) * lda;

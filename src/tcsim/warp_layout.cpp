@@ -5,6 +5,7 @@
 #include <map>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace egemm::tcsim {
@@ -69,6 +70,8 @@ int bank_conflict_degree(const std::vector<int>& word_addrs) {
   for (const std::vector<int>& words : words_in_bank) {
     worst = std::max(worst, words.size());
   }
+  EGEMM_COUNTER_ADD("tcsim.bank_conflict_checks", 1);
+  EGEMM_HISTOGRAM_RECORD("tcsim.bank_conflict_degree", worst);
   return static_cast<int>(worst);
 }
 

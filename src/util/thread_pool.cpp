@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace egemm::util {
@@ -14,15 +16,22 @@ namespace {
 /// instead of deadlocking a worker on its own queue.
 thread_local const ThreadPool* tl_worker_pool = nullptr;
 
+/// This thread's index in its pool; valid only when tl_worker_pool is set.
+thread_local std::size_t tl_worker_index = 0;
+
+std::uint64_t now_ns() noexcept { return obs::monotonic_ns(); }
+
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  slots_ = std::make_unique<WorkerSlot[]>(threads);
+  EGEMM_GAUGE_ADD("threadpool.workers", threads);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -33,6 +42,8 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (auto& worker : workers_) worker.join();
+  EGEMM_GAUGE_ADD("threadpool.workers",
+                  -static_cast<std::int64_t>(workers_.size()));
 }
 
 bool ThreadPool::in_worker_thread() const noexcept {
@@ -41,15 +52,40 @@ bool ThreadPool::in_worker_thread() const noexcept {
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   EGEMM_EXPECTS(static_cast<bool>(task));
-  std::packaged_task<void()> packaged(std::move(task));
+  // Busy-time/task accounting lives inside the packaged task (via an RAII
+  // guard so a throwing task still counts): it is then sequenced before
+  // the future is satisfied, so a caller that joined on the future always
+  // observes the task in worker_stats().
+  std::packaged_task<void()> packaged(
+      [this, fn = std::move(task)] {
+        struct TaskAccounting {
+          WorkerSlot& slot;
+          std::uint64_t run_start = now_ns();
+          ~TaskAccounting() {
+            const std::uint64_t run_ns = now_ns() - run_start;
+            slot.busy_ns.fetch_add(run_ns, std::memory_order_relaxed);
+            slot.tasks.fetch_add(1, std::memory_order_relaxed);
+            EGEMM_COUNTER_ADD("threadpool.tasks", 1);
+            EGEMM_COUNTER_ADD("threadpool.busy_ns", run_ns);
+          }
+        } accounting{slots_[tl_worker_index]};
+        fn();
+      });
   auto future = packaged.get_future();
   {
     const std::lock_guard lock(mutex_);
     EGEMM_EXPECTS(!stopping_);
     tasks_.push(std::move(packaged));
   }
+  EGEMM_GAUGE_ADD("threadpool.queue_depth", 1);
   cv_.notify_one();
   return future;
+}
+
+void ThreadPool::record_inline_task() noexcept {
+  slots_[tl_worker_index].inline_tasks.fetch_add(1,
+                                                 std::memory_order_relaxed);
+  EGEMM_COUNTER_ADD("threadpool.inline_tasks", 1);
 }
 
 void ThreadPool::parallel_for(
@@ -60,6 +96,7 @@ void ThreadPool::parallel_for(
     // Nested call from our own worker: the caller already holds one of the
     // pool's threads, so run inline rather than blocking it on futures
     // that this same pool has to serve.
+    record_inline_task();
     body(0, count);
     return;
   }
@@ -80,6 +117,7 @@ void ThreadPool::parallel_for_2d(
                              std::size_t)>& body) {
   if (rows == 0 || cols == 0) return;
   if (in_worker_thread()) {
+    record_inline_task();
     body(0, rows, 0, cols);
     return;
   }
@@ -112,10 +150,14 @@ void ThreadPool::parallel_for_2d(
   for (auto& future : futures) future.get();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
   tl_worker_pool = this;
+  tl_worker_index = index;
+  obs::set_thread_name("pool-worker-" + std::to_string(index));
+  WorkerSlot& slot = slots_[index];
   for (;;) {
     std::packaged_task<void()> task;
+    const std::uint64_t wait_start = now_ns();
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
@@ -123,8 +165,40 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    EGEMM_GAUGE_ADD("threadpool.queue_depth", -1);
+    slot.idle_ns.fetch_add(now_ns() - wait_start, std::memory_order_relaxed);
+    // Busy time and the task count are recorded inside the task wrapper
+    // (see submit()) so they are visible before the future resolves.
     task();
   }
+}
+
+std::vector<WorkerStats> ThreadPool::worker_stats() const {
+  std::vector<WorkerStats> stats(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const WorkerSlot& slot = slots_[i];
+    stats[i].tasks_executed = slot.tasks.load(std::memory_order_relaxed);
+    stats[i].inline_tasks = slot.inline_tasks.load(std::memory_order_relaxed);
+    stats[i].busy_ns = slot.busy_ns.load(std::memory_order_relaxed);
+    stats[i].idle_ns = slot.idle_ns.load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+WorkerStats ThreadPool::total_stats() const {
+  WorkerStats total;
+  for (const WorkerStats& stats : worker_stats()) {
+    total.tasks_executed += stats.tasks_executed;
+    total.inline_tasks += stats.inline_tasks;
+    total.busy_ns += stats.busy_ns;
+    total.idle_ns += stats.idle_ns;
+  }
+  return total;
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  const std::lock_guard lock(mutex_);
+  return tasks_.size();
 }
 
 ThreadPool& global_pool() {

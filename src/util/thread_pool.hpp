@@ -11,16 +11,30 @@
 // enqueueing -- a nested call would otherwise park a worker on futures that
 // only the same (possibly single-threaded) pool can serve.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 namespace egemm::util {
+
+/// Per-worker execution counters (DESIGN.md §12). `inline_tasks` counts
+/// reentrant parallel_for/parallel_for_2d bodies that ran inline on the
+/// worker because it called back into its own pool; their run time is
+/// already inside the enclosing task's `busy_ns`, so it is not re-added.
+struct WorkerStats {
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t inline_tasks = 0;
+  std::uint64_t busy_ns = 0;
+  std::uint64_t idle_ns = 0;
+};
 
 class ThreadPool {
  public:
@@ -58,12 +72,32 @@ class ThreadPool {
       const std::function<void(std::size_t, std::size_t, std::size_t,
                                std::size_t)>& body);
 
+  /// Point-in-time copy of every worker's counters (index = worker id).
+  std::vector<WorkerStats> worker_stats() const;
+
+  /// All workers' counters summed.
+  WorkerStats total_stats() const;
+
+  /// Tasks currently enqueued and not yet picked up.
+  std::size_t queue_depth() const;
+
  private:
-  void worker_loop();
+  /// One cache line per worker so the hot-path relaxed updates never
+  /// false-share.
+  struct alignas(64) WorkerSlot {
+    std::atomic<std::uint64_t> tasks{0};
+    std::atomic<std::uint64_t> inline_tasks{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::uint64_t> idle_ns{0};
+  };
+
+  void worker_loop(std::size_t index);
+  void record_inline_task() noexcept;
 
   std::vector<std::thread> workers_;
+  std::unique_ptr<WorkerSlot[]> slots_;
   std::queue<std::packaged_task<void()>> tasks_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
 };

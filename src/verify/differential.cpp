@@ -9,6 +9,9 @@
 
 #include "gemm/baselines.hpp"
 #include "gemm/egemm.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "verify/oracle.hpp"
 
@@ -44,24 +47,26 @@ bool bitwise_equal(const gemm::Matrix& x, const gemm::Matrix& y) {
                       x.size() * sizeof(float)) == 0);
 }
 
-void append_json_escaped(std::string& out, const std::string& s) {
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
+using obs::append_json_escaped;
+
+double now_seconds() noexcept {
+  return static_cast<double>(obs::monotonic_ns()) * 1e-9;
+}
+
+/// Bumps the per-path case counter ("verify.cases.<path>"). Handles are
+/// resolved once for all paths; path_name returns static literals, so the
+/// registry never stores dangling views.
+void count_path_case(Path path) {
+  if constexpr (obs::kEnabled) {
+    static const std::array<obs::Counter*, kPathCount> counters = [] {
+      std::array<obs::Counter*, kPathCount> handles{};
+      for (std::size_t p = 0; p < kPathCount; ++p) {
+        handles[p] = &obs::registry().counter(
+            std::string("verify.cases.") + path_name(static_cast<Path>(p)));
+      }
+      return handles;
+    }();
+    counters[static_cast<std::size_t>(path)]->add(1);
   }
 }
 
@@ -109,6 +114,8 @@ PathProfile path_profile(Path path) noexcept {
 
 gemm::Matrix run_path(Path path, const gemm::Matrix& a, const gemm::Matrix& b,
                       const gemm::Matrix* c) {
+  // path_name returns string literals, so the span name outlives the trace.
+  const obs::ScopedSpan span(path_name(path));
   switch (path) {
     case Path::kEgemmRound:
       return gemm::egemm_multiply(a, b, c);
@@ -150,23 +157,37 @@ CaseResult run_case(const FuzzCase& fuzz) {
   // with the scalar reference for EVERY input class, specials included.
   gemm::EgemmOptions reference_engine;
   reference_engine.engine = gemm::ExecEngine::kReference;
+  count_path_case(Path::kEgemmRound);
+  const double packed_start = now_seconds();
   const gemm::Matrix packed =
       gemm::egemm_multiply(inputs.a, inputs.b, inputs.c_ptr());
+  result.path_seconds[static_cast<std::size_t>(Path::kEgemmRound)] =
+      now_seconds() - packed_start;
   const gemm::Matrix reference = gemm::egemm_multiply(
       inputs.a, inputs.b, inputs.c_ptr(), reference_engine);
   result.engine_match = bitwise_equal(packed, reference);
 
   if (result.special) {
+    EGEMM_COUNTER_ADD("verify.special_cases", 1);
     // No numeric bounds for IEEE-propagation cases, but every path must
     // still execute without tripping a contract or crashing.
     for (std::size_t p = 1; p < kPathCount; ++p) {
+      count_path_case(static_cast<Path>(p));
+      const double path_start = now_seconds();
       (void)run_path(static_cast<Path>(p), inputs.a, inputs.b,
                      inputs.c_ptr());
+      result.path_seconds[p] = now_seconds() - path_start;
     }
     return result;
   }
 
-  const OracleMatrix oracle = oracle_gemm(inputs.a, inputs.b, inputs.c_ptr());
+  const double oracle_start = now_seconds();
+  const OracleMatrix oracle = [&] {
+    EGEMM_TRACE_SCOPE("oracle");
+    return oracle_gemm(inputs.a, inputs.b, inputs.c_ptr());
+  }();
+  result.oracle_seconds = now_seconds() - oracle_start;
+  EGEMM_COUNTER_ADD("verify.oracle_calls", 1);
 
   // Per-row / per-column scale context for the element bounds.
   std::vector<double> row_amax(fuzz.m, 0.0);
@@ -186,10 +207,15 @@ CaseResult run_case(const FuzzCase& fuzz) {
 
   for (std::size_t p = 0; p < kPathCount; ++p) {
     const Path path = static_cast<Path>(p);
+    if (path != Path::kEgemmRound) count_path_case(path);
+    const double path_start = now_seconds();
     const gemm::Matrix candidate =
         path == Path::kEgemmRound
             ? packed
             : run_path(path, inputs.a, inputs.b, inputs.c_ptr());
+    if (path != Path::kEgemmRound) {
+      result.path_seconds[p] = now_seconds() - path_start;
+    }
     const PathProfile profile = path_profile(path);
     PathObservation& observed = result.paths[p];
     for (std::size_t i = 0; i < fuzz.m; ++i) {
@@ -252,7 +278,12 @@ AuditReport run_audit(const AuditOptions& options) {
       if (elapsed.count() >= options.time_budget_seconds) break;
     }
     const CaseResult result = run_case(fuzz);
+    EGEMM_COUNTER_ADD("verify.cases", 1);
     ++report.cases_run;
+    report.oracle_seconds += result.oracle_seconds;
+    for (std::size_t p = 0; p < kPathCount; ++p) {
+      report.path_seconds[p] += result.path_seconds[p];
+    }
     if (result.special) ++report.special_cases;
     bool failing = !result.engine_match;
     if (!result.engine_match) ++report.engine_mismatches;
@@ -272,6 +303,9 @@ AuditReport run_audit(const AuditOptions& options) {
       report.failing_cases.push_back(format_case(fuzz));
     }
   }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  report.wall_seconds = elapsed.count();
   return report;
 }
 
@@ -314,7 +348,35 @@ bool write_audit_json(const std::string& path, const AuditReport& report,
     out += "\"}";
     out += p + 1 < kPathCount ? ",\n" : "\n";
   }
-  out += "  ],\n  \"failing_cases\": [";
+  // Observability block (DESIGN.md §12): wall-time split between the
+  // oracle and each path, plus the process-wide metrics registry.
+  std::snprintf(buf, sizeof(buf),
+                "  ],\n  \"metrics\": {\n"
+                "    \"wall_seconds\": %.9g,\n"
+                "    \"oracle_seconds\": %.9g,\n"
+                "    \"oracle_time_share\": %.9g,\n"
+                "    \"paths\": [\n",
+                report.wall_seconds, report.oracle_seconds,
+                report.wall_seconds > 0.0
+                    ? report.oracle_seconds / report.wall_seconds
+                    : 0.0);
+  out += buf;
+  for (std::size_t p = 0; p < kPathCount; ++p) {
+    out += "      {\"name\": \"";
+    append_json_escaped(out, path_name(static_cast<Path>(p)));
+    const double seconds = report.path_seconds[p];
+    std::snprintf(buf, sizeof(buf),
+                  "\", \"seconds\": %.9g, \"cases_per_second\": %.9g}%s",
+                  seconds,
+                  seconds > 0.0
+                      ? static_cast<double>(report.cases_run) / seconds
+                      : 0.0,
+                  p + 1 < kPathCount ? ",\n" : "\n");
+    out += buf;
+  }
+  out += "    ],\n    \"registry\": ";
+  out += obs::metrics_json_block("    ");
+  out += "\n  },\n  \"failing_cases\": [";
   for (std::size_t i = 0; i < report.failing_cases.size(); ++i) {
     out += i == 0 ? "\n    \"" : ",\n    \"";
     append_json_escaped(out, report.failing_cases[i]);

@@ -70,6 +70,8 @@ struct CaseResult {
   bool special = false;      ///< non-finite or split-overflow inputs
   bool engine_match = true;  ///< packed == reference, bitwise
   std::array<PathObservation, kPathCount> paths;  ///< empty when special
+  double oracle_seconds = 0.0;  ///< wall time in the oracle (0 when special)
+  std::array<double, kPathCount> path_seconds{};  ///< wall time per path
 };
 
 /// Runs one case end to end (pure in the FuzzCase value).
@@ -103,6 +105,11 @@ struct AuditReport {
   /// Replayable descriptors of every case with a violation or engine
   /// mismatch (capped at 64 entries).
   std::vector<std::string> failing_cases;
+  /// Wall-time breakdown of the audit (observability, DESIGN.md §12): how
+  /// the budget splits between the oracle and each candidate path.
+  double wall_seconds = 0.0;
+  double oracle_seconds = 0.0;
+  std::array<double, kPathCount> path_seconds{};
 
   std::size_t total_violations() const noexcept;
   /// The paper's §3.2 ordering as measured on the uniform kind: EGEMM-TC's

@@ -1,0 +1,64 @@
+// Tests for the shared benchmark-harness helpers (bench/bench_common.hpp):
+// the geomean guard and the JSON artifact writer's metrics block.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_common.hpp"
+
+namespace egemm::bench {
+namespace {
+
+TEST(Geomean, EmptyInputIsNaNNotZero) {
+  // 0.0 reads as "infinitely slower" in a speedup table; an empty sweep
+  // must be impossible to mistake for a measurement.
+  EXPECT_TRUE(std::isnan(geomean({})));
+}
+
+TEST(Geomean, SingleAndMultipleValues) {
+  EXPECT_DOUBLE_EQ(geomean({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(geomean({2.0, 8.0}), 4.0);
+  EXPECT_NEAR(geomean({1.0, 10.0, 100.0}), 10.0, 1e-12);
+}
+
+TEST(WriteBenchJson, EmbedsRecordsAndMetricsBlock) {
+  obs::registry().counter("test.bench_json");
+  const std::string path =
+      testing::TempDir() + "/egemm_test_bench_common.json";
+  std::vector<BenchRecord> records;
+  records.push_back({"BM_Demo/64", 123.5, 2.0e9});
+  ASSERT_TRUE(write_bench_json(path, "deadbeef", records));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"git_sha\": \"deadbeef\""), std::string::npos);
+  EXPECT_NE(json.find("\"BM_Demo/64\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.bench_json\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(WriteBenchJson, EscapesNamesInRecords) {
+  const std::string path =
+      testing::TempDir() + "/egemm_test_bench_escape.json";
+  std::vector<BenchRecord> records;
+  records.push_back({"quote\"back\\slash", 1.0, 1.0});
+  ASSERT_TRUE(write_bench_json(path, "sha", records));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace egemm::bench

@@ -1,5 +1,7 @@
 // Tests for the infrastructure: RNG, thread pool, CLI parsing, tables.
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -175,6 +177,56 @@ TEST(ThreadPool, ParallelFor2dDegenerateGrids) {
         });
     for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
   }
+}
+
+TEST(ThreadPool, WorkerStatsCountTasksAndBusyTime) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.total_stats().tasks_executed, 0u);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&ran] {
+        // Spin long enough that busy_ns is visibly non-zero even on a
+        // coarse steady_clock.
+        const auto until =
+            std::chrono::steady_clock::now() + std::chrono::microseconds(200);
+        while (std::chrono::steady_clock::now() < until) {
+        }
+        ran.fetch_add(1);
+      }).get();
+  }
+  EXPECT_EQ(ran.load(), 8);
+  const WorkerStats total = pool.total_stats();
+  EXPECT_EQ(total.tasks_executed, 8u);
+  EXPECT_EQ(total.inline_tasks, 0u);
+  EXPECT_GT(total.busy_ns, 0u);
+  const std::vector<WorkerStats> per_worker = pool.worker_stats();
+  ASSERT_EQ(per_worker.size(), 2u);
+  std::uint64_t summed = 0;
+  for (const WorkerStats& stats : per_worker) summed += stats.tasks_executed;
+  EXPECT_EQ(summed, 8u);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ThreadPool, StatsSurviveReentrantInlinePath) {
+  // A nested parallel_for from a worker runs inline (no enqueue); the
+  // counters must record it as an inline task without double-counting it
+  // as a queued task or losing the enclosing task's accounting.
+  ThreadPool pool(1);
+  std::atomic<int> inner{0};
+  pool.parallel_for(4, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      pool.parallel_for(2, [&](std::size_t ib, std::size_t ie) {
+        inner.fetch_add(static_cast<int>(ie - ib));
+      });
+    }
+  });
+  EXPECT_EQ(inner.load(), 8);
+  const WorkerStats total = pool.total_stats();
+  // One queued task per outer chunk (single worker caps chunks at 4), one
+  // inline record per nested call.
+  EXPECT_GT(total.tasks_executed, 0u);
+  EXPECT_LE(total.tasks_executed, 4u);
+  EXPECT_EQ(total.inline_tasks, 4u);
 }
 
 TEST(ThreadPool, ParallelFor2dExceptionsPropagate) {
