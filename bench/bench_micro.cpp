@@ -23,6 +23,7 @@
 #include "core/split.hpp"
 #include "gemm/baselines.hpp"
 #include "gemm/egemm.hpp"
+#include "gemm/plan.hpp"
 #include "tcsim/instruction.hpp"
 #include "tcsim/pipeline.hpp"
 #include "tcsim/tensor_core.hpp"
@@ -121,6 +122,10 @@ void BM_EmulatedTile(benchmark::State& state) {
   state.SetLabel(variant == 0   ? "egemm"
                  : variant == 1 ? "markidis"
                                 : "dekker");
+  // Effective-GEMM FLOPs (one 16x16x16 tile per iteration), the same
+  // convention as the end-to-end GEMM benches: without the rate counter
+  // these rows land in BENCH_micro.json with items_per_second/gflops = 0.
+  state.SetItemsProcessed(state.iterations() * 2 * 16 * 16 * 16);
 }
 BENCHMARK(BM_EmulatedTile)->Arg(0)->Arg(1)->Arg(2);
 
@@ -148,6 +153,43 @@ void BM_EgemmMultiply(benchmark::State& state, gemm::ExecEngine engine) {
   opts.engine = engine;
   for (auto _ : state) {
     const gemm::Matrix d = gemm::egemm_multiply(a, b, nullptr, opts);
+    benchmark::DoNotOptimize(d.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 *
+                          static_cast<std::int64_t>(n * n * n));
+}
+
+/// The plan-once, execute-many path (gemm/plan.hpp): the plan and the
+/// output matrix live outside the loop, so the steady state measures pure
+/// execution -- no plan-cache lookup, no D allocation, recycled split/pack
+/// workspaces. Compare against BM_EgemmMultiply at the same size for the
+/// per-call overhead of the one-shot API.
+void BM_EgemmPlanExecute(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const gemm::Matrix a = gemm::random_matrix(n, n, -1, 1, 5);
+  const gemm::Matrix b = gemm::random_matrix(n, n, -1, 1, 6);
+  gemm::GemmContext ctx;
+  const auto plan = ctx.plan(gemm::Backend::kEgemmTC, n, n, n);
+  gemm::Matrix d;
+  for (auto _ : state) {
+    plan->execute(ctx, a, b, nullptr, d);
+    benchmark::DoNotOptimize(d.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 *
+                          static_cast<std::int64_t>(n * n * n));
+}
+
+/// The anti-pattern the plan layer exists to avoid: a fresh context per
+/// call re-resolves the plan and re-allocates every split/pack workspace.
+/// BM_EgemmPlanExecute at the same size is the steady state; the ratio is
+/// the per-call cost of not planning.
+void BM_EgemmColdPlan(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const gemm::Matrix a = gemm::random_matrix(n, n, -1, 1, 5);
+  const gemm::Matrix b = gemm::random_matrix(n, n, -1, 1, 6);
+  for (auto _ : state) {
+    gemm::GemmContext fresh;
+    const gemm::Matrix d = fresh.run(gemm::Backend::kEgemmTC, a, b);
     benchmark::DoNotOptimize(d.data().data());
   }
   state.SetItemsProcessed(state.iterations() * 2 *
@@ -236,10 +278,13 @@ int main(int argc, char** argv) {
   if (smoke && !min_time_given) passthrough.push_back(min_time_arg.data());
 
   // The end-to-end GEMM sweep runs both engines at each size so the JSON
-  // artifact always carries the packed-vs-reference ratio. The full sweep
-  // adds the 1024^3 headline size (README's perf table; several seconds on
-  // the reference engine).
-  std::vector<std::int64_t> sizes = {64, 128, 256};
+  // artifact always carries the packed-vs-reference ratio. The 32^3 size
+  // is where the one-shot API's per-call overhead (plan lookup, output
+  // allocation) is the largest fraction of the work, making the
+  // plan-execute comparison meaningful. The full sweep adds the 1024^3
+  // headline size (README's perf table; several seconds on the reference
+  // engine).
+  std::vector<std::int64_t> sizes = {32, 64, 128, 256};
   if (!smoke) sizes.push_back(1024);
   for (const std::int64_t n : sizes) {
     benchmark::RegisterBenchmark("BM_EgemmMultiply",
@@ -253,6 +298,10 @@ int main(int argc, char** argv) {
                                    BM_EgemmMultiply(
                                        state, gemm::ExecEngine::kReference);
                                  })
+        ->Arg(n);
+    benchmark::RegisterBenchmark("BM_EgemmPlanExecute", BM_EgemmPlanExecute)
+        ->Arg(n);
+    benchmark::RegisterBenchmark("BM_EgemmColdPlan", BM_EgemmColdPlan)
         ->Arg(n);
   }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "gemm/plan.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -83,10 +84,19 @@ KMeansResult kmeans(const gemm::Matrix& points, const KMeansOptions& opts) {
   const std::vector<float> pn = row_norms(points);
   double prev_inertia = std::numeric_limits<double>::max();
 
+  // Every iteration runs the same (n x dim) x (dim x clusters) GEMM: plan
+  // it once, then execute into reused buffers -- after the first pass the
+  // loop performs no heap allocation for the GEMM.
+  gemm::GemmContext& ctx =
+      opts.context != nullptr ? *opts.context : gemm::default_context();
+  const auto plan = ctx.plan(opts.backend, n, clusters, dim);
+  gemm::Matrix ct;
+  gemm::Matrix cross;
+
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
     // Assignment step: distance matrix through the GEMM backend.
-    const gemm::Matrix ct = gemm::transpose(result.centroids);
-    const gemm::Matrix cross = gemm::run_gemm(opts.backend, points, ct);
+    gemm::transpose_into(result.centroids, ct);
+    plan->execute(ctx, points, ct, nullptr, cross);
     const std::vector<float> cn = row_norms(result.centroids);
 
     double inertia = 0.0;

@@ -20,6 +20,10 @@ struct KMeansOptions {
   double tolerance = 1e-6;  ///< stop when inertia improves less than this
   std::uint64_t seed = 42;  ///< k-means++-style seeding stream
   gemm::Backend backend = gemm::Backend::kEgemmTC;
+  /// Plan/workspace context for the per-iteration GEMM (gemm/plan.hpp);
+  /// the shared default_context() when null. The Lloyd loop plans once and
+  /// executes into reused buffers, so iterations stay allocation-free.
+  gemm::GemmContext* context = nullptr;
 };
 
 struct KMeansResult {

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <vector>
 
+#include "gemm/plan.hpp"
 #include "util/assert.hpp"
 
 namespace egemm::apps {
@@ -55,8 +56,10 @@ KnnResult knn_search(const gemm::Matrix& queries,
   const std::size_t n = references.rows();
 
   // Cross terms via one large GEMM: Q x R^T (m x n).
+  gemm::GemmContext& ctx =
+      opts.context != nullptr ? *opts.context : gemm::default_context();
   const gemm::Matrix rt = gemm::transpose(references);
-  const gemm::Matrix cross = gemm::run_gemm(opts.backend, queries, rt);
+  const gemm::Matrix cross = gemm::run_gemm(ctx, opts.backend, queries, rt);
 
   const std::vector<float> qn = row_norms(queries);
   const std::vector<float> rn = row_norms(references);

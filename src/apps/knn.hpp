@@ -25,6 +25,10 @@ struct KnnResult {
 struct KnnOptions {
   int k = 8;
   gemm::Backend backend = gemm::Backend::kEgemmTC;
+  /// Plan/workspace context for the distance GEMM (gemm/plan.hpp); the
+  /// shared default_context() when null. Batched searches over same-shape
+  /// query sets reuse the cached plan and its workspaces.
+  gemm::GemmContext* context = nullptr;
 };
 
 /// queries: m x d, references: n x d. Requires k <= n.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "gemm/plan.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -67,11 +68,13 @@ PcaResult pca_power(const gemm::Matrix& points, const PcaOptions& opts) {
 
   // Covariance via the backend: C = (1/(n-1)) X_c^T x X_c -- the O(n dim^2)
   // GEMM this application exists for.
+  gemm::GemmContext& ctx =
+      opts.context != nullptr ? *opts.context : gemm::default_context();
   gemm::GemmExParams params;
   params.trans_a = gemm::Transpose::kTranspose;
   params.alpha = 1.0f / static_cast<float>(n - 1);
   gemm::Matrix covariance =
-      gemm::gemm_ex(opts.backend, centered, centered, nullptr, params);
+      gemm::gemm_ex(ctx, opts.backend, centered, centered, nullptr, params);
 
   // Power iteration with deflation on the dim x dim covariance.
   util::Xoshiro256 rng(opts.seed);

@@ -26,6 +26,9 @@ struct PcaOptions {
   double tolerance = 1e-7;  ///< per-component convergence on the Rayleigh quotient
   std::uint64_t seed = 7;
   gemm::Backend backend = gemm::Backend::kEgemmTC;
+  /// Plan/workspace context for the covariance GEMM (gemm/plan.hpp); the
+  /// shared default_context() when null.
+  gemm::GemmContext* context = nullptr;
 };
 
 struct PcaResult {

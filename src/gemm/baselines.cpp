@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/emulation.hpp"
+#include "gemm/plan.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
 
@@ -52,13 +53,16 @@ double dbl(std::uint64_t v) { return static_cast<double>(v); }
 // Functional paths
 // ---------------------------------------------------------------------------
 
-Matrix sgemm_fp32(const Matrix& a, const Matrix& b, const Matrix* c) {
+void sgemm_fp32_into(const Matrix& a, const Matrix& b, const Matrix* c,
+                     Matrix& d) {
   EGEMM_EXPECTS(a.cols() == b.rows());
   const std::size_t m = a.rows(), n = b.cols(), k = a.cols();
-  Matrix d(m, n);
+  d.resize(m, n);
   if (c != nullptr) {
     EGEMM_EXPECTS(c->rows() == m && c->cols() == n);
     std::copy(c->data().begin(), c->data().end(), d.data().begin());
+  } else {
+    d.fill(0.0f);
   }
   // FMA accumulation, k-outer cache blocking -- the numerics of a vendor
   // binary32 kernel.
@@ -74,13 +78,19 @@ Matrix sgemm_fp32(const Matrix& a, const Matrix& b, const Matrix* c) {
       }
     }
   });
+}
+
+Matrix sgemm_fp32(const Matrix& a, const Matrix& b, const Matrix* c) {
+  Matrix d;
+  sgemm_fp32_into(a, b, c, d);
   return d;
 }
 
-Matrix sdk_gemm_fp32(const Matrix& a, const Matrix& b) {
+void sdk_gemm_fp32_into(const Matrix& a, const Matrix& b, Matrix& d) {
   EGEMM_EXPECTS(a.cols() == b.rows());
   const std::size_t m = a.rows(), n = b.cols(), k = a.cols();
-  Matrix d(m, n);
+  d.resize(m, n);
+  d.fill(0.0f);
   // Separate multiply and add (the SDK sample predates pervasive FMA).
   util::global_pool().parallel_for(m, [&](std::size_t i0, std::size_t i1) {
     for (std::size_t i = i0; i < i1; ++i) {
@@ -94,38 +104,41 @@ Matrix sdk_gemm_fp32(const Matrix& a, const Matrix& b) {
       }
     }
   });
+}
+
+Matrix sdk_gemm_fp32(const Matrix& a, const Matrix& b) {
+  Matrix d;
+  sdk_gemm_fp32_into(a, b, d);
   return d;
 }
+
+// The emulated baselines route through the shared plan cache so that the
+// one-shot calls and run_gemm land on the same cached plan (the recipes
+// themselves are normalized in GemmContext::plan and stay exactly what
+// the pre-plan implementations executed).
 
 Matrix gemm_tc_half(const Matrix& a, const Matrix& b, const Matrix* c) {
   // The hi plane of a round-split is exactly RN16(x): a single-combo
   // emulated GEMM reproduces cublasGemmEx with binary16 inputs.
-  static constexpr Combo kHalfOnly[] = {{true, true}};
-  return emulated_gemm(a, b, c, core::SplitMethod::kRoundSplit, kHalfOnly,
-                       ComboOrder::kFusedPerTile);
+  return default_context().run(Backend::kCublasTcHalf, a, b, c);
 }
 
 Matrix gemm_markidis(const Matrix& a, const Matrix& b, const Matrix* c) {
   // Markidis [20]: truncate-split, the Alo x Blo term dropped.
-  static constexpr Combo kMarkidis[] = {{false, true}, {true, false},
-                                        {true, true}};
-  return emulated_gemm(a, b, c, core::SplitMethod::kTruncateSplit, kMarkidis,
-                       ComboOrder::kFusedPerTile);
+  return default_context().run(Backend::kMarkidis, a, b, c);
 }
 
 Matrix gemm_cublas_tc_emulation(const Matrix& a, const Matrix& b,
                                 const Matrix* c) {
-  static constexpr Combo kAlg1[] = {
-      {false, false}, {false, true}, {true, false}, {true, true}};
-  return emulated_gemm(a, b, c, core::SplitMethod::kRoundSplit, kAlg1,
-                       ComboOrder::kSeparatePasses);
+  // Alg. 1 via 4 separate vendor GEMM calls: same combos, separate passes.
+  return default_context().run(Backend::kCublasTcEmulation, a, b, c);
 }
 
-Matrix gemm_dekker(const Matrix& a, const Matrix& b, const Matrix* c,
-                   long* instruction_count) {
+void gemm_dekker_into(const Matrix& a, const Matrix& b, const Matrix* c,
+                      Matrix& d, long* instruction_count) {
   EGEMM_EXPECTS(a.cols() == b.rows());
   const std::size_t m = a.rows(), n = b.cols(), k = a.cols();
-  Matrix d(m, n);
+  d.resize(m, n);
 
   constexpr std::size_t kT = 16;
   long ops = 0;
@@ -169,6 +182,12 @@ Matrix gemm_dekker(const Matrix& a, const Matrix& b, const Matrix* c,
     }
   }
   if (instruction_count != nullptr) *instruction_count += ops;
+}
+
+Matrix gemm_dekker(const Matrix& a, const Matrix& b, const Matrix* c,
+                   long* instruction_count) {
+  Matrix d;
+  gemm_dekker_into(a, b, c, d, instruction_count);
   return d;
 }
 

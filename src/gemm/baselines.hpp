@@ -22,8 +22,16 @@ namespace egemm::gemm {
 /// cublasSgemm stand-in: binary32 GEMM with FMA accumulation.
 Matrix sgemm_fp32(const Matrix& a, const Matrix& b, const Matrix* c = nullptr);
 
+/// sgemm_fp32 into caller-owned `d` (resized in place; allocation-free at
+/// steady-state capacity). The direct plans (gemm/plan.hpp) execute these.
+void sgemm_fp32_into(const Matrix& a, const Matrix& b, const Matrix* c,
+                     Matrix& d);
+
 /// CUDA-SDK matrixMul stand-in: binary32, separate multiply and add.
 Matrix sdk_gemm_fp32(const Matrix& a, const Matrix& b);
+
+/// sdk_gemm_fp32 into caller-owned `d`.
+void sdk_gemm_fp32_into(const Matrix& a, const Matrix& b, Matrix& d);
 
 /// cublasGemmEx stand-in: inputs rounded to binary16, Tensor Core compute.
 Matrix gemm_tc_half(const Matrix& a, const Matrix& b,
@@ -42,6 +50,10 @@ Matrix gemm_cublas_tc_emulation(const Matrix& a, const Matrix& b,
 Matrix gemm_dekker(const Matrix& a, const Matrix& b,
                    const Matrix* c = nullptr,
                    long* instruction_count = nullptr);
+
+/// gemm_dekker into caller-owned `d`.
+void gemm_dekker_into(const Matrix& a, const Matrix& b, const Matrix* c,
+                      Matrix& d, long* instruction_count = nullptr);
 
 // -- timing models -----------------------------------------------------------
 

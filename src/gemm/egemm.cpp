@@ -2,225 +2,29 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
-#include <utility>
+#include <vector>
 #ifndef NDEBUG
 #include <mutex>
 #include <set>
 #include <string>
 #endif
 
-#include "gemm/packing.hpp"
-#include "obs/metrics.hpp"
-#include "obs/trace.hpp"
+#include "gemm/plan.hpp"
 #include "sass/build.hpp"
 #include "tcsim/instruction.hpp"
 #include "tcsim/occupancy.hpp"
 #include "tcsim/register_alloc.hpp"
-#include "tcsim/tensor_core.hpp"
 #include "util/assert.hpp"
-#include "util/thread_pool.hpp"
+
+// The functional path lives in gemm/plan.cpp since the plan/context
+// refactor (DESIGN.md §13): the entry points here are thin wrappers that
+// plan against default_context() and execute into a fresh D, preserving
+// the original one-shot signatures bit-for-bit. This file keeps the timed
+// path (SASS stream -> SM pipeline -> occupancy composition).
 
 namespace egemm::gemm {
 
 namespace {
-
-constexpr std::size_t kTile = 16;  // wmma primitive extent
-static_assert(kTile == kPackTile && kTile == tcsim::kTcM &&
-              kTile == tcsim::kTcN);
-
-/// NaN canonicalization at the D store, as the modeled hardware does: the
-/// Tensor Core emits a canonical quiet NaN, never an input payload. Without
-/// this, x86 NaN propagation picks the *first* operand's payload, so the
-/// packed and reference engines could return bitwise-different NaNs for the
-/// same case purely from compiler register allocation.
-inline float canonical_store(float x) noexcept {
-  return std::isnan(x) ? std::numeric_limits<float>::quiet_NaN() : x;
-}
-
-/// A split-product term over arbitrary plane sets: multiply A-plane
-/// `a_plane` by B-plane `b_plane`.
-struct PlaneCombo {
-  int a_plane;
-  int b_plane;
-};
-
-/// Computes one 16x16 C tile over plane decompositions of A and B:
-/// iterates k-tiles and, per the requested order, the split-product
-/// combos; every dot runs with Tensor Core accumulation semantics. `acc`
-/// is the fp32 accumulator tile.
-void compute_c_tile(float acc[kTile][kTile], std::span<const Matrix> ap,
-                    std::span<const Matrix> bp, std::size_t i0,
-                    std::size_t j0, std::size_t mt, std::size_t nt,
-                    std::span<const PlaneCombo> combos, ComboOrder order) {
-  const std::size_t k = ap[0].cols();
-
-  auto k_tile_pass = [&](std::size_t k0, const PlaneCombo& combo) {
-    const std::size_t kt = std::min(kTile, k - k0);
-    // Transpose the B tile plane into a contiguous [j][k] buffer so the
-    // inner dot walks unit strides.
-    float bt[kTile][kTile];
-    const Matrix& bplane = bp[static_cast<std::size_t>(combo.b_plane)];
-    for (std::size_t kk = 0; kk < kt; ++kk) {
-      const float* brow = bplane.row(k0 + kk) + j0;
-      for (std::size_t j = 0; j < nt; ++j) bt[j][kk] = brow[j];
-    }
-    const Matrix& aplane = ap[static_cast<std::size_t>(combo.a_plane)];
-    for (std::size_t i = 0; i < mt; ++i) {
-      const float* arow = aplane.row(i0 + i) + k0;
-      for (std::size_t j = 0; j < nt; ++j) {
-        acc[i][j] = tcsim::tc_dot_f32(arow, bt[j], static_cast<int>(kt),
-                                      acc[i][j]);
-      }
-    }
-  };
-
-  if (order == ComboOrder::kFusedPerTile) {
-    // Alg. 1: inside each k-tile all combos accumulate before moving on.
-    for (std::size_t k0 = 0; k0 < k; k0 += kTile) {
-      for (const PlaneCombo& combo : combos) k_tile_pass(k0, combo);
-    }
-  } else {
-    // cuBLAS-TC-Emulation: one full-K GEMM per combo, D re-read between
-    // passes (numerically identical to staying in registers, since D is
-    // binary32 either way).
-    for (const PlaneCombo& combo : combos) {
-      for (std::size_t k0 = 0; k0 < k; k0 += kTile) k_tile_pass(k0, combo);
-    }
-  }
-}
-
-/// Retained scalar reference driver: D = sum over combos of Aplane x
-/// Bplane (+ C), tiled and parallelized over row blocks. This is the
-/// seed's execution path, kept as the semantics oracle the packed engine
-/// is pinned against (tests/test_packed_gemm.cpp).
-Matrix plane_gemm_reference(std::span<const Matrix> ap,
-                            std::span<const Matrix> bp, const Matrix* c,
-                            std::span<const PlaneCombo> combos,
-                            ComboOrder order) {
-  const std::size_t m = ap[0].rows();
-  const std::size_t n = bp[0].cols();
-
-  Matrix d(m, n);
-  if (c != nullptr) {
-    std::copy(c->data().begin(), c->data().end(), d.data().begin());
-  }
-
-  const std::size_t row_blocks = (m + kTile - 1) / kTile;
-  util::global_pool().parallel_for(
-      row_blocks, [&](std::size_t rb0, std::size_t rb1) {
-        EGEMM_TRACE_SCOPE("mma");
-        for (std::size_t rb = rb0; rb < rb1; ++rb) {
-          const std::size_t i0 = rb * kTile;
-          const std::size_t mt = std::min(kTile, m - i0);
-          for (std::size_t j0 = 0; j0 < n; j0 += kTile) {
-            const std::size_t nt = std::min(kTile, n - j0);
-            float acc[kTile][kTile];
-            for (std::size_t i = 0; i < mt; ++i) {
-              for (std::size_t j = 0; j < nt; ++j) {
-                acc[i][j] = d.at(i0 + i, j0 + j);
-              }
-            }
-            compute_c_tile(acc, ap, bp, i0, j0, mt, nt, combos, order);
-            EGEMM_TRACE_SCOPE("combine");
-            for (std::size_t i = 0; i < mt; ++i) {
-              for (std::size_t j = 0; j < nt; ++j) {
-                d.at(i0 + i, j0 + j) = canonical_store(acc[i][j]);
-              }
-            }
-          }
-        }
-      });
-  return d;
-}
-
-/// Packed engine (DESIGN.md §10): packs every plane once into tile-blocked
-/// contiguous buffers, then walks the output tiles on a 2D block schedule;
-/// each tile streams its k-slabs through the vectorized
-/// tcsim::mma_block_packed kernel. Per output element the operation
-/// sequence is identical to the reference driver, so the result is
-/// bit-identical.
-Matrix plane_gemm_packed(std::span<const Matrix> ap,
-                         std::span<const Matrix> bp, const Matrix* c,
-                         std::span<const PlaneCombo> combos,
-                         ComboOrder order) {
-  const std::size_t m = ap[0].rows();
-  const std::size_t n = bp[0].cols();
-  const std::size_t k = ap[0].cols();
-
-  // Pack once per call; reused by every k-tile, combo, and output tile.
-  const auto packs = [&] {
-    EGEMM_TRACE_SCOPE("pack");
-    return std::pair<PackedPlanesA, PackedPlanesB>(PackedPlanesA(ap),
-                                                   PackedPlanesB(bp));
-  }();
-  const PackedPlanesA& apack = packs.first;
-  const PackedPlanesB& bpack = packs.second;
-
-  Matrix d(m, n);
-  if (c != nullptr) {
-    std::copy(c->data().begin(), c->data().end(), d.data().begin());
-  }
-
-  util::global_pool().parallel_for_2d(
-      apack.row_blocks(), bpack.col_blocks(), /*grain=*/0,
-      [&](std::size_t rb0, std::size_t rb1, std::size_t cb0, std::size_t cb1) {
-        EGEMM_TRACE_SCOPE("mma");
-        EGEMM_COUNTER_ADD("egemm.tiles", (rb1 - rb0) * (cb1 - cb0));
-        for (std::size_t rb = rb0; rb < rb1; ++rb) {
-          const std::size_t i0 = rb * kTile;
-          const std::size_t mt = std::min(kTile, m - i0);
-          for (std::size_t cb = cb0; cb < cb1; ++cb) {
-            const std::size_t j0 = cb * kTile;
-            const std::size_t nt = std::min(kTile, n - j0);
-            // Full 16x16 accumulator; lanes past (mt, nt) compute against
-            // the packs' zero padding and are never copied back.
-            alignas(64) float acc[kTile][kTile] = {};
-            for (std::size_t i = 0; i < mt; ++i) {
-              for (std::size_t j = 0; j < nt; ++j) {
-                acc[i][j] = d.at(i0 + i, j0 + j);
-              }
-            }
-            const auto k_slab = [&](const PlaneCombo& combo, std::size_t k0) {
-              const std::size_t kt = std::min(kTile, k - k0);
-              tcsim::mma_block_packed(
-                  &acc[0][0],
-                  apack.block(static_cast<std::size_t>(combo.a_plane), rb) + k0,
-                  k,
-                  bpack.block(static_cast<std::size_t>(combo.b_plane), cb) +
-                      k0 * kTile,
-                  static_cast<int>(kt));
-            };
-            if (order == ComboOrder::kFusedPerTile) {
-              for (std::size_t k0 = 0; k0 < k; k0 += kTile) {
-                for (const PlaneCombo& combo : combos) k_slab(combo, k0);
-              }
-            } else {
-              for (const PlaneCombo& combo : combos) {
-                for (std::size_t k0 = 0; k0 < k; k0 += kTile) {
-                  k_slab(combo, k0);
-                }
-              }
-            }
-            EGEMM_TRACE_SCOPE("combine");
-            for (std::size_t i = 0; i < mt; ++i) {
-              for (std::size_t j = 0; j < nt; ++j) {
-                d.at(i0 + i, j0 + j) = canonical_store(acc[i][j]);
-              }
-            }
-          }
-        }
-      });
-  return d;
-}
-
-Matrix plane_gemm(std::span<const Matrix> ap, std::span<const Matrix> bp,
-                  const Matrix* c, std::span<const PlaneCombo> combos,
-                  ComboOrder order, ExecEngine engine) {
-  return engine == ExecEngine::kPacked
-             ? plane_gemm_packed(ap, bp, c, combos, order)
-             : plane_gemm_reference(ap, bp, c, combos, order);
-}
 
 #ifndef NDEBUG
 /// Debug self-check: the SASS kernel this configuration implies must lint
@@ -265,35 +69,17 @@ Matrix emulated_gemm(const Matrix& a, const Matrix& b, const Matrix* c,
                 (c->rows() == a.rows() && c->cols() == b.cols()));
   EGEMM_EXPECTS(!combos.empty());
 
-  EGEMM_TRACE_SCOPE("egemm_multiply");
-  EGEMM_COUNTER_ADD("egemm.calls", 1);
-
-  // The O(N^2) data-split pass (runs on CUDA cores in the real kernel).
-  // Plane 0 = lo, plane 1 = hi.
-#ifndef NDEBUG
-  const std::uint64_t split_before = core::debug_split_elements();
-#endif
-  std::vector<Matrix> ap(2, Matrix(a.rows(), a.cols()));
-  std::vector<Matrix> bp(2, Matrix(b.rows(), b.cols()));
-  {
-    EGEMM_TRACE_SCOPE("split");
-    core::split_span_f32(a.data(), ap[1].data(), ap[0].data(), split);
-    core::split_span_f32(b.data(), bp[1].data(), bp[0].data(), split);
-  }
-#ifndef NDEBUG
-  // Each input element must be split exactly once per GEMM call -- the
-  // plane cache is the point of the packed engine, so re-splitting
-  // anywhere downstream is a bug.
-  EGEMM_ENSURES(core::debug_split_elements() - split_before ==
-                a.data().size() + b.data().size());
-#endif
-
   std::vector<PlaneCombo> plane_combos;
   plane_combos.reserve(combos.size());
   for (const Combo& combo : combos) {
     plane_combos.push_back(PlaneCombo{combo.a_hi ? 1 : 0, combo.b_hi ? 1 : 0});
   }
-  return plane_gemm(ap, bp, c, plane_combos, order, engine);
+  GemmContext& ctx = default_context();
+  const auto plan = ctx.plan_emulated(a.rows(), b.cols(), a.cols(), split,
+                                      plane_combos, order, engine);
+  Matrix d;
+  plan->execute(ctx, a, b, c, d);
+  return d;
 }
 
 Matrix egemm_multiply_3split(const Matrix& a, const Matrix& b, const Matrix* c,
@@ -302,30 +88,15 @@ Matrix egemm_multiply_3split(const Matrix& a, const Matrix& b, const Matrix* c,
   EGEMM_EXPECTS(c == nullptr ||
                 (c->rows() == a.rows() && c->cols() == b.cols()));
 
-  EGEMM_TRACE_SCOPE("egemm_multiply_3split");
-  EGEMM_COUNTER_ADD("egemm.calls", 1);
-
-  // Planes 0 = lo, 1 = mid, 2 = hi; x == p0 + p1 + p2 exactly.
-#ifndef NDEBUG
-  const std::uint64_t split_before = core::debug_split_elements();
-#endif
-  std::vector<Matrix> ap(3, Matrix(a.rows(), a.cols()));
-  std::vector<Matrix> bp(3, Matrix(b.rows(), b.cols()));
-  {
-    EGEMM_TRACE_SCOPE("split");
-    core::split3_span_f32(a.data(), ap[2].data(), ap[1].data(), ap[0].data());
-    core::split3_span_f32(b.data(), bp[2].data(), bp[1].data(), bp[0].data());
-  }
-#ifndef NDEBUG
-  EGEMM_ENSURES(core::debug_split_elements() - split_before ==
-                a.data().size() + b.data().size());
-#endif
-
-  // All 9 products, smallest-magnitude terms first so they are absorbed
-  // before the dominant hi x hi partial product.
-  static constexpr PlaneCombo kCombos[] = {
-      {0, 0}, {0, 1}, {1, 0}, {0, 2}, {1, 1}, {2, 0}, {1, 2}, {2, 1}, {2, 2}};
-  return plane_gemm(ap, bp, c, kCombos, ComboOrder::kFusedPerTile, engine);
+  GemmContext& ctx = default_context();
+  EgemmOptions opts;
+  opts.emulation_instructions = 9;
+  opts.engine = engine;
+  const auto plan =
+      ctx.plan(Backend::kEgemmTC, a.rows(), b.cols(), a.cols(), opts);
+  Matrix d;
+  plan->execute(ctx, a, b, c, d);
+  return d;
 }
 
 KernelTiming egemm_3split_timing(std::uint64_t m, std::uint64_t n,
@@ -343,12 +114,17 @@ KernelTiming egemm_3split_timing(std::uint64_t m, std::uint64_t n,
 
 Matrix egemm_multiply(const Matrix& a, const Matrix& b, const Matrix* c,
                       const EgemmOptions& opts) {
-  // Alg. 1's term order: low-order products first.
-  static constexpr Combo kAlg1[] = {
-      {false, false}, {false, true}, {true, false}, {true, true}};
   EGEMM_EXPECTS(opts.emulation_instructions == 4);
-  return emulated_gemm(a, b, c, opts.split, kAlg1, ComboOrder::kFusedPerTile,
-                       opts.engine);
+  EGEMM_EXPECTS(a.cols() == b.rows());
+  EGEMM_EXPECTS(c == nullptr ||
+                (c->rows() == a.rows() && c->cols() == b.cols()));
+
+  GemmContext& ctx = default_context();
+  const auto plan =
+      ctx.plan(Backend::kEgemmTC, a.rows(), b.cols(), a.cols(), opts);
+  Matrix d;
+  plan->execute(ctx, a, b, c, d);
+  return d;
 }
 
 KernelTiming egemm_timing(std::uint64_t m, std::uint64_t n, std::uint64_t k,

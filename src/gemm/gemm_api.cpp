@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "gemm/plan.hpp"
 #include "util/assert.hpp"
 
 namespace egemm::gemm {
@@ -35,29 +36,22 @@ std::vector<Backend> all_backends() {
 
 Matrix run_gemm(Backend backend, const Matrix& a, const Matrix& b,
                 const Matrix* c) {
-  switch (backend) {
-    case Backend::kEgemmTC:
-      return egemm_multiply(a, b, c);
-    case Backend::kCublasFp32:
-      return sgemm_fp32(a, b, c);
-    case Backend::kCublasTcHalf:
-      return gemm_tc_half(a, b, c);
-    case Backend::kCublasTcEmulation:
-      return gemm_cublas_tc_emulation(a, b, c);
-    case Backend::kSdkFp32:
-      EGEMM_EXPECTS(c == nullptr);
-      return sdk_gemm_fp32(a, b);
-    case Backend::kMarkidis:
-      return gemm_markidis(a, b, c);
-    case Backend::kDekker:
-      return gemm_dekker(a, b, c);
-  }
-  EGEMM_EXPECTS(!"unreachable backend");
-  return Matrix();
+  return run_gemm(default_context(), backend, a, b, c);
+}
+
+Matrix run_gemm(GemmContext& ctx, Backend backend, const Matrix& a,
+                const Matrix& b, const Matrix* c) {
+  if (backend == Backend::kSdkFp32) EGEMM_EXPECTS(c == nullptr);
+  return ctx.run(backend, a, b, c);
 }
 
 Matrix gemm_ex(Backend backend, const Matrix& a, const Matrix& b,
                const Matrix* c, const GemmExParams& params) {
+  return gemm_ex(default_context(), backend, a, b, c, params);
+}
+
+Matrix gemm_ex(GemmContext& ctx, Backend backend, const Matrix& a,
+               const Matrix& b, const Matrix* c, const GemmExParams& params) {
   EGEMM_EXPECTS(params.beta == 0.0f || c != nullptr);
   const Matrix op_a =
       params.trans_a == Transpose::kTranspose ? transpose(a) : a;
@@ -70,13 +64,17 @@ Matrix gemm_ex(Backend backend, const Matrix& a, const Matrix& b,
   // Fast paths keep the accumulation inside the kernel (beta = 1 rides the
   // Tensor Core accumulator; the SDK sample has no C input).
   if (params.alpha == 1.0f) {
-    if (params.beta == 0.0f) return run_gemm(backend, op_a, op_b, nullptr);
+    if (params.beta == 0.0f) {
+      return run_gemm(ctx, backend, op_a, op_b, nullptr);
+    }
     if (params.beta == 1.0f && backend != Backend::kSdkFp32) {
-      return run_gemm(backend, op_a, op_b, c);
+      return run_gemm(ctx, backend, op_a, op_b, c);
     }
   }
 
-  Matrix d = run_gemm(backend, op_a, op_b, nullptr);
+  // The (alpha, beta) scaling is a binary32 epilogue over the kernel
+  // result, in place in D -- the epilogue needs no extra scratch.
+  Matrix d = run_gemm(ctx, backend, op_a, op_b, nullptr);
   for (std::size_t i = 0; i < d.size(); ++i) {
     float value = params.alpha * d.data()[i];
     if (c != nullptr && params.beta != 0.0f) {

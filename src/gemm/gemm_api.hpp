@@ -12,6 +12,8 @@
 
 namespace egemm::gemm {
 
+class GemmContext;  // gemm/plan.hpp: plan cache + reusable workspaces
+
 enum class Backend {
   kEgemmTC,            ///< this paper (Alg. 1 + §4/§5 optimizations)
   kCublasFp32,         ///< cuBLAS-CUDA-FP32
@@ -25,9 +27,16 @@ enum class Backend {
 const char* backend_name(Backend backend) noexcept;
 std::vector<Backend> all_backends();
 
-/// Functional D = A x B (+ C) on the chosen backend's numerics.
+/// Functional D = A x B (+ C) on the chosen backend's numerics. Plans
+/// against default_context(), so repeated same-shape calls hit the plan
+/// cache; pass an explicit context (overload below) to isolate or warm a
+/// cache of your own.
 Matrix run_gemm(Backend backend, const Matrix& a, const Matrix& b,
                 const Matrix* c = nullptr);
+
+/// run_gemm against an explicit plan/workspace context (gemm/plan.hpp).
+Matrix run_gemm(GemmContext& ctx, Backend backend, const Matrix& a,
+                const Matrix& b, const Matrix* c = nullptr);
 
 /// Simulated execution time/TFLOPS of the backend on `spec`.
 /// Backend::kDekker is timed as an EGEMM schedule with 16 emulation
@@ -55,5 +64,9 @@ struct GemmExParams {
 /// epilogue pass, as cuBLAS does it.
 Matrix gemm_ex(Backend backend, const Matrix& a, const Matrix& b,
                const Matrix* c, const GemmExParams& params);
+
+/// gemm_ex against an explicit plan/workspace context.
+Matrix gemm_ex(GemmContext& ctx, Backend backend, const Matrix& a,
+               const Matrix& b, const Matrix* c, const GemmExParams& params);
 
 }  // namespace egemm::gemm

@@ -32,6 +32,14 @@ Matrix transpose(const Matrix& m) {
   return t;
 }
 
+void transpose_into(const Matrix& m, Matrix& out) {
+  EGEMM_EXPECTS(&m != &out);
+  out.resize(m.cols(), m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) out.at(j, i) = m.at(i, j);
+  }
+}
+
 MatrixD gemm_reference(const Matrix& a, const Matrix& b, const Matrix* c) {
   EGEMM_EXPECTS(a.cols() == b.rows());
   EGEMM_EXPECTS(c == nullptr ||

@@ -41,6 +41,19 @@ class BasicMatrix {
 
   void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
 
+  /// Reshapes in place, reusing the existing storage; allocates only when
+  /// the new extent exceeds capacity(). Element values are unspecified
+  /// afterwards. Plan workspaces (gemm/plan.hpp) rely on this staying
+  /// allocation-free for repeated same-shape calls.
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
+  /// Elements the current storage can hold without reallocating.
+  std::size_t capacity() const noexcept { return data_.capacity(); }
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
@@ -60,6 +73,11 @@ MatrixD widen(const Matrix& m);
 
 /// Out-of-place transpose.
 Matrix transpose(const Matrix& m);
+
+/// transpose() into caller-owned storage (`out` is resized in place):
+/// the iteration-loop form that avoids a fresh allocation per call once
+/// `out` has reached its steady-state capacity. `out` must not alias `m`.
+void transpose_into(const Matrix& m, Matrix& out);
 
 /// Ground-truth D = A x B + C in binary64 with compensated accumulation
 /// (double-double), giving a reference accurate far beyond binary32.

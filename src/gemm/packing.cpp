@@ -8,36 +8,47 @@
 
 namespace egemm::gemm {
 
-PackedPlanesA::PackedPlanesA(std::span<const Matrix> planes) {
+bool PackedPlanesA::assign(std::span<const Matrix> planes) {
   EGEMM_EXPECTS(!planes.empty());
   const std::size_t m = planes[0].rows();
   k_ = planes[0].cols();
   row_blocks_ = (m + kPackTile - 1) / kPackTile;
-  planes_.reserve(planes.size());
-  for (const Matrix& plane : planes) {
+  bool grew = planes_.capacity() < planes.size();
+  planes_.resize(planes.size());
+  const std::size_t pack_size = row_blocks_ * kPackTile * k_;
+  for (std::size_t p = 0; p < planes.size(); ++p) {
+    const Matrix& plane = planes[p];
     EGEMM_EXPECTS(plane.rows() == m && plane.cols() == k_);
-    std::vector<float>& pack =
-        planes_.emplace_back(row_blocks_ * kPackTile * k_, 0.0f);
+    std::vector<float>& pack = planes_[p];
+    grew |= pack.capacity() < pack_size;
+    pack.assign(pack_size, 0.0f);
     // Rows of a block are consecutive in both layouts, so the copy is one
     // contiguous memcpy per source row (padded rows stay zero).
-    for (std::size_t r = 0; r < m; ++r) {
-      std::memcpy(pack.data() + r * k_, plane.row(r), k_ * sizeof(float));
+    if (k_ != 0) {
+      for (std::size_t r = 0; r < m; ++r) {
+        std::memcpy(pack.data() + r * k_, plane.row(r), k_ * sizeof(float));
+      }
     }
     EGEMM_COUNTER_ADD("pack.a_bytes", pack.size() * sizeof(float));
   }
   EGEMM_COUNTER_ADD("pack.calls", 1);
+  return grew;
 }
 
-PackedPlanesB::PackedPlanesB(std::span<const Matrix> planes) {
+bool PackedPlanesB::assign(std::span<const Matrix> planes) {
   EGEMM_EXPECTS(!planes.empty());
   k_ = planes[0].rows();
   const std::size_t n = planes[0].cols();
   col_blocks_ = (n + kPackTile - 1) / kPackTile;
-  planes_.reserve(planes.size());
-  for (const Matrix& plane : planes) {
+  bool grew = planes_.capacity() < planes.size();
+  planes_.resize(planes.size());
+  const std::size_t pack_size = col_blocks_ * k_ * kPackTile;
+  for (std::size_t p = 0; p < planes.size(); ++p) {
+    const Matrix& plane = planes[p];
     EGEMM_EXPECTS(plane.rows() == k_ && plane.cols() == n);
-    std::vector<float>& pack =
-        planes_.emplace_back(col_blocks_ * k_ * kPackTile, 0.0f);
+    std::vector<float>& pack = planes_[p];
+    grew |= pack.capacity() < pack_size;
+    pack.assign(pack_size, 0.0f);
     for (std::size_t r = 0; r < k_; ++r) {
       const float* src = plane.row(r);
       for (std::size_t cb = 0; cb < col_blocks_; ++cb) {
@@ -49,6 +60,7 @@ PackedPlanesB::PackedPlanesB(std::span<const Matrix> planes) {
     EGEMM_COUNTER_ADD("pack.b_bytes", pack.size() * sizeof(float));
   }
   EGEMM_COUNTER_ADD("pack.calls", 1);
+  return grew;
 }
 
 }  // namespace egemm::gemm

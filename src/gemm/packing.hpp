@@ -38,7 +38,15 @@ inline constexpr std::size_t kPackTile = 16;
 /// Row-blocked packed copy of a stack of A planes.
 class PackedPlanesA {
  public:
-  PackedPlanesA(std::span<const Matrix> planes);
+  /// Empty pack; fill with assign(). Lets a plan workspace hold the pack
+  /// across calls and repack in place.
+  PackedPlanesA() = default;
+  explicit PackedPlanesA(std::span<const Matrix> planes) { assign(planes); }
+
+  /// Repacks from `planes`, reusing the existing buffers. Returns true
+  /// when any buffer had to grow (i.e. the call allocated) -- the plan
+  /// layer's debug allocation guard keys off this.
+  bool assign(std::span<const Matrix> planes);
 
   std::size_t row_blocks() const noexcept { return row_blocks_; }
   std::size_t k() const noexcept { return k_; }
@@ -58,7 +66,12 @@ class PackedPlanesA {
 /// Column-blocked packed copy of a stack of B planes.
 class PackedPlanesB {
  public:
-  PackedPlanesB(std::span<const Matrix> planes);
+  PackedPlanesB() = default;
+  explicit PackedPlanesB(std::span<const Matrix> planes) { assign(planes); }
+
+  /// Repacks from `planes`, reusing the existing buffers; returns true
+  /// when any buffer had to grow.
+  bool assign(std::span<const Matrix> planes);
 
   std::size_t col_blocks() const noexcept { return col_blocks_; }
   std::size_t k() const noexcept { return k_; }

@@ -1,0 +1,616 @@
+#include "gemm/plan.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "gemm/baselines.hpp"
+#include "model/analytic_model.hpp"
+#include "model/solver.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "tcsim/tensor_core.hpp"
+#include "util/assert.hpp"
+#include "util/thread_pool.hpp"
+
+namespace egemm::gemm {
+
+namespace {
+
+constexpr std::size_t kTile = 16;  // wmma primitive extent
+static_assert(kTile == kPackTile && kTile == tcsim::kTcM &&
+              kTile == tcsim::kTcN);
+
+#ifndef NDEBUG
+std::atomic<std::uint64_t> g_workspace_allocations{0};
+#endif
+
+void count_workspace_allocation() noexcept {
+#ifndef NDEBUG
+  g_workspace_allocations.fetch_add(1, std::memory_order_relaxed);
+#endif
+}
+
+/// NaN canonicalization at the D store, as the modeled hardware does: the
+/// Tensor Core emits a canonical quiet NaN, never an input payload. Without
+/// this, x86 NaN propagation picks the *first* operand's payload, so the
+/// packed and reference engines could return bitwise-different NaNs for the
+/// same case purely from compiler register allocation.
+inline float canonical_store(float x) noexcept {
+  return std::isnan(x) ? std::numeric_limits<float>::quiet_NaN() : x;
+}
+
+/// Computes one 16x16 C tile over plane decompositions of A and B:
+/// iterates k-tiles and, per the requested order, the split-product
+/// combos; every dot runs with Tensor Core accumulation semantics. `acc`
+/// is the fp32 accumulator tile.
+void compute_c_tile(float acc[kTile][kTile], std::span<const Matrix> ap,
+                    std::span<const Matrix> bp, std::size_t i0,
+                    std::size_t j0, std::size_t mt, std::size_t nt,
+                    std::span<const PlaneCombo> combos, ComboOrder order) {
+  const std::size_t k = ap[0].cols();
+
+  auto k_tile_pass = [&](std::size_t k0, const PlaneCombo& combo) {
+    const std::size_t kt = std::min(kTile, k - k0);
+    // Transpose the B tile plane into a contiguous [j][k] buffer so the
+    // inner dot walks unit strides.
+    float bt[kTile][kTile];
+    const Matrix& bplane = bp[static_cast<std::size_t>(combo.b_plane)];
+    for (std::size_t kk = 0; kk < kt; ++kk) {
+      const float* brow = bplane.row(k0 + kk) + j0;
+      for (std::size_t j = 0; j < nt; ++j) bt[j][kk] = brow[j];
+    }
+    const Matrix& aplane = ap[static_cast<std::size_t>(combo.a_plane)];
+    for (std::size_t i = 0; i < mt; ++i) {
+      const float* arow = aplane.row(i0 + i) + k0;
+      for (std::size_t j = 0; j < nt; ++j) {
+        acc[i][j] = tcsim::tc_dot_f32(arow, bt[j], static_cast<int>(kt),
+                                      acc[i][j]);
+      }
+    }
+  };
+
+  if (order == ComboOrder::kFusedPerTile) {
+    // Alg. 1: inside each k-tile all combos accumulate before moving on.
+    for (std::size_t k0 = 0; k0 < k; k0 += kTile) {
+      for (const PlaneCombo& combo : combos) k_tile_pass(k0, combo);
+    }
+  } else {
+    // cuBLAS-TC-Emulation: one full-K GEMM per combo, D re-read between
+    // passes (numerically identical to staying in registers, since D is
+    // binary32 either way).
+    for (const PlaneCombo& combo : combos) {
+      for (std::size_t k0 = 0; k0 < k; k0 += kTile) k_tile_pass(k0, combo);
+    }
+  }
+}
+
+/// Retained scalar reference driver: D += sum over combos of Aplane x
+/// Bplane, tiled and parallelized over row blocks. This is the seed's
+/// execution path, kept as the semantics oracle the packed engine is
+/// pinned against (tests/test_packed_gemm.cpp). `d` arrives initialized
+/// with C (or zeros).
+void reference_engine(Matrix& d, std::span<const Matrix> ap,
+                      std::span<const Matrix> bp,
+                      std::span<const PlaneCombo> combos, ComboOrder order) {
+  const std::size_t m = d.rows();
+  const std::size_t n = d.cols();
+
+  const std::size_t row_blocks = (m + kTile - 1) / kTile;
+  util::global_pool().parallel_for(
+      row_blocks, [&](std::size_t rb0, std::size_t rb1) {
+        EGEMM_TRACE_SCOPE("mma");
+        for (std::size_t rb = rb0; rb < rb1; ++rb) {
+          const std::size_t i0 = rb * kTile;
+          const std::size_t mt = std::min(kTile, m - i0);
+          for (std::size_t j0 = 0; j0 < n; j0 += kTile) {
+            const std::size_t nt = std::min(kTile, n - j0);
+            float acc[kTile][kTile];
+            for (std::size_t i = 0; i < mt; ++i) {
+              for (std::size_t j = 0; j < nt; ++j) {
+                acc[i][j] = d.at(i0 + i, j0 + j);
+              }
+            }
+            compute_c_tile(acc, ap, bp, i0, j0, mt, nt, combos, order);
+            EGEMM_TRACE_SCOPE("combine");
+            for (std::size_t i = 0; i < mt; ++i) {
+              for (std::size_t j = 0; j < nt; ++j) {
+                d.at(i0 + i, j0 + j) = canonical_store(acc[i][j]);
+              }
+            }
+          }
+        }
+      });
+}
+
+/// Packed engine (DESIGN.md §10): walks the output tiles on a 2D block
+/// schedule; each tile streams its k-slabs through the vectorized
+/// tcsim::mma_block_packed kernel over the workspace's pre-packed planes.
+/// Per output element the operation sequence is identical to the reference
+/// driver, so the result is bit-identical. `d` arrives initialized with C
+/// (or zeros).
+void packed_engine(Matrix& d, const PackedPlanesA& apack,
+                   const PackedPlanesB& bpack, std::size_t k,
+                   std::span<const PlaneCombo> combos, ComboOrder order) {
+  const std::size_t m = d.rows();
+  const std::size_t n = d.cols();
+
+  util::global_pool().parallel_for_2d(
+      apack.row_blocks(), bpack.col_blocks(), /*grain=*/0,
+      [&](std::size_t rb0, std::size_t rb1, std::size_t cb0, std::size_t cb1) {
+        EGEMM_TRACE_SCOPE("mma");
+        EGEMM_COUNTER_ADD("egemm.tiles", (rb1 - rb0) * (cb1 - cb0));
+        for (std::size_t rb = rb0; rb < rb1; ++rb) {
+          const std::size_t i0 = rb * kTile;
+          const std::size_t mt = std::min(kTile, m - i0);
+          for (std::size_t cb = cb0; cb < cb1; ++cb) {
+            const std::size_t j0 = cb * kTile;
+            const std::size_t nt = std::min(kTile, n - j0);
+            // Full 16x16 accumulator; lanes past (mt, nt) compute against
+            // the packs' zero padding and are never copied back.
+            alignas(64) float acc[kTile][kTile] = {};
+            for (std::size_t i = 0; i < mt; ++i) {
+              for (std::size_t j = 0; j < nt; ++j) {
+                acc[i][j] = d.at(i0 + i, j0 + j);
+              }
+            }
+            const auto k_slab = [&](const PlaneCombo& combo, std::size_t k0) {
+              const std::size_t kt = std::min(kTile, k - k0);
+              tcsim::mma_block_packed(
+                  &acc[0][0],
+                  apack.block(static_cast<std::size_t>(combo.a_plane), rb) + k0,
+                  k,
+                  bpack.block(static_cast<std::size_t>(combo.b_plane), cb) +
+                      k0 * kTile,
+                  static_cast<int>(kt));
+            };
+            if (order == ComboOrder::kFusedPerTile) {
+              for (std::size_t k0 = 0; k0 < k; k0 += kTile) {
+                for (const PlaneCombo& combo : combos) k_slab(combo, k0);
+              }
+            } else {
+              for (const PlaneCombo& combo : combos) {
+                for (std::size_t k0 = 0; k0 < k; k0 += kTile) {
+                  k_slab(combo, k0);
+                }
+              }
+            }
+            EGEMM_TRACE_SCOPE("combine");
+            for (std::size_t i = 0; i < mt; ++i) {
+              for (std::size_t j = 0; j < nt; ++j) {
+                d.at(i0 + i, j0 + j) = canonical_store(acc[i][j]);
+              }
+            }
+          }
+        }
+      });
+}
+
+/// Grows `m` to (rows x cols), counting an actual storage growth.
+void grow_matrix(Matrix& m, std::size_t rows, std::size_t cols) {
+  if (rows * cols > m.capacity()) count_workspace_allocation();
+  m.resize(rows, cols);
+}
+
+/// Tile resolution: the analytic solver applies whenever the caller left
+/// the tile at the paper's default -- resolve it from the T4 budget (which
+/// reproduces Table 4 exactly, so this is behavior-neutral by the solver's
+/// own tests). An explicitly chosen tile is honored as-is.
+TileConfig resolved_tile(const TileConfig& requested) {
+  const TileConfig def = table4_config();
+  if (!(requested == def)) return requested;
+  static const TileConfig solved = [] {
+    const model::SolverResult result =
+        model::solve(model::budget_from_spec(tcsim::tesla_t4()));
+    return result.found ? result.best : table4_config();
+  }();
+  return solved;
+}
+
+std::uint64_t encode_combos(std::span<const PlaneCombo> combos, int planes) {
+  EGEMM_EXPECTS(!combos.empty() && combos.size() <= kMaxPlanCombos);
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < combos.size(); ++i) {
+    EGEMM_EXPECTS(combos[i].a_plane >= 0 && combos[i].a_plane < planes);
+    EGEMM_EXPECTS(combos[i].b_plane >= 0 && combos[i].b_plane < planes);
+    const std::uint64_t enc =
+        (static_cast<std::uint64_t>(combos[i].a_plane) << 2) |
+        static_cast<std::uint64_t>(combos[i].b_plane);
+    seq |= enc << (4 * i);
+  }
+  return seq;
+}
+
+void set_key_tile(PlanKey& key, const TileConfig& tile) {
+  key.bm = tile.bm;
+  key.bn = tile.bn;
+  key.bk = tile.bk;
+  key.wm = tile.wm;
+  key.wn = tile.wn;
+  key.wk = tile.wk;
+}
+
+void set_key_recipe(PlanKey& key, core::SplitMethod split,
+                    std::span<const PlaneCombo> combos, ComboOrder order,
+                    int planes) {
+  key.split = split;
+  key.order = order;
+  key.planes = static_cast<std::uint8_t>(planes);
+  key.combo_count = static_cast<std::uint8_t>(combos.size());
+  key.combo_seq = encode_combos(combos, planes);
+}
+
+}  // namespace
+
+std::uint64_t debug_workspace_allocations() noexcept {
+#ifndef NDEBUG
+  return g_workspace_allocations.load(std::memory_order_relaxed);
+#else
+  return 0;
+#endif
+}
+
+std::size_t PlanKeyHash::operator()(const PlanKey& key) const noexcept {
+  auto mix = [](std::size_t h, std::uint64_t v) {
+    return h ^ (static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ULL +
+                (h << 6) + (h >> 2));
+  };
+  std::size_t h = 0;
+  h = mix(h, key.m);
+  h = mix(h, key.n);
+  h = mix(h, key.k);
+  h = mix(h, static_cast<std::uint64_t>(key.backend));
+  h = mix(h, key.direct ? 1u : 0u);
+  h = mix(h, static_cast<std::uint64_t>(key.split));
+  h = mix(h, static_cast<std::uint64_t>(key.engine));
+  h = mix(h, static_cast<std::uint64_t>(key.order));
+  h = mix(h, static_cast<std::uint64_t>(key.planes));
+  h = mix(h, static_cast<std::uint64_t>(key.combo_count));
+  h = mix(h, key.combo_seq);
+  h = mix(h, static_cast<std::uint64_t>(key.bm));
+  h = mix(h, static_cast<std::uint64_t>(key.bn));
+  h = mix(h, static_cast<std::uint64_t>(key.bk));
+  h = mix(h, static_cast<std::uint64_t>(key.wm));
+  h = mix(h, static_cast<std::uint64_t>(key.wn));
+  h = mix(h, static_cast<std::uint64_t>(key.wk));
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Workspace
+// ---------------------------------------------------------------------------
+
+void Workspace::ensure(std::size_t m, std::size_t n, std::size_t k,
+                       int planes) {
+  const auto count = static_cast<std::size_t>(planes);
+  if (ap_.size() < count) {
+    count_workspace_allocation();
+    ap_.resize(count);
+  }
+  if (bp_.size() < count) {
+    count_workspace_allocation();
+    bp_.resize(count);
+  }
+  count_ = count;
+  for (std::size_t p = 0; p < count; ++p) {
+    grow_matrix(ap_[p], m, k);
+    grow_matrix(bp_[p], k, n);
+  }
+}
+
+void Workspace::pack() {
+  // Deliberately not short-circuited: both packs must refresh.
+  const bool a_grew = apack_.assign(a_planes());
+  const bool b_grew = bpack_.assign(b_planes());
+  if (a_grew || b_grew) count_workspace_allocation();
+}
+
+// ---------------------------------------------------------------------------
+// GemmPlan
+// ---------------------------------------------------------------------------
+
+GemmPlan::GemmPlan(const PlanKey& key) : key_(key) {
+  tile_ = TileConfig{key.bm, key.bn, key.bk, key.wm, key.wn, key.wk};
+  combos_.reserve(key.combo_count);
+  for (std::uint8_t i = 0; i < key.combo_count; ++i) {
+    const std::uint64_t enc = (key.combo_seq >> (4 * i)) & 0xF;
+    combos_.push_back(PlaneCombo{static_cast<int>(enc >> 2),
+                                 static_cast<int>(enc & 3)});
+  }
+  if (!key.direct) {
+    const std::size_t planes = key.planes;
+    const std::size_t plane_elems = key.m * key.k + key.k * key.n;
+    workspace_bytes_ = planes * plane_elems * sizeof(float);
+    if (key.engine == ExecEngine::kPacked) {
+      const std::size_t row_blocks = (key.m + kTile - 1) / kTile;
+      const std::size_t col_blocks = (key.n + kTile - 1) / kTile;
+      workspace_bytes_ += planes * (row_blocks + col_blocks) * kTile * key.k *
+                          sizeof(float);
+    }
+  }
+}
+
+void GemmPlan::execute(GemmContext& ctx, const Matrix& a, const Matrix& b,
+                       const Matrix* c, Matrix& d) const {
+  EGEMM_EXPECTS(a.rows() == key_.m && a.cols() == key_.k);
+  EGEMM_EXPECTS(b.rows() == key_.k && b.cols() == key_.n);
+  EGEMM_EXPECTS(c == nullptr ||
+                (c->rows() == key_.m && c->cols() == key_.n));
+  EGEMM_EXPECTS(&a != &d && &b != &d && c != &d);
+
+  if (key_.direct) {
+    switch (key_.backend) {
+      case Backend::kCublasFp32:
+        sgemm_fp32_into(a, b, c, d);
+        return;
+      case Backend::kSdkFp32:
+        EGEMM_EXPECTS(c == nullptr);
+        sdk_gemm_fp32_into(a, b, d);
+        return;
+      case Backend::kDekker:
+        gemm_dekker_into(a, b, c, d);
+        return;
+      default:
+        break;
+    }
+    EGEMM_EXPECTS(!"unreachable direct backend");
+    return;
+  }
+
+  EGEMM_TRACE_SCOPE("egemm_multiply");
+  EGEMM_COUNTER_ADD("egemm.calls", 1);
+
+  WorkspaceLease lease = ctx.lease_workspace();
+  Workspace& ws = *lease;
+  ws.ensure(key_.m, key_.n, key_.k, key_.planes);
+
+  // The O(N^2) data-split pass (runs on CUDA cores in the real kernel).
+  // Plane 0 = lo; for three-way splits: lo, mid, hi.
+#ifndef NDEBUG
+  const std::uint64_t split_before = core::debug_split_elements();
+#endif
+  {
+    EGEMM_TRACE_SCOPE("split");
+    const std::span<Matrix> ap = ws.a_planes();
+    const std::span<Matrix> bp = ws.b_planes();
+    if (key_.planes == 3) {
+      core::split3_span_f32(a.data(), ap[2].data(), ap[1].data(),
+                            ap[0].data());
+      core::split3_span_f32(b.data(), bp[2].data(), bp[1].data(),
+                            bp[0].data());
+    } else {
+      core::split_span_f32(a.data(), ap[1].data(), ap[0].data(), key_.split);
+      core::split_span_f32(b.data(), bp[1].data(), bp[0].data(), key_.split);
+    }
+  }
+#ifndef NDEBUG
+  // Each input element must be split exactly once per GEMM call -- the
+  // plane cache is the point of the packed engine, so re-splitting
+  // anywhere downstream is a bug.
+  EGEMM_ENSURES(core::debug_split_elements() - split_before ==
+                a.data().size() + b.data().size());
+#endif
+
+  d.resize(key_.m, key_.n);
+  if (c != nullptr) {
+    std::copy(c->data().begin(), c->data().end(), d.data().begin());
+  } else {
+    d.fill(0.0f);
+  }
+
+  if (key_.engine == ExecEngine::kPacked) {
+    {
+      EGEMM_TRACE_SCOPE("pack");
+      ws.pack();
+    }
+    packed_engine(d, ws.packed_a(), ws.packed_b(), key_.k, combos_,
+                  key_.order);
+  } else {
+    reference_engine(d, ws.a_planes(), ws.b_planes(), combos_, key_.order);
+  }
+}
+
+KernelTiming GemmPlan::timing(const tcsim::GpuSpec& spec) const {
+  EGEMM_EXPECTS(key_.m > 0 && key_.n > 0 && key_.k > 0);
+  const auto m = static_cast<std::uint64_t>(key_.m);
+  const auto n = static_cast<std::uint64_t>(key_.n);
+  const auto k = static_cast<std::uint64_t>(key_.k);
+  switch (key_.backend) {
+    case Backend::kEgemmTC: {
+      if (key_.planes == 3) return egemm_3split_timing(m, n, k, spec);
+      EgemmOptions opts;
+      opts.split = key_.split;
+      opts.tile = tile_;
+      return egemm_timing(m, n, k, spec, opts);
+    }
+    case Backend::kDekker: {
+      EgemmOptions opts;
+      opts.emulation_instructions = 16;
+      opts.tile = tile_;
+      return egemm_timing(m, n, k, spec, opts);
+    }
+    default:
+      return time_gemm(key_.backend, m, n, k, spec);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GemmContext
+// ---------------------------------------------------------------------------
+
+GemmContext::GemmContext(std::size_t plan_capacity)
+    : capacity_(plan_capacity) {}
+
+std::shared_ptr<const GemmPlan> GemmContext::plan(Backend backend,
+                                                  std::size_t m, std::size_t n,
+                                                  std::size_t k,
+                                                  const EgemmOptions& opts) {
+  // Alg. 1's term order: low-order products first. The other recipes
+  // mirror the one-shot baselines exactly (gemm/baselines.cpp).
+  static constexpr PlaneCombo kAlg1[] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  static constexpr PlaneCombo kHalfOnly[] = {{1, 1}};
+  static constexpr PlaneCombo kMarkidis[] = {{0, 1}, {1, 0}, {1, 1}};
+  // All 9 three-way-split products, smallest-magnitude terms first so they
+  // are absorbed before the dominant hi x hi partial product.
+  static constexpr PlaneCombo k3Split[] = {{0, 0}, {0, 1}, {1, 0},
+                                           {0, 2}, {1, 1}, {2, 0},
+                                           {1, 2}, {2, 1}, {2, 2}};
+
+  PlanKey key;
+  key.m = m;
+  key.n = n;
+  key.k = k;
+  key.backend = backend;
+  key.engine = opts.engine;
+  set_key_tile(key, resolved_tile(opts.tile));
+
+  switch (backend) {
+    case Backend::kCublasFp32:
+    case Backend::kSdkFp32:
+    case Backend::kDekker:
+      key.direct = true;
+      key.engine = ExecEngine::kPacked;  // canonical; engines do not apply
+      return plan_for(key);
+    case Backend::kEgemmTC:
+      if (opts.emulation_instructions == 9) {
+        // Three-way-split ablation: the decomposition is exact, so the
+        // split method does not apply; keyed at its canonical default.
+        set_key_recipe(key, core::SplitMethod::kRoundSplit, k3Split,
+                       ComboOrder::kFusedPerTile, 3);
+      } else {
+        EGEMM_EXPECTS(opts.emulation_instructions == 4);
+        set_key_recipe(key, opts.split, kAlg1, ComboOrder::kFusedPerTile, 2);
+      }
+      break;
+    case Backend::kCublasTcHalf:
+      set_key_recipe(key, core::SplitMethod::kRoundSplit, kHalfOnly,
+                     ComboOrder::kFusedPerTile, 2);
+      break;
+    case Backend::kCublasTcEmulation:
+      set_key_recipe(key, core::SplitMethod::kRoundSplit, kAlg1,
+                     ComboOrder::kSeparatePasses, 2);
+      break;
+    case Backend::kMarkidis:
+      set_key_recipe(key, core::SplitMethod::kTruncateSplit, kMarkidis,
+                     ComboOrder::kFusedPerTile, 2);
+      break;
+  }
+  return plan_for(key);
+}
+
+std::shared_ptr<const GemmPlan> GemmContext::plan_emulated(
+    std::size_t m, std::size_t n, std::size_t k, core::SplitMethod split,
+    std::span<const PlaneCombo> combos, ComboOrder order, ExecEngine engine,
+    int planes, const TileConfig& tile) {
+  EGEMM_EXPECTS(planes == 2 || planes == 3);
+  PlanKey key;
+  key.m = m;
+  key.n = n;
+  key.k = k;
+  key.backend = Backend::kEgemmTC;
+  key.engine = engine;
+  set_key_tile(key, resolved_tile(tile));
+  set_key_recipe(key, split, combos, order, planes);
+  return plan_for(key);
+}
+
+std::shared_ptr<const GemmPlan> GemmContext::plan_for(const PlanKey& key) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++hits_;
+      EGEMM_COUNTER_ADD("gemm.plan.hit", 1);
+      return lru_.front().plan;
+    }
+  }
+
+  std::shared_ptr<const GemmPlan> created;
+  {
+    EGEMM_TRACE_SCOPE("plan");
+    created = std::shared_ptr<const GemmPlan>(new GemmPlan(key));
+  }
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++misses_;
+  EGEMM_COUNTER_ADD("gemm.plan.miss", 1);
+  // A racing thread may have built the same plan meanwhile; either copy is
+  // interchangeable (plans are immutable), so keep the cached one.
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return lru_.front().plan;
+  }
+  lru_.push_front(CacheEntry{key, created});
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  return created;
+}
+
+Matrix GemmContext::run(Backend backend, const Matrix& a, const Matrix& b,
+                        const Matrix* c, const EgemmOptions& opts) {
+  EGEMM_EXPECTS(a.cols() == b.rows());
+  const std::shared_ptr<const GemmPlan> p =
+      plan(backend, a.rows(), b.cols(), a.cols(), opts);
+  Matrix d;
+  p->execute(*this, a, b, c, d);
+  return d;
+}
+
+WorkspaceLease GemmContext::lease_workspace() {
+  std::unique_ptr<Workspace> ws;
+  {
+    const std::lock_guard<std::mutex> lock(ws_mutex_);
+    if (!free_workspaces_.empty()) {
+      ws = std::move(free_workspaces_.back());
+      free_workspaces_.pop_back();
+    }
+  }
+  if (!ws) ws = std::make_unique<Workspace>();
+  return WorkspaceLease(this, std::move(ws));
+}
+
+void GemmContext::recycle(std::unique_ptr<Workspace> ws) {
+  const std::lock_guard<std::mutex> lock(ws_mutex_);
+  free_workspaces_.push_back(std::move(ws));
+}
+
+std::uint64_t GemmContext::plan_hits() const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t GemmContext::plan_misses() const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::size_t GemmContext::cached_plans() const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+std::size_t GemmContext::pooled_workspaces() const noexcept {
+  const std::lock_guard<std::mutex> lock(ws_mutex_);
+  return free_workspaces_.size();
+}
+
+WorkspaceLease::WorkspaceLease(WorkspaceLease&& other) noexcept
+    : ctx_(std::exchange(other.ctx_, nullptr)), ws_(std::move(other.ws_)) {}
+
+WorkspaceLease::~WorkspaceLease() {
+  if (ctx_ != nullptr && ws_ != nullptr) ctx_->recycle(std::move(ws_));
+}
+
+GemmContext& default_context() {
+  static GemmContext ctx;
+  return ctx;
+}
+
+}  // namespace egemm::gemm

@@ -1,0 +1,269 @@
+#pragma once
+// Plan-once / execute-many GEMM (DESIGN.md §13).
+//
+// The repository's iterative callers (kMeans/kNN Lloyd loops, the fuzz
+// harness, the benchmarks) run the same (m, n, k) GEMM hundreds of times,
+// yet the one-shot entry points re-derive the tile configuration,
+// re-allocate split planes and packed tile buffers, and re-size the output
+// on every call. Production GEMM stacks (cuBLAS handles, cuDNN execution
+// plans) separate *planning* from *execution*; this layer adopts that
+// architecture:
+//
+//   GemmPlan     an immutable, fully-normalized execution recipe for one
+//                (shape, options, backend): split method, plane count, the
+//                ordered split-product combos, engine, and the tile
+//                configuration resolved through the §6 analytic solver.
+//                execute(ctx, A, B, C, D) runs it into a caller-owned D
+//                with zero per-call heap allocation once the leased
+//                workspace has warmed up (guarded in debug builds).
+//   GemmContext  owns the reusable workspaces (LIFO free list, so
+//                back-to-back same-shape calls get the same warm buffers)
+//                and an LRU plan cache keyed by the normalized recipe.
+//                Cache behaviour is observable as the gemm.plan.{hit,miss}
+//                counters and a "plan" span around plan construction.
+//
+// The one-shot APIs (egemm_multiply, emulated_gemm, run_gemm, gemm_ex)
+// are thin wrappers over default_context(), so every caller shares one
+// warm cache unless it opts into its own context. Both engines remain
+// bit-identical: a plan executes the exact operation sequence of the
+// pre-plan code paths.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/split.hpp"
+#include "gemm/gemm_api.hpp"
+#include "gemm/matrix.hpp"
+#include "gemm/packing.hpp"
+#include "gemm/tiling.hpp"
+#include "tcsim/gpu_spec.hpp"
+
+namespace egemm::gemm {
+
+class GemmContext;
+
+/// A split-product term over arbitrary plane stacks: multiply A-plane
+/// `a_plane` by B-plane `b_plane`. Plane 0 is always the lowest-order
+/// plane (lo; for three-way splits: lo, mid, hi).
+struct PlaneCombo {
+  int a_plane;
+  int b_plane;
+
+  friend bool operator==(const PlaneCombo&, const PlaneCombo&) = default;
+};
+
+/// Most combos a plan can carry (the cache key packs the ordered sequence
+/// into 4 bits per combo; order is numerically significant, so the key
+/// must preserve it, not just the set).
+inline constexpr std::size_t kMaxPlanCombos = 16;
+
+/// The normalized identity of a plan: problem shape plus every knob that
+/// changes the executed operation sequence. Two requests with equal keys
+/// are interchangeable by construction, which is what makes the LRU cache
+/// sound.
+struct PlanKey {
+  std::size_t m = 0, n = 0, k = 0;
+  Backend backend = Backend::kEgemmTC;  ///< timing dispatch + direct target
+  bool direct = false;  ///< plain binary32 path, no plane decomposition
+  core::SplitMethod split = core::SplitMethod::kRoundSplit;
+  ExecEngine engine = ExecEngine::kPacked;
+  ComboOrder order = ComboOrder::kFusedPerTile;
+  std::uint8_t planes = 2;
+  std::uint8_t combo_count = 0;
+  std::uint64_t combo_seq = 0;  ///< ordered combos, 4 bits each
+  int bm = 0, bn = 0, bk = 0, wm = 0, wn = 0, wk = 0;  ///< resolved tile
+
+  friend bool operator==(const PlanKey&, const PlanKey&) = default;
+};
+
+struct PlanKeyHash {
+  std::size_t operator()(const PlanKey& key) const noexcept;
+};
+
+/// Reusable per-call scratch owned by a GemmContext: the split planes of A
+/// and B plus the tile-packed copies the packed engine streams. ensure()
+/// and pack() only ever grow storage; in debug builds every actual growth
+/// bumps the process-wide counter below, which is how the reuse guard test
+/// proves a warm execute() allocates nothing.
+class Workspace {
+ public:
+  /// Grows (never shrinks) the plane matrices to fit `planes` split planes
+  /// of an (m x k) x (k x n) problem.
+  void ensure(std::size_t m, std::size_t n, std::size_t k, int planes);
+
+  std::span<Matrix> a_planes() noexcept { return {ap_.data(), count_}; }
+  std::span<Matrix> b_planes() noexcept { return {bp_.data(), count_}; }
+  std::span<const Matrix> a_planes() const noexcept {
+    return {ap_.data(), count_};
+  }
+  std::span<const Matrix> b_planes() const noexcept {
+    return {bp_.data(), count_};
+  }
+
+  /// Repacks the current planes into the tile-blocked buffers in place.
+  void pack();
+  const PackedPlanesA& packed_a() const noexcept { return apack_; }
+  const PackedPlanesB& packed_b() const noexcept { return bpack_; }
+
+ private:
+  std::size_t count_ = 0;
+  std::vector<Matrix> ap_, bp_;
+  PackedPlanesA apack_;
+  PackedPlanesB bpack_;
+};
+
+/// Process-wide count of workspace buffer growths. Debug builds only: in
+/// NDEBUG builds the accounting compiles out and this always returns 0
+/// (gate tests on debug_workspace_accounting()).
+std::uint64_t debug_workspace_allocations() noexcept;
+
+/// True when the build performs the allocation accounting above.
+constexpr bool debug_workspace_accounting() noexcept {
+#ifndef NDEBUG
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// RAII lease of a context-owned workspace; returns it to the context's
+/// free list on destruction.
+class WorkspaceLease {
+ public:
+  WorkspaceLease(WorkspaceLease&& other) noexcept;
+  WorkspaceLease& operator=(WorkspaceLease&&) = delete;
+  WorkspaceLease(const WorkspaceLease&) = delete;
+  WorkspaceLease& operator=(const WorkspaceLease&) = delete;
+  ~WorkspaceLease();
+
+  Workspace& operator*() noexcept { return *ws_; }
+  Workspace* operator->() noexcept { return ws_.get(); }
+
+ private:
+  friend class GemmContext;
+  WorkspaceLease(GemmContext* ctx, std::unique_ptr<Workspace> ws) noexcept
+      : ctx_(ctx), ws_(std::move(ws)) {}
+
+  GemmContext* ctx_ = nullptr;
+  std::unique_ptr<Workspace> ws_;
+};
+
+/// An immutable execution recipe, created once per (shape, options,
+/// backend) by a GemmContext and shared via the cache. Thread-safe to
+/// execute concurrently (all mutable state lives in the leased workspace
+/// and the caller-owned D).
+class GemmPlan {
+ public:
+  std::size_t m() const noexcept { return key_.m; }
+  std::size_t n() const noexcept { return key_.n; }
+  std::size_t k() const noexcept { return key_.k; }
+  /// True for plain binary32 backends (no plane decomposition).
+  bool direct() const noexcept { return key_.direct; }
+  /// The backend the recipe was normalized from (timing dispatch target).
+  Backend backend() const noexcept { return key_.backend; }
+  ExecEngine engine() const noexcept { return key_.engine; }
+  ComboOrder order() const noexcept { return key_.order; }
+  core::SplitMethod split() const noexcept { return key_.split; }
+  int planes() const noexcept { return key_.planes; }
+  std::span<const PlaneCombo> combos() const noexcept { return combos_; }
+  /// Tile configuration after consulting the §6 analytic solver.
+  const TileConfig& tile() const noexcept { return tile_; }
+  /// Steady-state workspace footprint of one execute() (planes + packs).
+  std::size_t workspace_bytes() const noexcept { return workspace_bytes_; }
+  const PlanKey& key() const noexcept { return key_; }
+
+  /// Runs the plan: D = A x B (+ C) into caller-owned `d` (resized in
+  /// place). A/B/C extents must match the planned shape. Allocation-free
+  /// once `d` and the context's workspace pool have warmed up.
+  void execute(GemmContext& ctx, const Matrix& a, const Matrix& b,
+               const Matrix* c, Matrix& d) const;
+
+  /// Simulated execution time on `spec` for the planned shape, dispatched
+  /// like time_gemm. Custom emulated recipes (plan_emulated) are modeled
+  /// as the Alg. 1 EGEMM schedule. Requires a non-degenerate shape.
+  KernelTiming timing(const tcsim::GpuSpec& spec) const;
+
+ private:
+  friend class GemmContext;
+  explicit GemmPlan(const PlanKey& key);
+
+  PlanKey key_;
+  TileConfig tile_;
+  std::vector<PlaneCombo> combos_;
+  std::size_t workspace_bytes_ = 0;
+};
+
+/// Owns the plan cache and the workspace pool. Create one per long-lived
+/// pipeline (or use default_context()); all members are thread-safe.
+class GemmContext {
+ public:
+  static constexpr std::size_t kDefaultPlanCapacity = 64;
+
+  explicit GemmContext(std::size_t plan_capacity = kDefaultPlanCapacity);
+  GemmContext(const GemmContext&) = delete;
+  GemmContext& operator=(const GemmContext&) = delete;
+
+  /// Plan for a Table 5 backend: normalizes (backend, opts) into the
+  /// recipe the backend's one-shot path executes. For Backend::kEgemmTC,
+  /// opts.emulation_instructions selects Alg. 1 (4) or the three-way-split
+  /// ablation (9); other emulated backends ignore the EGEMM-specific
+  /// options except the engine.
+  std::shared_ptr<const GemmPlan> plan(Backend backend, std::size_t m,
+                                       std::size_t n, std::size_t k,
+                                       const EgemmOptions& opts = {});
+
+  /// Plan for a custom emulated recipe (the generalized emulated_gemm):
+  /// `combos` is the ordered split-product sequence over `planes` planes.
+  std::shared_ptr<const GemmPlan> plan_emulated(
+      std::size_t m, std::size_t n, std::size_t k, core::SplitMethod split,
+      std::span<const PlaneCombo> combos, ComboOrder order,
+      ExecEngine engine = ExecEngine::kPacked, int planes = 2,
+      const TileConfig& tile = table4_config());
+
+  /// Convenience: plan (cached) + execute in one call.
+  Matrix run(Backend backend, const Matrix& a, const Matrix& b,
+             const Matrix* c = nullptr, const EgemmOptions& opts = {});
+
+  /// Leases a warm workspace (LIFO, so repeated same-shape calls reuse the
+  /// same buffers). execute() does this internally.
+  WorkspaceLease lease_workspace();
+
+  std::uint64_t plan_hits() const noexcept;
+  std::uint64_t plan_misses() const noexcept;
+  std::size_t cached_plans() const noexcept;
+  std::size_t plan_capacity() const noexcept { return capacity_; }
+  std::size_t pooled_workspaces() const noexcept;
+
+ private:
+  friend class WorkspaceLease;
+
+  std::shared_ptr<const GemmPlan> plan_for(const PlanKey& key);
+  void recycle(std::unique_ptr<Workspace> ws);
+
+  struct CacheEntry {
+    PlanKey key;
+    std::shared_ptr<const GemmPlan> plan;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<CacheEntry> lru_;  ///< front = most recently used
+  std::unordered_map<PlanKey, std::list<CacheEntry>::iterator, PlanKeyHash>
+      index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+
+  mutable std::mutex ws_mutex_;
+  std::vector<std::unique_ptr<Workspace>> free_workspaces_;
+};
+
+/// The process-wide context behind the one-shot APIs.
+GemmContext& default_context();
+
+}  // namespace egemm::gemm

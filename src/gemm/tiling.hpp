@@ -20,6 +20,8 @@ struct TileConfig {
   bool valid() const noexcept;
   std::string describe() const;
 
+  friend bool operator==(const TileConfig&, const TileConfig&) = default;
+
   int warps_per_block() const noexcept { return (bm / wm) * (bn / wn); }
   int threads_per_block() const noexcept { return warps_per_block() * 32; }
 

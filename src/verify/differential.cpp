@@ -9,6 +9,7 @@
 
 #include "gemm/baselines.hpp"
 #include "gemm/egemm.hpp"
+#include "gemm/plan.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -114,22 +115,27 @@ PathProfile path_profile(Path path) noexcept {
 
 gemm::Matrix run_path(Path path, const gemm::Matrix& a, const gemm::Matrix& b,
                       const gemm::Matrix* c) {
+  return run_path(path, gemm::default_context(), a, b, c);
+}
+
+gemm::Matrix run_path(Path path, gemm::GemmContext& ctx, const gemm::Matrix& a,
+                      const gemm::Matrix& b, const gemm::Matrix* c) {
   // path_name returns string literals, so the span name outlives the trace.
   const obs::ScopedSpan span(path_name(path));
   switch (path) {
     case Path::kEgemmRound:
-      return gemm::egemm_multiply(a, b, c);
+      return ctx.run(gemm::Backend::kEgemmTC, a, b, c);
     case Path::kEgemmTruncate: {
       gemm::EgemmOptions options;
       options.split = core::SplitMethod::kTruncateSplit;
-      return gemm::egemm_multiply(a, b, c, options);
+      return ctx.run(gemm::Backend::kEgemmTC, a, b, c, options);
     }
     case Path::kSeparatePasses:
-      return gemm::gemm_cublas_tc_emulation(a, b, c);
+      return ctx.run(gemm::Backend::kCublasTcEmulation, a, b, c);
     case Path::kMarkidis:
-      return gemm::gemm_markidis(a, b, c);
+      return ctx.run(gemm::Backend::kMarkidis, a, b, c);
     case Path::kTcHalf:
-      return gemm::gemm_tc_half(a, b, c);
+      return ctx.run(gemm::Backend::kCublasTcHalf, a, b, c);
     case Path::kCount:
       break;
   }
@@ -148,6 +154,10 @@ void PathObservation::merge(const PathObservation& other) {
 }
 
 CaseResult run_case(const FuzzCase& fuzz) {
+  return run_case(fuzz, gemm::default_context());
+}
+
+CaseResult run_case(const FuzzCase& fuzz, gemm::GemmContext& ctx) {
   CaseResult result;
   result.fuzz = fuzz;
   const FuzzInputs inputs = generate_inputs(fuzz);
@@ -160,11 +170,12 @@ CaseResult run_case(const FuzzCase& fuzz) {
   count_path_case(Path::kEgemmRound);
   const double packed_start = now_seconds();
   const gemm::Matrix packed =
-      gemm::egemm_multiply(inputs.a, inputs.b, inputs.c_ptr());
+      ctx.run(gemm::Backend::kEgemmTC, inputs.a, inputs.b, inputs.c_ptr());
   result.path_seconds[static_cast<std::size_t>(Path::kEgemmRound)] =
       now_seconds() - packed_start;
-  const gemm::Matrix reference = gemm::egemm_multiply(
-      inputs.a, inputs.b, inputs.c_ptr(), reference_engine);
+  const gemm::Matrix reference =
+      ctx.run(gemm::Backend::kEgemmTC, inputs.a, inputs.b, inputs.c_ptr(),
+              reference_engine);
   result.engine_match = bitwise_equal(packed, reference);
 
   if (result.special) {
@@ -174,7 +185,7 @@ CaseResult run_case(const FuzzCase& fuzz) {
     for (std::size_t p = 1; p < kPathCount; ++p) {
       count_path_case(static_cast<Path>(p));
       const double path_start = now_seconds();
-      (void)run_path(static_cast<Path>(p), inputs.a, inputs.b,
+      (void)run_path(static_cast<Path>(p), ctx, inputs.a, inputs.b,
                      inputs.c_ptr());
       result.path_seconds[p] = now_seconds() - path_start;
     }
@@ -212,7 +223,7 @@ CaseResult run_case(const FuzzCase& fuzz) {
     const gemm::Matrix candidate =
         path == Path::kEgemmRound
             ? packed
-            : run_path(path, inputs.a, inputs.b, inputs.c_ptr());
+            : run_path(path, ctx, inputs.a, inputs.b, inputs.c_ptr());
     if (path != Path::kEgemmRound) {
       result.path_seconds[p] = now_seconds() - path_start;
     }
@@ -271,13 +282,17 @@ AuditReport run_audit(const AuditOptions& options) {
   const auto start = std::chrono::steady_clock::now();
   constexpr std::size_t kMaxFailingCases = 64;
 
+  // One context for the whole audit: plans for recurring fuzz shapes are
+  // resolved once and the split/pack workspaces recycle across cases.
+  gemm::GemmContext ctx;
+
   for (const FuzzCase& fuzz : plan) {
     if (options.time_budget_seconds > 0.0) {
       const std::chrono::duration<double> elapsed =
           std::chrono::steady_clock::now() - start;
       if (elapsed.count() >= options.time_budget_seconds) break;
     }
-    const CaseResult result = run_case(fuzz);
+    const CaseResult result = run_case(fuzz, ctx);
     EGEMM_COUNTER_ADD("verify.cases", 1);
     ++report.cases_run;
     report.oracle_seconds += result.oracle_seconds;

@@ -31,6 +31,10 @@
 #include "verify/error_model.hpp"
 #include "verify/fuzzer.hpp"
 
+namespace egemm::gemm {
+class GemmContext;  // gemm/plan.hpp: plan cache + reusable workspaces
+}
+
 namespace egemm::verify {
 
 /// The functional paths under differential test.
@@ -50,9 +54,14 @@ const char* path_name(Path path) noexcept;
 /// The numeric profile the error model uses for a path.
 PathProfile path_profile(Path path) noexcept;
 
-/// Executes a path functionally.
+/// Executes a path functionally (against the shared default context).
 gemm::Matrix run_path(Path path, const gemm::Matrix& a, const gemm::Matrix& b,
                       const gemm::Matrix* c);
+
+/// run_path against an explicit plan/workspace context, so a long audit
+/// reuses split/pack workspaces instead of reallocating them per case.
+gemm::Matrix run_path(Path path, gemm::GemmContext& ctx, const gemm::Matrix& a,
+                      const gemm::Matrix& b, const gemm::Matrix* c);
 
 /// Per-path measurements for one case (or aggregated over many).
 struct PathObservation {
@@ -76,6 +85,11 @@ struct CaseResult {
 
 /// Runs one case end to end (pure in the FuzzCase value).
 CaseResult run_case(const FuzzCase& fuzz);
+
+/// run_case against an explicit context. Results are bit-identical to the
+/// default-context overload -- plans only cache shape/option resolution,
+/// never numerics -- but repeated cases stop paying per-call allocation.
+CaseResult run_case(const FuzzCase& fuzz, gemm::GemmContext& ctx);
 
 struct AuditOptions {
   std::uint64_t seed = 1;
