@@ -6,7 +6,11 @@
 // With a positional .sass file the kernel is parsed from the TuringAs-like
 // text form; without one the default EGEMM kernel is generated, scheduled,
 // and register-allocated, then round-tripped through the assembler before
-// linting (so the lint always sees what the text form preserves).
+// linting (so the lint always sees what the text form preserves). The
+// precision-dataflow certification (EG5xx) always runs on the scheduled
+// kernel *before* register allocation -- physical register reuse merges
+// unrelated def-use chains -- so its findings join the report regardless
+// of --no-regalloc.
 //
 //   --iters=N       loop trip count of the generated kernel (default 8)
 //   --unroll=N      body trips the trace-based passes walk (default 3)
@@ -14,23 +18,108 @@
 //   --no-regalloc   keep operands virtual (skips the register-bank pass)
 //   --budget=N      per-thread register budget (default 255)
 //   --emu=N         emulation instructions per HMMA position (default 4)
+//   --split=NAME    split method to certify against: round | truncate
 //   --physical      treat a parsed kernel's operands as physical R0..R255
-//   --json          machine-readable report
+//   --precision     print the derived precision profile (text mode)
+//   --all-tilings   lint every feasible tiling from the analytic solver
+//   --json          machine-readable report, stamped with the git revision
 //
-// Exit status: 0 when no error-severity diagnostics, 1 otherwise (2 for
-// usage/parse failures).
+// Exit status reflects the highest severity across every linted kernel:
+// 0 clean (or notes only), 1 warnings, 2 errors, 3 usage/parse failures.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "model/analytic_model.hpp"
+#include "model/solver.hpp"
 #include "sass/analysis/passes.hpp"
 #include "sass/assembler.hpp"
 #include "sass/build.hpp"
+#include "tcsim/gpu_spec.hpp"
 #include "util/cli.hpp"
+
+#ifndef EGEMM_GIT_SHA
+#define EGEMM_GIT_SHA "unknown"
+#endif
 
 using namespace egemm;
 using namespace egemm::sass;
+
+namespace {
+
+/// One linted kernel's findings, ready for either renderer.
+struct LintReport {
+  std::string name;
+  std::string tile;  ///< TileConfig::describe(), empty for parsed kernels
+  int emulation_instructions = 0;
+  analysis::DiagnosticEngine engine;
+  analysis::PrecisionProfile profile;
+};
+
+int severity_rank(const analysis::DiagnosticEngine& engine) {
+  if (engine.errors() > 0) return 2;
+  if (engine.count(analysis::Severity::kWarning) > 0) return 1;
+  return 0;
+}
+
+std::vector<std::string> distinct_codes(
+    const analysis::DiagnosticEngine& engine) {
+  std::set<std::string> codes;
+  for (const analysis::Diagnostic& d : engine.diagnostics()) {
+    codes.insert(d.code);
+  }
+  return {codes.begin(), codes.end()};
+}
+
+void render_text(const LintReport& report, bool show_precision, int unroll) {
+  std::printf("linting %s%s%s (unroll %d)\n",
+              report.name.empty() ? "<kernel>" : report.name.c_str(),
+              report.tile.empty() ? "" : " tile ",
+              report.tile.c_str(), unroll);
+  std::printf("%s", report.engine.render_text().c_str());
+  if (show_precision) {
+    std::printf("%s", report.profile.describe().c_str());
+  }
+}
+
+std::string render_kernel_json(const LintReport& report) {
+  std::string out = "{\"name\": \"" + report.name + "\"";
+  if (!report.tile.empty()) out += ", \"tile\": \"" + report.tile + "\"";
+  out += ", \"emulation_instructions\": " +
+         std::to_string(report.emulation_instructions);
+  out += ", \"codes\": [";
+  const std::vector<std::string> codes = distinct_codes(report.engine);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "\"" + codes[i] + "\"";
+  }
+  out += "]";
+  out += ", \"precision\": " + report.profile.render_json();
+  out += ", \"report\": " + report.engine.render_json();
+  out += "}";
+  return out;
+}
+
+/// Lints one generated tiling through the full build pipeline; the build's
+/// own engine already holds every pass's findings, EG5xx included.
+LintReport lint_built(const BuildOptions& bopts) {
+  LintReport report;
+  BuiltKernel built = build_egemm_kernel(bopts);
+  report.name = built.kernel.name;
+  report.tile = bopts.tile.describe();
+  report.emulation_instructions = bopts.emulation_instructions;
+  report.profile = built.precision;
+  for (const analysis::Diagnostic& d : built.diagnostics.diagnostics()) {
+    report.engine.report(d.code, d.severity, d.loc, d.message);
+  }
+  return report;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const util::CliArgs args(argc, argv);
@@ -40,19 +129,31 @@ int main(int argc, char** argv) {
       static_cast<int>(args.value_or("unroll", std::int64_t{3}));
   if (options.unroll < 1) {
     std::fprintf(stderr, "sass_lint: --unroll must be >= 1\n");
-    return 2;
+    return 3;
   }
   options.register_budget =
       static_cast<int>(args.value_or("budget", std::int64_t{255}));
+  const int emu = static_cast<int>(args.value_or("emu", std::int64_t{4}));
+  const std::string split_name = args.value_or("split", std::string{"round"});
+  core::SplitMethod split = core::SplitMethod::kRoundSplit;
+  if (split_name == "truncate") {
+    split = core::SplitMethod::kTruncateSplit;
+  } else if (split_name != "round") {
+    std::fprintf(stderr, "sass_lint: unknown --split=%s (round | truncate)\n",
+                 split_name.c_str());
+    return 3;
+  }
 
-  Kernel kernel;
-  AllocationReport alloc;
+  std::vector<LintReport> reports;
   if (!args.positional().empty()) {
+    // Hand-written kernel: parse, then lint. The precision pass runs when
+    // operands are virtual; --physical disables it (register reuse would
+    // fake plane conflicts).
     const std::string& path = args.positional().front();
     std::ifstream in(path);
     if (!in) {
       std::fprintf(stderr, "sass_lint: cannot open %s\n", path.c_str());
-      return 2;
+      return 3;
     }
     std::ostringstream text;
     text << in.rdbuf();
@@ -60,50 +161,104 @@ int main(int argc, char** argv) {
     if (!parsed.success) {
       std::fprintf(stderr, "sass_lint: parse error in %s: %s\n", path.c_str(),
                    parsed.error.c_str());
-      return 2;
+      return 3;
     }
-    kernel = parsed.kernel;
     options.physical_registers = args.has_flag("physical");
+    options.precision.enabled = true;
+    options.precision.split = split;
+    options.precision.emulation_instructions = emu;
+    options.precision.documented_bits =
+        analysis::documented_operation_bits(emu);
+
+    LintReport report;
+    report.name = parsed.kernel.name;
+    report.emulation_instructions = emu;
+    options.precision_profile = &report.profile;
+    analysis::run_all_passes(parsed.kernel, options, report.engine);
+    reports.push_back(std::move(report));
+  } else if (args.has_flag("all-tilings")) {
+    // Every feasible tiling of the analytic solver (Table 3 budget) --
+    // the configurations a plan is allowed to pick from.
+    const model::SolverResult solved =
+        model::solve(model::budget_from_spec(tcsim::tesla_t4()));
+    for (const model::SolverCandidate& candidate : solved.feasible) {
+      BuildOptions bopts;
+      bopts.tile = candidate.config;
+      bopts.k_iterations =
+          static_cast<std::uint32_t>(args.value_or("iters", std::int64_t{8}));
+      bopts.emulation_instructions = emu;
+      bopts.split = split;
+      bopts.latency_hiding = !args.has_flag("naive");
+      bopts.allocate = !args.has_flag("no-regalloc");
+      bopts.register_budget = options.register_budget;
+      bopts.lint_unroll = options.unroll;
+      reports.push_back(lint_built(bopts));
+    }
   } else {
+    // Default kernel: build, then round-trip through the assembler so the
+    // lint sees exactly what the text form preserves, as it would for a
+    // hand-written kernel. EG5xx findings and the profile come from the
+    // build (they are derived pre-regalloc and survive the round-trip as
+    // @pa/@pb/@rnd/@term annotations).
     BuildOptions bopts;
     bopts.k_iterations =
         static_cast<std::uint32_t>(args.value_or("iters", std::int64_t{8}));
-    bopts.emulation_instructions =
-        static_cast<int>(args.value_or("emu", std::int64_t{4}));
+    bopts.emulation_instructions = emu;
+    bopts.split = split;
     bopts.latency_hiding = !args.has_flag("naive");
     bopts.allocate = !args.has_flag("no-regalloc");
     bopts.register_budget = options.register_budget;
+    bopts.lint_unroll = options.unroll;
     BuiltKernel built = build_egemm_kernel(bopts);
 
     options.tile = bopts.tile;
     options.has_tile = true;
+    AllocationReport alloc;
     if (bopts.allocate) {
       alloc = built.alloc;
       options.alloc = &alloc;
       options.physical_registers = alloc.success;
     }
 
-    // Round-trip through the assembler so the lint sees exactly what the
-    // text form preserves, as it would for a hand-written kernel.
     const ParseResult reparsed = parse_text(emit_text(built.kernel));
     if (!reparsed.success) {
       std::fprintf(stderr, "sass_lint: assembler round-trip failed: %s\n",
                    reparsed.error.c_str());
-      return 2;
+      return 3;
     }
-    kernel = reparsed.kernel;
+
+    LintReport report;
+    report.name = reparsed.kernel.name;
+    report.tile = bopts.tile.describe();
+    report.emulation_instructions = emu;
+    report.profile = built.precision;
+    analysis::run_all_passes(reparsed.kernel, options, report.engine);
+    for (const analysis::Diagnostic& d : built.diagnostics.diagnostics()) {
+      if (d.code.rfind("EG5", 0) == 0) {
+        report.engine.report(d.code, d.severity, d.loc, d.message);
+      }
+    }
+    reports.push_back(std::move(report));
   }
 
-  analysis::DiagnosticEngine engine;
-  analysis::run_all_passes(kernel, options, engine);
-
+  const bool show_precision = args.has_flag("precision");
   if (args.has_flag("json")) {
-    std::printf("%s\n", engine.render_json().c_str());
+    std::string out = "{\"git_sha\": \"" EGEMM_GIT_SHA "\", \"kernels\": [";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += render_kernel_json(reports[i]);
+    }
+    out += "]}";
+    std::printf("%s\n", out.c_str());
   } else {
-    std::printf("linting %s (%zu instructions, unroll %d)\n",
-                kernel.name.empty() ? "<kernel>" : kernel.name.c_str(),
-                kernel.size(), options.unroll);
-    std::printf("%s", engine.render_text().c_str());
+    for (const LintReport& report : reports) {
+      render_text(report, show_precision, options.unroll);
+    }
   }
-  return engine.errors() == 0 ? 0 : 1;
+
+  int rank = 0;
+  for (const LintReport& report : reports) {
+    rank = std::max(rank, severity_rank(report.engine));
+  }
+  return rank;
 }

@@ -21,6 +21,10 @@
 //   EG401 warning register allocation within 10% of the budget (near-spill)
 //   EG402 error   register demand exceeds the per-thread budget
 //   EG403 warning IR register usage diverges from the analytic model (Eq. 8)
+//   EG501 warning derived operation precision below the documented profile
+//   EG502 error   a combine path drops/mis-routes a charged split term
+//   EG503 error   rounding-mode mismatch against the split configuration
+//   EG510 error   derived error constants disagree with the hand model
 //
 // The scoreboard pass is the old src/sass/verifier.cpp logic rehosted;
 // verify_kernel() remains as a thin adapter over it.
@@ -28,6 +32,7 @@
 #include "gemm/tiling.hpp"
 #include "sass/analysis/dataflow.hpp"
 #include "sass/analysis/diagnostics.hpp"
+#include "sass/analysis/precision.hpp"
 #include "sass/ir.hpp"
 #include "sass/regalloc.hpp"
 
@@ -56,6 +61,14 @@ struct AnalysisOptions {
   /// True once operands are physical R0..R255; enables the register-bank
   /// model (bank assignment is meaningless for virtual indexes).
   bool physical_registers = false;
+
+  /// Precision-dataflow certification (EG5xx). Only sound on kernels with
+  /// virtual operands -- physical register reuse merges unrelated def-use
+  /// chains -- so run_all_passes skips it when `physical_registers` is
+  /// set (build_egemm_kernel runs it pre-regalloc instead).
+  PrecisionOptions precision;
+  /// When non-null, receives the profile the precision pass derived.
+  PrecisionProfile* precision_profile = nullptr;
 };
 
 /// EG101-EG105: the dependency-barrier scoreboard (RAW/WAR/WAW hazards and

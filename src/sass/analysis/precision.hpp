@@ -1,0 +1,159 @@
+#pragma once
+// Precision-dataflow certification (EG5xx): an abstract interpretation
+// over the SASS kernel IR that derives the emulation scheme's operation
+// precision and error profile from the instruction stream itself, instead
+// of assuming the hand-written model in verify/error_model matches what
+// the kernel computes.
+//
+// The abstract domain tracks, per register definition site and for the
+// shared-memory staging region, what numeric payload a value carries:
+//
+//   scalar   addressing state / loop counters (no numeric content)
+//   planes   split-plane data: which A/B planes (hi/lo/mid) the payload
+//            contains and the rounding mode that produced them
+//   accum    an accumulator: the set of split-product terms folded into
+//            it so far and the per-trip HMMA k-lane count per term
+//
+// Transfer functions model the pipeline the paper's Alg. 1 implies:
+// exact LDG of pre-split planes, STS/LDS staging (joined through one
+// abstract shared region), HMMA widening f32 accumulate of one
+// plane-product term, and the epilogue STG that commits the combined
+// accumulator. The fixpoint runs on the def-use chains of the same
+// Dataflow engine the EG2xx passes use, so loop-carried accumulation
+// converges across the back edge.
+//
+// Diagnostics (see DESIGN.md §14 for the full table):
+//
+//   EG501 warning derived operation precision below the documented profile
+//   EG502 error   a combine path drops (or mis-routes / only partially
+//                 k-covers) a split-product term the error model charges
+//                 as computed
+//   EG503 error   rounding-mode mismatch between the split configuration
+//                 and what the kernel's instructions encode
+//   EG510 error   derived error constants disagree with the hand-coded
+//                 a-priori model (core::split_* bounds)
+//
+// The derived PrecisionProfile closes the loop across layers:
+// verify/error_model can build a PathProfile from it
+// (from_static_profile) and cross-check that its a-priori worst_abs
+// dominates the statically derived bound.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/split.hpp"
+#include "sass/analysis/dataflow.hpp"
+#include "sass/analysis/diagnostics.hpp"
+#include "sass/ir.hpp"
+
+namespace egemm::sass::analysis {
+
+/// One split-product term the kernel actually accumulates.
+struct TermInfo {
+  int a_plane = 0;
+  int b_plane = 0;
+  /// Per-output-element k coverage of this term per body trip (HMMA
+  /// k-lanes); equals the tile's bk when the kernel covers the reduction.
+  std::uint64_t k_lanes_per_trip = 0;
+  /// Relative magnitude weight of the term's product against the hi x hi
+  /// product (each lo-level plane contributes a ~2^-11 factor).
+  double rel_weight = 0.0;
+};
+
+/// The statically derived precision profile of a kernel.
+struct PrecisionProfile {
+  /// True when the kernel carried numeric tags and the split -> HMMA ->
+  /// combine chain was recovered; false leaves every field meaningless.
+  bool derived = false;
+
+  core::SplitMethod split = core::SplitMethod::kRoundSplit;
+  bool half_only = false;          ///< 1-plane scheme (raw RN16 inputs)
+  Rounding rounding = Rounding::kNone;
+  int planes = 0;                  ///< split planes per input matrix
+
+  std::uint32_t term_mask = 0;     ///< bit (a_plane * planes + b_plane)
+  std::vector<TermInfo> terms;     ///< the accumulated terms, in term order
+
+  /// Effective significand width each side's consumed planes reconstruct
+  /// (21 for a round split with both planes in play, 20 truncate, 10 for a
+  /// lone hi plane) and the operation precision = min of the two sides.
+  int derived_bits_a = 0;
+  int derived_bits_b = 0;
+  int operation_bits = 0;
+
+  /// Derived error constants (relative to the input magnitude): per-input
+  /// representation residual of the decomposition the kernel consumes, and
+  /// the worst-case lo-plane magnitude (what dropped terms would cost).
+  double rel_residual = 0.0;
+  double lo_plane_rel = 0.0;
+
+  /// Reduction coverage: k-lanes per term across all trips, and the
+  /// accumulation chain length per output element (terms x k), which
+  /// bounds the binary32 pair-sum/accumulate error via gamma_n.
+  std::uint64_t k_per_term = 0;
+  std::uint64_t adds_per_element = 0;
+
+  bool term_computed(int a_plane, int b_plane) const noexcept;
+  /// Human-readable one-liner + term table.
+  std::string describe() const;
+  /// Machine-readable object (embedded by sass_lint --json).
+  std::string render_json() const;
+};
+
+struct PrecisionOptions {
+  /// Master switch for run_all_passes integration.
+  bool enabled = false;
+
+  /// The split configuration the host-side plane pass was asked for; the
+  /// kernel's rounding tags must encode exactly this (EG503).
+  core::SplitMethod split = core::SplitMethod::kRoundSplit;
+
+  /// Emulation scheme the kernel claims to implement; decides the
+  /// expected term set the error model charges as computed (EG502).
+  int emulation_instructions = 4;
+
+  /// Documented operation-precision floor (the paper's §3.2 21-bit
+  /// profile); a derived precision below it raises EG501. The 1-plane
+  /// half-only scheme documents 10 bits.
+  int documented_bits = 21;
+
+  /// Expected per-term k-lane coverage per body trip (the tile's bk);
+  /// -1 skips the coverage check (unknown-provenance kernels).
+  std::int64_t expected_k_lanes_per_trip = -1;
+
+  /// Cross-check the derived constants against the hand-coded a-priori
+  /// model in core::split_* (EG510).
+  bool check_hand_model = true;
+  /// Test seams: override the hand-coded constants the EG510 cross-check
+  /// compares against (-1 uses core::split_residual_bound /
+  /// core::split_lo_plane_bound at unit scale).
+  double hand_residual_rel = -1.0;
+  double hand_lo_plane_rel = -1.0;
+};
+
+/// Runs the abstract interpretation and reports EG501/EG502/EG503/EG510.
+/// Returns the derived profile; `profile.derived` is false (and no
+/// diagnostics fire) when the kernel carries no numeric tags.
+PrecisionProfile run_precision_dataflow_pass(const Kernel& kernel,
+                                             const Dataflow& dataflow,
+                                             const PrecisionOptions& options,
+                                             DiagnosticEngine& engine);
+
+/// Derived-from-first-principles error constants for a plane rounding mode
+/// (binary16: 11-bit significand, u16 = 2^-11, subnormal quantum 2^-24).
+/// These are what the EG510 cross-check compares against the hand model.
+double derived_residual_rel(Rounding rounding, int planes) noexcept;
+double derived_lo_plane_rel(Rounding rounding) noexcept;
+
+/// floor(-log2(rel)) - 1: the effective significand width whose half-ulp
+/// matches a relative representation error of `rel` (the convention under
+/// which a round split carries 21 bits and a truncate split 20).
+int effective_bits(double rel) noexcept;
+
+/// The operation precision each emulation scheme documents (§3.2 profiles:
+/// 10 bits half-only, 21 bits for the 2-plane round split, 24 -- the
+/// binary32-accumulate ceiling -- for the 3-plane split).
+int documented_operation_bits(int emulation_instructions) noexcept;
+
+}  // namespace egemm::sass::analysis

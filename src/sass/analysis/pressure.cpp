@@ -80,6 +80,14 @@ void run_all_passes(const Kernel& kernel, const AnalysisOptions& options,
   run_dead_code_pass(kernel, dataflow, options, engine);
   run_bank_conflict_pass(kernel, options, engine);
   run_register_pressure_pass(kernel, dataflow, options, engine);
+  if (options.precision.enabled && !options.physical_registers) {
+    const PrecisionProfile profile =
+        run_precision_dataflow_pass(kernel, dataflow, options.precision,
+                                    engine);
+    if (options.precision_profile != nullptr) {
+      *options.precision_profile = profile;
+    }
+  }
 }
 
 }  // namespace egemm::sass::analysis

@@ -91,6 +91,26 @@ std::string emit_instr(const Instr& instr) {
   }
   out += " @stage=" + std::to_string(instr.stage);
   if (instr.step >= 0) out += " @step=" + std::to_string(instr.step);
+  // Numeric-provenance tags (EG5xx): plane payload masks, the rounding
+  // mode that produced the planes, and the HMMA split-product term.
+  if (instr.num.a_planes != 0) {
+    char buffer[16];
+    std::snprintf(buffer, sizeof buffer, " @pa=0x%x", instr.num.a_planes);
+    out += buffer;
+  }
+  if (instr.num.b_planes != 0) {
+    char buffer[16];
+    std::snprintf(buffer, sizeof buffer, " @pb=0x%x", instr.num.b_planes);
+    out += buffer;
+  }
+  if (instr.num.rounding != Rounding::kNone) {
+    out += " @rnd=";
+    out += rounding_name(instr.num.rounding);
+  }
+  if (instr.num.has_term()) {
+    out += " @term=" + std::to_string(instr.num.term_a) + "." +
+           std::to_string(instr.num.term_b);
+  }
   if (!instr.comment.empty()) out += " // " + instr.comment;
   return out;
 }
@@ -173,6 +193,38 @@ std::optional<Instr> parse_instr(const std::string& line, std::string* error) {
       instr.stage = std::stoi(token.substr(7));
     } else if (token.rfind("@step=", 0) == 0) {
       instr.step = std::stoi(token.substr(6));
+    } else if (token.rfind("@pa=", 0) == 0) {
+      instr.num.a_planes = static_cast<std::uint8_t>(
+          std::stoul(token.substr(4), nullptr, 16));
+    } else if (token.rfind("@pb=", 0) == 0) {
+      instr.num.b_planes = static_cast<std::uint8_t>(
+          std::stoul(token.substr(4), nullptr, 16));
+    } else if (token.rfind("@rnd=", 0) == 0) {
+      const std::string name = token.substr(5);
+      bool found = false;
+      for (const Rounding r :
+           {Rounding::kRoundNearest, Rounding::kTruncate,
+            Rounding::kHalfDirect}) {
+        if (name == rounding_name(r)) {
+          instr.num.rounding = r;
+          found = true;
+        }
+      }
+      if (!found) {
+        if (error != nullptr) *error = "unknown rounding: " + token;
+        return std::nullopt;
+      }
+    } else if (token.rfind("@term=", 0) == 0) {
+      const std::string term = token.substr(6);
+      const std::size_t dot = term.find('.');
+      if (dot == std::string::npos) {
+        if (error != nullptr) *error = "bad term annotation: " + token;
+        return std::nullopt;
+      }
+      instr.num.term_a =
+          static_cast<std::int8_t>(std::stoi(term.substr(0, dot)));
+      instr.num.term_b =
+          static_cast<std::int8_t>(std::stoi(term.substr(dot + 1)));
     } else {
       if (error != nullptr) *error = "unknown annotation: " + token;
       return std::nullopt;

@@ -14,9 +14,26 @@ BuiltKernel build_egemm_kernel(const BuildOptions& options) {
   params.tile = options.tile;
   params.k_iterations = options.k_iterations;
   params.emulation_instructions = options.emulation_instructions;
+  params.split = options.split;
   built.kernel = generate_egemm_kernel(params);
   if (options.latency_hiding) {
     built.schedule = schedule_latency_hiding(built.kernel);
+  }
+
+  // Precision certification runs on the scheduled kernel while operands
+  // are still virtual: physical register reuse would merge unrelated
+  // def-use chains and fake plane conflicts.
+  if (options.certify_precision) {
+    analysis::PrecisionOptions popts;
+    popts.enabled = true;
+    popts.split = options.split;
+    popts.emulation_instructions = options.emulation_instructions;
+    popts.documented_bits =
+        analysis::documented_operation_bits(options.emulation_instructions);
+    popts.expected_k_lanes_per_trip = options.tile.bk;
+    const analysis::Dataflow dataflow(built.kernel);
+    built.precision = analysis::run_precision_dataflow_pass(
+        built.kernel, dataflow, popts, built.diagnostics);
   }
 
   analysis::AnalysisOptions aopts;
@@ -38,7 +55,8 @@ bool has_blocking_errors(const analysis::DiagnosticEngine& engine) {
   for (const analysis::Diagnostic& diagnostic : engine.diagnostics()) {
     if (diagnostic.severity != analysis::Severity::kError) continue;
     if (diagnostic.code.rfind("EG1", 0) == 0 ||
-        diagnostic.code.rfind("EG2", 0) == 0) {
+        diagnostic.code.rfind("EG2", 0) == 0 ||
+        diagnostic.code.rfind("EG5", 0) == 0) {
       return true;
     }
   }

@@ -6,6 +6,7 @@
 // holds by construction.
 
 #include "sass/analysis/diagnostics.hpp"
+#include "sass/analysis/precision.hpp"
 #include "sass/codegen.hpp"
 #include "sass/regalloc.hpp"
 #include "sass/schedule.hpp"
@@ -16,6 +17,9 @@ struct BuildOptions {
   gemm::TileConfig tile = gemm::table4_config();
   std::uint32_t k_iterations = 256;
   int emulation_instructions = 4;  ///< Alg. 1 (4) or Dekker-style (16)
+  /// Split method the host-side plane pass will use for this kernel;
+  /// stamped into the numeric tags and enforced by the EG5xx pass.
+  core::SplitMethod split = core::SplitMethod::kRoundSplit;
   /// Apply the §5.1 latency-hiding schedule (false = the naive ablation).
   bool latency_hiding = true;
   /// Run the §5.2 register allocator (false leaves operands virtual).
@@ -23,23 +27,28 @@ struct BuildOptions {
   int register_budget = 255;
   /// Body trips the trace-based lint passes walk.
   int lint_unroll = 3;
+  /// Run the precision-dataflow certification (EG5xx) on the scheduled,
+  /// still-virtual kernel. The derived profile lands in
+  /// BuiltKernel::precision; its diagnostics join the shared engine.
+  bool certify_precision = true;
 };
 
 struct BuiltKernel {
   Kernel kernel;
   ScheduleStats schedule;      ///< zeroes when latency_hiding is off
   AllocationReport alloc;      ///< success=false when allocate is off
+  analysis::PrecisionProfile precision;  ///< EG5xx derived profile
   analysis::DiagnosticEngine diagnostics;
 };
 
 /// Runs the pipeline and lints the result.
 BuiltKernel build_egemm_kernel(const BuildOptions& options);
 
-/// True when `engine` holds an error-severity hazard or liveness finding
-/// (EG1xx/EG2xx) -- the classes that mean the generated kernel would
-/// compute wrong answers, as opposed to resource findings (EG4xx) that
-/// merely mean the tiling does not fit. The debug self-check asserts on
-/// exactly these.
+/// True when `engine` holds an error-severity hazard, liveness, or
+/// precision finding (EG1xx/EG2xx/EG5xx) -- the classes that mean the
+/// generated kernel would compute wrong answers, as opposed to resource
+/// findings (EG4xx) that merely mean the tiling does not fit. The debug
+/// self-check asserts on exactly these.
 bool has_blocking_errors(const analysis::DiagnosticEngine& engine);
 
 }  // namespace egemm::sass

@@ -1,5 +1,8 @@
 #include "sass/codegen.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "util/assert.hpp"
 
 namespace egemm::sass {
@@ -18,6 +21,51 @@ std::uint8_t wait(int barrier) {
 }
 
 }  // namespace
+
+EmulationScheme emulation_scheme(int emulation_instructions) noexcept {
+  EmulationScheme scheme;
+  switch (emulation_instructions) {
+    case 1:
+      scheme = {true, 1, 1};
+      break;
+    case 4:
+      scheme = {true, 2, 1};
+      break;
+    case 9:
+      scheme = {true, 3, 1};
+      break;
+    case 16:
+      scheme = {true, 2, 4};
+      break;
+    default:
+      break;
+  }
+  return scheme;
+}
+
+Rounding plane_rounding(core::SplitMethod split, bool half_only) noexcept {
+  if (half_only) return Rounding::kHalfDirect;
+  switch (split) {
+    case core::SplitMethod::kRoundSplit:
+      return Rounding::kRoundNearest;
+    case core::SplitMethod::kTruncateSplit:
+      return Rounding::kTruncate;
+  }
+  return Rounding::kNone;
+}
+
+std::uint8_t plane_mask_for_buffer(std::uint32_t index, std::uint32_t count,
+                                   int planes) noexcept {
+  std::uint8_t mask = 0;
+  if (count == 0 || planes <= 0) return mask;
+  for (std::uint32_t p = 0; p < static_cast<std::uint32_t>(planes); ++p) {
+    const std::uint32_t lo = p * count / static_cast<std::uint32_t>(planes);
+    const std::uint32_t hi =
+        std::max(lo + 1, (p + 1) * count / static_cast<std::uint32_t>(planes));
+    if (index >= lo && index < hi) mask |= static_cast<std::uint8_t>(1u << p);
+  }
+  return mask;
+}
 
 WarpShape warp_shape(const gemm::TileConfig& tile,
                      int emulation_instructions) {
@@ -52,6 +100,29 @@ Kernel generate_egemm_kernel(const CodegenParams& params) {
   const gemm::TileConfig& tile = params.tile;
   const WarpShape ws = warp_shape(tile, params.emulation_instructions);
   EGEMM_EXPECTS(params.k_iterations >= 1);
+
+  // Numeric provenance (EG5xx): decode the emulation scheme so every
+  // plane-carrying instruction can be stamped with what it moves and every
+  // HMMA with which split-product term it computes. An unknown scheme
+  // leaves the kernel untagged (no derived precision profile).
+  const EmulationScheme scheme =
+      emulation_scheme(params.emulation_instructions);
+  const Rounding rounding =
+      scheme.known ? plane_rounding(params.split, scheme.planes == 1)
+                   : Rounding::kNone;
+  // A staging buffer's payload is a slice of the interleaved global tile:
+  // 2*planes slots ordered [A planes..., B planes...].
+  auto staging_tag = [&](std::uint32_t i) {
+    NumericTag tag;
+    if (!scheme.known) return tag;
+    const std::uint8_t slots =
+        plane_mask_for_buffer(i, ws.ldg_per_iter, 2 * scheme.planes);
+    tag.a_planes = static_cast<std::uint8_t>(
+        slots & ((1u << scheme.planes) - 1u));
+    tag.b_planes = static_cast<std::uint8_t>(slots >> scheme.planes);
+    tag.rounding = rounding;
+    return tag;
+  };
 
   Kernel kernel;
   kernel.name = "egemm_tc_" + tile.describe();
@@ -106,6 +177,7 @@ Kernel generate_egemm_kernel(const CodegenParams& params) {
     ldg.srcs = {addr[0]};
     ldg.stage = 2;
     ldg.comment = "cold-start load";
+    ldg.num = staging_tag(i);
     if (i + 1 == ws.ldg_per_iter) ldg.ctrl.write_barrier = kBarStaged;
     kernel.prologue.push_back(ldg);
   }
@@ -115,6 +187,7 @@ Kernel generate_egemm_kernel(const CodegenParams& params) {
     sts.dst = RegRange{};  // stores have no register destination
     sts.srcs = {addr[2], staging[i]};
     sts.stage = 2;
+    sts.num = staging_tag(i);
     if (i == 0) sts.ctrl.wait_mask = wait(kBarStaged);
     if (i + 1 == ws.sts_per_iter) sts.ctrl.read_barrier = kBarStagingRead;
     kernel.prologue.push_back(sts);
@@ -136,9 +209,42 @@ Kernel generate_egemm_kernel(const CodegenParams& params) {
     ldg.dst = staging[i];
     ldg.srcs = {addr[0]};
     ldg.stage = 2;
+    ldg.num = staging_tag(i);
     if (i == 0) ldg.ctrl.wait_mask = wait(kBarStagingRead);
     if (i + 1 == ws.ldg_per_iter) ldg.ctrl.write_barrier = kBarStaged;
     kernel.body.push_back(ldg);
+  }
+  // Fragment buffers cover their matrix's planes in contiguous runs; the
+  // HMMA burst below picks its operands from the run holding the plane its
+  // term multiplies, so the split -> STS/LDS -> HMMA plane routing is
+  // explicit in the instruction stream (what the EG5xx pass certifies).
+  auto a_frag_mask = [&](std::uint32_t i) {
+    return scheme.known ? plane_mask_for_buffer(i, a_lds, scheme.planes)
+                        : std::uint8_t{0};
+  };
+  auto b_frag_mask = [&](std::uint32_t i) {
+    return scheme.known ? plane_mask_for_buffer(i, b_lds, scheme.planes)
+                        : std::uint8_t{0};
+  };
+  std::vector<std::vector<std::uint32_t>> a_bufs_of_plane;
+  std::vector<std::vector<std::uint32_t>> b_bufs_of_plane;
+  if (scheme.known) {
+    a_bufs_of_plane.resize(static_cast<std::size_t>(scheme.planes));
+    b_bufs_of_plane.resize(static_cast<std::size_t>(scheme.planes));
+    for (std::uint32_t i = 0; i < a_lds; ++i) {
+      for (int p = 0; p < scheme.planes; ++p) {
+        if (a_frag_mask(i) & (1u << p)) {
+          a_bufs_of_plane[static_cast<std::size_t>(p)].push_back(i);
+        }
+      }
+    }
+    for (std::uint32_t i = 0; i < b_lds; ++i) {
+      for (int p = 0; p < scheme.planes; ++p) {
+        if (b_frag_mask(i) & (1u << p)) {
+          b_bufs_of_plane[static_cast<std::size_t>(p)].push_back(i);
+        }
+      }
+    }
   }
   for (std::uint32_t s = 0; s < ws.steps; ++s) {
     // Fragment loads: overwrite the single buffer, so the first LDS must
@@ -151,6 +257,14 @@ Kernel generate_egemm_kernel(const CodegenParams& params) {
       lds.srcs = {addr[3]};
       lds.stage = 2;
       lds.step = static_cast<std::int32_t>(s);
+      if (scheme.known) {
+        if (i < a_lds) {
+          lds.num.a_planes = a_frag_mask(i);
+        } else {
+          lds.num.b_planes = b_frag_mask(i - a_lds);
+        }
+        lds.num.rounding = rounding;
+      }
       if (i == 0) lds.ctrl.wait_mask = wait(kBarFragRead);
       if (i + 1 == ws.lds_per_step) lds.ctrl.write_barrier = kBarFragReady;
       kernel.body.push_back(lds);
@@ -166,8 +280,23 @@ Kernel generate_egemm_kernel(const CodegenParams& params) {
           Instr hmma;
           hmma.op = Op::kHmma;
           hmma.dst = acc[t];
-          hmma.srcs = {afrag[(t / 4 + kk) % afrag.size()],
-                       bfrag[(jt / 2 + kk) % bfrag.size()], acc[t]};
+          RegRange a_src = afrag[(t / 4 + kk) % afrag.size()];
+          RegRange b_src = bfrag[(jt / 2 + kk) % bfrag.size()];
+          if (scheme.known) {
+            const std::uint32_t term =
+                e / static_cast<std::uint32_t>(scheme.instrs_per_term);
+            const auto ta = static_cast<std::int8_t>(
+                term / static_cast<std::uint32_t>(scheme.planes));
+            const auto tb = static_cast<std::int8_t>(
+                term % static_cast<std::uint32_t>(scheme.planes));
+            const auto& a_run = a_bufs_of_plane[static_cast<std::size_t>(ta)];
+            const auto& b_run = b_bufs_of_plane[static_cast<std::size_t>(tb)];
+            a_src = afrag[a_run[(t / 4 + kk) % a_run.size()]];
+            b_src = bfrag[b_run[(jt / 2 + kk) % b_run.size()]];
+            hmma.num.term_a = ta;
+            hmma.num.term_b = tb;
+          }
+          hmma.srcs = {a_src, b_src, acc[t]};
           hmma.stage = 2;
           hmma.step = static_cast<std::int32_t>(s);
           if (emitted == 0) hmma.ctrl.wait_mask = wait(kBarFragReady);
@@ -191,6 +320,7 @@ Kernel generate_egemm_kernel(const CodegenParams& params) {
     sts.op = Op::kSts;
     sts.srcs = {addr[2], staging[i]};
     sts.stage = 2;
+    sts.num = staging_tag(i);
     if (i == 0) sts.ctrl.wait_mask = wait(kBarStaged);
     if (i + 1 == ws.sts_per_iter) sts.ctrl.read_barrier = kBarStagingRead;
     kernel.body.push_back(sts);

@@ -9,6 +9,7 @@
 // dependency barriers). The §5.1 optimization is a separate pass
 // (schedule.hpp) so the ablation compares a real before/after.
 
+#include "core/split.hpp"
 #include "gemm/tiling.hpp"
 #include "sass/ir.hpp"
 
@@ -18,7 +19,37 @@ struct CodegenParams {
   gemm::TileConfig tile = gemm::table4_config();
   std::uint32_t k_iterations = 256;
   int emulation_instructions = 4;  ///< Alg. 1 (4) or Dekker-style (16)
+  /// Split method the host-side plane pass uses; stamped into the numeric
+  /// tags so the precision-dataflow pass can check the kernel against it.
+  core::SplitMethod split = core::SplitMethod::kRoundSplit;
 };
+
+/// How an emulation-instruction count decodes into split planes and
+/// HMMA-per-term redundancy. The schemes the toolchain knows:
+///   1  -> half-only (1 plane, raw RN16 inputs)
+///   4  -> Alg. 1 (2 planes, one HMMA per split-product term)
+///   9  -> 3-way split (3 planes, one HMMA per term)
+///   16 -> Dekker-style (2 planes, 4 HMMA per term: TwoProd compensation)
+/// Unknown counts yield known=false and codegen emits no numeric tags.
+struct EmulationScheme {
+  bool known = false;
+  int planes = 0;
+  int instrs_per_term = 1;
+  int terms() const noexcept { return planes * planes; }
+};
+EmulationScheme emulation_scheme(int emulation_instructions) noexcept;
+
+/// The rounding tag a plane produced by `split` carries (`half_only` is
+/// the 1-plane scheme: a single direct RN16 conversion).
+Rounding plane_rounding(core::SplitMethod split, bool half_only) noexcept;
+
+/// Plane payload mask of staging/fragment buffer `index` out of `count`
+/// buffers covering `planes` planes: plane p lives in the buffer range
+/// [p*count/planes, max(p*count/planes + 1, (p+1)*count/planes)). With
+/// count >= planes the ranges partition the buffers; with fewer buffers
+/// than planes, buffers carry several planes each. Always non-empty.
+std::uint8_t plane_mask_for_buffer(std::uint32_t index, std::uint32_t count,
+                                   int planes) noexcept;
 
 /// Generates the naive-order kernel. Register operands are virtual; run
 /// allocate_kernel_registers() to map them to physical R0..R255.

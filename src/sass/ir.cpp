@@ -30,6 +30,20 @@ const char* op_name(Op op) noexcept {
   return "?";
 }
 
+const char* rounding_name(Rounding rounding) noexcept {
+  switch (rounding) {
+    case Rounding::kNone:
+      return "none";
+    case Rounding::kRoundNearest:
+      return "rn";
+    case Rounding::kTruncate:
+      return "rz";
+    case Rounding::kHalfDirect:
+      return "h16";
+  }
+  return "?";
+}
+
 bool is_variable_latency(Op op) noexcept {
   switch (op) {
     case Op::kLdg:

@@ -60,6 +60,45 @@ struct RegRange {
 
 inline constexpr int kNumDepBarriers = 6;
 
+/// Rounding provenance of the numeric payload an instruction touches, for
+/// the precision-dataflow pass (EG5xx): how the binary16 plane data the
+/// kernel consumes was produced from the binary32 source matrix.
+enum class Rounding : std::uint8_t {
+  kNone,          ///< untagged / not plane data
+  kRoundNearest,  ///< RN16 split plane (EGEMM-TC round-split, Fig. 4b)
+  kTruncate,      ///< RZ16 split plane (Markidis truncate-split, Fig. 4a)
+  kHalfDirect,    ///< RN16(x) raw binary16 input (no lo plane at all)
+};
+
+const char* rounding_name(Rounding rounding) noexcept;
+
+/// Numeric-provenance tag. Codegen stamps every instruction that moves or
+/// consumes split-plane data so the precision-dataflow analysis can derive
+/// the kernel's operation precision from the instruction stream instead of
+/// assuming it:
+///
+///  * loads/stores (LDG/STS/LDS) carry the plane payload masks -- bit p of
+///    `a_planes`/`b_planes` set means "this payload contains plane p of
+///    A/B" (plane 0 = hi, 1 = lo, 2 = mid of a 3-way split) -- plus the
+///    rounding mode the split pass used to produce those planes;
+///  * HMMA carries the split-product term it computes: A plane `term_a`
+///    times B plane `term_b`.
+///
+/// Untagged instructions (`tagged()` false) are opaque to the precision
+/// pass; a kernel with no tags at all simply yields no derived profile.
+struct NumericTag {
+  std::uint8_t a_planes = 0;  ///< payload mask: A planes present
+  std::uint8_t b_planes = 0;  ///< payload mask: B planes present
+  Rounding rounding = Rounding::kNone;
+  std::int8_t term_a = -1;    ///< HMMA: A-side plane of the computed term
+  std::int8_t term_b = -1;    ///< HMMA: B-side plane of the computed term
+
+  bool has_planes() const noexcept { return (a_planes | b_planes) != 0; }
+  bool has_term() const noexcept { return term_a >= 0 && term_b >= 0; }
+  bool tagged() const noexcept { return has_planes() || has_term(); }
+  friend bool operator==(const NumericTag&, const NumericTag&) = default;
+};
+
 /// Simplified Turing control code.
 struct Ctrl {
   std::int32_t stall = 1;            ///< issue-to-issue stall count
@@ -77,6 +116,7 @@ struct Instr {
   Ctrl ctrl;
   std::optional<std::string> target;  ///< BRA label
   std::string comment;
+  NumericTag num;  ///< precision-dataflow provenance (EG5xx)
 
   /// Stage tag for the §5.2 allocator (0 context, 1 load-C, 2 main loop,
   /// 3 store-C).

@@ -29,6 +29,7 @@
 #include <cstddef>
 
 #include "core/split.hpp"
+#include "sass/analysis/precision.hpp"
 
 namespace egemm::verify {
 
@@ -73,5 +74,39 @@ struct ErrorBound {
 /// special-value cases and does not call the model on them.
 ErrorBound element_bound(const PathProfile& path,
                          const BoundInputs& in) noexcept;
+
+// -- static certification bridge (EG5xx pass, DESIGN.md §14) -----------------
+// The precision-dataflow pass derives a kernel's numeric profile from its
+// instruction stream; these entry points close the loop between that
+// derivation and the hand-written model above.
+
+/// Maps a statically derived kernel profile onto the path description the
+/// hand model consumes. Planes beyond the second are projected onto the lo
+/// plane (the hand model is two-plane); an underived profile maps to the
+/// default all-terms round-split path.
+PathProfile from_static_profile(
+    const sass::analysis::PrecisionProfile& profile) noexcept;
+
+/// element_bound analogue computed from the statically derived constants
+/// (profile.rel_residual / lo_plane_rel, the kernel's own term grid)
+/// instead of the hand-coded core::split_* bounds. expected_abs is left 0:
+/// the static derivation is worst-case only.
+ErrorBound static_profile_bound(
+    const sass::analysis::PrecisionProfile& profile,
+    const BoundInputs& in) noexcept;
+
+/// Cross-check: the hand-written a-priori bound must dominate (>=) the
+/// statically derived bound for the same element context -- otherwise the
+/// error model promises less error than the kernel's instruction stream
+/// justifies. `checked` is false when the profile was never derived.
+struct StaticCrossCheck {
+  bool checked = false;
+  bool dominates = false;
+  double hand_worst_abs = 0.0;
+  double derived_worst_abs = 0.0;
+};
+StaticCrossCheck cross_check_static_profile(
+    const sass::analysis::PrecisionProfile& profile,
+    const BoundInputs& in) noexcept;
 
 }  // namespace egemm::verify

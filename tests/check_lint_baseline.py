@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Gate sass_lint --all-tilings --json against the checked-in baseline.
+
+Usage:
+    sass_lint --all-tilings --json > lint.json
+    python3 tests/check_lint_baseline.py lint.json            # gate (CI)
+    python3 tests/check_lint_baseline.py lint.json --update   # rewrite baseline
+
+The gate fails when any feasible tiling:
+  * reports a diagnostic code not present in its baseline entry (new EGnnn
+    regressions fail even at note severity -- silence is part of the
+    contract),
+  * is missing from the baseline entirely (new tilings must be vetted),
+  * loses precision certification: the profile must derive, reach the
+    documented operation precision, and carry no EG5xx code.
+
+Baseline entries shrinking (a code disappears) is reported as informational
+only; run with --update to tighten the baseline.
+"""
+
+import json
+import pathlib
+import sys
+
+BASELINE = pathlib.Path(__file__).resolve().parent / "sass_lint_baseline.json"
+
+
+def main() -> int:
+    args = [a for a in sys.argv[1:] if a != "--update"]
+    update = "--update" in sys.argv[1:]
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    lint = json.loads(pathlib.Path(args[0]).read_text())
+    baseline = json.loads(BASELINE.read_text())
+
+    if update:
+        baseline["kernels"] = {
+            k["tile"]: k["codes"] for k in lint["kernels"]
+        }
+        BASELINE.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"baseline rewritten: {len(lint['kernels'])} kernels")
+        return 0
+
+    documented = int(baseline.get("documented_operation_bits", 21))
+    known = baseline["kernels"]
+    failures = []
+    for kernel in lint["kernels"]:
+        tile = kernel["tile"]
+        codes = set(kernel["codes"])
+        if tile not in known:
+            failures.append(f"{tile}: not in baseline (new tiling?)")
+            continue
+        new = codes - set(known[tile])
+        if new:
+            failures.append(f"{tile}: new diagnostic code(s) {sorted(new)}")
+        gone = set(known[tile]) - codes
+        if gone:
+            print(f"note: {tile}: baseline code(s) {sorted(gone)} no longer "
+                  "reported (tighten with --update)")
+        eg5 = sorted(c for c in codes if c.startswith("EG5"))
+        if eg5:
+            failures.append(f"{tile}: precision certification failed: {eg5}")
+        profile = kernel.get("precision", {})
+        if not profile.get("derived"):
+            failures.append(f"{tile}: no precision profile derived")
+        elif profile.get("operation_bits", 0) < documented:
+            failures.append(
+                f"{tile}: derived {profile.get('operation_bits')} operation "
+                f"bits, below the documented {documented}")
+
+    if len(lint["kernels"]) < len(known):
+        missing = set(known) - {k["tile"] for k in lint["kernels"]}
+        failures.append(f"feasible set shrank; missing: {sorted(missing)}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"ok: {len(lint['kernels'])} kernels match the lint baseline, "
+              f"all certified at >= {documented} operation bits")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
