@@ -12,6 +12,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <limits>
 #include <string>
@@ -88,6 +89,136 @@ inline bool write_bench_json(const std::string& path,
   if (f == nullptr) return false;
   const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
   return std::fclose(f) == 0 && ok;
+}
+
+// -- benchmark comparison ----------------------------------------------------
+// `--compare=OLD.json` support: diff a fresh run against a committed
+// BENCH_*.json and fail (exit nonzero) when any shared row slows down past
+// a configurable threshold. CI runs this warn-only on the release bench so
+// a noisy runner cannot block a merge, but the regression is visible in
+// the log; locally it is the regenerate-BENCH_micro.json gate.
+
+/// Parses the benchmark rows out of a BENCH_*.json document previously
+/// written by write_bench_json. A minimal scanner, not a JSON parser: rows
+/// are the only objects with a "name" field (the metrics block keys
+/// metrics BY name), and write_bench_json emits one row per line.
+inline std::vector<BenchRecord> parse_bench_json_records(
+    const std::string& text) {
+  std::vector<BenchRecord> records;
+  std::size_t pos = 0;
+  while ((pos = text.find("\"name\":", pos)) != std::string::npos) {
+    pos = text.find('"', pos + 7);
+    if (pos == std::string::npos) break;
+    std::string name;
+    std::size_t end = pos + 1;
+    while (end < text.size() && text[end] != '"') {
+      if (text[end] == '\\' && end + 1 < text.size()) {
+        name += text[end + 1];
+        end += 2;
+      } else {
+        name += text[end++];
+      }
+    }
+    const std::size_t obj_end = text.find('}', end);
+    const auto field = [&](const char* key) {
+      const std::size_t key_pos = text.find(key, end);
+      if (key_pos == std::string::npos ||
+          (obj_end != std::string::npos && key_pos > obj_end)) {
+        return 0.0;
+      }
+      const std::size_t colon = text.find(':', key_pos);
+      if (colon == std::string::npos) return 0.0;
+      return std::strtod(text.c_str() + colon + 1, nullptr);
+    };
+    BenchRecord rec;
+    rec.name = std::move(name);
+    rec.ns_per_iter = field("\"ns_per_iter\"");
+    rec.items_per_second = field("\"items_per_second\"");
+    records.push_back(std::move(rec));
+    pos = obj_end == std::string::npos ? end : obj_end;
+  }
+  return records;
+}
+
+struct BenchCompareRow {
+  std::string name;
+  double old_ns = 0.0;
+  double new_ns = 0.0;
+  double ratio = 0.0;  ///< new_ns / old_ns; > 1 is a slowdown
+  bool regressed = false;
+};
+
+struct BenchCompareReport {
+  std::vector<BenchCompareRow> rows;        ///< rows present in both runs
+  std::vector<std::string> only_in_old;     ///< dropped benchmarks
+  std::vector<std::string> only_in_new;     ///< new benchmarks (informational)
+  std::size_t regressions = 0;
+};
+
+/// Compares by name; a row regresses when new_ns > old_ns * (1 +
+/// threshold). Rows without a timing on either side are skipped.
+inline BenchCompareReport compare_bench_records(
+    const std::vector<BenchRecord>& old_records,
+    const std::vector<BenchRecord>& new_records, double threshold) {
+  BenchCompareReport report;
+  for (const BenchRecord& old_rec : old_records) {
+    const BenchRecord* new_rec = nullptr;
+    for (const BenchRecord& candidate : new_records) {
+      if (candidate.name == old_rec.name) {
+        new_rec = &candidate;
+        break;
+      }
+    }
+    if (new_rec == nullptr) {
+      report.only_in_old.push_back(old_rec.name);
+      continue;
+    }
+    if (old_rec.ns_per_iter <= 0.0 || new_rec->ns_per_iter <= 0.0) continue;
+    BenchCompareRow row;
+    row.name = old_rec.name;
+    row.old_ns = old_rec.ns_per_iter;
+    row.new_ns = new_rec->ns_per_iter;
+    row.ratio = row.new_ns / row.old_ns;
+    row.regressed = row.new_ns > row.old_ns * (1.0 + threshold);
+    if (row.regressed) ++report.regressions;
+    report.rows.push_back(std::move(row));
+  }
+  for (const BenchRecord& new_rec : new_records) {
+    bool found = false;
+    for (const BenchRecord& old_rec : old_records) {
+      if (old_rec.name == new_rec.name) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) report.only_in_new.push_back(new_rec.name);
+  }
+  return report;
+}
+
+inline void print_bench_compare(const BenchCompareReport& report,
+                                double threshold, std::ostream& os) {
+  char title[96];
+  std::snprintf(title, sizeof(title),
+                "benchmark comparison (threshold +%.0f%%)", threshold * 100.0);
+  util::Table table(title);
+  table.set_header(
+      {"benchmark", "old ns/iter", "new ns/iter", "ratio", "status"});
+  for (const BenchCompareRow& row : report.rows) {
+    table.add_row({row.name, util::fmt_sci(row.old_ns, 4),
+                   util::fmt_sci(row.new_ns, 4), util::fmt_fixed(row.ratio, 3),
+                   row.regressed ? "REGRESSED" : "ok"});
+  }
+  table.print(os);
+  for (const std::string& name : report.only_in_old) {
+    os << "  only in old run: " << name << "\n";
+  }
+  for (const std::string& name : report.only_in_new) {
+    os << "  only in new run: " << name << "\n";
+  }
+  os << (report.regressions == 0 ? "no regressions" :
+         std::to_string(report.regressions) + " REGRESSION(S)")
+     << " across " << report.rows.size() << " shared benchmarks\n";
 }
 
 // -- observability flags -----------------------------------------------------

@@ -9,12 +9,17 @@
 //   --smoke        drop the 1024^3 GEMM sizes and shorten the min time (CI)
 //   --json=PATH    where to write the machine-readable results
 //                  (default BENCH_micro.json in the working directory)
+//   --compare=PATH diff this run against an older BENCH_micro.json and
+//                  exit nonzero when a shared row slows down past the
+//                  threshold (--compare_threshold=0.3 -> +30%, the default)
 //   --trace=PATH   record pipeline spans and write a Chrome trace_event
 //                  JSON (chrome://tracing, ui.perfetto.dev)
 //   --metrics      dump the observability registry to stdout at exit
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -24,6 +29,8 @@
 #include "gemm/baselines.hpp"
 #include "gemm/egemm.hpp"
 #include "gemm/plan.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/isa.hpp"
 #include "tcsim/instruction.hpp"
 #include "tcsim/pipeline.hpp"
 #include "tcsim/tensor_core.hpp"
@@ -128,6 +135,48 @@ void BM_EmulatedTile(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * 16 * 16 * 16);
 }
 BENCHMARK(BM_EmulatedTile)->Arg(0)->Arg(1)->Arg(2);
+
+/// One packed MMA block kernel call per iteration, per ISA tier (the table
+/// is invoked directly, bypassing dispatch, so every compiled-in +
+/// machine-executable variant gets a row regardless of what auto-selection
+/// picks). k = 256 approximates the steady-state slab depth of a large
+/// GEMM; items are effective FLOPs, so gflops in BENCH_micro.json is the
+/// raw microkernel throughput.
+void BM_MmaBlockPacked(benchmark::State& state,
+                       const egemm::simd::KernelTable* table) {
+  constexpr int kK = 256;
+  constexpr int kTile = egemm::simd::kMmaTile;
+  util::Xoshiro256 rng(9);
+  std::vector<float> a(static_cast<std::size_t>(kTile) * kK);
+  std::vector<float> b(static_cast<std::size_t>(kK) * kTile);
+  std::vector<float> acc(static_cast<std::size_t>(kTile) * kTile, 0.0f);
+  for (auto& v : a) v = fp::Half(rng.uniform(-1.0f, 1.0f)).to_float();
+  for (auto& v : b) v = fp::Half(rng.uniform(-1.0f, 1.0f)).to_float();
+  for (auto _ : state) {
+    table->mma_block_packed(acc.data(), a.data(), kK, b.data(), kK);
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * kTile * kTile * kK);
+}
+
+/// Batched f32 -> f16 -> f32 round-trip (the split pass's inner loop), per
+/// ISA tier. Items are converted elements; multiply by 8 bytes (one float
+/// in, one out) for memory throughput.
+void BM_HalfBatchRoundTrip(benchmark::State& state,
+                           const egemm::simd::KernelTable* table) {
+  util::Xoshiro256 rng(10);
+  std::vector<float> in(1 << 16);
+  std::vector<float> out(in.size());
+  for (auto& v : in) v = rng.uniform(-1.0f, 1.0f);
+  for (auto _ : state) {
+    table->f32_round_through_f16(in.data(), out.data(), in.size(), true);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(in.size()));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(in.size() * 8));
+}
 
 void BM_PipelineSimulate(benchmark::State& state) {
   const tcsim::GpuSpec spec = tcsim::tesla_t4();
@@ -252,6 +301,8 @@ class CapturingReporter : public benchmark::ConsoleReporter {
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string json_path = "BENCH_micro.json";
+  std::string compare_path;
+  double compare_threshold = 0.3;
   std::string trace_path;
   bool dump_metrics = false;
   bool min_time_given = false;
@@ -262,6 +313,10 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--compare=", 10) == 0) {
+      compare_path = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--compare_threshold=", 20) == 0) {
+      compare_threshold = std::strtod(argv[i] + 20, nullptr);
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
@@ -284,6 +339,23 @@ int main(int argc, char** argv) {
   // plan-execute comparison meaningful. The full sweep adds the 1024^3
   // headline size (README's perf table; several seconds on the reference
   // engine).
+  // One row per compiled-in, machine-executable ISA tier for the two
+  // dispatched hot loops (DESIGN.md §15). The scalar row is the seed
+  // baseline; the spread to the widest row is what runtime dispatch buys.
+  for (int level = 0; level < egemm::simd::kIsaLevelCount; ++level) {
+    const auto isa = static_cast<egemm::simd::IsaLevel>(level);
+    if (!egemm::simd::isa_available(isa)) continue;
+    const egemm::simd::KernelTable* table = egemm::simd::kernels_for(isa);
+    benchmark::RegisterBenchmark(
+        (std::string("BM_MmaBlockPacked/") + table->name).c_str(),
+        [table](benchmark::State& state) { BM_MmaBlockPacked(state, table); });
+    benchmark::RegisterBenchmark(
+        (std::string("BM_HalfBatchRoundTrip/") + table->name).c_str(),
+        [table](benchmark::State& state) {
+          BM_HalfBatchRoundTrip(state, table);
+        });
+  }
+
   std::vector<std::int64_t> sizes = {32, 64, 128, 256};
   if (!smoke) sizes.push_back(1024);
   for (const std::int64_t n : sizes) {
@@ -324,5 +396,28 @@ int main(int argc, char** argv) {
   if (!obs_ok) return 1;
   std::fprintf(stderr, "wrote %s (%zu records, sha %s)\n", json_path.c_str(),
                reporter.records().size(), EGEMM_GIT_SHA);
+
+  if (!compare_path.empty()) {
+    std::ifstream old_file(compare_path);
+    if (!old_file) {
+      std::fprintf(stderr, "error: cannot read --compare file %s\n",
+                   compare_path.c_str());
+      return 1;
+    }
+    std::ostringstream old_text;
+    old_text << old_file.rdbuf();
+    const std::vector<egemm::bench::BenchRecord> old_records =
+        egemm::bench::parse_bench_json_records(old_text.str());
+    if (old_records.empty()) {
+      std::fprintf(stderr, "error: no benchmark rows in %s\n",
+                   compare_path.c_str());
+      return 1;
+    }
+    const egemm::bench::BenchCompareReport report =
+        egemm::bench::compare_bench_records(old_records, reporter.records(),
+                                            compare_threshold);
+    egemm::bench::print_bench_compare(report, compare_threshold, std::cout);
+    if (report.regressions > 0) return 2;
+  }
   return 0;
 }

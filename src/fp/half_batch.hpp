@@ -9,10 +9,18 @@
 // compiler can vectorize.
 //
 // Every kernel here is BIT-IDENTICAL to its scalar counterpart -- the
-// 32-bit integer rounding below mirrors `f64_to_f16_bits` exactly (the
-// binary32 -> binary64 widening is exact, so the rounding decisions are
-// the same; verified exhaustively over all 2^32 inputs in both modes).
-// tests/test_half.cpp pins the equivalence on boundary and random inputs.
+// 32-bit integer rounding core (simd/half_convert_core.hpp) mirrors
+// `f64_to_f16_bits` exactly (the binary32 -> binary64 widening is exact,
+// so the rounding decisions are the same; verified exhaustively over all
+// 2^32 inputs in both modes). tests/test_half.cpp pins the equivalence on
+// boundary and random inputs.
+//
+// These fronts dispatch through the runtime SIMD layer (DESIGN.md §15):
+// the flat loops run as scalar, AVX2 or AVX-512 lane-for-lane
+// transcriptions of the same core, selected once per process from CPUID
+// (overridable via EGEMM_FORCE_ISA). tests/test_simd_dispatch.cpp pins
+// every variant against the scalar core over the full binary16 value
+// space, so the dispatch never changes a result bit.
 
 #include <cstdint>
 #include <span>

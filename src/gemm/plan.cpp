@@ -125,17 +125,32 @@ void reference_engine(Matrix& d, std::span<const Matrix> ap,
       });
 }
 
+/// k-slab length for the kSeparatePasses combo order. Any EVEN value is
+/// bit-identical to any other (pair boundaries stay on even k offsets), so
+/// the length is a pure blocking choice: 512 keeps one B slab (512 x 16
+/// floats = 32 KiB) L1-resident while the recipe kernel streams it. The
+/// kFusedPerTile order is different -- there the slab length is part of
+/// the emulation recipe (combos interleave per slab) and stays at the
+/// semantic kTile.
+constexpr int kSeparateSlab = 512;
+static_assert(kSeparateSlab % 2 == 0);
+
 /// Packed engine (DESIGN.md §10): walks the output tiles on a 2D block
-/// schedule; each tile streams its k-slabs through the vectorized
-/// tcsim::mma_block_packed kernel over the workspace's pre-packed planes.
-/// Per output element the operation sequence is identical to the reference
-/// driver, so the result is bit-identical. `d` arrives initialized with C
-/// (or zeros).
+/// schedule; each tile runs its whole combo x k-slab recipe in ONE
+/// dispatched tcsim::mma_tile_recipe call over the workspace's pre-packed
+/// planes, so the SIMD variants keep the 16x16 accumulator in registers
+/// across the entire k extent (the previous driver re-loaded it from L1
+/// once per 16-deep slab). Per output element the operation sequence is
+/// identical to the reference driver, so the result is bit-identical. `d`
+/// arrives initialized with C (or zeros).
 void packed_engine(Matrix& d, const PackedPlanesA& apack,
                    const PackedPlanesB& bpack, std::size_t k,
                    std::span<const PlaneCombo> combos, ComboOrder order) {
   const std::size_t m = d.rows();
   const std::size_t n = d.cols();
+  const auto ncombos = static_cast<int>(combos.size());
+  const bool fused = order == ComboOrder::kFusedPerTile;
+  const int k_slab = fused ? static_cast<int>(kTile) : kSeparateSlab;
 
   util::global_pool().parallel_for_2d(
       apack.row_blocks(), bpack.col_blocks(), /*grain=*/0,
@@ -145,9 +160,27 @@ void packed_engine(Matrix& d, const PackedPlanesA& apack,
         for (std::size_t rb = rb0; rb < rb1; ++rb) {
           const std::size_t i0 = rb * kTile;
           const std::size_t mt = std::min(kTile, m - i0);
+          const float* a_blocks[kMaxPlanCombos];
+          for (int ci = 0; ci < ncombos; ++ci) {
+            a_blocks[ci] = apack.block(
+                static_cast<std::size_t>(
+                    combos[static_cast<std::size_t>(ci)].a_plane),
+                rb);
+          }
           for (std::size_t cb = cb0; cb < cb1; ++cb) {
             const std::size_t j0 = cb * kTile;
             const std::size_t nt = std::min(kTile, n - j0);
+            const float* b_blocks[kMaxPlanCombos];
+            for (int ci = 0; ci < ncombos; ++ci) {
+              b_blocks[ci] = bpack.block(
+                  static_cast<std::size_t>(
+                      combos[static_cast<std::size_t>(ci)].b_plane),
+                  cb);
+              // Warm the first lines of each combo's B block; the recipe
+              // kernel prefetches ahead within each stream but cannot see
+              // across the combo boundary.
+              __builtin_prefetch(b_blocks[ci]);
+            }
             // Full 16x16 accumulator; lanes past (mt, nt) compute against
             // the packs' zero padding and are never copied back.
             alignas(64) float acc[kTile][kTile] = {};
@@ -156,26 +189,9 @@ void packed_engine(Matrix& d, const PackedPlanesA& apack,
                 acc[i][j] = d.at(i0 + i, j0 + j);
               }
             }
-            const auto k_slab = [&](const PlaneCombo& combo, std::size_t k0) {
-              const std::size_t kt = std::min(kTile, k - k0);
-              tcsim::mma_block_packed(
-                  &acc[0][0],
-                  apack.block(static_cast<std::size_t>(combo.a_plane), rb) + k0,
-                  k,
-                  bpack.block(static_cast<std::size_t>(combo.b_plane), cb) +
-                      k0 * kTile,
-                  static_cast<int>(kt));
-            };
-            if (order == ComboOrder::kFusedPerTile) {
-              for (std::size_t k0 = 0; k0 < k; k0 += kTile) {
-                for (const PlaneCombo& combo : combos) k_slab(combo, k0);
-              }
-            } else {
-              for (const PlaneCombo& combo : combos) {
-                for (std::size_t k0 = 0; k0 < k; k0 += kTile) {
-                  k_slab(combo, k0);
-                }
-              }
+            if (k > 0) {  // zero-extent K: the tile is the C passthrough
+              tcsim::mma_tile_recipe(&acc[0][0], a_blocks, b_blocks, ncombos,
+                                     k, static_cast<int>(k), k_slab, fused);
             }
             EGEMM_TRACE_SCOPE("combine");
             for (std::size_t i = 0; i < mt; ++i) {

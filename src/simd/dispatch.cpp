@@ -1,0 +1,32 @@
+#include "simd/dispatch.hpp"
+
+#include "util/assert.hpp"
+
+namespace egemm::simd {
+
+const KernelTable* kernels_for(IsaLevel level) noexcept {
+  switch (level) {
+    case IsaLevel::kScalar:
+      return scalar_kernel_table();
+    case IsaLevel::kAvx2:
+      return avx2_kernel_table();
+    case IsaLevel::kAvx512:
+      return avx512_kernel_table();
+  }
+  return nullptr;
+}
+
+bool isa_available(IsaLevel level) noexcept {
+  return kernels_for(level) != nullptr &&
+         isa_runtime_supported(level, query_cpu_features());
+}
+
+const KernelTable& active_kernels() noexcept {
+  const KernelTable* table = kernels_for(active_isa());
+  // active_isa() only resolves to levels whose table is compiled in
+  // (best_supported consults kernels_for; forced levels are clamped).
+  EGEMM_EXPECTS(table != nullptr);
+  return *table;
+}
+
+}  // namespace egemm::simd

@@ -1,0 +1,296 @@
+// AVX2 + FMA3 kernel tier. Compiled with -mavx2 -mfma (per-file flags in
+// src/CMakeLists.txt); when the toolchain cannot target AVX2 this TU
+// degrades to a null table and dispatch falls back to scalar.
+//
+// Bit-exactness argument (DESIGN.md §15):
+//  * MMA: the j (column) loop is the vector lane dimension, so lanes are
+//    independent output elements and vectorizing over j commutes with the
+//    per-element rounding sequence. Within a lane the sequence is the
+//    scalar kernel's: p0 = a0*b0[j] (exact -- both operands are
+//    half-valued, 11x11 significand bits fit binary32), then ONE rounding
+//    for the pair sum, then one for the accumulate. The pair sum runs as
+//    fmadd(a1, b1[j], p0) = round(p0 + a1*b1[j]); because the product
+//    a1*b1[j] is exact, this equals round(p0 + p1) -- the FMA is used only
+//    where it is provably bit-identical, never to fuse the pair-sum adds
+//    themselves.
+//  * Converters: lane-for-lane transcriptions of the integer cores in
+//    half_convert_core.hpp; every select mirrors a branch.
+
+#include "simd/dispatch.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+#include "simd/half_convert_core.hpp"
+#include "simd/kernels_common.hpp"
+
+namespace egemm::simd {
+
+namespace {
+
+// -- MMA ---------------------------------------------------------------------
+
+/// Accumulates one k-slab for four A rows onto eight ymm accumulators
+/// (rows r hold lanes [0,8) in acc_lo[r], [8,16) in acc_hi[r]). Exactly
+/// fills the 16 ymm registers: 8 accumulators + 4 B row halves + broadcast
+/// and pair-sum temporaries.
+inline void slab_rows4(__m256 acc_lo[4], __m256 acc_hi[4], const float* a,
+                       std::size_t lda, const float* b, int kt) {
+  int kk = 0;
+  for (; kk + 1 < kt; kk += 2) {
+    const float* brow = b + static_cast<std::size_t>(kk) * kMmaTile;
+    const __m256 b0_lo = _mm256_loadu_ps(brow);
+    const __m256 b0_hi = _mm256_loadu_ps(brow + 8);
+    const __m256 b1_lo = _mm256_loadu_ps(brow + kMmaTile);
+    const __m256 b1_hi = _mm256_loadu_ps(brow + kMmaTile + 8);
+    // Stream the next B k-pair into L1 while this one computes (harmless
+    // past the end of the block: prefetches never fault).
+    __builtin_prefetch(brow + 4 * kMmaTile);
+    for (int r = 0; r < 4; ++r) {
+      const float* arow = a + static_cast<std::size_t>(r) * lda;
+      const __m256 a0 = _mm256_broadcast_ss(arow + kk);
+      const __m256 a1 = _mm256_broadcast_ss(arow + kk + 1);
+      __m256 t_lo = _mm256_mul_ps(a0, b0_lo);
+      __m256 t_hi = _mm256_mul_ps(a0, b0_hi);
+      t_lo = _mm256_fmadd_ps(a1, b1_lo, t_lo);  // round(p0 + p1), exactly
+      t_hi = _mm256_fmadd_ps(a1, b1_hi, t_hi);
+      acc_lo[r] = _mm256_add_ps(acc_lo[r], t_lo);
+      acc_hi[r] = _mm256_add_ps(acc_hi[r], t_hi);
+    }
+  }
+  if (kk < kt) {  // odd slab tail: the lone product accumulates directly
+    const float* brow = b + static_cast<std::size_t>(kk) * kMmaTile;
+    const __m256 b0_lo = _mm256_loadu_ps(brow);
+    const __m256 b0_hi = _mm256_loadu_ps(brow + 8);
+    for (int r = 0; r < 4; ++r) {
+      const float* arow = a + static_cast<std::size_t>(r) * lda;
+      const __m256 a0 = _mm256_broadcast_ss(arow + kk);
+      acc_lo[r] = _mm256_add_ps(acc_lo[r], _mm256_mul_ps(a0, b0_lo));
+      acc_hi[r] = _mm256_add_ps(acc_hi[r], _mm256_mul_ps(a0, b0_hi));
+    }
+  }
+}
+
+inline void load_acc_rows4(const float* acc, int i0, __m256 acc_lo[4],
+                           __m256 acc_hi[4]) {
+  for (int r = 0; r < 4; ++r) {
+    const float* row = acc + static_cast<std::size_t>(i0 + r) * kMmaTile;
+    acc_lo[r] = _mm256_loadu_ps(row);
+    acc_hi[r] = _mm256_loadu_ps(row + 8);
+  }
+}
+
+inline void store_acc_rows4(float* acc, int i0, const __m256 acc_lo[4],
+                            const __m256 acc_hi[4]) {
+  for (int r = 0; r < 4; ++r) {
+    float* row = acc + static_cast<std::size_t>(i0 + r) * kMmaTile;
+    _mm256_storeu_ps(row, acc_lo[r]);
+    _mm256_storeu_ps(row + 8, acc_hi[r]);
+  }
+}
+
+void mma_block_packed_avx2(float* acc, const float* a, std::size_t lda,
+                           const float* b, int k) {
+  EGEMM_COUNTER_ADD("tcsim.isa.mma_block.avx2", 1);
+  static_assert(kMmaTile % 4 == 0);
+  for (int i0 = 0; i0 < kMmaTile; i0 += 4) {
+    __m256 acc_lo[4];
+    __m256 acc_hi[4];
+    load_acc_rows4(acc, i0, acc_lo, acc_hi);
+    slab_rows4(acc_lo, acc_hi, a + static_cast<std::size_t>(i0) * lda, lda, b,
+               k);
+    store_acc_rows4(acc, i0, acc_lo, acc_hi);
+  }
+}
+
+void mma_tile_recipe_avx2(float* acc, const float* const* a_blocks,
+                          const float* const* b_blocks, int ncombos,
+                          std::size_t lda, int k, int k_slab, bool fused) {
+  EGEMM_COUNTER_ADD("tcsim.isa.mma_tile.avx2", 1);
+  detail::check_recipe_args(ncombos, k, k_slab);
+  // Row-group outer loop: each group of four rows keeps its accumulators
+  // in registers across the whole combo x k-slab recipe (rows are
+  // independent chains, so regrouping them is semantics-free).
+  for (int i0 = 0; i0 < kMmaTile; i0 += 4) {
+    __m256 acc_lo[4];
+    __m256 acc_hi[4];
+    load_acc_rows4(acc, i0, acc_lo, acc_hi);
+    detail::for_each_recipe_slab(
+        ncombos, k, k_slab, fused, [&](int c, int k0, int kt) {
+          slab_rows4(acc_lo, acc_hi,
+                     a_blocks[c] + static_cast<std::size_t>(i0) * lda + k0,
+                     lda,
+                     b_blocks[c] + static_cast<std::size_t>(k0) * kMmaTile,
+                     kt);
+        });
+    store_acc_rows4(acc, i0, acc_lo, acc_hi);
+  }
+}
+
+// -- converters --------------------------------------------------------------
+
+inline __m256i load_f32_bits(const float* p) {
+  return _mm256_castps_si256(_mm256_loadu_ps(p));
+}
+
+/// Eight-lane transcription of detail::f32_bits_to_f16_bits; returns the
+/// half bit patterns zero-extended in 32-bit lanes (packing is the span
+/// driver's concern; the round-through kernel feeds them straight back).
+inline __m256i f32x8_to_f16_bits_u32(__m256i bits, bool nearest) {
+  const __m256i one = _mm256_set1_epi32(1);
+  const __m256i sign =
+      _mm256_and_si256(_mm256_srli_epi32(bits, 16), _mm256_set1_epi32(0x8000));
+  const __m256i abs = _mm256_and_si256(bits, _mm256_set1_epi32(0x7fffffff));
+  const __m256i exp32 = _mm256_srli_epi32(abs, 23);
+  const __m256i half_biased = _mm256_sub_epi32(exp32, _mm256_set1_epi32(112));
+  const __m256i sig =
+      _mm256_or_si256(_mm256_and_si256(abs, _mm256_set1_epi32(0x7fffff)),
+                      _mm256_set1_epi32(0x800000));
+  // shift = clamp(13 + max(0, 1 - half_biased), ..., 26)
+  __m256i shift = _mm256_add_epi32(
+      _mm256_set1_epi32(13),
+      _mm256_max_epi32(_mm256_setzero_si256(),
+                       _mm256_sub_epi32(one, half_biased)));
+  shift = _mm256_min_epi32(shift, _mm256_set1_epi32(26));
+  __m256i rounded = _mm256_srlv_epi32(sig, shift);
+  if (nearest) {
+    const __m256i rem = _mm256_and_si256(
+        sig, _mm256_sub_epi32(_mm256_sllv_epi32(one, shift), one));
+    const __m256i midpoint =
+        _mm256_sllv_epi32(one, _mm256_sub_epi32(shift, one));
+    // increment when rem > midpoint, or rem == midpoint and rounded is odd
+    // (shift <= 26 keeps rem/midpoint well below 2^31: signed compare ok)
+    const __m256i round_up = _mm256_or_si256(
+        _mm256_cmpgt_epi32(rem, midpoint),
+        _mm256_and_si256(_mm256_cmpeq_epi32(rem, midpoint),
+                         _mm256_cmpeq_epi32(_mm256_and_si256(rounded, one),
+                                            one)));
+    rounded = _mm256_sub_epi32(rounded, round_up);  // mask is 0 or -1
+  }
+  // Normal path re-biases the exponent (carry out of the significand bumps
+  // it for free, including 65504 -> inf); subnormals keep `rounded` as-is.
+  const __m256i rebased = _mm256_add_epi32(
+      rounded,
+      _mm256_slli_epi32(_mm256_sub_epi32(half_biased, one), 10));
+  const __m256i is_normal =
+      _mm256_cmpgt_epi32(half_biased, _mm256_setzero_si256());
+  __m256i result = _mm256_or_si256(
+      sign, _mm256_blendv_epi8(rounded, rebased, is_normal));
+  // Overrides in reverse precedence order of the scalar early returns.
+  const __m256i too_big =
+      _mm256_cmpgt_epi32(half_biased, _mm256_set1_epi32(30));
+  const __m256i big_value = _mm256_or_si256(
+      sign, _mm256_set1_epi32(nearest ? 0x7c00 : 0x7bff));
+  result = _mm256_blendv_epi8(result, big_value, too_big);
+  const __m256i is_zero =
+      _mm256_cmpeq_epi32(exp32, _mm256_setzero_si256());
+  result = _mm256_blendv_epi8(result, sign, is_zero);
+  const __m256i is_nan_inf =
+      _mm256_cmpgt_epi32(abs, _mm256_set1_epi32(0x7f7fffff));
+  const __m256i is_nan =
+      _mm256_cmpgt_epi32(abs, _mm256_set1_epi32(0x7f800000));
+  const __m256i nan_inf_value = _mm256_or_si256(
+      sign, _mm256_blendv_epi8(_mm256_set1_epi32(0x7c00),
+                               _mm256_set1_epi32(0x7e00), is_nan));
+  return _mm256_blendv_epi8(result, nan_inf_value, is_nan_inf);
+}
+
+/// Eight-lane transcription of detail::f16_bits_to_f32_one over half bit
+/// patterns already widened to 32-bit lanes.
+inline __m256 f16x8_bits_to_f32(__m256i h) {
+  const __m256i sign = _mm256_slli_epi32(
+      _mm256_and_si256(h, _mm256_set1_epi32(0x8000)), 16);
+  const __m256i exp = _mm256_and_si256(_mm256_srli_epi32(h, 10),
+                                       _mm256_set1_epi32(0x1f));
+  const __m256i man = _mm256_and_si256(h, _mm256_set1_epi32(0x3ff));
+  // Subnormal: exact integer->float conversion (man < 2^11) scaled by an
+  // exact power of two -- identical to the scalar core.
+  const __m256i sub = _mm256_castps_si256(_mm256_mul_ps(
+      _mm256_cvtepi32_ps(man), _mm256_set1_ps(0x1p-24f)));
+  const __m256i norm = _mm256_or_si256(
+      _mm256_slli_epi32(_mm256_add_epi32(exp, _mm256_set1_epi32(112)), 23),
+      _mm256_slli_epi32(man, 13));
+  const __m256i infnan = _mm256_or_si256(_mm256_set1_epi32(0x7f800000),
+                                         _mm256_slli_epi32(man, 13));
+  __m256i mag = _mm256_blendv_epi8(
+      norm, infnan, _mm256_cmpeq_epi32(exp, _mm256_set1_epi32(31)));
+  mag = _mm256_blendv_epi8(mag, sub,
+                           _mm256_cmpeq_epi32(exp, _mm256_setzero_si256()));
+  return _mm256_castsi256_ps(_mm256_or_si256(sign, mag));
+}
+
+/// Packs eight 32-bit lanes holding u16 values into eight contiguous u16.
+inline __m128i pack_u16x8(__m256i lanes) {
+  const __m256i packed = _mm256_packus_epi32(lanes, lanes);
+  return _mm256_castsi256_si128(
+      _mm256_permute4x64_epi64(packed, 0xd8));  // fix 128-bit lane split
+}
+
+void f32_to_f16_bits_avx2(const float* in, std::uint16_t* out, std::size_t n,
+                          bool nearest) {
+  EGEMM_COUNTER_ADD("tcsim.isa.convert.avx2", 1);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i half = f32x8_to_f16_bits_u32(load_f32_bits(in + i), nearest);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), pack_u16x8(half));
+  }
+  for (; i < n; ++i) {
+    out[i] = detail::f32_bits_to_f16_bits(std::bit_cast<std::uint32_t>(in[i]),
+                                          nearest);
+  }
+}
+
+void f16_bits_to_f32_avx2(const std::uint16_t* in, float* out,
+                          std::size_t n) {
+  EGEMM_COUNTER_ADD("tcsim.isa.convert.avx2", 1);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i h = _mm256_cvtepu16_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i)));
+    _mm256_storeu_ps(out + i, f16x8_bits_to_f32(h));
+  }
+  for (; i < n; ++i) out[i] = detail::f16_bits_to_f32_one(in[i]);
+}
+
+void f32_round_through_f16_avx2(const float* in, float* out, std::size_t n,
+                                bool nearest) {
+  EGEMM_COUNTER_ADD("tcsim.isa.convert.avx2", 1);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i half = f32x8_to_f16_bits_u32(load_f32_bits(in + i), nearest);
+    _mm256_storeu_ps(out + i, f16x8_bits_to_f32(half));
+  }
+  for (; i < n; ++i) {
+    out[i] = detail::f16_bits_to_f32_one(detail::f32_bits_to_f16_bits(
+        std::bit_cast<std::uint32_t>(in[i]), nearest));
+  }
+}
+
+constexpr KernelTable kAvx2Table = {
+    IsaLevel::kAvx2,        "avx2",
+    mma_block_packed_avx2,  mma_tile_recipe_avx2,
+    f32_to_f16_bits_avx2,   f16_bits_to_f32_avx2,
+    f32_round_through_f16_avx2,
+};
+
+}  // namespace
+
+const KernelTable* avx2_kernel_table() noexcept { return &kAvx2Table; }
+
+}  // namespace egemm::simd
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace egemm::simd {
+
+const KernelTable* avx2_kernel_table() noexcept { return nullptr; }
+
+}  // namespace egemm::simd
+
+#endif

@@ -1,0 +1,44 @@
+#pragma once
+// Internals shared by the per-ISA kernel translation units. The recipe
+// iteration lives here once so the scalar, AVX2 and AVX-512 variants
+// cannot drift in slab/combo order -- that order is part of the bit-exact
+// operation sequence (dispatch.hpp documents the contract).
+
+#include <cstddef>
+
+#include "simd/dispatch.hpp"
+#include "util/assert.hpp"
+
+namespace egemm::simd::detail {
+
+/// Validates an mma_tile_recipe call. An even slab keeps pair boundaries
+/// on even k offsets (so the !fused order stays bit-identical for every
+/// slab choice); a slab covering all of k trivially does too.
+inline void check_recipe_args(int ncombos, int k, int k_slab) noexcept {
+  EGEMM_EXPECTS(ncombos >= 1);
+  EGEMM_EXPECTS(k >= 1 && k_slab >= 1);
+  EGEMM_EXPECTS(k_slab % 2 == 0 || k_slab >= k);
+}
+
+/// The one recipe loop: fused interleaves combos inside each k-slab
+/// (Alg. 1), !fused runs each combo's full k extent before the next.
+/// `slab(c, k0, kt)` accumulates combo c's [k0, k0 + kt) slab.
+template <typename SlabFn>
+inline void for_each_recipe_slab(int ncombos, int k, int k_slab, bool fused,
+                                 SlabFn&& slab) {
+  if (fused) {
+    for (int k0 = 0; k0 < k; k0 += k_slab) {
+      const int kt = k - k0 < k_slab ? k - k0 : k_slab;
+      for (int c = 0; c < ncombos; ++c) slab(c, k0, kt);
+    }
+  } else {
+    for (int c = 0; c < ncombos; ++c) {
+      for (int k0 = 0; k0 < k; k0 += k_slab) {
+        const int kt = k - k0 < k_slab ? k - k0 : k_slab;
+        slab(c, k0, kt);
+      }
+    }
+  }
+}
+
+}  // namespace egemm::simd::detail

@@ -1,9 +1,17 @@
 #include "tcsim/tensor_core.hpp"
 
+#include <cstdint>
+
 #include "obs/metrics.hpp"
+#include "simd/dispatch.hpp"
 #include "util/assert.hpp"
 
 namespace egemm::tcsim {
+
+// The SIMD layer hard-codes the packed microtile extent so it need not
+// depend on tcsim headers; pin the two constants to each other here.
+static_assert(kTcM == simd::kMmaTile && kTcN == simd::kMmaTile,
+              "simd::kMmaTile must mirror the Tensor Core tile extents");
 
 namespace {
 
@@ -74,41 +82,26 @@ float tc_dot_f32(const float* a, const float* b, int k, float c) noexcept {
 
 void mma_block_packed(float* acc, const float* a, std::size_t lda,
                       const float* b, int k) noexcept {
-  // Two A rows per pass share each streamed B row; per output element the
-  // operation sequence is exactly pair_sum_accumulate (one rounded p0 + p1
-  // per k pair, chained onto the accumulator), with the j loop as the
-  // vector lane dimension. -ffp-contract=off (top-level CMakeLists) keeps
-  // the compiler from fusing the products differently per path.
+  // The seed's scalar loop moved verbatim to simd/kernels_scalar.cpp; this
+  // front door dispatches to the runtime-selected variant (all of them
+  // reproduce the pair_sum_accumulate sequence bit for bit).
   EGEMM_COUNTER_ADD("tcsim.mma_block_ops", 1);
-  static_assert(kTcM % 2 == 0);
-  for (int i = 0; i < kTcM; i += 2) {
-    const float* arow0 = a + static_cast<std::size_t>(i) * lda;
-    const float* arow1 = arow0 + lda;
-    float* acc0 = acc + static_cast<std::size_t>(i) * kTcN;
-    float* acc1 = acc0 + kTcN;
-    int kk = 0;
-    for (; kk + 1 < k; kk += 2) {
-      const float a00 = arow0[kk];
-      const float a01 = arow0[kk + 1];
-      const float a10 = arow1[kk];
-      const float a11 = arow1[kk + 1];
-      const float* b0 = b + static_cast<std::size_t>(kk) * kTcN;
-      const float* b1 = b0 + kTcN;
-      for (int j = 0; j < kTcN; ++j) {
-        acc0[j] += a00 * b0[j] + a01 * b1[j];
-        acc1[j] += a10 * b0[j] + a11 * b1[j];
-      }
-    }
-    if (kk < k) {
-      const float a00 = arow0[kk];
-      const float a10 = arow1[kk];
-      const float* b0 = b + static_cast<std::size_t>(kk) * kTcN;
-      for (int j = 0; j < kTcN; ++j) {
-        acc0[j] += a00 * b0[j];
-        acc1[j] += a10 * b0[j];
-      }
-    }
-  }
+  simd::active_kernels().mma_block_packed(acc, a, lda, b, k);
+}
+
+void mma_tile_recipe(float* acc, const float* const* a_blocks,
+                     const float* const* b_blocks, int ncombos,
+                     std::size_t lda, int k, int k_slab,
+                     bool fused) noexcept {
+  // Count the equivalent number of block-kernel calls so the counter keeps
+  // its meaning across the driver's move from per-slab calls to one
+  // whole-tile recipe call.
+  const int slabs = (k + k_slab - 1) / k_slab;
+  EGEMM_COUNTER_ADD("tcsim.mma_block_ops",
+                    static_cast<std::uint64_t>(ncombos) *
+                        static_cast<std::uint64_t>(slabs));
+  simd::active_kernels().mma_tile_recipe(acc, a_blocks, b_blocks, ncombos,
+                                         lda, k, k_slab, fused);
 }
 
 float probe_dot_half(std::span<const fp::Half> a, std::span<const fp::Half> b,

@@ -82,8 +82,32 @@ float tc_dot_f32(const float* a, const float* b, int k, float c) noexcept;
 /// output element performs exactly the pair_sum_accumulate sequence; the
 /// column index is the SIMD lane dimension, so the inner loop walks both
 /// packs at unit stride and vectorizes without reassociating anything.
+/// Dispatches to the runtime-selected ISA variant (simd/dispatch.hpp,
+/// DESIGN.md §15); every variant is pinned bit-identical to the scalar
+/// sequence above.
 void mma_block_packed(float* acc, const float* a, std::size_t lda,
                       const float* b, int k) noexcept;
+
+/// Whole-tile packed recipe: runs the packed engine's full per-tile
+/// combo x k-slab loop in one dispatched call so the SIMD variants can
+/// keep the kTcM x kTcN accumulator tile in registers across the entire k
+/// extent. `a_blocks[c]` / `b_blocks[c]` are the combo-c packed A-plane
+/// tile base (leading dimension `lda`) and B-plane block base. Semantics
+/// are exactly the loop nest
+///
+///   fused:  for k0 step k_slab: for c: mma_block_packed(acc,
+///           a_blocks[c] + k0, lda, b_blocks[c] + k0 * kTcN, kt)
+///   !fused: the same with the c / k0 loops exchanged
+///
+/// with kt = min(k_slab, k - k0). `k_slab` must be even or >= k: even slab
+/// boundaries keep the pair-sum pairing on even k offsets, making the slab
+/// length a pure blocking choice in the !fused order (any even value gives
+/// bit-identical results). In the fused order the slab length is part of
+/// the emulation recipe and callers pass the semantic value (16).
+void mma_tile_recipe(float* acc, const float* const* a_blocks,
+                     const float* const* b_blocks, int ncombos,
+                     std::size_t lda, int k, int k_slab,
+                     bool fused) noexcept;
 
 // -- Probing compute primitives (Fig. 2a) -----------------------------------
 // Each computes the same dot product under a hypothesised intermediate

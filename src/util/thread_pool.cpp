@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -20,6 +21,22 @@ thread_local const ThreadPool* tl_worker_pool = nullptr;
 thread_local std::size_t tl_worker_index = 0;
 
 std::uint64_t now_ns() noexcept { return obs::monotonic_ns(); }
+
+/// Waits on EVERY future before rethrowing the first exception. Bailing on
+/// the first throw would unwind the caller's frame while queued chunks
+/// still hold references into it (the chunk lambdas capture `body` — and,
+/// through it, the caller's locals — by reference).
+void join_all(std::vector<std::future<void>>& futures) {
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
 
 }  // namespace
 
@@ -108,7 +125,7 @@ void ThreadPool::parallel_for(
     const std::size_t end = std::min(count, begin + chunk);
     futures.push_back(submit([&body, begin, end] { body(begin, end); }));
   }
-  for (auto& future : futures) future.get();
+  join_all(futures);
 }
 
 void ThreadPool::parallel_for_2d(
@@ -147,7 +164,7 @@ void ThreadPool::parallel_for_2d(
           submit([&body, r0, r1, c0, c1] { body(r0, r1, c0, c1); }));
     }
   }
-  for (auto& future : futures) future.get();
+  join_all(futures);
 }
 
 void ThreadPool::worker_loop(std::size_t index) {

@@ -60,5 +60,100 @@ TEST(WriteBenchJson, EscapesNamesInRecords) {
   std::remove(path.c_str());
 }
 
+TEST(ParseBenchJson, RoundTripsWriterOutput) {
+  obs::registry().counter("test.parse_roundtrip");
+  const std::string path =
+      testing::TempDir() + "/egemm_test_bench_parse.json";
+  std::vector<BenchRecord> records;
+  records.push_back({"BM_A/64", 123.5, 2.0e9});
+  records.push_back({"BM_MmaBlockPacked/avx2", 5.5e3, 2.4e10});
+  ASSERT_TRUE(write_bench_json(path, "cafe", records));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::vector<BenchRecord> parsed =
+      parse_bench_json_records(buffer.str());
+  // The metrics block keys metrics BY name, so it must contribute no rows.
+  ASSERT_EQ(parsed.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(parsed[i].name, records[i].name);
+    EXPECT_NEAR(parsed[i].ns_per_iter, records[i].ns_per_iter,
+                records[i].ns_per_iter * 1e-5);
+    EXPECT_NEAR(parsed[i].items_per_second, records[i].items_per_second,
+                records[i].items_per_second * 1e-5);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ParseBenchJson, EmptyAndGarbageInputsYieldNoRows) {
+  EXPECT_TRUE(parse_bench_json_records("").empty());
+  EXPECT_TRUE(parse_bench_json_records("{\"benchmarks\": []}").empty());
+  EXPECT_TRUE(parse_bench_json_records("not json at all").empty());
+}
+
+TEST(CompareBench, FlagsOnlyRowsPastTheThreshold) {
+  const std::vector<BenchRecord> old_records = {
+      {"BM_Stable", 100.0, 1.0e9},
+      {"BM_Faster", 100.0, 1.0e9},
+      {"BM_Slower", 100.0, 1.0e9},
+      {"BM_Borderline", 100.0, 1.0e9},
+  };
+  const std::vector<BenchRecord> new_records = {
+      {"BM_Stable", 101.0, 1.0e9},
+      {"BM_Faster", 50.0, 2.0e9},
+      {"BM_Slower", 200.0, 0.5e9},
+      {"BM_Borderline", 110.0, 0.9e9},  // exactly at a +10% threshold
+  };
+  const BenchCompareReport report =
+      compare_bench_records(old_records, new_records, 0.10);
+  ASSERT_EQ(report.rows.size(), 4u);
+  EXPECT_EQ(report.regressions, 1u);  // only BM_Slower; at-threshold passes
+  EXPECT_FALSE(report.rows[0].regressed);
+  EXPECT_FALSE(report.rows[1].regressed);
+  EXPECT_TRUE(report.rows[2].regressed);
+  EXPECT_FALSE(report.rows[3].regressed);
+  EXPECT_DOUBLE_EQ(report.rows[2].ratio, 2.0);
+}
+
+TEST(CompareBench, TracksDisjointRowsWithoutRegressing) {
+  const std::vector<BenchRecord> old_records = {{"BM_Gone", 100.0, 1.0e9},
+                                                {"BM_Shared", 100.0, 1.0e9}};
+  const std::vector<BenchRecord> new_records = {{"BM_Shared", 90.0, 1.1e9},
+                                                {"BM_New", 10.0, 1.0e9}};
+  const BenchCompareReport report =
+      compare_bench_records(old_records, new_records, 0.10);
+  EXPECT_EQ(report.regressions, 0u);
+  ASSERT_EQ(report.rows.size(), 1u);
+  EXPECT_EQ(report.rows[0].name, "BM_Shared");
+  ASSERT_EQ(report.only_in_old.size(), 1u);
+  EXPECT_EQ(report.only_in_old[0], "BM_Gone");
+  ASSERT_EQ(report.only_in_new.size(), 1u);
+  EXPECT_EQ(report.only_in_new[0], "BM_New");
+}
+
+TEST(CompareBench, SkipsRowsWithoutTimings) {
+  // BM_EmulatedTile-style rows once had ns_per_iter but a 0 rate; a zeroed
+  // timing on either side must not fabricate a ratio.
+  const std::vector<BenchRecord> old_records = {{"BM_NoTiming", 0.0, 0.0},
+                                                {"BM_Ok", 100.0, 1.0e9}};
+  const std::vector<BenchRecord> new_records = {{"BM_NoTiming", 50.0, 1.0e9},
+                                                {"BM_Ok", 100.0, 1.0e9}};
+  const BenchCompareReport report =
+      compare_bench_records(old_records, new_records, 0.10);
+  ASSERT_EQ(report.rows.size(), 1u);
+  EXPECT_EQ(report.rows[0].name, "BM_Ok");
+}
+
+TEST(CompareBench, PrintReportsRegressionCount) {
+  const std::vector<BenchRecord> old_records = {{"BM_X", 100.0, 1.0e9}};
+  const std::vector<BenchRecord> new_records = {{"BM_X", 300.0, 0.3e9}};
+  const BenchCompareReport report =
+      compare_bench_records(old_records, new_records, 0.25);
+  std::ostringstream os;
+  print_bench_compare(report, 0.25, os);
+  EXPECT_NE(os.str().find("REGRESSED"), std::string::npos);
+  EXPECT_NE(os.str().find("1 REGRESSION"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace egemm::bench
