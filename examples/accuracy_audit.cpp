@@ -7,6 +7,9 @@
 //
 //   --seed=N            master fuzz seed (default 1)
 //   --cases=N           number of fuzz cases to plan (default 500)
+//   --scheme=NAME       pin every case's engine differential to one ladder
+//                       rung (e.g. recovery-3term); default round-robins
+//                       the whole ladder
 //   --time-budget-s=S   stop planning new cases after S seconds (default off)
 //   --json[=PATH]       also write a JSON report (default AUDIT_accuracy.json)
 //   --replay="DESC"     run one case from its replay descriptor and exit
@@ -23,7 +26,9 @@
 #include <iostream>
 #include <string>
 
+#include "core/scheme.hpp"
 #include "gemm/egemm.hpp"
+#include "gemm/plan.hpp"
 #include "obs/export.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -47,20 +52,22 @@ int replay_one(const std::string& descriptor) {
   }
   const CaseResult result = run_case(*fuzz);
   std::printf("case    : %s\n", format_case(*fuzz).c_str());
+  std::printf("scheme  : %s\n", core::scheme_name(fuzz->scheme));
   std::printf("special : %s\n", result.special ? "yes (bounds skipped)" : "no");
   std::printf("engines : %s\n",
               result.engine_match ? "bitwise match" : "MISMATCH");
   bool ok = result.engine_match;
   if (!result.engine_match) {
     // Dump the first few differing elements with their bit patterns so an
-    // engine divergence can be localized without a debugger.
+    // engine divergence can be localized without a debugger. Re-run under
+    // the case's own scheme, matching what the harness compared.
     const FuzzInputs inputs = generate_inputs(*fuzz);
-    gemm::EgemmOptions reference_engine;
-    reference_engine.engine = gemm::ExecEngine::kReference;
+    gemm::GemmContext& ctx = gemm::default_context();
     const gemm::Matrix packed =
-        gemm::egemm_multiply(inputs.a, inputs.b, inputs.c_ptr());
-    const gemm::Matrix reference = gemm::egemm_multiply(
-        inputs.a, inputs.b, inputs.c_ptr(), reference_engine);
+        ctx.run_scheme(fuzz->scheme, inputs.a, inputs.b, inputs.c_ptr());
+    const gemm::Matrix reference =
+        ctx.run_scheme(fuzz->scheme, inputs.a, inputs.b, inputs.c_ptr(),
+                       gemm::ExecEngine::kReference);
     int shown = 0;
     for (std::size_t i = 0; i < packed.rows() && shown < 8; ++i) {
       for (std::size_t j = 0; j < packed.cols() && shown < 8; ++j) {
@@ -111,6 +118,20 @@ int main(int argc, char** argv) {
   }
   options.cases = static_cast<std::size_t>(cases);
   options.time_budget_seconds = args.value_or("time-budget-s", 0.0);
+  if (const auto scheme_arg = args.value("scheme")) {
+    const std::optional<core::SchemeId> scheme =
+        core::parse_scheme_name(*scheme_arg);
+    if (!scheme) {
+      std::fprintf(stderr, "accuracy_audit: unknown --scheme \"%s\"; one of:",
+                   scheme_arg->c_str());
+      for (const core::SchemeId rung : core::scheme_ladder()) {
+        std::fprintf(stderr, " %s", core::scheme_name(rung));
+      }
+      std::fprintf(stderr, "\n");
+      return 2;
+    }
+    options.scheme = *scheme;
+  }
 
   const AuditReport report = run_audit(options);
 
@@ -145,7 +166,8 @@ int main(int argc, char** argv) {
                      std::to_string(report.special_cases));
   table.add_footnote(std::string("engine packed==reference bitwise: ") +
                      (report.engine_mismatches == 0 ? "yes"
-                                                    : "MISMATCHES SEEN"));
+                                                    : "MISMATCHES SEEN") +
+                     " (scheme: " + report.engine_scheme + ")");
   table.add_footnote(std::string("round-split max ulp < Markidis (paper "
                                  "Fig. 4 ordering): ") +
                      (report.round_below_markidis() ? "yes" : "NO"));

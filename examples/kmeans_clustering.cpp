@@ -2,9 +2,14 @@
 // iteration's assignment step is one extended-precision GEMM.
 //
 //   build/examples/kmeans_clustering [--points=3000] [--dim=32]
-//                                    [--clusters=6]
+//                                    [--clusters=6] [--precision=X]
+//
+// --precision states an accuracy contract on each distance-GEMM element:
+// the planner picks the cheapest emulation scheme whose a-priori bound
+// meets it (and fails loudly when none can).
 #include <algorithm>
 #include <cstdio>
+#include <stdexcept>
 #include <vector>
 
 #include "apps/app_timing.hpp"
@@ -30,11 +35,22 @@ int main(int argc, char** argv) {
   apps::KMeansOptions opts;
   opts.clusters = clusters;
   opts.backend = gemm::Backend::kEgemmTC;
-  const apps::KMeansResult result = apps::kmeans(cloud.points, opts);
+  opts.precision_target = args.value_or("precision", 0.0);
+  apps::KMeansResult result;
+  try {
+    result = apps::kmeans(cloud.points, opts);
+  } catch (const std::invalid_argument& err) {
+    std::fprintf(stderr, "error: %s\n", err.what());
+    return 2;
+  }
 
   std::printf("kMeans on %zu points, dim %zu, %d clusters (EGEMM-TC "
               "backend)\n\n",
               points, dim, clusters);
+  if (result.scheme != nullptr) {
+    std::printf("accuracy contract %.3g met by scheme: %s\n",
+                opts.precision_target, result.scheme);
+  }
   std::printf("converged: %s after %d iterations, inertia %.4f\n",
               result.converged ? "yes" : "no", result.iterations,
               result.inertia);

@@ -3,8 +3,13 @@
 // search is Tensor-Core fast without the half-precision mis-rankings.
 //
 //   build/examples/knn_search [--points=2000] [--queries=500] [--dim=64]
-//                             [--k=10]
+//                             [--k=10] [--precision=X]
+//
+// --precision states an accuracy contract on each cross-term element: the
+// planner picks the cheapest emulation scheme whose a-priori bound meets
+// it (and fails loudly when none can).
 #include <cstdio>
+#include <stdexcept>
 
 #include "apps/app_timing.hpp"
 #include "apps/dataset.hpp"
@@ -30,11 +35,22 @@ int main(int argc, char** argv) {
   apps::KnnOptions opts;
   opts.k = k;
   opts.backend = gemm::Backend::kEgemmTC;
-  const apps::KnnResult result = apps::knn_search(qs.points, refs.points, opts);
+  opts.precision_target = args.value_or("precision", 0.0);
+  apps::KnnResult result;
+  try {
+    result = apps::knn_search(qs.points, refs.points, opts);
+  } catch (const std::invalid_argument& err) {
+    std::fprintf(stderr, "error: %s\n", err.what());
+    return 2;
+  }
 
   std::printf("kNN over %zu references, %zu queries, dim %zu, k=%d "
               "(EGEMM-TC backend)\n\n",
               points, queries, dim, k);
+  if (result.scheme != nullptr) {
+    std::printf("accuracy contract %.3g met by scheme: %s\n\n",
+                opts.precision_target, result.scheme);
+  }
   std::printf("first query's neighbors (index : squared distance):\n");
   for (int j = 0; j < k; ++j) {
     std::printf("  #%d  %6d : %.6f\n", j + 1,
@@ -48,6 +64,7 @@ int main(int argc, char** argv) {
       apps::knn_bruteforce(qs.points, refs.points, k);
   apps::KnnOptions half_opts = opts;
   half_opts.backend = gemm::Backend::kCublasTcHalf;
+  half_opts.precision_target = 0.0;  // the demo wants genuine half numerics
   const apps::KnnResult half_result =
       apps::knn_search(qs.points, refs.points, half_opts);
   std::printf("\nneighbor agreement vs exact brute force:\n");

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
+#include <memory>
+#include <stdexcept>
 
 #include "gemm/plan.hpp"
 #include "util/assert.hpp"
@@ -89,7 +92,31 @@ KMeansResult kmeans(const gemm::Matrix& points, const KMeansOptions& opts) {
   // loop performs no heap allocation for the GEMM.
   gemm::GemmContext& ctx =
       opts.context != nullptr ? *opts.context : gemm::default_context();
-  const auto plan = ctx.plan(opts.backend, n, clusters, dim);
+  std::shared_ptr<const gemm::GemmPlan> plan;
+  if (opts.precision_target > 0.0) {
+    // Centroids are convex combinations of points, so both GEMM operands
+    // share the points' scale context for the a-priori bound.
+    core::AccuracyContract contract;
+    contract.max_abs_error = opts.precision_target;
+    contract.a_scale = gemm::max_abs(points);
+    contract.b_scale = contract.a_scale;
+    const gemm::GemmContext::ContractPlan cp =
+        ctx.plan_contract(n, clusters, dim, contract);
+    if (!cp.resolution.feasible) {
+      char message[192];
+      std::snprintf(message, sizeof(message),
+                    "kmeans: no emulation scheme meets the accuracy contract: "
+                    "target %.6g, tightest rung (%s) only proves %.6g",
+                    opts.precision_target,
+                    core::scheme_name(cp.resolution.tightest),
+                    cp.resolution.tightest_worst_abs);
+      throw std::invalid_argument(message);
+    }
+    plan = cp.plan;
+    result.scheme = core::scheme_name(cp.resolution.scheme);
+  } else {
+    plan = ctx.plan(opts.backend, n, clusters, dim);
+  }
   gemm::Matrix ct;
   gemm::Matrix cross;
 

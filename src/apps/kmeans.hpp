@@ -20,6 +20,12 @@ struct KMeansOptions {
   double tolerance = 1e-6;  ///< stop when inertia improves less than this
   std::uint64_t seed = 42;  ///< k-means++-style seeding stream
   gemm::Backend backend = gemm::Backend::kEgemmTC;
+  /// Accuracy contract on the distance GEMM: when > 0 the planner ignores
+  /// `backend` and selects the cheapest emulation scheme whose a-priori
+  /// element-wise bound (with the points' scale context; centroids are
+  /// convex combinations of points, so share their scale) meets this
+  /// target. Throws std::invalid_argument when no ladder rung qualifies.
+  double precision_target = 0.0;
   /// Plan/workspace context for the per-iteration GEMM (gemm/plan.hpp);
   /// the shared default_context() when null. The Lloyd loop plans once and
   /// executes into reused buffers, so iterations stay allocation-free.
@@ -32,6 +38,9 @@ struct KMeansResult {
   int iterations = 0;
   double inertia = 0.0;  ///< sum of squared distances to assigned centroid
   bool converged = false;
+  /// Ladder rung the contract resolved to (static name from
+  /// core::scheme_name); null when no precision_target was set.
+  const char* scheme = nullptr;
 };
 
 /// Lloyd iterations on `points` (n x dim).

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <memory>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "gemm/plan.hpp"
@@ -58,13 +61,37 @@ KnnResult knn_search(const gemm::Matrix& queries,
   // Cross terms via one large GEMM: Q x R^T (m x n).
   gemm::GemmContext& ctx =
       opts.context != nullptr ? *opts.context : gemm::default_context();
+
+  KnnResult result;
+  std::shared_ptr<const gemm::GemmPlan> plan;
+  if (opts.precision_target > 0.0) {
+    core::AccuracyContract contract;
+    contract.max_abs_error = opts.precision_target;
+    contract.a_scale = gemm::max_abs(queries);
+    contract.b_scale = gemm::max_abs(references);
+    const gemm::GemmContext::ContractPlan cp =
+        ctx.plan_contract(m, n, queries.cols(), contract);
+    if (!cp.resolution.feasible) {
+      char message[192];
+      std::snprintf(message, sizeof(message),
+                    "knn: no emulation scheme meets the accuracy contract: "
+                    "target %.6g, tightest rung (%s) only proves %.6g",
+                    opts.precision_target,
+                    core::scheme_name(cp.resolution.tightest),
+                    cp.resolution.tightest_worst_abs);
+      throw std::invalid_argument(message);
+    }
+    plan = cp.plan;
+    result.scheme = core::scheme_name(cp.resolution.scheme);
+  } else {
+    plan = ctx.plan(opts.backend, m, n, queries.cols());
+  }
   const gemm::Matrix rt = gemm::transpose(references);
-  const gemm::Matrix cross = gemm::run_gemm(ctx, opts.backend, queries, rt);
+  gemm::Matrix cross;
+  plan->execute(ctx, queries, rt, nullptr, cross);
 
   const std::vector<float> qn = row_norms(queries);
   const std::vector<float> rn = row_norms(references);
-
-  KnnResult result;
   result.indices = gemm::BasicMatrix<std::int32_t>(
       m, static_cast<std::size_t>(opts.k));
   result.distances = gemm::Matrix(m, static_cast<std::size_t>(opts.k));

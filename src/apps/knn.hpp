@@ -20,11 +20,19 @@ struct KnnResult {
   gemm::BasicMatrix<std::int32_t> indices;
   /// Squared distances, same layout.
   gemm::Matrix distances;
+  /// Ladder rung the contract resolved to (static name from
+  /// core::scheme_name); null when no precision_target was set.
+  const char* scheme = nullptr;
 };
 
 struct KnnOptions {
   int k = 8;
   gemm::Backend backend = gemm::Backend::kEgemmTC;
+  /// Accuracy contract on the cross-term GEMM: when > 0 the planner
+  /// ignores `backend` and selects the cheapest emulation scheme whose
+  /// a-priori bound (queries/references scale context) meets this target.
+  /// Throws std::invalid_argument when no ladder rung qualifies.
+  double precision_target = 0.0;
   /// Plan/workspace context for the distance GEMM (gemm/plan.hpp); the
   /// shared default_context() when null. Batched searches over same-shape
   /// query sets reuse the cached plan and its workspaces.

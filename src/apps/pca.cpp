@@ -73,8 +73,21 @@ PcaResult pca_power(const gemm::Matrix& points, const PcaOptions& opts) {
   gemm::GemmExParams params;
   params.trans_a = gemm::Transpose::kTranspose;
   params.alpha = 1.0f / static_cast<float>(n - 1);
-  gemm::Matrix covariance =
-      gemm::gemm_ex(ctx, opts.backend, centered, centered, nullptr, params);
+  gemm::Matrix covariance;
+  if (opts.precision_target > 0.0) {
+    core::AccuracyContract contract;
+    contract.max_abs_error = opts.precision_target;
+    const core::ContractResolution resolution = gemm::gemm_ex_contract_resolution(
+        centered, centered, nullptr, params, contract);
+    // The contract overload re-resolves and throws the detailed
+    // invalid_argument itself when infeasible.
+    covariance =
+        gemm::gemm_ex(ctx, centered, centered, nullptr, params, contract);
+    result.scheme = core::scheme_name(resolution.scheme);
+  } else {
+    covariance =
+        gemm::gemm_ex(ctx, opts.backend, centered, centered, nullptr, params);
+  }
 
   // Power iteration with deflation on the dim x dim covariance.
   util::Xoshiro256 rng(opts.seed);

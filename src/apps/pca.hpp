@@ -26,6 +26,13 @@ struct PcaOptions {
   double tolerance = 1e-7;  ///< per-component convergence on the Rayleigh quotient
   std::uint64_t seed = 7;
   gemm::Backend backend = gemm::Backend::kEgemmTC;
+  /// Accuracy contract on each covariance entry: when > 0 the planner
+  /// ignores `backend` and routes the covariance GEMM through the
+  /// contract gemm_ex overload, which selects the cheapest emulation
+  /// scheme whose a-priori bound meets this target (the 1/(n-1) alpha
+  /// epilogue rounding included). Throws std::invalid_argument when no
+  /// ladder rung qualifies.
+  double precision_target = 0.0;
   /// Plan/workspace context for the covariance GEMM (gemm/plan.hpp); the
   /// shared default_context() when null.
   gemm::GemmContext* context = nullptr;
@@ -35,6 +42,9 @@ struct PcaResult {
   gemm::Matrix components;               ///< components x dim, orthonormal rows
   std::vector<double> explained_variance;  ///< eigenvalues, descending
   std::vector<float> mean;               ///< the removed column means
+  /// Ladder rung the contract resolved to (static name from
+  /// core::scheme_name); null when no precision_target was set.
+  const char* scheme = nullptr;
 };
 
 /// Computes the leading principal components of `points` (n x dim).

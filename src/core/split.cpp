@@ -118,12 +118,13 @@ void split_span_f32(std::span<const float> input, std::span<float> hi,
   }
 }
 
-SplitThirds split3_scalar(float x) noexcept {
-  const fp::Half hi(x);
+SplitThirds split3_scalar(float x, SplitMethod method) noexcept {
+  const fp::Rounding mode = split_rounding(method);
+  const fp::Half hi(x, mode);
   const float r1 = x - hi.to_float();  // exact in binary32
-  const fp::Half mid(r1);
+  const fp::Half mid(r1, mode);
   const float r2 = r1 - mid.to_float();  // exact in binary32
-  const fp::Half lo(r2);
+  const fp::Half lo(r2, mode);
   return {hi, mid, lo};
 }
 
@@ -133,11 +134,12 @@ double combine3_scalar(SplitThirds thirds) noexcept {
 }
 
 void split3_span_f32(std::span<const float> input, std::span<float> hi,
-                     std::span<float> mid, std::span<float> lo) {
+                     std::span<float> mid, std::span<float> lo,
+                     SplitMethod method) {
   EGEMM_EXPECTS(input.size() == hi.size() && input.size() == mid.size() &&
                 input.size() == lo.size());
   count_split(input.size(), 3, sizeof(float));
-  constexpr fp::Rounding kMode = fp::Rounding::kNearestEven;
+  const fp::Rounding mode = split_rounding(method);
   float r1[kChunk];
   float r2[kChunk];
   for (std::size_t base = 0; base < input.size(); base += kChunk) {
@@ -145,11 +147,11 @@ void split3_span_f32(std::span<const float> input, std::span<float> hi,
     const std::span<const float> in = input.subspan(base, len);
     const std::span<float> hi_out = hi.subspan(base, len);
     const std::span<float> mid_out = mid.subspan(base, len);
-    fp::f32_round_through_f16_span(in, hi_out, kMode);
+    fp::f32_round_through_f16_span(in, hi_out, mode);
     for (std::size_t i = 0; i < len; ++i) r1[i] = in[i] - hi_out[i];
-    fp::f32_round_through_f16_span({r1, len}, mid_out, kMode);
+    fp::f32_round_through_f16_span({r1, len}, mid_out, mode);
     for (std::size_t i = 0; i < len; ++i) r2[i] = r1[i] - mid_out[i];
-    fp::f32_round_through_f16_span({r2, len}, lo.subspan(base, len), kMode);
+    fp::f32_round_through_f16_span({r2, len}, lo.subspan(base, len), mode);
   }
 }
 
@@ -180,6 +182,42 @@ double split_residual_bound(SplitMethod method, double scale) noexcept {
       return std::max(scale * 0x1.0p-21, 0x1.0p-24);
   }
   return 0.0;
+}
+
+double split_residual_bound_planes(SplitMethod method, int planes,
+                                   double scale) noexcept {
+  if (planes <= 2) return split_residual_bound(method, scale);
+  // Binade argument for the three-level stack, |x| in [2^e, 2^(e+1)):
+  //  * round: |r1| <= half ulp16(x) <= 2^(e-11), so |r2| <= half
+  //    ulp16(r1) <= 2^(e-22) and the final residual |r3| <= half
+  //    ulp16(r2) <= 2^(e-33) <= 2^-33 |x|. Below the binary16 normal
+  //    range the last rounding loses at most half a subnormal quantum.
+  //  * truncate: r1 < ulp16(x) <= 2^(e-10), r2 < ulp16(r1) <= 2^(e-21),
+  //    r3 < ulp16(r2) <= 2^(e-32) <= 2^-32 |x|; stated as 2^-31 for a 2x
+  //    margin over the statically derived constant (the EG5xx pass
+  //    derives exactly 2^-32), with the full-quantum subnormal floor.
+  switch (method) {
+    case SplitMethod::kRoundSplit:
+      return std::max(scale * 0x1.0p-33, 0x1.0p-25);
+    case SplitMethod::kTruncateSplit:
+      return std::max(scale * 0x1.0p-31, 0x1.0p-24);
+  }
+  return 0.0;
+}
+
+double split_plane_bound(SplitMethod method, int depth, double scale) noexcept {
+  if (depth <= 1) return split_lo_plane_bound(method, scale);
+  // Each residual level is one per-level factor down: 2^-11 (1 + 2^-11)
+  // padded to 0x1.01p-11 for round-split (the RN16 overshoot compounds),
+  // a full binary16 ulp 2^-10 for truncate-split. The depth-d plane is
+  // the rounding of the depth-d residual, so its magnitude is at most
+  // scale * factor^d -- with the subnormal-quantum floor once the
+  // residual leaves the binary16 normal range.
+  const double level = method == SplitMethod::kRoundSplit ? 0x1.01p-11
+                                                          : 0x1.0p-10;
+  double rel = level;
+  for (int d = 1; d < depth; ++d) rel *= level;
+  return std::max(scale * rel, 0x1.0p-24);
 }
 
 double split_lo_plane_bound(SplitMethod method, double scale) noexcept {

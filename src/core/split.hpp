@@ -98,16 +98,35 @@ struct SplitThirds {
   fp::Half lo;
 };
 
-/// Splits one binary32 value into three binary16 values (round-split at
-/// every level). Exact for |x| in [2^-2, 65504) and for any value whose
-/// residuals stay in the binary16 range; tiny residuals may round.
-SplitThirds split3_scalar(float x) noexcept;
+/// Splits one binary32 value into three binary16 values, rounding every
+/// level with `method`. With round-split the decomposition is exact for
+/// |x| in [2^-2, 65504) and for any value whose residuals stay in the
+/// binary16 range; tiny residuals may round. Truncate-split keeps each
+/// plane one-signed (the Ozaki-style word slices) at the cost of one
+/// effective bit per level.
+SplitThirds split3_scalar(float x,
+                          SplitMethod method = SplitMethod::kRoundSplit) noexcept;
 
 /// Recombines; exact in binary64.
 double combine3_scalar(SplitThirds thirds) noexcept;
 
 /// Splits into three binary32-stored, binary16-valued planes.
 void split3_span_f32(std::span<const float> input, std::span<float> hi,
-                     std::span<float> mid, std::span<float> lo);
+                     std::span<float> mid, std::span<float> lo,
+                     SplitMethod method = SplitMethod::kRoundSplit);
+
+/// split_residual_bound generalized to a `planes`-deep split stack: the
+/// worst-case |x - sum(planes)| for |x| <= scale, with the binary16
+/// subnormal floor. planes <= 2 delegates to split_residual_bound; three
+/// planes tighten the relative part to 2^-33 (round) / 2^-31 (truncate).
+double split_residual_bound_planes(SplitMethod method, int planes,
+                                   double scale) noexcept;
+
+/// Worst-case magnitude of the plane at split depth `depth` (1 = first
+/// residual plane, 2 = second) for |x| <= scale, with the subnormal floor.
+/// depth 1 is exactly split_lo_plane_bound; each extra depth is one more
+/// per-level factor down. The hi plane (depth 0) is not covered here --
+/// its bound includes the RN16 overshoot and lives with the error model.
+double split_plane_bound(SplitMethod method, int depth, double scale) noexcept;
 
 }  // namespace egemm::core

@@ -1,6 +1,9 @@
 #include "gemm/gemm_api.hpp"
 
 #include <cmath>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
 
 #include "gemm/plan.hpp"
 #include "util/assert.hpp"
@@ -83,6 +86,100 @@ Matrix gemm_ex(GemmContext& ctx, Backend backend, const Matrix& a,
     d.data()[i] = value;
   }
   return d;
+}
+
+core::ContractResolution gemm_ex_contract_resolution(
+    const Matrix& a, const Matrix& b, const Matrix* c,
+    const GemmExParams& params, const core::AccuracyContract& contract) {
+  EGEMM_EXPECTS(params.alpha != 0.0f);
+  EGEMM_EXPECTS(params.beta == 0.0f || c != nullptr);
+  // max |op(X)| == max |X|: transposition never changes the scale context,
+  // so the scales come straight off the stored matrices.
+  const std::size_t k =
+      params.trans_a == Transpose::kTranspose ? a.rows() : a.cols();
+  core::AccuracyContract resolved = contract;
+  if (resolved.a_scale <= 0.0) resolved.a_scale = max_abs(a);
+  if (resolved.b_scale <= 0.0) resolved.b_scale = max_abs(b);
+  const bool use_c = c != nullptr && params.beta != 0.0f;
+  if (resolved.c_abs <= 0.0) resolved.c_abs = use_c ? max_abs(*c) : 0.0;
+  if (!use_c) resolved.c_abs = 0.0;
+
+  const bool fast = params.alpha == 1.0f &&
+                    (params.beta == 0.0f ||
+                     (params.beta == 1.0f && c != nullptr));
+  double target = contract.max_abs_error;
+  double kernel_c_abs = 0.0;
+  if (fast) {
+    // beta == 1 rides C on the kernel accumulator; beta == 0 has no C.
+    if (params.beta == 1.0f) kernel_c_abs = resolved.c_abs;
+  } else {
+    // Epilogue path: the kernel runs without C, then D = alpha * D0 (one
+    // binary32 multiply) fma'd with beta * C (one more rounding). Both
+    // roundings are at most u32 of the output scale; budget 4 u32 of it
+    // out of the target and require the kernel to meet the rest (scaled
+    // back by |alpha|, since its error is multiplied through).
+    const double alpha = std::fabs(static_cast<double>(params.alpha));
+    const double beta = std::fabs(static_cast<double>(params.beta));
+    const double out_scale =
+        alpha * static_cast<double>(k) * resolved.a_scale *
+            resolved.b_scale +
+        beta * resolved.c_abs;
+    target = (target - 4.0 * 0x1.0p-24 * out_scale) / alpha;
+  }
+  core::AccuracyContract kernel_contract = resolved;
+  kernel_contract.max_abs_error = target;
+  kernel_contract.c_abs = kernel_c_abs;
+  return core::resolve_contract(kernel_contract, k);
+}
+
+Matrix gemm_ex(GemmContext& ctx, const Matrix& a, const Matrix& b,
+               const Matrix* c, const GemmExParams& params,
+               const core::AccuracyContract& contract) {
+  const core::ContractResolution resolution =
+      gemm_ex_contract_resolution(a, b, c, params, contract);
+  if (!resolution.feasible) {
+    char message[192];
+    std::snprintf(message, sizeof(message),
+                  "no emulation scheme meets the accuracy contract: target "
+                  "%.6g, tightest rung (%s) only proves %.6g",
+                  contract.max_abs_error,
+                  core::scheme_name(resolution.tightest),
+                  resolution.tightest_worst_abs);
+    throw std::invalid_argument(message);
+  }
+
+  const Matrix op_a =
+      params.trans_a == Transpose::kTranspose ? transpose(a) : a;
+  const Matrix op_b =
+      params.trans_b == Transpose::kTranspose ? transpose(b) : b;
+  EGEMM_EXPECTS(op_a.cols() == op_b.rows());
+  EGEMM_EXPECTS(c == nullptr ||
+                (c->rows() == op_a.rows() && c->cols() == op_b.cols()));
+
+  const bool fast = params.alpha == 1.0f &&
+                    (params.beta == 0.0f ||
+                     (params.beta == 1.0f && c != nullptr));
+  const std::shared_ptr<const GemmPlan> plan = ctx.plan_scheme(
+      resolution.scheme, op_a.rows(), op_b.cols(), op_a.cols());
+  Matrix d;
+  plan->execute(ctx, op_a, op_b,
+                fast && params.beta == 1.0f ? c : nullptr, d);
+  if (!fast) {
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      float value = params.alpha * d.data()[i];
+      if (c != nullptr && params.beta != 0.0f) {
+        value = std::fmaf(params.beta, c->data()[i], value);
+      }
+      d.data()[i] = value;
+    }
+  }
+  return d;
+}
+
+Matrix gemm_ex(const Matrix& a, const Matrix& b, const Matrix* c,
+               const GemmExParams& params,
+               const core::AccuracyContract& contract) {
+  return gemm_ex(default_context(), a, b, c, params, contract);
 }
 
 KernelTiming time_gemm(Backend backend, std::uint64_t m, std::uint64_t n,

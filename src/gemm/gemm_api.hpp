@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/scheme.hpp"
 #include "gemm/baselines.hpp"
 #include "gemm/egemm.hpp"
 
@@ -68,5 +69,32 @@ Matrix gemm_ex(Backend backend, const Matrix& a, const Matrix& b,
 /// gemm_ex against an explicit plan/workspace context.
 Matrix gemm_ex(GemmContext& ctx, Backend backend, const Matrix& a,
                const Matrix& b, const Matrix* c, const GemmExParams& params);
+
+// -- accuracy-contract entry points (core/scheme.hpp, DESIGN.md §16) ---------
+
+/// Resolves an accuracy contract for D = alpha op(A) op(B) + beta C
+/// without executing anything: derives missing scale context from the
+/// data (contract scales <= 0 mean "measure max |x| here"), folds the
+/// alpha/beta epilogue rounding into the target, and reports every ladder
+/// rung's a-priori bound plus the selected scheme. resolution.feasible is
+/// false when no rung meets the target. Requires alpha != 0 (the kernel
+/// error cannot be scaled away through a zero alpha).
+core::ContractResolution gemm_ex_contract_resolution(
+    const Matrix& a, const Matrix& b, const Matrix* c,
+    const GemmExParams& params, const core::AccuracyContract& contract);
+
+/// gemm_ex under an accuracy contract: instead of a caller-chosen
+/// backend, the planner selects the cheapest emulation scheme whose sound
+/// a-priori element-wise bound meets contract.max_abs_error for this
+/// data's scale context. Throws std::invalid_argument when no rung
+/// qualifies; the message names the target and the tightest rung's bound.
+Matrix gemm_ex(GemmContext& ctx, const Matrix& a, const Matrix& b,
+               const Matrix* c, const GemmExParams& params,
+               const core::AccuracyContract& contract);
+
+/// Contract overload against the shared default context.
+Matrix gemm_ex(const Matrix& a, const Matrix& b, const Matrix* c,
+               const GemmExParams& params,
+               const core::AccuracyContract& contract);
 
 }  // namespace egemm::gemm

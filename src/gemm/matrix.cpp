@@ -91,6 +91,14 @@ double max_abs_error(const MatrixD& reference, const Matrix& candidate) {
   return max_err;
 }
 
+double max_abs(const Matrix& m) noexcept {
+  double max_mag = 0.0;
+  for (const float value : m.data()) {
+    max_mag = std::max(max_mag, std::fabs(static_cast<double>(value)));
+  }
+  return max_mag;
+}
+
 double max_abs_error(const Matrix& reference, const Matrix& candidate) {
   EGEMM_EXPECTS(reference.rows() == candidate.rows() &&
                 reference.cols() == candidate.cols());

@@ -91,4 +91,8 @@ double max_abs_error(const MatrixD& reference, const Matrix& candidate);
 /// single-precision result as reference).
 double max_abs_error(const Matrix& reference, const Matrix& candidate);
 
+/// Max |x| over all elements (0 for an empty matrix): the scale context
+/// the accuracy-contract resolution derives a-priori bounds from.
+double max_abs(const Matrix& m) noexcept;
+
 }  // namespace egemm::gemm

@@ -1,9 +1,11 @@
 #include "gemm/plan.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <limits>
+#include <string>
 #include <utility>
 
 #include "gemm/baselines.hpp"
@@ -248,6 +250,39 @@ void set_key_tile(PlanKey& key, const TileConfig& tile) {
   key.wk = tile.wk;
 }
 
+/// Maps an executable recipe onto the emulation-precision ladder
+/// (core/scheme.hpp): the SchemeId whose split method and term grid the
+/// recipe realizes, or -1 for custom recipes that match no named rung.
+/// PlaneCombo numbers planes from the LOWEST order (plan layer
+/// convention); scheme terms number by split depth (0 = hi), so the grid
+/// index flips: depth = planes - 1 - plane.
+std::int8_t classify_combos(core::SplitMethod split, int planes,
+                            std::span<const PlaneCombo> combos) {
+  core::SchemeProfile profile;
+  profile.split = split;
+  if (combos.size() == 1 && combos[0].a_plane == planes - 1 &&
+      combos[0].b_plane == planes - 1) {
+    // A single hi x hi product consumes raw RN16 numerics: that is the
+    // half-only rung regardless of how many planes the key nominally
+    // decomposes into (the kCublasTcHalf recipe keeps planes = 2).
+    profile.half_only = true;
+    profile.planes = 1;
+    profile.term_mask = 0x1;
+  } else {
+    profile.planes = planes;
+    profile.term_mask = 0;
+    for (const PlaneCombo& combo : combos) {
+      profile.set_term(planes - 1 - combo.a_plane, planes - 1 - combo.b_plane,
+                       true);
+    }
+    // A recipe that repeats a combo executes more adds than the rung's
+    // bound accounts for; such a recipe is custom, never a named rung.
+    if (profile.term_count() != static_cast<int>(combos.size())) return -1;
+  }
+  const std::optional<core::SchemeId> id = core::classify_scheme(profile);
+  return id ? static_cast<std::int8_t>(*id) : std::int8_t{-1};
+}
+
 void set_key_recipe(PlanKey& key, core::SplitMethod split,
                     std::span<const PlaneCombo> combos, ComboOrder order,
                     int planes) {
@@ -256,6 +291,30 @@ void set_key_recipe(PlanKey& key, core::SplitMethod split,
   key.planes = static_cast<std::uint8_t>(planes);
   key.combo_count = static_cast<std::uint8_t>(combos.size());
   key.combo_seq = encode_combos(combos, planes);
+  key.scheme = classify_combos(split, planes, combos);
+}
+
+/// Bumps the per-scheme execute counter: gemm.scheme.<name>, with custom
+/// recipes landing on gemm.scheme.custom. Static handles, same pattern as
+/// the differential runner's per-path counters.
+void count_scheme_execute(std::int8_t scheme) {
+  if constexpr (obs::kEnabled) {
+    static const std::array<obs::Counter*, core::kSchemeCount + 1> counters =
+        [] {
+          std::array<obs::Counter*, core::kSchemeCount + 1> handles{};
+          for (std::size_t s = 0; s < core::kSchemeCount; ++s) {
+            handles[s] = &obs::registry().counter(
+                std::string("gemm.scheme.") +
+                core::scheme_name(static_cast<core::SchemeId>(s)));
+          }
+          handles[core::kSchemeCount] =
+              &obs::registry().counter("gemm.scheme.custom");
+          return handles;
+        }();
+    const std::size_t index = scheme >= 0 ? static_cast<std::size_t>(scheme)
+                                          : core::kSchemeCount;
+    counters[index]->add(1);
+  }
 }
 
 }  // namespace
@@ -285,6 +344,8 @@ std::size_t PlanKeyHash::operator()(const PlanKey& key) const noexcept {
   h = mix(h, static_cast<std::uint64_t>(key.planes));
   h = mix(h, static_cast<std::uint64_t>(key.combo_count));
   h = mix(h, key.combo_seq);
+  h = mix(h, static_cast<std::uint64_t>(
+                 static_cast<std::uint8_t>(key.scheme)));
   h = mix(h, static_cast<std::uint64_t>(key.bm));
   h = mix(h, static_cast<std::uint64_t>(key.bn));
   h = mix(h, static_cast<std::uint64_t>(key.bk));
@@ -377,6 +438,7 @@ void GemmPlan::execute(GemmContext& ctx, const Matrix& a, const Matrix& b,
 
   EGEMM_TRACE_SCOPE("egemm_multiply");
   EGEMM_COUNTER_ADD("egemm.calls", 1);
+  count_scheme_execute(key_.scheme);
 
   WorkspaceLease lease = ctx.lease_workspace();
   Workspace& ws = *lease;
@@ -393,9 +455,9 @@ void GemmPlan::execute(GemmContext& ctx, const Matrix& a, const Matrix& b,
     const std::span<Matrix> bp = ws.b_planes();
     if (key_.planes == 3) {
       core::split3_span_f32(a.data(), ap[2].data(), ap[1].data(),
-                            ap[0].data());
+                            ap[0].data(), key_.split);
       core::split3_span_f32(b.data(), bp[2].data(), bp[1].data(),
-                            bp[0].data());
+                            bp[0].data(), key_.split);
     } else {
       core::split_span_f32(a.data(), ap[1].data(), ap[0].data(), key_.split);
       core::split_span_f32(b.data(), bp[1].data(), bp[0].data(), key_.split);
@@ -491,10 +553,11 @@ std::shared_ptr<const GemmPlan> GemmContext::plan(Backend backend,
       return plan_for(key);
     case Backend::kEgemmTC:
       if (opts.emulation_instructions == 9) {
-        // Three-way-split ablation: the decomposition is exact, so the
-        // split method does not apply; keyed at its canonical default.
-        set_key_recipe(key, core::SplitMethod::kRoundSplit, k3Split,
-                       ComboOrder::kFusedPerTile, 3);
+        // Three-way split: opts.split selects the rung -- round-split is
+        // the FP32-recovery scheme (exact decomposition, the default),
+        // truncate-split the Ozaki-style one-signed word slices.
+        set_key_recipe(key, opts.split, k3Split, ComboOrder::kFusedPerTile,
+                       3);
       } else {
         EGEMM_EXPECTS(opts.emulation_instructions == 4);
         set_key_recipe(key, opts.split, kAlg1, ComboOrder::kFusedPerTile, 2);
@@ -577,6 +640,58 @@ Matrix GemmContext::run(Backend backend, const Matrix& a, const Matrix& b,
   Matrix d;
   p->execute(*this, a, b, c, d);
   return d;
+}
+
+std::shared_ptr<const GemmPlan> GemmContext::plan_scheme(
+    core::SchemeId scheme, std::size_t m, std::size_t n, std::size_t k,
+    ExecEngine engine, const TileConfig& tile) {
+  EgemmOptions opts;
+  opts.engine = engine;
+  opts.tile = tile;
+  switch (scheme) {
+    case core::SchemeId::kHalf:
+      return plan(Backend::kCublasTcHalf, m, n, k, opts);
+    case core::SchemeId::kMarkidis:
+      return plan(Backend::kMarkidis, m, n, k, opts);
+    case core::SchemeId::kTruncate2:
+      opts.split = core::SplitMethod::kTruncateSplit;
+      return plan(Backend::kEgemmTC, m, n, k, opts);
+    case core::SchemeId::kRound2:
+      return plan(Backend::kEgemmTC, m, n, k, opts);
+    case core::SchemeId::kSlice3:
+      opts.split = core::SplitMethod::kTruncateSplit;
+      opts.emulation_instructions = 9;
+      return plan(Backend::kEgemmTC, m, n, k, opts);
+    case core::SchemeId::kRecovery3:
+      opts.emulation_instructions = 9;
+      return plan(Backend::kEgemmTC, m, n, k, opts);
+    case core::SchemeId::kCount:
+      break;
+  }
+  EGEMM_EXPECTS(!"invalid SchemeId");
+  return nullptr;
+}
+
+Matrix GemmContext::run_scheme(core::SchemeId scheme, const Matrix& a,
+                               const Matrix& b, const Matrix* c,
+                               ExecEngine engine) {
+  EGEMM_EXPECTS(a.cols() == b.rows());
+  const std::shared_ptr<const GemmPlan> p =
+      plan_scheme(scheme, a.rows(), b.cols(), a.cols(), engine);
+  Matrix d;
+  p->execute(*this, a, b, c, d);
+  return d;
+}
+
+GemmContext::ContractPlan GemmContext::plan_contract(
+    std::size_t m, std::size_t n, std::size_t k,
+    const core::AccuracyContract& contract, ExecEngine engine) {
+  ContractPlan result;
+  result.resolution = core::resolve_contract(contract, k);
+  if (result.resolution.feasible) {
+    result.plan = plan_scheme(result.resolution.scheme, m, n, k, engine);
+  }
+  return result;
 }
 
 WorkspaceLease GemmContext::lease_workspace() {

@@ -33,10 +33,12 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "core/scheme.hpp"
 #include "core/split.hpp"
 #include "gemm/gemm_api.hpp"
 #include "gemm/matrix.hpp"
@@ -77,6 +79,12 @@ struct PlanKey {
   std::uint8_t planes = 2;
   std::uint8_t combo_count = 0;
   std::uint64_t combo_seq = 0;  ///< ordered combos, 4 bits each
+  /// The core::SchemeId this recipe realizes on the emulation-precision
+  /// ladder, or -1 for direct backends and custom recipes that match no
+  /// named rung. Derived from (split, planes, combos) at key construction;
+  /// carried in the key so scheme identity is part of the cached plan's
+  /// observable contract (obs counters, plan introspection).
+  std::int8_t scheme = -1;
   int bm = 0, bn = 0, bk = 0, wm = 0, wn = 0, wk = 0;  ///< resolved tile
 
   friend bool operator==(const PlanKey&, const PlanKey&) = default;
@@ -171,6 +179,13 @@ class GemmPlan {
   ComboOrder order() const noexcept { return key_.order; }
   core::SplitMethod split() const noexcept { return key_.split; }
   int planes() const noexcept { return key_.planes; }
+  /// The emulation-ladder rung this plan realizes (core/scheme.hpp), when
+  /// its recipe matches one; nullopt for direct backends and custom
+  /// emulated recipes.
+  std::optional<core::SchemeId> scheme_id() const noexcept {
+    if (key_.direct || key_.scheme < 0) return std::nullopt;
+    return static_cast<core::SchemeId>(key_.scheme);
+  }
   std::span<const PlaneCombo> combos() const noexcept { return combos_; }
   /// Tile configuration after consulting the §6 analytic solver.
   const TileConfig& tile() const noexcept { return tile_; }
@@ -229,6 +244,37 @@ class GemmContext {
   /// Convenience: plan (cached) + execute in one call.
   Matrix run(Backend backend, const Matrix& a, const Matrix& b,
              const Matrix* c = nullptr, const EgemmOptions& opts = {});
+
+  /// Plan a named rung of the emulation-precision ladder
+  /// (core/scheme.hpp) for the shape: the canonical executable recipe
+  /// whose plan classifies back to `scheme` (plan->scheme_id()).
+  std::shared_ptr<const GemmPlan> plan_scheme(
+      core::SchemeId scheme, std::size_t m, std::size_t n, std::size_t k,
+      ExecEngine engine = ExecEngine::kPacked,
+      const TileConfig& tile = table4_config());
+
+  /// plan_scheme + execute in one call.
+  Matrix run_scheme(core::SchemeId scheme, const Matrix& a, const Matrix& b,
+                    const Matrix* c = nullptr,
+                    ExecEngine engine = ExecEngine::kPacked);
+
+  /// A resolved accuracy contract: the per-rung bound table plus (when
+  /// feasible) the plan for the cheapest provably sufficient rung.
+  struct ContractPlan {
+    core::ContractResolution resolution;
+    std::shared_ptr<const GemmPlan> plan;  ///< null when infeasible
+  };
+
+  /// Resolves an accuracy contract for D = A x B (+ C) at the given shape
+  /// and plans the selected scheme. The contract's scales must be the
+  /// caller's element-magnitude context (max |A|, max |B|, max |C|); this
+  /// layer cannot derive them from data -- gemm_ex's contract overload
+  /// can. When no rung meets the target, `plan` is null and
+  /// resolution.feasible is false (no throw: planning is noexcept-ish by
+  /// convention; the executing APIs raise the error).
+  ContractPlan plan_contract(std::size_t m, std::size_t n, std::size_t k,
+                             const core::AccuracyContract& contract,
+                             ExecEngine engine = ExecEngine::kPacked);
 
   /// Leases a warm workspace (LIFO, so repeated same-shape calls reuse the
   /// same buffers). execute() does this internally.

@@ -33,14 +33,6 @@ bool span_special(std::span<const float> values, bool magnitude_check) {
   return false;
 }
 
-bool inputs_special(const FuzzInputs& inputs) {
-  // C feeds the accumulator directly (no split), so only non-finite C is
-  // special; A and B also trip on split overflow.
-  return span_special(inputs.a.data(), true) ||
-         span_special(inputs.b.data(), true) ||
-         (inputs.use_c && span_special(inputs.c.data(), false));
-}
-
 bool bitwise_equal(const gemm::Matrix& x, const gemm::Matrix& y) {
   return x.rows() == y.rows() && x.cols() == y.cols() &&
          (x.size() == 0 ||
@@ -73,6 +65,14 @@ void count_path_case(Path path) {
 
 }  // namespace
 
+bool inputs_special(const FuzzInputs& inputs) {
+  // C feeds the accumulator directly (no split), so only non-finite C is
+  // special; A and B also trip on split overflow.
+  return span_special(inputs.a.data(), true) ||
+         span_special(inputs.b.data(), true) ||
+         (inputs.use_c && span_special(inputs.c.data(), false));
+}
+
 const char* path_name(Path path) noexcept {
   switch (path) {
     case Path::kEgemmRound:
@@ -85,32 +85,61 @@ const char* path_name(Path path) noexcept {
       return "markidis";
     case Path::kTcHalf:
       return "tc-half";
+    case Path::kRecovery3:
+      return "recovery-3term";
+    case Path::kSlice3:
+      return "slice-3term";
     case Path::kCount:
       break;
   }
   return "?";
 }
 
-PathProfile path_profile(Path path) noexcept {
-  PathProfile profile;  // round-split, all four terms
+core::SchemeId path_scheme(Path path) noexcept {
   switch (path) {
     case Path::kEgemmRound:
-    case Path::kSeparatePasses:
-      break;
+    case Path::kSeparatePasses:  // same rung, different pass order
+      return core::SchemeId::kRound2;
     case Path::kEgemmTruncate:
-      profile.split = core::SplitMethod::kTruncateSplit;
-      break;
+      return core::SchemeId::kTruncate2;
     case Path::kMarkidis:
-      profile.split = core::SplitMethod::kTruncateSplit;
-      profile.term_lo_lo = false;
-      break;
+      return core::SchemeId::kMarkidis;
     case Path::kTcHalf:
-      profile.half_only = true;
-      break;
+      return core::SchemeId::kHalf;
+    case Path::kRecovery3:
+      return core::SchemeId::kRecovery3;
+    case Path::kSlice3:
+      return core::SchemeId::kSlice3;
     case Path::kCount:
-      EGEMM_EXPECTS(false && "invalid Path");
+      break;
   }
-  return profile;
+  EGEMM_EXPECTS(false && "invalid Path");
+  return core::SchemeId::kRound2;
+}
+
+Path scheme_path(core::SchemeId scheme) noexcept {
+  switch (scheme) {
+    case core::SchemeId::kHalf:
+      return Path::kTcHalf;
+    case core::SchemeId::kMarkidis:
+      return Path::kMarkidis;
+    case core::SchemeId::kTruncate2:
+      return Path::kEgemmTruncate;
+    case core::SchemeId::kRound2:
+      return Path::kEgemmRound;
+    case core::SchemeId::kSlice3:
+      return Path::kSlice3;
+    case core::SchemeId::kRecovery3:
+      return Path::kRecovery3;
+    case core::SchemeId::kCount:
+      break;
+  }
+  EGEMM_EXPECTS(false && "invalid SchemeId");
+  return Path::kEgemmRound;
+}
+
+PathProfile path_profile(Path path) noexcept {
+  return core::scheme_profile(path_scheme(path));
 }
 
 gemm::Matrix run_path(Path path, const gemm::Matrix& a, const gemm::Matrix& b,
@@ -136,6 +165,10 @@ gemm::Matrix run_path(Path path, gemm::GemmContext& ctx, const gemm::Matrix& a,
       return ctx.run(gemm::Backend::kMarkidis, a, b, c);
     case Path::kTcHalf:
       return ctx.run(gemm::Backend::kCublasTcHalf, a, b, c);
+    case Path::kRecovery3:
+      return ctx.run_scheme(core::SchemeId::kRecovery3, a, b, c);
+    case Path::kSlice3:
+      return ctx.run_scheme(core::SchemeId::kSlice3, a, b, c);
     case Path::kCount:
       break;
   }
@@ -164,25 +197,27 @@ CaseResult run_case(const FuzzCase& fuzz, gemm::GemmContext& ctx) {
   result.special = inputs_special(inputs);
 
   // Engine differential: the packed engine's contract is bitwise equality
-  // with the scalar reference for EVERY input class, specials included.
-  gemm::EgemmOptions reference_engine;
-  reference_engine.engine = gemm::ExecEngine::kReference;
-  count_path_case(Path::kEgemmRound);
+  // with the scalar reference for EVERY input class, specials included --
+  // run under the case's ladder rung so every scheme's packed path gets
+  // soaked, not just the round-2term default.
+  const Path engine_path = scheme_path(fuzz.scheme);
+  const auto engine_index = static_cast<std::size_t>(engine_path);
+  count_path_case(engine_path);
   const double packed_start = now_seconds();
   const gemm::Matrix packed =
-      ctx.run(gemm::Backend::kEgemmTC, inputs.a, inputs.b, inputs.c_ptr());
-  result.path_seconds[static_cast<std::size_t>(Path::kEgemmRound)] =
-      now_seconds() - packed_start;
+      ctx.run_scheme(fuzz.scheme, inputs.a, inputs.b, inputs.c_ptr());
+  result.path_seconds[engine_index] = now_seconds() - packed_start;
   const gemm::Matrix reference =
-      ctx.run(gemm::Backend::kEgemmTC, inputs.a, inputs.b, inputs.c_ptr(),
-              reference_engine);
+      ctx.run_scheme(fuzz.scheme, inputs.a, inputs.b, inputs.c_ptr(),
+                     gemm::ExecEngine::kReference);
   result.engine_match = bitwise_equal(packed, reference);
 
   if (result.special) {
     EGEMM_COUNTER_ADD("verify.special_cases", 1);
     // No numeric bounds for IEEE-propagation cases, but every path must
     // still execute without tripping a contract or crashing.
-    for (std::size_t p = 1; p < kPathCount; ++p) {
+    for (std::size_t p = 0; p < kPathCount; ++p) {
+      if (p == engine_index) continue;
       count_path_case(static_cast<Path>(p));
       const double path_start = now_seconds();
       (void)run_path(static_cast<Path>(p), ctx, inputs.a, inputs.b,
@@ -218,13 +253,13 @@ CaseResult run_case(const FuzzCase& fuzz, gemm::GemmContext& ctx) {
 
   for (std::size_t p = 0; p < kPathCount; ++p) {
     const Path path = static_cast<Path>(p);
-    if (path != Path::kEgemmRound) count_path_case(path);
+    if (path != engine_path) count_path_case(path);
     const double path_start = now_seconds();
     const gemm::Matrix candidate =
-        path == Path::kEgemmRound
+        path == engine_path
             ? packed
             : run_path(path, ctx, inputs.a, inputs.b, inputs.c_ptr());
-    if (path != Path::kEgemmRound) {
+    if (path != engine_path) {
       result.path_seconds[p] = now_seconds() - path_start;
     }
     const PathProfile profile = path_profile(path);
@@ -277,7 +312,12 @@ bool AuditReport::round_below_markidis() const noexcept {
 AuditReport run_audit(const AuditOptions& options) {
   AuditReport report;
   report.seed = options.seed;
-  const std::vector<FuzzCase> plan = fuzz_plan(options.seed, options.cases);
+  std::vector<FuzzCase> plan = fuzz_plan(options.seed, options.cases);
+  if (options.scheme) {
+    // CI scheme-matrix lane: every case's engine differential on one rung.
+    for (FuzzCase& fuzz : plan) fuzz.scheme = *options.scheme;
+    report.engine_scheme = core::scheme_name(*options.scheme);
+  }
   report.cases_planned = plan.size();
   const auto start = std::chrono::steady_clock::now();
   constexpr std::size_t kMaxFailingCases = 64;
@@ -328,6 +368,8 @@ bool write_audit_json(const std::string& path, const AuditReport& report,
                       const std::string& git_sha) {
   std::string out = "{\n  \"git_sha\": \"";
   append_json_escaped(out, git_sha);
+  out += "\",\n  \"engine_scheme\": \"";
+  append_json_escaped(out, report.engine_scheme);
   out += "\",\n";
   char buf[256];
   std::snprintf(buf, sizeof(buf),
@@ -345,6 +387,9 @@ bool write_audit_json(const std::string& path, const AuditReport& report,
     const PathSummary& summary = report.paths[p];
     out += "    {\"name\": \"";
     append_json_escaped(out, path_name(static_cast<Path>(p)));
+    out += "\", \"scheme\": \"";
+    append_json_escaped(out,
+                        core::scheme_name(path_scheme(static_cast<Path>(p))));
     std::snprintf(buf, sizeof(buf),
                   "\", \"max_abs\": %.9g, \"mean_abs\": %.9g, "
                   "\"max_rel\": %.9g, \"max_ulp\": %.9g, "

@@ -4,11 +4,12 @@
 // a-priori error-model bound, element by element.
 //
 // Three kinds of checks per fuzz case:
-//  * engine differential -- egemm_multiply on the packed engine must be
-//    bitwise identical to the retained scalar reference engine, for every
-//    input class including non-finite values;
+//  * engine differential -- the case's emulation scheme (FuzzCase::scheme,
+//    round-robined across the whole ladder by fuzz_plan) on the packed
+//    engine must be bitwise identical to the retained scalar reference
+//    engine, for every input class including non-finite values;
 //  * oracle differential -- for finite cases, each path's per-element error
-//    against the oracle must stay below the error model's worst-case bound
+//    against the oracle must stay below its own scheme's worst-case bound
 //    (a violation is a harness failure: either the kernel or the model is
 //    wrong, and both are bugs);
 //  * special-value cases (any NaN/Inf or split-overflow input) skip the
@@ -23,6 +24,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -37,13 +39,17 @@ class GemmContext;  // gemm/plan.hpp: plan cache + reusable workspaces
 
 namespace egemm::verify {
 
-/// The functional paths under differential test.
+/// The functional paths under differential test. Every path realizes one
+/// ladder rung (core/scheme.hpp); kEgemmRound and kSeparatePasses share the
+/// round-2term rung through different pass orders.
 enum class Path : int {
   kEgemmRound = 0,  ///< EGEMM-TC: round-split, all 4 terms (packed engine)
   kEgemmTruncate,   ///< ablation: Alg. 1 with truncate-split
   kSeparatePasses,  ///< cuBLAS-TC-Emulation: round-split, one pass per term
   kMarkidis,        ///< truncate-split, Alo x Blo dropped
   kTcHalf,          ///< cublasGemmEx with binary16 inputs
+  kRecovery3,       ///< 3-term FP32-recovery split (9 emulation products)
+  kSlice3,          ///< 3-term truncate multi-word slices (Ozaki-style)
   kCount
 };
 
@@ -51,8 +57,20 @@ inline constexpr std::size_t kPathCount = static_cast<std::size_t>(Path::kCount)
 
 const char* path_name(Path path) noexcept;
 
+/// The ladder rung a path realizes (total: every path has one).
+core::SchemeId path_scheme(Path path) noexcept;
+
+/// The canonical path realizing a rung (inverse of path_scheme up to the
+/// round-2term rung, whose canonical path is kEgemmRound).
+Path scheme_path(core::SchemeId scheme) noexcept;
+
 /// The numeric profile the error model uses for a path.
 PathProfile path_profile(Path path) noexcept;
+
+/// True when the case's inputs contain a non-finite value or a magnitude
+/// at/over the binary16 split-overflow edge: numeric bounds do not apply
+/// (IEEE propagation makes the "exact" value a convention, not a number).
+bool inputs_special(const FuzzInputs& inputs);
 
 /// Executes a path functionally (against the shared default context).
 gemm::Matrix run_path(Path path, const gemm::Matrix& a, const gemm::Matrix& b,
@@ -97,6 +115,10 @@ struct AuditOptions {
   /// Stop planning new cases once this much wall time elapsed (0 = off);
   /// the report's cases_run says how far the budget reached.
   double time_budget_seconds = 0.0;
+  /// Pin every case's engine scheme to one rung (nullopt = fuzz_plan's
+  /// round-robin over the full ladder). The CI scheme matrix sets this so
+  /// each lane's engine differential soaks one rung.
+  std::optional<core::SchemeId> scheme;
 };
 
 struct PathSummary {
@@ -106,6 +128,9 @@ struct PathSummary {
 
 struct AuditReport {
   std::uint64_t seed = 0;
+  /// Scheme the engine differential ran under: a rung name when
+  /// AuditOptions::scheme pinned one, "ladder" for the round-robin.
+  std::string engine_scheme = "ladder";
   std::size_t cases_planned = 0;
   std::size_t cases_run = 0;
   std::size_t special_cases = 0;

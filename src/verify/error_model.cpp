@@ -1,5 +1,6 @@
 #include "verify/error_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -16,98 +17,11 @@ double hi_plane_bound(double scale) noexcept {
   return scale * (1.0 + 0x1.0p-10) + 0x1.0p-25;
 }
 
-/// Per-input representation error of the path's decomposition of x.
-double residual_bound(const PathProfile& path, double scale) noexcept {
-  if (path.half_only) {
-    // Single RN16 rounding: half a binary16 ulp (2^-11 relative), with the
-    // subnormal half-quantum floor.
-    return std::max(scale * 0x1.0p-11, 0x1.0p-25);
-  }
-  return core::split_residual_bound(path.split, scale);
-}
-
 }  // namespace
 
 ErrorBound element_bound(const PathProfile& path,
                          const BoundInputs& in) noexcept {
-  ErrorBound bound;
-  const double k = static_cast<double>(in.k);
-  if (in.k == 0) {
-    // D = C exactly: every path copies C through untouched.
-    return bound;
-  }
-
-  const double eps_a = residual_bound(path, in.a_scale);
-  const double eps_b = residual_bound(path, in.b_scale);
-  const double hi_a = hi_plane_bound(in.a_scale);
-  const double hi_b = hi_plane_bound(in.b_scale);
-  const double lo_a = core::split_lo_plane_bound(path.split, in.a_scale);
-  const double lo_b = core::split_lo_plane_bound(path.split, in.b_scale);
-
-  // Representation: each term's computed planes multiply out to
-  // (a - ra)(b - rb), so the per-term slip against the exact product is
-  // ra*b + rb*a - ra*rb.
-  bound.split_term = k * (eps_a * in.b_scale + eps_b * in.a_scale +
-                          eps_a * eps_b);
-
-  // Terms the path never computes (Markidis drops Alo x Blo).
-  double dropped = 0.0;
-  if (!path.half_only) {
-    if (!path.term_lo_lo) dropped += lo_a * lo_b;
-    if (!path.term_hi_lo) dropped += hi_a * lo_b;
-    if (!path.term_lo_hi) dropped += lo_a * hi_b;
-    if (!path.term_hi_hi) dropped += hi_a * hi_b;
-  }
-  bound.dropped_term = k * dropped;
-
-  // Accumulation: combo_count * k exact products summed in binary32 in some
-  // association (pair sums chained onto C). Higham's gamma_n over the
-  // magnitude sum is association-independent, so one bound covers the
-  // fused, separate-pass, and pair-sum orders alike.
-  double product_mag = 0.0;
-  if (path.half_only) {
-    product_mag = hi_a * hi_b;
-  } else {
-    if (path.term_hi_hi) product_mag += hi_a * hi_b;
-    if (path.term_hi_lo) product_mag += hi_a * lo_b;
-    if (path.term_lo_hi) product_mag += lo_a * hi_b;
-    if (path.term_lo_lo) product_mag += lo_a * lo_b;
-  }
-  const double n_adds = static_cast<double>(path.combo_count()) * k;
-  const double nu = n_adds * kU32;
-  if (nu >= 0.5) {
-    // gamma_n degenerates; no shape in the harness gets near this (it
-    // needs combo_count * k > 2^23), but stay sound if one ever does.
-    bound.accum_term = std::numeric_limits<double>::infinity();
-  } else {
-    const double magnitude_sum = in.c_abs + k * product_mag;
-    bound.accum_term =
-        (nu / (1.0 - nu)) * magnitude_sum + n_adds * 0x1.0p-149;
-  }
-
-  // Sound total, with a 2^-20 relative pad absorbing the oracle's 2^-53
-  // collapse and the binary64 arithmetic of the measurement itself.
-  bound.worst_abs = (bound.split_term + bound.dropped_term +
-                     bound.accum_term) *
-                        (1.0 + 0x1.0p-20) +
-                    0x1.0p-300;
-
-  // Statistical estimate (NOT sound): typical input magnitude scale/2,
-  // round-split residuals random-walk at sqrt(k), truncate-split residuals
-  // are one-signed and accumulate linearly at ~1/4 of the worst case --
-  // the executable form of the paper's Fig. 4 round-vs-truncate gap.
-  const double tau =
-      0.5 * (eps_a * in.b_scale + eps_b * in.a_scale);  // typical per-term
-  const bool one_signed =
-      !path.half_only && path.split == core::SplitMethod::kTruncateSplit;
-  const double split_exp =
-      one_signed ? k * tau * 0.25 : std::sqrt(k) * tau;
-  const double dropped_exp = one_signed ? k * dropped * 0.0625
-                                        : std::sqrt(k) * dropped * 0.25;
-  const double accum_exp =
-      kU32 * std::sqrt(n_adds) * (in.c_abs + k * product_mag) * 0.5;
-  bound.expected_abs = split_exp + dropped_exp + accum_exp;
-  return bound;
+  return core::scheme_element_bound(path, in);
 }
 
 PathProfile from_static_profile(
@@ -115,24 +29,20 @@ PathProfile from_static_profile(
   PathProfile path;
   if (!profile.derived) return path;
   path.split = profile.split;
-  path.half_only = profile.half_only || profile.planes <= 1;
-  if (path.half_only) return path;
-  path.term_hi_hi = false;
-  path.term_hi_lo = false;
-  path.term_lo_hi = false;
-  path.term_lo_lo = false;
+  if (profile.half_only || profile.planes <= 1) {
+    path.half_only = true;
+    path.planes = 1;
+    path.term_mask = 0x1;
+    return path;
+  }
+  path.planes = std::min(profile.planes, 3);
+  path.term_mask = 0;
   for (const sass::analysis::TermInfo& term : profile.terms) {
-    const bool a_hi = term.a_plane == 0;
-    const bool b_hi = term.b_plane == 0;
-    if (a_hi && b_hi) {
-      path.term_hi_hi = true;
-    } else if (a_hi) {
-      path.term_hi_lo = true;
-    } else if (b_hi) {
-      path.term_lo_hi = true;
-    } else {
-      path.term_lo_lo = true;
-    }
+    // The static pass numbers planes by depth already (0 = hi); terms on
+    // planes deeper than the modeled stack project onto the deepest one.
+    const int a = std::min(term.a_plane, path.planes - 1);
+    const int b = std::min(term.b_plane, path.planes - 1);
+    path.set_term(a, b, true);
   }
   return path;
 }
@@ -204,6 +114,20 @@ StaticCrossCheck cross_check_static_profile(
   check.checked = true;
   check.hand_worst_abs =
       element_bound(from_static_profile(profile), in).worst_abs;
+  check.derived_worst_abs = static_profile_bound(profile, in).worst_abs;
+  check.dominates = check.hand_worst_abs >= check.derived_worst_abs;
+  return check;
+}
+
+StaticCrossCheck cross_check_static_profile(
+    const sass::analysis::PrecisionProfile& profile, core::SchemeId claimed,
+    const BoundInputs& in) noexcept {
+  StaticCrossCheck check;
+  if (!profile.derived) return check;
+  check.checked = true;
+  check.scheme_match =
+      core::classify_scheme(from_static_profile(profile)) == claimed;
+  check.hand_worst_abs = core::scheme_bound(claimed, in).worst_abs;
   check.derived_worst_abs = static_profile_bound(profile, in).worst_abs;
   check.dominates = check.hand_worst_abs >= check.derived_worst_abs;
   return check;

@@ -1,14 +1,14 @@
 #pragma once
-// A-priori error bounds for emulated GEMM paths (DESIGN.md §11).
+// A-priori error bounds for emulated GEMM paths (DESIGN.md §11/§16).
 //
-// Given a path's numeric profile -- split method, which of Alg. 1's four
-// split-product terms it executes, whether it consumes raw binary16 inputs
-// instead of a two-plane split -- and an output element's scale context
-// (k, row/column magnitudes, |C|), the model emits
+// Given a path's numeric profile -- split method, plane count, which of
+// the scheme's plane-pair terms it executes, whether it consumes raw
+// binary16 inputs instead of a split -- and an output element's scale
+// context (k, row/column magnitudes, |C|), the model emits
 //
 //   worst_abs     a sound per-element bound on |candidate - exact|, the sum
-//                 of three components derived from the paper's 21-bit
-//                 operation-precision profile (§3.2):
+//                 of three components derived from the scheme's
+//                 operation-precision profile (§3.2, DESIGN.md §16):
 //                   split_term    representation error of the planes,
 //                   dropped_term  split products the path does not compute,
 //                   accum_term    binary32 pair-sum accumulation (Higham's
@@ -21,6 +21,11 @@
 //                 truncate path therefore lands far above the round-split
 //                 expected bound on cancellation-free inputs.
 //
+// The bound engine itself lives in core/scheme.hpp (the plan layer and the
+// accuracy-contract resolver need it without linking the verify library);
+// this header keeps the verify-side names and adds the bridge to the
+// statically derived EG5xx kernel profiles, which core cannot see.
+//
 // The differential runner asserts measured <= worst_abs element-wise for
 // every path on every finite fuzz case; the bounds must hold for ALL
 // representable inputs below the binary16 overflow threshold, including
@@ -28,45 +33,21 @@
 
 #include <cstddef>
 
+#include "core/scheme.hpp"
 #include "core/split.hpp"
 #include "sass/analysis/precision.hpp"
 
 namespace egemm::verify {
 
-/// Numeric description of an emulated-GEMM path.
-struct PathProfile {
-  core::SplitMethod split = core::SplitMethod::kRoundSplit;
-  bool term_hi_hi = true;
-  bool term_hi_lo = true;  ///< Ahi x Blo
-  bool term_lo_hi = true;  ///< Alo x Bhi
-  bool term_lo_lo = true;
-  /// cuBLAS-TC-Half: inputs are RN16(x) with no lo plane at all; the
-  /// representation error is a single binary16 rounding (2^-11 relative)
-  /// and the dropped/lo machinery does not apply.
-  bool half_only = false;
-
-  int combo_count() const noexcept {
-    if (half_only) return 1;
-    return (term_hi_hi ? 1 : 0) + (term_hi_lo ? 1 : 0) +
-           (term_lo_hi ? 1 : 0) + (term_lo_lo ? 1 : 0);
-  }
-};
+/// Numeric description of an emulated-GEMM path: the generalized scheme
+/// profile (split method, plane count, term coverage grid, half-only
+/// flag). Term (a_depth, b_depth) indexes by split depth, 0 = hi plane.
+using PathProfile = core::SchemeProfile;
 
 /// Scale context of one output element D[i][j].
-struct BoundInputs {
-  std::size_t k = 0;
-  double a_scale = 0.0;  ///< max |A[i][t]| over the element's row
-  double b_scale = 0.0;  ///< max |B[t][j]| over the element's column
-  double c_abs = 0.0;    ///< |C[i][j]|, 0 when C is absent
-};
+using BoundInputs = core::BoundInputs;
 
-struct ErrorBound {
-  double split_term = 0.0;
-  double dropped_term = 0.0;
-  double accum_term = 0.0;
-  double worst_abs = 0.0;
-  double expected_abs = 0.0;
-};
+using ErrorBound = core::ErrorBound;
 
 /// Per-element a-priori bound. Requires every |A|, |B| input magnitude to
 /// be below the binary16 overflow threshold (the split itself saturates
@@ -81,9 +62,9 @@ ErrorBound element_bound(const PathProfile& path,
 // derivation and the hand-written model above.
 
 /// Maps a statically derived kernel profile onto the path description the
-/// hand model consumes. Planes beyond the second are projected onto the lo
-/// plane (the hand model is two-plane); an underived profile maps to the
-/// default all-terms round-split path.
+/// hand model consumes, preserving the plane structure up to three planes
+/// (terms on deeper planes project onto the deepest modeled one). An
+/// underived profile maps to the default all-terms round-split path.
 PathProfile from_static_profile(
     const sass::analysis::PrecisionProfile& profile) noexcept;
 
@@ -99,14 +80,27 @@ ErrorBound static_profile_bound(
 /// statically derived bound for the same element context -- otherwise the
 /// error model promises less error than the kernel's instruction stream
 /// justifies. `checked` is false when the profile was never derived.
+/// `scheme_match` is false when the kernel's derived profile does not
+/// classify as the scheme the caller claimed it implements (only the
+/// scheme-aware overload sets it).
 struct StaticCrossCheck {
   bool checked = false;
   bool dominates = false;
+  bool scheme_match = true;
   double hand_worst_abs = 0.0;
   double derived_worst_abs = 0.0;
 };
 StaticCrossCheck cross_check_static_profile(
     const sass::analysis::PrecisionProfile& profile,
+    const BoundInputs& in) noexcept;
+
+/// Scheme-aware cross-check: additionally verifies that the kernel's
+/// derived profile classifies as `claimed` on the ladder, and compares the
+/// claimed rung's hand bound (not the derived profile's projection)
+/// against the statically derived one -- the certification path for every
+/// new rung.
+StaticCrossCheck cross_check_static_profile(
+    const sass::analysis::PrecisionProfile& profile, core::SchemeId claimed,
     const BoundInputs& in) noexcept;
 
 }  // namespace egemm::verify

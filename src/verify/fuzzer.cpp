@@ -42,6 +42,27 @@ void fill_denormal(gemm::Matrix& m, util::Xoshiro256& rng) {
   }
 }
 
+void fill_exponent_spread(gemm::Matrix& m, util::Xoshiro256& rng) {
+  // ~40 binades in one matrix: the per-case scale context is dominated by
+  // a few huge entries while most products sit far below it, so the
+  // scale-proportional bound terms and the absolute floors both matter.
+  for (float& v : m.data()) v = log_uniform(rng, -30, 10);
+}
+
+void fill_wide_mantissa(gemm::Matrix& m, util::Xoshiro256& rng) {
+  // Full 23-bit mantissas with the low bit forced on: every split plane
+  // (hi, lo, and the 3-term residual word) carries nonzero payload, which
+  // probes the residual floors the truncate rungs round away.
+  for (float& v : m.data()) {
+    const std::uint32_t mant_bits =
+        static_cast<std::uint32_t>(rng()) & 0x7fffffu;
+    const float mant = 1.0f + static_cast<float>(mant_bits | 1u) * 0x1.0p-23f;
+    const int e = -6 + static_cast<int>(rng.below(13));
+    const float sign = (rng() & 1u) != 0 ? -1.0f : 1.0f;
+    v = sign * std::ldexp(mant, e);
+  }
+}
+
 void fill_specials(gemm::Matrix& m, util::Xoshiro256& rng) {
   constexpr float kInf = std::numeric_limits<float>::infinity();
   constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
@@ -88,6 +109,12 @@ void fill_kind(InputKind kind, gemm::Matrix& m, util::Xoshiro256& rng) {
     case InputKind::kDenormal:
       fill_denormal(m, rng);
       return;
+    case InputKind::kExponentSpread:
+      fill_exponent_spread(m, rng);
+      return;
+    case InputKind::kWideMantissa:
+      fill_wide_mantissa(m, rng);
+      return;
     case InputKind::kSpecials:
       fill_specials(m, rng);
       return;
@@ -113,6 +140,10 @@ const char* input_kind_name(InputKind kind) noexcept {
       return "ill-conditioned";
     case InputKind::kDenormal:
       return "denormal";
+    case InputKind::kExponentSpread:
+      return "exponent-spread";
+    case InputKind::kWideMantissa:
+      return "wide-mantissa";
     case InputKind::kSpecials:
       return "specials";
     case InputKind::kCount:
@@ -190,8 +221,14 @@ std::vector<FuzzCase> fuzz_plan(std::uint64_t master_seed, std::size_t count) {
       }
     }
     // Round-robin kinds so every distribution appears even in short runs.
+    // The 9 kind and 6 scheme periods share a factor of 3, so a plain dual
+    // round-robin would only ever pair kinds and schemes with equal
+    // residue mod 3; shifting the scheme lane one extra step per 18-case
+    // super-period walks all 54 (kind, scheme) pairs within 108 cases
+    // while still changing scheme on every case.
     fuzz.kind = static_cast<InputKind>(
         i % static_cast<std::size_t>(InputKind::kCount));
+    fuzz.scheme = core::scheme_ladder()[(i + i / 18) % core::kSchemeCount];
     fuzz.with_c = (rng() & 1u) != 0;
     plan.push_back(fuzz);
   }
@@ -199,10 +236,12 @@ std::vector<FuzzCase> fuzz_plan(std::uint64_t master_seed, std::size_t count) {
 }
 
 std::string format_case(const FuzzCase& fuzz) {
-  char buffer[160];
-  std::snprintf(buffer, sizeof(buffer), "seed=%llu m=%zu n=%zu k=%zu kind=%s c=%d",
+  char buffer[192];
+  std::snprintf(buffer, sizeof(buffer),
+                "seed=%llu m=%zu n=%zu k=%zu kind=%s c=%d scheme=%s",
                 static_cast<unsigned long long>(fuzz.seed), fuzz.m, fuzz.n,
-                fuzz.k, input_kind_name(fuzz.kind), fuzz.with_c ? 1 : 0);
+                fuzz.k, input_kind_name(fuzz.kind), fuzz.with_c ? 1 : 0,
+                core::scheme_name(fuzz.scheme));
   return buffer;
 }
 
@@ -235,6 +274,15 @@ std::optional<FuzzCase> parse_case(std::string_view line) {
         }
       }
       if (!have_kind) return std::nullopt;
+      continue;
+    }
+    if (key == "scheme") {
+      // Optional: corpus entries predating the ladder have no scheme token
+      // and keep the legacy round-2term default.
+      const std::optional<core::SchemeId> scheme =
+          core::parse_scheme_name(value);
+      if (!scheme) return std::nullopt;
+      fuzz.scheme = *scheme;
       continue;
     }
     char* parse_end = nullptr;

@@ -15,6 +15,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/scheme.hpp"
 #include "gemm/matrix.hpp"
 
 namespace egemm::verify {
@@ -26,6 +27,9 @@ enum class InputKind : int {
   kCancellation,    ///< exact +/- pairs along k: reference sums near zero
   kIllConditioned,  ///< Hilbert-like 1/(i+j+1) rows with random row scales
   kDenormal,        ///< magnitudes below the binary16 normal range
+  kExponentSpread,  ///< exponents across ~40 binades: stresses scale terms
+  kWideMantissa,    ///< all 23 mantissa bits set-able, odd low bit: every
+                    ///< split plane carries payload (residual-floor prober)
   kSpecials,        ///< NaN/Inf/signed-zero/overflow values sprinkled in
   kCount
 };
@@ -39,6 +43,10 @@ struct FuzzCase {
   std::size_t k = 1;
   InputKind kind = InputKind::kUniform;
   bool with_c = false;
+  /// Emulation-scheme rung the engine runs this case under; each rung is
+  /// judged against its own a-priori bound. Descriptors without a scheme
+  /// token parse as the legacy 2-term round scheme.
+  core::SchemeId scheme = core::SchemeId::kRound2;
 };
 
 struct FuzzInputs {
@@ -56,7 +64,8 @@ FuzzInputs generate_inputs(const FuzzCase& fuzz);
 /// Expands a master seed into `count` cases (deterministic).
 std::vector<FuzzCase> fuzz_plan(std::uint64_t master_seed, std::size_t count);
 
-/// One-line replayable descriptor: "seed=7 m=3 n=5 k=17 kind=log-uniform c=1".
+/// One-line replayable descriptor:
+/// "seed=7 m=3 n=5 k=17 kind=log-uniform c=1 scheme=round-2term".
 std::string format_case(const FuzzCase& fuzz);
 
 /// Parses format_case() output (also the tests/corpus entry format).

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/scheme.hpp"
+#include "gemm/plan.hpp"
 #include "verify/differential.hpp"
 
 namespace egemm::verify {
@@ -34,6 +36,20 @@ TEST(CorpusReplay, CorpusIsNonEmptyAndParses) {
   EXPECT_GE(load_corpus().size(), 10u);
 }
 
+TEST(CorpusReplay, CorpusCoversEveryLadderRung) {
+  // The per-scheme adversarial block must keep at least one entry pinned
+  // to every rung of the ladder.
+  const std::vector<FuzzCase> corpus = load_corpus();
+  std::vector<bool> seen(core::kSchemeCount, false);
+  for (const FuzzCase& fuzz : corpus) {
+    seen[static_cast<std::size_t>(fuzz.scheme)] = true;
+  }
+  for (const core::SchemeId rung : core::scheme_ladder()) {
+    EXPECT_TRUE(seen[static_cast<std::size_t>(rung)])
+        << core::scheme_name(rung);
+  }
+}
+
 TEST(CorpusReplay, EveryEntryPassesTheDifferentialHarness) {
   const std::vector<FuzzCase> corpus = load_corpus();
   ASSERT_FALSE(corpus.empty());
@@ -46,6 +62,23 @@ TEST(CorpusReplay, EveryEntryPassesTheDifferentialHarness) {
             << format_case(fuzz) << " path "
             << path_name(static_cast<Path>(p));
       }
+    }
+  }
+}
+
+TEST(CorpusReplay, EveryEntryPassesOnEveryLadderRung) {
+  // Re-pin each corpus entry's engine differential to every rung in turn:
+  // a past failure input must keep packed == reference bitwise no matter
+  // which scheme executes it, not only under the rung it was filed for.
+  const std::vector<FuzzCase> corpus = load_corpus();
+  ASSERT_FALSE(corpus.empty());
+  gemm::GemmContext ctx;
+  for (const FuzzCase& base : corpus) {
+    for (const core::SchemeId rung : core::scheme_ladder()) {
+      FuzzCase fuzz = base;
+      fuzz.scheme = rung;
+      const CaseResult result = run_case(fuzz, ctx);
+      EXPECT_TRUE(result.engine_match) << format_case(fuzz);
     }
   }
 }

@@ -17,15 +17,37 @@ namespace {
 TEST(PathProfiles, MatchTheirAlgorithms) {
   EXPECT_EQ(path_profile(Path::kEgemmRound).split,
             core::SplitMethod::kRoundSplit);
-  EXPECT_EQ(path_profile(Path::kEgemmRound).combo_count(), 4);
+  EXPECT_EQ(path_profile(Path::kEgemmRound).term_count(), 4);
   EXPECT_EQ(path_profile(Path::kEgemmTruncate).split,
             core::SplitMethod::kTruncateSplit);
-  EXPECT_EQ(path_profile(Path::kMarkidis).combo_count(), 3);
-  EXPECT_FALSE(path_profile(Path::kMarkidis).term_lo_lo);
+  EXPECT_EQ(path_profile(Path::kMarkidis).term_count(), 3);
+  EXPECT_FALSE(path_profile(Path::kMarkidis).term(1, 1));  // lo x lo dropped
   EXPECT_TRUE(path_profile(Path::kTcHalf).half_only);
+  EXPECT_EQ(path_profile(Path::kRecovery3).planes, 3);
+  EXPECT_EQ(path_profile(Path::kRecovery3).term_count(), 9);
+  EXPECT_EQ(path_profile(Path::kSlice3).split,
+            core::SplitMethod::kTruncateSplit);
+  EXPECT_EQ(path_profile(Path::kSlice3).term_count(), 9);
   for (std::size_t p = 0; p < kPathCount; ++p) {
     EXPECT_STRNE(path_name(static_cast<Path>(p)), "?");
   }
+}
+
+TEST(PathProfiles, PathSchemeMapsAreConsistent) {
+  // Every rung's canonical path maps back to the rung, and every path's
+  // rung profile is exactly its scheme's profile.
+  for (const core::SchemeId scheme : core::scheme_ladder()) {
+    EXPECT_EQ(path_scheme(scheme_path(scheme)), scheme)
+        << core::scheme_name(scheme);
+  }
+  for (std::size_t p = 0; p < kPathCount; ++p) {
+    const Path path = static_cast<Path>(p);
+    EXPECT_EQ(core::classify_scheme(path_profile(path)), path_scheme(path))
+        << path_name(path);
+  }
+  // The two round-2term pass orders share one rung.
+  EXPECT_EQ(path_scheme(Path::kSeparatePasses), core::SchemeId::kRound2);
+  EXPECT_EQ(scheme_path(core::SchemeId::kRound2), Path::kEgemmRound);
 }
 
 TEST(RunCase, UniformCaseSatisfiesEveryBound) {
@@ -80,9 +102,9 @@ TEST(RunCase, DegenerateShapesWork) {
 TEST(RunAudit, FixedSeedIsCleanAndOrdersThePaths) {
   AuditOptions options;
   options.seed = 1;
-  options.cases = 140;  // 20 full kind cycles
+  options.cases = 144;  // covers all 54 (kind, scheme) pairs (period 108)
   const AuditReport report = run_audit(options);
-  EXPECT_EQ(report.cases_run, 140u);
+  EXPECT_EQ(report.cases_run, 144u);
   EXPECT_EQ(report.engine_mismatches, 0u);
   EXPECT_EQ(report.total_violations(), 0u);
   EXPECT_TRUE(report.ok());
@@ -122,9 +144,32 @@ TEST(RunAudit, JsonReportRoundTrips) {
   std::fclose(f);
   EXPECT_NE(text.find("\"git_sha\": \"testsha\""), std::string::npos);
   EXPECT_NE(text.find("\"seed\": 2"), std::string::npos);
+  EXPECT_NE(text.find("\"engine_scheme\": \"ladder\""), std::string::npos);
   EXPECT_NE(text.find("\"egemm-round\""), std::string::npos);
   EXPECT_NE(text.find("\"markidis\""), std::string::npos);
+  EXPECT_NE(text.find("\"recovery-3term\""), std::string::npos);
+  EXPECT_NE(text.find("\"slice-3term\""), std::string::npos);
   EXPECT_NE(text.find("\"violations\": 0"), std::string::npos);
+}
+
+TEST(RunAudit, PinnedSchemeSoaksOneRung) {
+  AuditOptions options;
+  options.seed = 3;
+  options.cases = 18;
+  options.scheme = core::SchemeId::kRecovery3;
+  const AuditReport report = run_audit(options);
+  EXPECT_EQ(report.engine_scheme, "recovery-3term");
+  EXPECT_TRUE(report.ok());
+  // Every case descriptor the audit would replay carries the pinned rung.
+  const std::string path = ::testing::TempDir() + "audit_pinned.json";
+  ASSERT_TRUE(write_audit_json(path, report, "testsha"));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text(1 << 14, '\0');
+  text.resize(std::fread(text.data(), 1, text.size(), f));
+  std::fclose(f);
+  EXPECT_NE(text.find("\"engine_scheme\": \"recovery-3term\""),
+            std::string::npos);
 }
 
 // The §3.2 claim made executable: on cancellation-free positive inputs the

@@ -1,8 +1,10 @@
 // Tests for the deterministic fuzz-case generator and its replayable
 // one-line descriptor format (verify/fuzzer.hpp).
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <set>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -66,21 +68,38 @@ TEST(Fuzzer, CancellationBuildsExactPairs) {
   }
 }
 
-TEST(Fuzzer, PlanIsDeterministicAndCoversEveryKind) {
+TEST(Fuzzer, PlanIsDeterministicAndCoversEveryKindAndScheme) {
   const std::vector<FuzzCase> plan = fuzz_plan(123, 50);
   const std::vector<FuzzCase> again = fuzz_plan(123, 50);
   ASSERT_EQ(plan.size(), 50u);
   std::set<int> kinds;
+  std::set<int> schemes;
   for (std::size_t i = 0; i < plan.size(); ++i) {
     EXPECT_EQ(plan[i].seed, again[i].seed);
     EXPECT_EQ(plan[i].m, again[i].m);
     EXPECT_EQ(plan[i].kind, again[i].kind);
+    EXPECT_EQ(plan[i].scheme, again[i].scheme);
     EXPECT_GE(plan[i].m, 1u);
     EXPECT_GE(plan[i].n, 1u);
     EXPECT_GE(plan[i].k, 1u);
     kinds.insert(static_cast<int>(plan[i].kind));
+    schemes.insert(static_cast<int>(plan[i].scheme));
   }
   EXPECT_EQ(kinds.size(), static_cast<std::size_t>(InputKind::kCount));
+  EXPECT_EQ(schemes.size(), core::kSchemeCount);
+}
+
+TEST(Fuzzer, PlanPairsEveryKindWithEverySchemeOverOnePeriod) {
+  // 9 kinds and 6 schemes share a factor of 3, so the generator shifts the
+  // scheme lane one step per 18-case super-period: all 54 (kind, scheme)
+  // pairs must appear within 108 cases.
+  const std::vector<FuzzCase> plan = fuzz_plan(7, 108);
+  std::set<std::pair<int, int>> pairs;
+  for (const FuzzCase& fuzz : plan) {
+    pairs.emplace(static_cast<int>(fuzz.kind), static_cast<int>(fuzz.scheme));
+  }
+  EXPECT_EQ(pairs.size(),
+            static_cast<std::size_t>(InputKind::kCount) * core::kSchemeCount);
 }
 
 TEST(Fuzzer, DifferentMasterSeedsGiveDifferentPlans) {
@@ -98,6 +117,8 @@ TEST(Fuzzer, FormatParseRoundTrip) {
     fuzz.k = 33;
     fuzz.kind = static_cast<InputKind>(kind);
     fuzz.with_c = (kind % 2) == 0;
+    fuzz.scheme = core::scheme_ladder()[static_cast<std::size_t>(kind) %
+                                        core::kSchemeCount];
     const std::optional<FuzzCase> parsed = parse_case(format_case(fuzz));
     ASSERT_TRUE(parsed.has_value()) << format_case(fuzz);
     EXPECT_EQ(parsed->seed, fuzz.seed);
@@ -106,6 +127,7 @@ TEST(Fuzzer, FormatParseRoundTrip) {
     EXPECT_EQ(parsed->k, fuzz.k);
     EXPECT_EQ(parsed->kind, fuzz.kind);
     EXPECT_EQ(parsed->with_c, fuzz.with_c);
+    EXPECT_EQ(parsed->scheme, fuzz.scheme);
   }
 }
 
@@ -116,6 +138,8 @@ TEST(Fuzzer, ParseRejectsMalformedInput) {
   EXPECT_FALSE(parse_case("seed=1 m=2 n=3 k=4 kind=bogus").has_value());
   EXPECT_FALSE(parse_case("seed=x m=2 n=3 k=4 kind=uniform").has_value());
   EXPECT_FALSE(parse_case("seed=1 m=2 n=3 k=4 kind=uniform junk").has_value());
+  EXPECT_FALSE(
+      parse_case("seed=1 m=2 n=3 k=4 kind=uniform scheme=bogus").has_value());
 }
 
 TEST(Fuzzer, ParseAcceptsCommentsAndWhitespace) {
@@ -125,6 +149,46 @@ TEST(Fuzzer, ParseAcceptsCommentsAndWhitespace) {
   EXPECT_EQ(parsed->seed, 7u);
   EXPECT_EQ(parsed->kind, InputKind::kDenormal);
   EXPECT_TRUE(parsed->with_c);
+  // Descriptors predating the ladder default to the legacy 2-term rung.
+  EXPECT_EQ(parsed->scheme, core::SchemeId::kRound2);
+}
+
+TEST(Fuzzer, ParseReadsSchemeToken) {
+  const std::optional<FuzzCase> parsed =
+      parse_case("seed=7 m=2 n=3 k=4 kind=uniform c=0 scheme=slice-3term");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->scheme, core::SchemeId::kSlice3);
+}
+
+TEST(Fuzzer, NewKindsFillWithFiniteAdversarialValues) {
+  for (const InputKind kind :
+       {InputKind::kExponentSpread, InputKind::kWideMantissa}) {
+    FuzzCase fuzz;
+    fuzz.seed = 5;
+    fuzz.m = 16;
+    fuzz.n = 16;
+    fuzz.k = 16;
+    fuzz.kind = kind;
+    const FuzzInputs inputs = generate_inputs(fuzz);
+    for (const float v : inputs.a.data()) {
+      EXPECT_TRUE(std::isfinite(v));
+      EXPECT_NE(v, 0.0f);
+    }
+  }
+  // Wide-mantissa values carry an odd low mantissa bit: no value can be
+  // represented exactly by the hi half-precision plane alone.
+  FuzzCase fuzz;
+  fuzz.seed = 6;
+  fuzz.m = 8;
+  fuzz.n = 8;
+  fuzz.k = 8;
+  fuzz.kind = InputKind::kWideMantissa;
+  const FuzzInputs inputs = generate_inputs(fuzz);
+  for (const float v : inputs.a.data()) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    EXPECT_EQ(bits & 1u, 1u);
+  }
 }
 
 TEST(Fuzzer, SpecialsKindActuallyEmitsSpecials) {

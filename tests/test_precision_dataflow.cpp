@@ -392,10 +392,11 @@ TEST(PrecisionDataflow, FromStaticProfileMapsTermsOntoThePath) {
       verify::from_static_profile(built.precision);
   EXPECT_EQ(path.split, core::SplitMethod::kRoundSplit);
   EXPECT_FALSE(path.half_only);
-  EXPECT_TRUE(path.term_hi_hi);
-  EXPECT_TRUE(path.term_hi_lo);
-  EXPECT_TRUE(path.term_lo_hi);
-  EXPECT_TRUE(path.term_lo_lo);
+  EXPECT_TRUE(path.term(0, 0));  // hi x hi
+  EXPECT_TRUE(path.term(0, 1));  // hi x lo
+  EXPECT_TRUE(path.term(1, 0));  // lo x hi
+  EXPECT_TRUE(path.term(1, 1));  // lo x lo
+  EXPECT_EQ(core::classify_scheme(path), core::SchemeId::kRound2);
 
   BuildOptions half = options;
   half.emulation_instructions = 1;

@@ -113,7 +113,7 @@ PathProfile round_profile() { return PathProfile{}; }
 PathProfile markidis_profile() {
   PathProfile p;
   p.split = core::SplitMethod::kTruncateSplit;
-  p.term_lo_lo = false;
+  p.set_term(1, 1, false);  // lo x lo dropped
   return p;
 }
 
@@ -168,12 +168,12 @@ TEST(ErrorModel, SubnormalFloorsKeepBoundsPositive) {
             0x1.0p-24);
 }
 
-TEST(ErrorModel, ComboCountMatchesProfile) {
-  EXPECT_EQ(round_profile().combo_count(), 4);
-  EXPECT_EQ(markidis_profile().combo_count(), 3);
+TEST(ErrorModel, TermCountMatchesProfile) {
+  EXPECT_EQ(round_profile().term_count(), 4);
+  EXPECT_EQ(markidis_profile().term_count(), 3);
   PathProfile half;
   half.half_only = true;
-  EXPECT_EQ(half.combo_count(), 1);
+  EXPECT_EQ(half.term_count(), 1);
 }
 
 }  // namespace
