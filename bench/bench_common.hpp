@@ -19,7 +19,11 @@
 #include <utility>
 #include <vector>
 
+#include "core/scheme.hpp"
+#include "gemm/gemm_api.hpp"
+#include "obs/callrec.hpp"
 #include "obs/export.hpp"
+#include "simd/isa.hpp"
 #include "tcsim/gpu_spec.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -59,11 +63,46 @@ struct BenchRecord {
 
 using obs::append_json_escaped;
 
+/// The harness-side id -> name resolvers for the per-call telemetry JSON
+/// (obs/callrec.hpp cannot name gemm/core/simd enums itself -- the obs
+/// layer sits below them).
+inline obs::CallJsonNames call_json_names() {
+  obs::CallJsonNames names;
+  names.scheme = [](std::int8_t s) -> const char* {
+    if (s < 0 || static_cast<std::size_t>(s) >= core::kSchemeCount) {
+      return "custom";
+    }
+    return core::scheme_name(static_cast<core::SchemeId>(s));
+  };
+  names.backend = [](std::uint8_t b) -> const char* {
+    return b <= static_cast<std::uint8_t>(gemm::Backend::kDekker)
+               ? gemm::backend_name(static_cast<gemm::Backend>(b))
+               : "?";
+  };
+  names.engine = [](std::uint8_t e) -> const char* {
+    switch (static_cast<gemm::ExecEngine>(e)) {
+      case gemm::ExecEngine::kPacked:
+        return "packed";
+      case gemm::ExecEngine::kReference:
+        return "reference";
+    }
+    return "?";
+  };
+  names.isa = [](std::uint8_t i) -> const char* {
+    return i < static_cast<std::uint8_t>(simd::kIsaLevelCount)
+               ? simd::isa_name(static_cast<simd::IsaLevel>(i))
+               : "?";
+  };
+  return names;
+}
+
 /// Writes the benchmark records as a small self-describing JSON document
 /// (consumed by CI as an artifact; "gflops" is items_per_second / 1e9 and is
 /// GFLOP/s for the GEMM benches, whose item count is the FLOP count). The
 /// observability registry rides along as a "metrics" object so every
-/// BENCH_*.json carries the pipeline counters of the run that produced it.
+/// BENCH_*.json carries the pipeline counters of the run that produced it,
+/// and the drained per-call records as a "calls" object with per-shape
+/// stage attribution and latency quantiles (DESIGN.md §17).
 inline bool write_bench_json(const std::string& path,
                              const std::string& git_sha,
                              const std::vector<BenchRecord>& records) {
@@ -82,7 +121,14 @@ inline bool write_bench_json(const std::string& path,
                   i + 1 < records.size() ? "," : "");
     out += buf;
   }
-  out += "  ],\n  \"metrics\": ";
+  out += "  ],\n  \"calls\": ";
+  {
+    const std::vector<obs::CallRecord> calls = obs::drain_call_records();
+    out += obs::call_summary_json_block(
+        obs::summarize_calls({calls.data(), calls.size()}), "  ",
+        call_json_names());
+  }
+  out += ",\n  \"metrics\": ";
   out += obs::metrics_json_block("  ");
   out += "\n}\n";
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -223,15 +269,32 @@ inline void print_bench_compare(const BenchCompareReport& report,
 
 // -- observability flags -----------------------------------------------------
 
-/// Shared handling for the --trace=FILE / --metrics flags every harness
-/// binary accepts (DESIGN.md §12). Construct after CLI parsing (turns
-/// tracing on when --trace was given), call `finish()` once the measured
-/// work is done: it writes the Chrome trace and dumps the registry.
+/// Shared handling for the observability flags every harness binary
+/// accepts (DESIGN.md §12, §17):
+///   --trace=FILE                  Chrome trace of the run
+///   --metrics                     human-readable registry dump
+///   --metrics-format=json|openmetrics
+///                                 machine-readable registry export
+///   --metrics-out=FILE            destination for the export (stdout when
+///                                 omitted; Prometheus scrapes this file)
+/// Construct after CLI parsing (turns tracing on when --trace was given),
+/// call `finish()` once the measured work is done: it writes the Chrome
+/// trace, dumps the registry, and emits the structured export.
 class ObsSession {
  public:
   explicit ObsSession(const util::CliArgs& args)
       : ObsSession(args.value_or("trace", std::string()),
-                   args.has_flag("metrics")) {}
+                   args.has_flag("metrics")) {
+    if (args.has_flag("metrics-format")) {
+      const std::string text =
+          args.value_or("metrics-format", std::string("json"));
+      if (!set_metrics_export(text, args.value_or("metrics-out",
+                                                  std::string()))) {
+        std::cerr << "error: unknown --metrics-format '" << text
+                  << "' (expected json or openmetrics)\n";
+      }
+    }
+  }
 
   ObsSession(std::string trace_path, bool dump_metrics)
       : trace_path_(std::move(trace_path)), dump_metrics_(dump_metrics) {
@@ -239,9 +302,27 @@ class ObsSession {
     if (!trace_path_.empty()) obs::set_tracing(true);
   }
 
-  /// Idempotent; returns false when the trace file could not be written.
+  /// Arms the finish()-time structured export. False (and no export armed)
+  /// when `format_text` names no known format; the caller decides whether
+  /// that is fatal.
+  bool set_metrics_export(std::string_view format_text, std::string path) {
+    if (!obs::parse_metrics_format(format_text, metrics_format_)) {
+      flags_ok_ = false;
+      return false;
+    }
+    export_metrics_ = true;
+    metrics_out_ = std::move(path);
+    return true;
+  }
+
+  /// Whether every recognized flag parsed cleanly (bad --metrics-format
+  /// values clear this; the message was already printed).
+  bool flags_ok() const noexcept { return flags_ok_; }
+
+  /// Idempotent; returns false when the trace file or metrics export could
+  /// not be written (or a flag failed to parse).
   bool finish() {
-    if (finished_) return ok_;
+    if (finished_) return ok_ && flags_ok_;
     finished_ = true;
     if (!trace_path_.empty()) {
       obs::set_tracing(false);
@@ -258,14 +339,28 @@ class ObsSession {
       std::cout << "\n-- metrics ------------------------------------------\n";
       obs::dump_metrics(std::cout);
     }
-    return ok_;
+    if (export_metrics_) {
+      if (!obs::write_metrics(metrics_out_, metrics_format_)) {
+        std::cerr << "error: failed to write metrics export"
+                  << (metrics_out_.empty() ? "" : " to " + metrics_out_)
+                  << "\n";
+        ok_ = false;
+      } else if (!metrics_out_.empty()) {
+        std::cout << "wrote metrics export to " << metrics_out_ << "\n";
+      }
+    }
+    return ok_ && flags_ok_;
   }
 
  private:
   std::string trace_path_;
   bool dump_metrics_ = false;
+  bool export_metrics_ = false;
+  obs::MetricsFormat metrics_format_ = obs::MetricsFormat::kJson;
+  std::string metrics_out_;
   bool finished_ = false;
   bool ok_ = true;
+  bool flags_ok_ = true;
 };
 
 }  // namespace egemm::bench

@@ -305,6 +305,8 @@ int main(int argc, char** argv) {
   double compare_threshold = 0.3;
   std::string trace_path;
   bool dump_metrics = false;
+  std::string metrics_format;
+  std::string metrics_out;
   bool min_time_given = false;
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
@@ -321,6 +323,10 @@ int main(int argc, char** argv) {
       trace_path = argv[i] + 8;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       dump_metrics = true;
+    } else if (std::strncmp(argv[i], "--metrics-format=", 17) == 0) {
+      metrics_format = argv[i] + 17;
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
     } else {
       if (std::strncmp(argv[i], "--benchmark_min_time", 20) == 0) {
         min_time_given = true;
@@ -383,6 +389,14 @@ int main(int argc, char** argv) {
     return 1;
   }
   egemm::bench::ObsSession obs_session(trace_path, dump_metrics);
+  if (!metrics_format.empty() &&
+      !obs_session.set_metrics_export(metrics_format, metrics_out)) {
+    std::fprintf(stderr,
+                 "error: unknown --metrics-format '%s' "
+                 "(expected json or openmetrics)\n",
+                 metrics_format.c_str());
+    return 1;
+  }
   CapturingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();

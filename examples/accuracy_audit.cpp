@@ -17,6 +17,9 @@
 //   --trace=PATH        record spans (oracle + per-path) to a Chrome
 //                       trace_event JSON
 //   --metrics           dump the observability registry to stdout at exit
+//   --metrics-format=F  export the registry machine-readably at exit:
+//                       json or openmetrics (Prometheus scrape format)
+//   --metrics-out=PATH  destination for --metrics-format (default stdout)
 //
 // Exit status: 0 when every path satisfied its bound and the engines agree
 // bitwise, 1 on any violation or engine mismatch, 2 on usage errors.
@@ -105,6 +108,20 @@ int main(int argc, char** argv) {
   if (const auto replay = args.value("replay")) return replay_one(*replay);
 
   const std::string trace_path = args.value_or("trace", std::string());
+  obs::MetricsFormat metrics_format = obs::MetricsFormat::kJson;
+  bool export_metrics = false;
+  if (args.has_flag("metrics-format")) {
+    const std::string format_text =
+        args.value_or("metrics-format", std::string("json"));
+    if (!obs::parse_metrics_format(format_text, metrics_format)) {
+      std::fprintf(stderr,
+                   "accuracy_audit: unknown --metrics-format \"%s\" "
+                   "(expected json or openmetrics)\n",
+                   format_text.c_str());
+      return 2;
+    }
+    export_metrics = true;
+  }
   obs::set_thread_name("main");
   if (!trace_path.empty()) obs::set_tracing(true);
 
@@ -194,6 +211,19 @@ int main(int argc, char** argv) {
                     : 0.0,
                 report.oracle_seconds, report.wall_seconds);
     obs::dump_metrics(std::cout);
+  }
+
+  if (export_metrics) {
+    const std::string metrics_out =
+        args.value_or("metrics-out", std::string());
+    if (!obs::write_metrics(metrics_out, metrics_format)) {
+      std::fprintf(stderr, "accuracy_audit: cannot write metrics export%s%s\n",
+                   metrics_out.empty() ? "" : " to ", metrics_out.c_str());
+      return 2;
+    }
+    if (!metrics_out.empty()) {
+      std::printf("wrote metrics export to %s\n", metrics_out.c_str());
+    }
   }
 
   return report.ok() ? 0 : 1;

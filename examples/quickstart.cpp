@@ -2,10 +2,12 @@
 // dozen lines.
 //
 //   build/examples/quickstart [--n=512] [--trace=out.json] [--metrics]
+//              [--metrics-format=json|openmetrics] [--metrics-out=FILE]
 //
 // --trace=PATH records the pipeline spans (split/pack/mma/combine) and
 // writes a Chrome trace_event JSON; --metrics dumps the observability
-// registry at exit.
+// registry at exit; --metrics-format exports the registry machine-readably
+// (to stdout, or to --metrics-out=FILE for a Prometheus scrape target).
 //
 // 1. make two binary32 matrices,
 // 2. multiply them with EGEMM-TC (Algorithm 1: round-split + 4 Tensor Core
@@ -25,6 +27,20 @@ int main(int argc, char** argv) {
   const util::CliArgs args(argc, argv);
   const auto n = static_cast<std::size_t>(args.value_or("n", std::int64_t{512}));
   const std::string trace_path = args.value_or("trace", std::string());
+  obs::MetricsFormat metrics_format = obs::MetricsFormat::kJson;
+  bool export_metrics = false;
+  if (args.has_flag("metrics-format")) {
+    const std::string text =
+        args.value_or("metrics-format", std::string("json"));
+    if (!obs::parse_metrics_format(text, metrics_format)) {
+      std::fprintf(stderr,
+                   "quickstart: unknown --metrics-format '%s' "
+                   "(expected json or openmetrics)\n",
+                   text.c_str());
+      return 1;
+    }
+    export_metrics = true;
+  }
   obs::set_thread_name("main");
   if (!trace_path.empty()) obs::set_tracing(true);
 
@@ -80,5 +96,18 @@ int main(int argc, char** argv) {
                 trace_path.c_str());
   }
   if (args.has_flag("metrics")) obs::dump_metrics(std::cout);
+  if (export_metrics) {
+    const std::string metrics_out =
+        args.value_or("metrics-out", std::string());
+    if (!obs::write_metrics(metrics_out, metrics_format)) {
+      std::fprintf(stderr, "quickstart: cannot write metrics export%s%s\n",
+                   metrics_out.empty() ? "" : " to ",
+                   metrics_out.c_str());
+      return 1;
+    }
+    if (!metrics_out.empty()) {
+      std::printf("wrote metrics export to %s\n", metrics_out.c_str());
+    }
+  }
   return 0;
 }

@@ -119,7 +119,8 @@ SchemeProfile scheme_profile(SchemeId id) noexcept {
   profile.half_only = descriptor.half_only;
   profile.planes = descriptor.planes;
   profile.term_mask = 0;
-  for (int i = 0; i < descriptor.term_count; ++i) {
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(descriptor.term_count); ++i) {
     profile.set_term(descriptor.terms[i].a_depth, descriptor.terms[i].b_depth,
                      true);
   }
@@ -157,8 +158,9 @@ ErrorBound scheme_element_bound(const SchemeProfile& profile,
   std::array<double, 3> mag_a{};
   std::array<double, 3> mag_b{};
   for (int d = 0; d < planes; ++d) {
-    mag_a[d] = plane_bound(profile.split, d, in.a_scale);
-    mag_b[d] = plane_bound(profile.split, d, in.b_scale);
+    const auto di = static_cast<std::size_t>(d);
+    mag_a[di] = plane_bound(profile.split, d, in.a_scale);
+    mag_b[di] = plane_bound(profile.split, d, in.b_scale);
   }
 
   // Representation: each term's computed planes multiply out to
@@ -178,7 +180,8 @@ ErrorBound scheme_element_bound(const SchemeProfile& profile,
   } else {
     for (int a = 0; a < planes; ++a) {
       for (int b = 0; b < planes; ++b) {
-        const double mag = mag_a[a] * mag_b[b];
+        const double mag = mag_a[static_cast<std::size_t>(a)] *
+                           mag_b[static_cast<std::size_t>(b)];
         if (profile.term(a, b)) {
           product_mag += mag;
         } else {

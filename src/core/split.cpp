@@ -24,6 +24,10 @@ constexpr std::size_t kChunk = 512;  // staging rows live in L1
 /// pass moves -- binary32 in, `planes` planes of `plane_elem_bytes` out).
 inline void count_split(std::size_t elements, std::size_t planes,
                         std::size_t plane_elem_bytes) noexcept {
+  // All three are unused in NDEBUG builds with observability compiled out.
+  static_cast<void>(elements);
+  static_cast<void>(planes);
+  static_cast<void>(plane_elem_bytes);
 #ifndef NDEBUG
   g_split_elements.fetch_add(elements, std::memory_order_relaxed);
 #endif

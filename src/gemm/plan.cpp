@@ -11,8 +11,10 @@
 #include "gemm/baselines.hpp"
 #include "model/analytic_model.hpp"
 #include "model/solver.hpp"
+#include "obs/callrec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "simd/isa.hpp"
 #include "tcsim/tensor_core.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
@@ -34,6 +36,29 @@ void count_workspace_allocation() noexcept {
   g_workspace_allocations.fetch_add(1, std::memory_order_relaxed);
 #endif
 }
+
+/// Worker-side stage attribution for one engine invocation (DESIGN.md
+/// §17). Each pool chunk adds its locally accumulated combine time and its
+/// own wall clock's remainder as mma -- one relaxed fetch_add pair per
+/// chunk, read by the issuing thread after the pool join. Chunks overlap
+/// in time across workers, so the totals are *weights*: execute() scales
+/// the single-threaded engine wall segment by mma/(mma+combine) to get
+/// per-stage nanoseconds that sum to the wall time. Engines take the
+/// accumulator as a nullable pointer so the disabled path costs one
+/// predictable branch per chunk.
+struct StageAccum {
+  std::atomic<std::uint64_t> mma{0};
+  std::atomic<std::uint64_t> combine{0};
+};
+
+#if EGEMM_OBSERVABILITY_ENABLED
+/// Thread-local breadcrumb from plan_for to execute: when a caller runs a
+/// plan immediately after looking it up (the GemmContext::run / gemm_ex
+/// path), the record can say whether that lookup hit the plan cache.
+/// Consumed on first use; a plan held across calls reports kUnknown.
+thread_local const void* tl_last_plan = nullptr;
+thread_local obs::PlanLookup tl_last_lookup = obs::PlanLookup::kUnknown;
+#endif
 
 /// NaN canonicalization at the D store, as the modeled hardware does: the
 /// Tensor Core emits a canonical quiet NaN, never an input payload. Without
@@ -96,7 +121,8 @@ void compute_c_tile(float acc[kTile][kTile], std::span<const Matrix> ap,
 /// with C (or zeros).
 void reference_engine(Matrix& d, std::span<const Matrix> ap,
                       std::span<const Matrix> bp,
-                      std::span<const PlaneCombo> combos, ComboOrder order) {
+                      std::span<const PlaneCombo> combos, ComboOrder order,
+                      StageAccum* stages) {
   const std::size_t m = d.rows();
   const std::size_t n = d.cols();
 
@@ -104,6 +130,9 @@ void reference_engine(Matrix& d, std::span<const Matrix> ap,
   util::global_pool().parallel_for(
       row_blocks, [&](std::size_t rb0, std::size_t rb1) {
         EGEMM_TRACE_SCOPE("mma");
+        const std::uint64_t chunk_start =
+            stages != nullptr ? obs::monotonic_ns() : 0;
+        std::uint64_t combine_local = 0;
         for (std::size_t rb = rb0; rb < rb1; ++rb) {
           const std::size_t i0 = rb * kTile;
           const std::size_t mt = std::min(kTile, m - i0);
@@ -117,12 +146,21 @@ void reference_engine(Matrix& d, std::span<const Matrix> ap,
             }
             compute_c_tile(acc, ap, bp, i0, j0, mt, nt, combos, order);
             EGEMM_TRACE_SCOPE("combine");
+            const std::uint64_t t0 =
+                stages != nullptr ? obs::monotonic_ns() : 0;
             for (std::size_t i = 0; i < mt; ++i) {
               for (std::size_t j = 0; j < nt; ++j) {
                 d.at(i0 + i, j0 + j) = canonical_store(acc[i][j]);
               }
             }
+            if (stages != nullptr) combine_local += obs::monotonic_ns() - t0;
           }
+        }
+        if (stages != nullptr) {
+          const std::uint64_t wall = obs::monotonic_ns() - chunk_start;
+          stages->combine.fetch_add(combine_local, std::memory_order_relaxed);
+          stages->mma.fetch_add(wall > combine_local ? wall - combine_local : 0,
+                                std::memory_order_relaxed);
         }
       });
 }
@@ -147,7 +185,8 @@ static_assert(kSeparateSlab % 2 == 0);
 /// arrives initialized with C (or zeros).
 void packed_engine(Matrix& d, const PackedPlanesA& apack,
                    const PackedPlanesB& bpack, std::size_t k,
-                   std::span<const PlaneCombo> combos, ComboOrder order) {
+                   std::span<const PlaneCombo> combos, ComboOrder order,
+                   StageAccum* stages) {
   const std::size_t m = d.rows();
   const std::size_t n = d.cols();
   const auto ncombos = static_cast<int>(combos.size());
@@ -159,6 +198,9 @@ void packed_engine(Matrix& d, const PackedPlanesA& apack,
       [&](std::size_t rb0, std::size_t rb1, std::size_t cb0, std::size_t cb1) {
         EGEMM_TRACE_SCOPE("mma");
         EGEMM_COUNTER_ADD("egemm.tiles", (rb1 - rb0) * (cb1 - cb0));
+        const std::uint64_t chunk_start =
+            stages != nullptr ? obs::monotonic_ns() : 0;
+        std::uint64_t combine_local = 0;
         for (std::size_t rb = rb0; rb < rb1; ++rb) {
           const std::size_t i0 = rb * kTile;
           const std::size_t mt = std::min(kTile, m - i0);
@@ -196,12 +238,21 @@ void packed_engine(Matrix& d, const PackedPlanesA& apack,
                                      k, static_cast<int>(k), k_slab, fused);
             }
             EGEMM_TRACE_SCOPE("combine");
+            const std::uint64_t t0 =
+                stages != nullptr ? obs::monotonic_ns() : 0;
             for (std::size_t i = 0; i < mt; ++i) {
               for (std::size_t j = 0; j < nt; ++j) {
                 d.at(i0 + i, j0 + j) = canonical_store(acc[i][j]);
               }
             }
+            if (stages != nullptr) combine_local += obs::monotonic_ns() - t0;
           }
+        }
+        if (stages != nullptr) {
+          const std::uint64_t wall = obs::monotonic_ns() - chunk_start;
+          stages->combine.fetch_add(combine_local, std::memory_order_relaxed);
+          stages->mma.fetch_add(wall > combine_local ? wall - combine_local : 0,
+                                std::memory_order_relaxed);
         }
       });
 }
@@ -317,6 +368,57 @@ void count_scheme_execute(std::int8_t scheme) {
   }
 }
 
+#if EGEMM_OBSERVABILITY_ENABLED
+/// Assembles and deposits the per-call telemetry for one execute: the
+/// egemm.execute.latency histogram sample plus a structured CallRecord.
+/// `engine_ns` is the wall segment spent inside the engine; the worker
+/// StageAccum weights apportion it between mma and combine so the four
+/// stage fields sum to at most total_ns. Direct backends pass engine_ns =
+/// 0 and a null accumulator (total only).
+void record_execute_call(const PlanKey& key, std::uint64_t workspace_bytes,
+                         bool with_c, std::uint64_t start_ns,
+                         std::uint64_t split_ns, std::uint64_t pack_ns,
+                         std::uint64_t engine_ns, const StageAccum* stages,
+                         obs::PlanLookup lookup) {
+  const std::uint64_t now = obs::monotonic_ns();
+  const std::uint64_t total = now > start_ns ? now - start_ns : 0;
+  EGEMM_LATENCY_RECORD("egemm.execute.latency", total);
+  obs::CallRecord rec;
+  rec.start_ns = start_ns;
+  rec.total_ns = total;
+  rec.split_ns = split_ns;
+  rec.pack_ns = pack_ns;
+  if (stages != nullptr) {
+    const std::uint64_t wm = stages->mma.load(std::memory_order_relaxed);
+    const std::uint64_t wc = stages->combine.load(std::memory_order_relaxed);
+    if (wm + wc > 0) {
+      rec.mma_ns = static_cast<std::uint64_t>(
+          static_cast<double>(engine_ns) * static_cast<double>(wm) /
+          static_cast<double>(wm + wc));
+      rec.combine_ns = engine_ns - rec.mma_ns;
+    } else {
+      rec.mma_ns = engine_ns;
+    }
+  }
+  rec.flops = 2ULL * key.m * key.n * key.k;
+  const std::size_t d_elems = key.m * key.n;
+  rec.bytes_moved =
+      (key.m * key.k + key.k * key.n + d_elems + (with_c ? d_elems : 0)) *
+          sizeof(float) +
+      workspace_bytes;
+  rec.m = static_cast<std::uint32_t>(key.m);
+  rec.n = static_cast<std::uint32_t>(key.n);
+  rec.k = static_cast<std::uint32_t>(key.k);
+  rec.tid = obs::current_thread_id();
+  rec.scheme = key.scheme;
+  rec.backend = static_cast<std::uint8_t>(key.backend);
+  rec.engine = static_cast<std::uint8_t>(key.engine);
+  rec.isa = static_cast<std::uint8_t>(simd::active_isa());
+  rec.lookup = lookup;
+  obs::record_call(rec);
+}
+#endif  // EGEMM_OBSERVABILITY_ENABLED
+
 }  // namespace
 
 std::uint64_t debug_workspace_allocations() noexcept {
@@ -417,22 +519,42 @@ void GemmPlan::execute(GemmContext& ctx, const Matrix& a, const Matrix& b,
                 (c->rows() == key_.m && c->cols() == key_.n));
   EGEMM_EXPECTS(&a != &d && &b != &d && c != &d);
 
+#if EGEMM_OBSERVABILITY_ENABLED
+  // Consume the plan_for breadcrumb whether or not recording is on, so a
+  // stale hit/miss never attaches to a later call through a held plan.
+  obs::PlanLookup lookup = obs::PlanLookup::kUnknown;
+  if (tl_last_plan == this) {
+    lookup = tl_last_lookup;
+    tl_last_plan = nullptr;
+    tl_last_lookup = obs::PlanLookup::kUnknown;
+  }
+  const bool telemetry = obs::call_records_enabled();
+  const std::uint64_t t_start = telemetry ? obs::monotonic_ns() : 0;
+#endif
+
   if (key_.direct) {
     switch (key_.backend) {
       case Backend::kCublasFp32:
         sgemm_fp32_into(a, b, c, d);
-        return;
+        break;
       case Backend::kSdkFp32:
         EGEMM_EXPECTS(c == nullptr);
         sdk_gemm_fp32_into(a, b, d);
-        return;
+        break;
       case Backend::kDekker:
         gemm_dekker_into(a, b, c, d);
-        return;
+        break;
       default:
+        EGEMM_EXPECTS(!"unreachable direct backend");
         break;
     }
-    EGEMM_EXPECTS(!"unreachable direct backend");
+#if EGEMM_OBSERVABILITY_ENABLED
+    if (telemetry) {
+      record_execute_call(key_, workspace_bytes_, c != nullptr, t_start,
+                          /*split_ns=*/0, /*pack_ns=*/0, /*engine_ns=*/0,
+                          /*stages=*/nullptr, lookup);
+    }
+#endif
     return;
   }
 
@@ -444,6 +566,15 @@ void GemmPlan::execute(GemmContext& ctx, const Matrix& a, const Matrix& b,
   Workspace& ws = *lease;
   ws.ensure(key_.m, key_.n, key_.k, key_.planes);
 
+#if EGEMM_OBSERVABILITY_ENABLED
+  std::uint64_t split_ns = 0;
+  std::uint64_t pack_ns = 0;
+  StageAccum stage_accum;
+  StageAccum* const stages = telemetry ? &stage_accum : nullptr;
+#else
+  StageAccum* const stages = nullptr;
+#endif
+
   // The O(N^2) data-split pass (runs on CUDA cores in the real kernel).
   // Plane 0 = lo; for three-way splits: lo, mid, hi.
 #ifndef NDEBUG
@@ -451,6 +582,9 @@ void GemmPlan::execute(GemmContext& ctx, const Matrix& a, const Matrix& b,
 #endif
   {
     EGEMM_TRACE_SCOPE("split");
+#if EGEMM_OBSERVABILITY_ENABLED
+    const std::uint64_t t0 = telemetry ? obs::monotonic_ns() : 0;
+#endif
     const std::span<Matrix> ap = ws.a_planes();
     const std::span<Matrix> bp = ws.b_planes();
     if (key_.planes == 3) {
@@ -462,6 +596,9 @@ void GemmPlan::execute(GemmContext& ctx, const Matrix& a, const Matrix& b,
       core::split_span_f32(a.data(), ap[1].data(), ap[0].data(), key_.split);
       core::split_span_f32(b.data(), bp[1].data(), bp[0].data(), key_.split);
     }
+#if EGEMM_OBSERVABILITY_ENABLED
+    if (telemetry) split_ns = obs::monotonic_ns() - t0;
+#endif
   }
 #ifndef NDEBUG
   // Each input element must be split exactly once per GEMM call -- the
@@ -478,16 +615,39 @@ void GemmPlan::execute(GemmContext& ctx, const Matrix& a, const Matrix& b,
     d.fill(0.0f);
   }
 
+#if EGEMM_OBSERVABILITY_ENABLED
+  std::uint64_t t_engine = 0;
+#endif
   if (key_.engine == ExecEngine::kPacked) {
     {
       EGEMM_TRACE_SCOPE("pack");
+#if EGEMM_OBSERVABILITY_ENABLED
+      const std::uint64_t t0 = telemetry ? obs::monotonic_ns() : 0;
+#endif
       ws.pack();
+#if EGEMM_OBSERVABILITY_ENABLED
+      if (telemetry) pack_ns = obs::monotonic_ns() - t0;
+#endif
     }
+#if EGEMM_OBSERVABILITY_ENABLED
+    if (telemetry) t_engine = obs::monotonic_ns();
+#endif
     packed_engine(d, ws.packed_a(), ws.packed_b(), key_.k, combos_,
-                  key_.order);
+                  key_.order, stages);
   } else {
-    reference_engine(d, ws.a_planes(), ws.b_planes(), combos_, key_.order);
+#if EGEMM_OBSERVABILITY_ENABLED
+    if (telemetry) t_engine = obs::monotonic_ns();
+#endif
+    reference_engine(d, ws.a_planes(), ws.b_planes(), combos_, key_.order,
+                     stages);
   }
+#if EGEMM_OBSERVABILITY_ENABLED
+  if (telemetry) {
+    record_execute_call(key_, workspace_bytes_, c != nullptr, t_start,
+                        split_ns, pack_ns, obs::monotonic_ns() - t_engine,
+                        stages, lookup);
+  }
+#endif
 }
 
 KernelTiming GemmPlan::timing(const tcsim::GpuSpec& spec) const {
@@ -603,6 +763,10 @@ std::shared_ptr<const GemmPlan> GemmContext::plan_for(const PlanKey& key) {
       lru_.splice(lru_.begin(), lru_, it->second);
       ++hits_;
       EGEMM_COUNTER_ADD("gemm.plan.hit", 1);
+#if EGEMM_OBSERVABILITY_ENABLED
+      tl_last_plan = lru_.front().plan.get();
+      tl_last_lookup = obs::PlanLookup::kHit;
+#endif
       return lru_.front().plan;
     }
   }
@@ -610,17 +774,28 @@ std::shared_ptr<const GemmPlan> GemmContext::plan_for(const PlanKey& key) {
   std::shared_ptr<const GemmPlan> created;
   {
     EGEMM_TRACE_SCOPE("plan");
+#if EGEMM_OBSERVABILITY_ENABLED
+    const std::uint64_t t0 = obs::monotonic_ns();
+#endif
     created = std::shared_ptr<const GemmPlan>(new GemmPlan(key));
+#if EGEMM_OBSERVABILITY_ENABLED
+    EGEMM_LATENCY_RECORD("gemm.plan.build.latency", obs::monotonic_ns() - t0);
+#endif
   }
 
   const std::lock_guard<std::mutex> lock(mutex_);
   ++misses_;
   EGEMM_COUNTER_ADD("gemm.plan.miss", 1);
   // A racing thread may have built the same plan meanwhile; either copy is
-  // interchangeable (plans are immutable), so keep the cached one.
+  // interchangeable (plans are immutable), so keep the cached one. The
+  // caller still paid a plan build, so the breadcrumb says miss either way.
   const auto it = index_.find(key);
   if (it != index_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
+#if EGEMM_OBSERVABILITY_ENABLED
+    tl_last_plan = lru_.front().plan.get();
+    tl_last_lookup = obs::PlanLookup::kMiss;
+#endif
     return lru_.front().plan;
   }
   lru_.push_front(CacheEntry{key, created});
@@ -629,6 +804,10 @@ std::shared_ptr<const GemmPlan> GemmContext::plan_for(const PlanKey& key) {
     index_.erase(lru_.back().key);
     lru_.pop_back();
   }
+#if EGEMM_OBSERVABILITY_ENABLED
+  tl_last_plan = created.get();
+  tl_last_lookup = obs::PlanLookup::kMiss;
+#endif
   return created;
 }
 

@@ -107,7 +107,46 @@ std::string metrics_json_block(const MetricsSnapshot& snapshot,
     }
     out += "}}";
   }
-  out += snapshot.histograms.empty() ? "}\n" : "\n" + indent + "  }\n";
+  out += snapshot.histograms.empty() ? "},\n" : "\n" + indent + "  },\n";
+  out += indent;
+  out += "  \"latency\": {";
+  for (std::size_t i = 0; i < snapshot.latencies.size(); ++i) {
+    const LatencySample& h = snapshot.latencies[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += indent;
+    out += "    ";
+    append_quoted(out, h.name);
+    out += ": {\"count\": ";
+    append_u64(out, h.count);
+    out += ", \"sum_ns\": ";
+    append_u64(out, h.sum);
+    out += ", \"mean_ns\": ";
+    append_double(out, h.mean());
+    out += ",\n";
+    out += indent;
+    out += "     \"p50_ns\": ";
+    append_u64(out, h.quantile(0.50));
+    out += ", \"p90_ns\": ";
+    append_u64(out, h.quantile(0.90));
+    out += ", \"p99_ns\": ";
+    append_u64(out, h.quantile(0.99));
+    out += ", \"p999_ns\": ";
+    append_u64(out, h.quantile(0.999));
+    // Sparse buckets keyed by the bucket's lower bound in nanoseconds.
+    out += ", \"buckets\": {";
+    bool first = true;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      if (!first) out += ", ";
+      first = false;
+      out += '"';
+      append_u64(out, latency_bucket_lower(b));
+      out += "\": ";
+      append_u64(out, h.buckets[b]);
+    }
+    out += "}}";
+  }
+  out += snapshot.latencies.empty() ? "}\n" : "\n" + indent + "  }\n";
   out += indent;
   out += "}";
   return out;
@@ -129,10 +168,145 @@ void dump_metrics(std::ostream& os, const MetricsSnapshot& snapshot) {
     os << "histogram  " << h.name << " count=" << h.count << " sum=" << h.sum
        << " mean=" << h.mean() << "\n";
   }
+  for (const LatencySample& h : snapshot.latencies) {
+    os << "latency    " << h.name << " count=" << h.count
+       << " mean_ns=" << h.mean() << " p50_ns=" << h.quantile(0.50)
+       << " p99_ns=" << h.quantile(0.99) << "\n";
+  }
 }
 
 void dump_metrics(std::ostream& os) {
   dump_metrics(os, registry().snapshot());
+}
+
+namespace {
+
+/// OpenMetrics names are [a-zA-Z_:][a-zA-Z0-9_:]*; the registry's dotted
+/// names map '.'/'-' (and anything else) to '_'.
+std::string sanitize_metric_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+void append_seconds(std::string& out, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(ns) / 1e9);
+  out += buf;
+}
+
+}  // namespace
+
+std::string openmetrics_text(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const CounterSample& c : snapshot.counters) {
+    const std::string name = sanitize_metric_name(c.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name + "_total ";
+    append_u64(out, c.value);
+    out += '\n';
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    const std::string name = sanitize_metric_name(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + ' ';
+    append_i64(out, g.value);
+    out += '\n';
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    const std::string name = sanitize_metric_name(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    // Bucket 0 holds exactly zero (le="0"); bucket b covers
+    // [2^(b-1), 2^b) so its inclusive upper bound is 2^b - 1. The last
+    // bucket absorbs everything larger and folds into +Inf.
+    for (std::size_t b = 0; b + 1 < Histogram::kBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      cumulative += h.buckets[b];
+      out += name + "_bucket{le=\"";
+      append_u64(out, b == 0 ? 0 : (std::uint64_t{1} << b) - 1);
+      out += "\"} ";
+      append_u64(out, cumulative);
+      out += '\n';
+    }
+    out += name + "_bucket{le=\"+Inf\"} ";
+    append_u64(out, h.count);
+    out += '\n';
+    out += name + "_sum ";
+    append_u64(out, h.sum);
+    out += '\n';
+    out += name + "_count ";
+    append_u64(out, h.count);
+    out += '\n';
+  }
+  for (const LatencySample& h : snapshot.latencies) {
+    // Latency histograms record nanoseconds; the exposition uses base-unit
+    // seconds per the OpenMetrics convention, hence the _seconds suffix.
+    const std::string name = sanitize_metric_name(h.name) + "_seconds";
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b + 1 < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      cumulative += h.buckets[b];
+      out += name + "_bucket{le=\"";
+      append_seconds(out, latency_bucket_lower(b) + latency_bucket_width(b));
+      out += "\"} ";
+      append_u64(out, cumulative);
+      out += '\n';
+    }
+    out += name + "_bucket{le=\"+Inf\"} ";
+    append_u64(out, h.count);
+    out += '\n';
+    out += name + "_sum ";
+    append_seconds(out, h.sum);
+    out += '\n';
+    out += name + "_count ";
+    append_u64(out, h.count);
+    out += '\n';
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+std::string openmetrics_text() {
+  return openmetrics_text(registry().snapshot());
+}
+
+bool parse_metrics_format(std::string_view text, MetricsFormat& out) {
+  if (text == "json") {
+    out = MetricsFormat::kJson;
+    return true;
+  }
+  if (text == "openmetrics") {
+    out = MetricsFormat::kOpenMetrics;
+    return true;
+  }
+  return false;
+}
+
+std::string render_metrics(const MetricsSnapshot& snapshot,
+                           MetricsFormat format) {
+  if (format == MetricsFormat::kOpenMetrics) return openmetrics_text(snapshot);
+  return metrics_json_block(snapshot, "") + "\n";
+}
+
+bool write_metrics(const std::string& path, MetricsFormat format) {
+  const std::string text = render_metrics(registry().snapshot(), format);
+  if (path.empty()) {
+    return std::fwrite(text.data(), 1, text.size(), stdout) == text.size();
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
 }
 
 std::string chrome_trace_json() {

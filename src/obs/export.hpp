@@ -1,11 +1,13 @@
 #pragma once
-// Exporters for the observability layer (DESIGN.md §12):
+// Exporters for the observability layer (DESIGN.md §12, §17):
 //  * Chrome trace_event JSON -- load the file in chrome://tracing or
 //    ui.perfetto.dev to see the span timeline per thread track;
 //  * plain-text metrics dump for terminals;
 //  * a JSON metrics *block* (an object, no trailing newline) that callers
 //    splice into their own documents (BENCH_micro.json, the accuracy-audit
-//    report).
+//    report);
+//  * OpenMetrics text exposition (Prometheus-scrapeable) with latency
+//    histograms rendered as cumulative `le` buckets in seconds.
 
 #include <iosfwd>
 #include <string>
@@ -32,6 +34,29 @@ std::string metrics_json_block(const std::string& indent = "  ");
 /// Human-readable registry dump, one metric per line.
 void dump_metrics(std::ostream& os);
 void dump_metrics(std::ostream& os, const MetricsSnapshot& snapshot);
+
+/// The registry in OpenMetrics text exposition format (the Prometheus
+/// scrape format): counters become `<name>_total`, gauges plain samples,
+/// bit-width histograms cumulative `le` buckets on the raw value, and
+/// latency histograms `<name>_seconds` with `le` in seconds. Metric names
+/// are sanitized ('.'/'-' -> '_'). The document ends with `# EOF`.
+std::string openmetrics_text(const MetricsSnapshot& snapshot);
+std::string openmetrics_text();
+
+/// Output format selector for the `--metrics-format` CLI flags.
+enum class MetricsFormat { kJson, kOpenMetrics };
+
+/// Parses "json" / "openmetrics"; false (and `out` untouched) otherwise.
+bool parse_metrics_format(std::string_view text, MetricsFormat& out);
+
+/// The snapshot rendered in `format`: a standalone JSON document (the
+/// metrics block plus trailing newline) or the OpenMetrics exposition.
+std::string render_metrics(const MetricsSnapshot& snapshot,
+                           MetricsFormat format);
+
+/// Writes render_metrics(...) to `path`, or to stdout when `path` is
+/// empty; false on I/O failure.
+bool write_metrics(const std::string& path, MetricsFormat format);
 
 /// The recorded spans as a Chrome trace_event JSON document ("X" complete
 /// events plus thread_name metadata).

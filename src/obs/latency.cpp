@@ -1,0 +1,42 @@
+#include "obs/latency.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace egemm::obs {
+
+// Compile-time pins on the bucket geometry the header documents: adjacent
+// contiguous ranges, exact linear region, and the 1/16 width/lower bound
+// behind kLatencyQuantileRelErr.
+static_assert(latency_bucket_index(0) == 0);
+static_assert(latency_bucket_index(31) == 31);
+static_assert(latency_bucket_index(32) == 32);
+static_assert(latency_bucket_lower(32) == 32);
+static_assert(latency_bucket_lower(48) == 64);
+static_assert(latency_bucket_index((std::uint64_t{1} << 38) - 1) ==
+              kLatencyBuckets - 1);
+static_assert(latency_bucket_index(std::uint64_t{1} << 38) ==
+              kLatencyBuckets - 1);
+static_assert(latency_bucket_index(~std::uint64_t{0}) == kLatencyBuckets - 1);
+static_assert(latency_bucket_lower(kLatencyBuckets - 1) +
+                  latency_bucket_width(kLatencyBuckets - 1) ==
+              std::uint64_t{1} << 38);
+static_assert(16 * latency_bucket_width(100) <= latency_bucket_lower(100));
+
+std::uint64_t latency_quantile(std::span<const std::uint64_t> buckets,
+                               std::uint64_t count, double q) noexcept {
+  if (count == 0 || buckets.size() != kLatencyBuckets) return 0;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(clamped * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kLatencyBuckets; ++b) {
+    cumulative += buckets[b];
+    if (cumulative >= rank) return latency_bucket_representative(b);
+  }
+  // Unreachable when the bucket sum equals `count`; fall back to the top.
+  return latency_bucket_representative(kLatencyBuckets - 1);
+}
+
+}  // namespace egemm::obs

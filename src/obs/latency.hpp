@@ -1,0 +1,145 @@
+#pragma once
+// Log-linear (HDR-style) latency bucketing (DESIGN.md §17). Shared bucket
+// math for the sharded LatencyHistogram metric (obs/metrics.hpp) and the
+// plain LatencyAccumulator below, so every quantile in the system -- the
+// registry's egemm.execute.latency, the per-shape-class call summaries,
+// the egemm_stats table -- carries the same proven relative-error bound.
+//
+// Layout: values below 32 get one exact bucket each (sub-microsecond
+// latencies are small integers of nanoseconds and deserve exact counts);
+// from 32 up, each power-of-two octave is divided into 2^kLatencySubBits
+// = 16 equal sub-buckets. A bucket in octave w (values with bit width w)
+// spans 2^(w-5) consecutive integers starting at (16 + sub) << (w - 5),
+// so bucket_width / bucket_lower <= 1/16 everywhere: nearest-rank
+// quantiles read off the bucket midpoint are within kLatencyQuantileRelErr
+// of the exact sorted-sample quantile (tests/test_telemetry.cpp pins this
+// on uniform/lognormal/bimodal samples). Values of 2^38 ns (~275 s) and
+// above saturate into the last bucket.
+//
+// Everything here is plain arithmetic with no registry or macro
+// dependencies; it compiles identically with EGEMM_OBSERVABILITY=OFF (the
+// *recording* paths are what the switch removes).
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace egemm::obs {
+
+/// Sub-buckets per octave as a power of two: 16 sub-buckets.
+inline constexpr int kLatencySubBits = 4;
+
+/// Values below this get one exact bucket each (indices 0..31).
+inline constexpr std::uint64_t kLatencyLinearMax = 32;
+
+/// First octave bucketed log-linearly: bit width of kLatencyLinearMax.
+inline constexpr int kLatencyMinOctaveWidth = 6;
+
+/// Last distinguishable octave; wider values saturate into its top bucket.
+inline constexpr int kLatencyMaxOctaveWidth = 38;
+
+/// Total bucket count: 32 linear + 33 octaves x 16 sub-buckets = 560.
+inline constexpr std::size_t kLatencyBuckets =
+    static_cast<std::size_t>(kLatencyLinearMax) +
+    (static_cast<std::size_t>(kLatencyMaxOctaveWidth - kLatencyMinOctaveWidth +
+                              1)
+     << kLatencySubBits);
+static_assert(kLatencyBuckets == 560);
+
+/// Worst-case relative error of a bucket-midpoint quantile against the
+/// exact sorted-sample quantile (same nearest-rank convention on both
+/// sides): the two values share a bucket, whose width/lower ratio is at
+/// most 1/16 in the octave region and 0 in the exact linear region.
+inline constexpr double kLatencyQuantileRelErr = 1.0 / 16.0;
+
+/// The bucket holding `v`. Total order: every bucket covers a contiguous
+/// value range and ranges are adjacent and increasing.
+constexpr std::size_t latency_bucket_index(std::uint64_t v) noexcept {
+  if (v < kLatencyLinearMax) return static_cast<std::size_t>(v);
+  const int width = static_cast<int>(std::bit_width(v));
+  if (width > kLatencyMaxOctaveWidth) return kLatencyBuckets - 1;
+  const auto sub = static_cast<std::size_t>(
+      (v >> (width - 1 - kLatencySubBits)) & ((1U << kLatencySubBits) - 1));
+  return static_cast<std::size_t>(kLatencyLinearMax) +
+         (static_cast<std::size_t>(width - kLatencyMinOctaveWidth)
+          << kLatencySubBits) +
+         sub;
+}
+
+/// Smallest value in bucket `b`.
+constexpr std::uint64_t latency_bucket_lower(std::size_t b) noexcept {
+  if (b < kLatencyLinearMax) return b;
+  const std::size_t rel = b - static_cast<std::size_t>(kLatencyLinearMax);
+  const int width = kLatencyMinOctaveWidth +
+                    static_cast<int>(rel >> kLatencySubBits);
+  const std::uint64_t sub = rel & ((1U << kLatencySubBits) - 1);
+  return ((std::uint64_t{1} << kLatencySubBits) + sub) << (width - 5);
+}
+
+/// Number of consecutive integers bucket `b` covers (the last bucket also
+/// absorbs everything above the representable range).
+constexpr std::uint64_t latency_bucket_width(std::size_t b) noexcept {
+  if (b < kLatencyLinearMax) return 1;
+  const int width = kLatencyMinOctaveWidth +
+                    static_cast<int>((b - kLatencyLinearMax) >> kLatencySubBits);
+  return std::uint64_t{1} << (width - 5);
+}
+
+/// The value a quantile query reports for bucket `b`: the exact value in
+/// the linear region, the arithmetic midpoint in the octave region.
+constexpr std::uint64_t latency_bucket_representative(std::size_t b) noexcept {
+  if (b < kLatencyLinearMax) return b;
+  return latency_bucket_lower(b) + latency_bucket_width(b) / 2;
+}
+
+/// Nearest-rank quantile over a bucket count array: the representative of
+/// the bucket holding sample number max(1, ceil(q * count)). Returns 0
+/// when `count` is zero. `buckets` must have kLatencyBuckets entries and
+/// their sum must equal `count`.
+std::uint64_t latency_quantile(std::span<const std::uint64_t> buckets,
+                               std::uint64_t count, double q) noexcept;
+
+/// Single-threaded bucket accumulator: the aggregation-side twin of the
+/// sharded LatencyHistogram metric. summarize_calls() folds per-call
+/// durations through one of these per shape class, so the per-class
+/// p50/p99 columns inherit the same kLatencyQuantileRelErr bound the
+/// registry histograms are tested under.
+class LatencyAccumulator {
+ public:
+  void record(std::uint64_t v) noexcept {
+    ++buckets_[latency_bucket_index(v)];
+    sum_ += v;
+    ++count_;
+  }
+
+  void merge(const LatencyAccumulator& other) noexcept {
+    for (std::size_t b = 0; b < kLatencyBuckets; ++b) {
+      buckets_[b] += other.buckets_[b];
+    }
+    sum_ += other.sum_;
+    count_ += other.count_;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  double mean() const noexcept {
+    return count_ == 0
+               ? 0.0
+               : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  std::uint64_t quantile(double q) const noexcept {
+    return latency_quantile(buckets(), count_, q);
+  }
+  std::span<const std::uint64_t> buckets() const noexcept {
+    return {buckets_.data(), buckets_.size()};
+  }
+
+ private:
+  std::array<std::uint64_t, kLatencyBuckets> buckets_{};
+  std::uint64_t sum_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace egemm::obs

@@ -37,6 +37,15 @@ std::uint64_t Histogram::sum() const noexcept {
   return registry().aggregate(slot_ + static_cast<std::uint32_t>(kBuckets));
 }
 
+std::uint64_t LatencyHistogram::count() const noexcept {
+  return registry().aggregate(
+      slot_ + static_cast<std::uint32_t>(kBuckets) + 1);
+}
+
+std::uint64_t LatencyHistogram::sum() const noexcept {
+  return registry().aggregate(slot_ + static_cast<std::uint32_t>(kBuckets));
+}
+
 std::uint32_t Registry::allocate_slots(std::size_t n) {
   // Caller holds mutex_.
   EGEMM_EXPECTS(next_slot_ + n <= detail::kMaxSlots);
@@ -70,6 +79,15 @@ Histogram& Registry::histogram(std::string_view name) {
   }
   const std::uint32_t slot = allocate_slots(Histogram::kBuckets + 2);
   return histograms_.emplace_back(Histogram(std::string(name), slot));
+}
+
+LatencyHistogram& Registry::latency(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (LatencyHistogram& h : latencies_) {
+    if (h.name_ == name) return h;
+  }
+  const std::uint32_t slot = allocate_slots(LatencyHistogram::kBuckets + 2);
+  return latencies_.emplace_back(LatencyHistogram(std::string(name), slot));
 }
 
 std::uint64_t Registry::aggregate(std::uint32_t slot) const noexcept {
@@ -113,12 +131,28 @@ MetricsSnapshot Registry::snapshot() const {
         h.slot_ + static_cast<std::uint32_t>(Histogram::kBuckets) + 1);
     snap.histograms.push_back(std::move(sample));
   }
+  snap.latencies.reserve(latencies_.size());
+  for (const LatencyHistogram& h : latencies_) {
+    LatencySample sample;
+    sample.name = h.name_;
+    sample.buckets.resize(LatencyHistogram::kBuckets);
+    for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+      sample.buckets[b] =
+          sum_slot(h.slot_ + static_cast<std::uint32_t>(b));
+    }
+    sample.sum = sum_slot(
+        h.slot_ + static_cast<std::uint32_t>(LatencyHistogram::kBuckets));
+    sample.count = sum_slot(
+        h.slot_ + static_cast<std::uint32_t>(LatencyHistogram::kBuckets) + 1);
+    snap.latencies.push_back(std::move(sample));
+  }
   const auto by_name = [](const auto& a, const auto& b) {
     return a.name < b.name;
   };
   std::sort(snap.counters.begin(), snap.counters.end(), by_name);
   std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
   std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  std::sort(snap.latencies.begin(), snap.latencies.end(), by_name);
   return snap;
 }
 

@@ -27,6 +27,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/latency.hpp"
+
 #ifndef EGEMM_OBSERVABILITY_ENABLED
 #define EGEMM_OBSERVABILITY_ENABLED 1
 #endif
@@ -39,10 +41,12 @@ inline constexpr bool kEnabled = EGEMM_OBSERVABILITY_ENABLED != 0;
 
 namespace detail {
 
-/// Upper bound on sharded slots across all metrics; a histogram consumes
-/// kBuckets + 2 slots, a counter one. 1024 slots ~ hundreds of metrics,
-/// far beyond what a single binary registers.
-inline constexpr std::size_t kMaxSlots = 1024;
+/// Upper bound on sharded slots across all metrics; a counter consumes one
+/// slot, a bit-width histogram kBuckets + 2, a log-linear latency
+/// histogram kLatencyBuckets + 2 (562). 8192 slots (64 KiB per thread
+/// block) fits a dozen latency histograms plus hundreds of counters, far
+/// beyond what a single binary registers.
+inline constexpr std::size_t kMaxSlots = 8192;
 
 struct SlotBlock {
   std::array<std::atomic<std::uint64_t>, kMaxSlots> cells{};
@@ -155,6 +159,40 @@ class Histogram {
   std::uint32_t slot_;
 };
 
+/// Log-linear latency histogram (obs/latency.hpp bucket math): records a
+/// nanosecond duration per call behind the same sharded single-writer slot
+/// machinery as Counter/Histogram, so the hot path stays two relaxed
+/// load+store pairs plus one bucket increment. Quantiles come off the
+/// snapshot (LatencySample::quantile) with the kLatencyQuantileRelErr
+/// bound. Use via EGEMM_LATENCY_RECORD.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = kLatencyBuckets;
+
+  void record(std::uint64_t ns) noexcept {
+    static_cast<void>(ns);
+    if constexpr (kEnabled) {
+      detail::SlotBlock& block = detail::thread_slots();
+      detail::cell_add(block.cells[slot_ + latency_bucket_index(ns)], 1);
+      detail::cell_add(block.cells[slot_ + kBuckets], ns);
+      detail::cell_add(block.cells[slot_ + kBuckets + 1], 1);
+    }
+  }
+
+  std::uint64_t count() const noexcept;
+  std::uint64_t sum() const noexcept;
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class Registry;
+  LatencyHistogram(std::string name, std::uint32_t slot)
+      : name_(std::move(name)), slot_(slot) {}
+
+  std::string name_;
+  std::uint32_t slot_;
+};
+
 // -- read-side snapshot ------------------------------------------------------
 
 struct CounterSample {
@@ -179,6 +217,23 @@ struct HistogramSample {
   }
 };
 
+struct LatencySample {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;  ///< nanoseconds
+  std::vector<std::uint64_t> buckets;  ///< kLatencyBuckets entries
+
+  double mean() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Nearest-rank quantile in nanoseconds, within kLatencyQuantileRelErr
+  /// of the exact sorted-sample quantile; 0 when empty.
+  std::uint64_t quantile(double q) const noexcept {
+    return latency_quantile({buckets.data(), buckets.size()}, count, q);
+  }
+};
+
 /// A consistent-enough point-in-time read of the registry (individual cells
 /// are read relaxed; totals are exact once writers quiesce). Samples are
 /// sorted by name for stable output.
@@ -186,9 +241,11 @@ struct MetricsSnapshot {
   std::vector<CounterSample> counters;
   std::vector<GaugeSample> gauges;
   std::vector<HistogramSample> histograms;
+  std::vector<LatencySample> latencies;
 
   bool empty() const noexcept {
-    return counters.empty() && gauges.empty() && histograms.empty();
+    return counters.empty() && gauges.empty() && histograms.empty() &&
+           latencies.empty();
   }
 };
 
@@ -199,6 +256,7 @@ class Registry {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
+  LatencyHistogram& latency(std::string_view name);
 
   MetricsSnapshot snapshot() const;
 
@@ -210,6 +268,7 @@ class Registry {
  private:
   friend class Counter;
   friend class Histogram;
+  friend class LatencyHistogram;
   friend detail::SlotBlock* detail::acquire_slot_block();
 
   std::uint32_t allocate_slots(std::size_t n);
@@ -219,6 +278,7 @@ class Registry {
   std::deque<Counter> counters_;
   std::deque<std::unique_ptr<Gauge>> gauges_;  // Gauge owns an atomic
   std::deque<Histogram> histograms_;
+  std::deque<LatencyHistogram> latencies_;
   std::vector<std::unique_ptr<detail::SlotBlock>> blocks_;
   std::uint32_t next_slot_ = 0;
 };
@@ -263,11 +323,19 @@ Registry& registry();
     egemm_obs_histogram_ref.record(static_cast<std::uint64_t>(value)); \
   } while (0)
 
+#define EGEMM_LATENCY_RECORD(name, ns)                               \
+  do {                                                               \
+    static ::egemm::obs::LatencyHistogram& egemm_obs_latency_ref =   \
+        ::egemm::obs::registry().latency(name);                      \
+    egemm_obs_latency_ref.record(static_cast<std::uint64_t>(ns));    \
+  } while (0)
+
 #else  // EGEMM_OBSERVABILITY_ENABLED
 
 #define EGEMM_COUNTER_ADD(name, delta) static_cast<void>(0)
 #define EGEMM_GAUGE_ADD(name, delta) static_cast<void>(0)
 #define EGEMM_GAUGE_SET(name, value) static_cast<void>(0)
 #define EGEMM_HISTOGRAM_RECORD(name, value) static_cast<void>(0)
+#define EGEMM_LATENCY_RECORD(name, ns) static_cast<void>(0)
 
 #endif  // EGEMM_OBSERVABILITY_ENABLED

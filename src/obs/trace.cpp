@@ -9,8 +9,11 @@ namespace egemm::obs {
 namespace {
 
 /// Hard cap per thread so a forgotten set_tracing(false) in a long-running
-/// process degrades to dropped events, not unbounded memory.
-constexpr std::size_t kMaxEventsPerThread = std::size_t{1} << 20;
+/// process degrades to dropped events, not unbounded memory. Runtime-
+/// adjustable (set_trace_buffer_capacity) so tests can exercise the drop
+/// path cheaply.
+constexpr std::size_t kDefaultMaxEventsPerThread = std::size_t{1} << 20;
+std::atomic<std::size_t> g_max_events{kDefaultMaxEventsPerThread};
 
 struct TraceBuffer {
   std::mutex mutex;  ///< serializes owner appends vs. collector reads
@@ -56,8 +59,9 @@ void record_span(const char* name, std::uint64_t start_ns,
                  std::uint64_t end_ns) {
   TraceBuffer& buffer = thread_buffer();
   const std::lock_guard<std::mutex> lock(buffer.mutex);
-  if (buffer.events.size() >= kMaxEventsPerThread) {
+  if (buffer.events.size() >= g_max_events.load(std::memory_order_relaxed)) {
     g_dropped.fetch_add(1, std::memory_order_relaxed);
+    EGEMM_COUNTER_ADD("trace.dropped_spans", 1);
     return;
   }
   buffer.events.push_back(TraceEvent{
@@ -120,6 +124,11 @@ std::vector<std::pair<std::uint32_t, std::string>> trace_thread_names() {
 
 std::uint64_t dropped_trace_events() noexcept {
   return g_dropped.load(std::memory_order_relaxed);
+}
+
+void set_trace_buffer_capacity(std::size_t cap) noexcept {
+  g_max_events.store(cap == 0 ? kDefaultMaxEventsPerThread : cap,
+                     std::memory_order_relaxed);
 }
 
 void clear_trace() {

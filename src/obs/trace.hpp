@@ -64,8 +64,16 @@ std::vector<TraceEvent> collect_trace();
 /// (tid, name) pairs for every thread that recorded at least one event.
 std::vector<std::pair<std::uint32_t, std::string>> trace_thread_names();
 
-/// Events discarded because a thread hit its buffer cap.
+/// Events discarded because a thread hit its buffer cap. Every drop also
+/// bumps the `trace.dropped_spans` registry counter, so the loss is
+/// visible in the text/JSON/OpenMetrics exporters, not only through this
+/// accessor.
 std::uint64_t dropped_trace_events() noexcept;
+
+/// Overrides the per-thread span buffer cap (0 restores the built-in
+/// default). Test hook for exercising the drop path without recording a
+/// million spans; applies to buffers from the next append on.
+void set_trace_buffer_capacity(std::size_t cap) noexcept;
 
 /// Drops all recorded events and the dropped-event count.
 void clear_trace();

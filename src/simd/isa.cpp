@@ -36,6 +36,7 @@ std::uint64_t xcr0() noexcept {
 std::atomic<int> g_active_level{-1};
 
 void record_level(IsaLevel level) noexcept {
+  static_cast<void>(level);  // unused when observability is compiled out
   EGEMM_GAUGE_SET("tcsim.isa.level", static_cast<int>(level));
 }
 
@@ -124,6 +125,8 @@ std::optional<IsaLevel> parse_isa_name(std::string_view name) noexcept {
   if (name == "avx512") return IsaLevel::kAvx512;
   return std::nullopt;
 }
+
+const char* active_isa_name() noexcept { return isa_name(active_isa()); }
 
 IsaLevel active_isa() noexcept {
   const int cached = g_active_level.load(std::memory_order_relaxed);

@@ -66,6 +66,10 @@ std::optional<IsaLevel> parse_isa_name(std::string_view name) noexcept;
 /// load. Never returns a level the machine cannot execute.
 IsaLevel active_isa() noexcept;
 
+/// isa_name(active_isa()); the tag call-record consumers stamp on
+/// per-call telemetry rows.
+const char* active_isa_name() noexcept;
+
 /// Programmatic override (the API face of EGEMM_FORCE_ISA). Requests above
 /// what the machine supports are clamped; the level actually selected is
 /// returned and recorded in the `tcsim.isa.level` gauge. Not intended for

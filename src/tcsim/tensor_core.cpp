@@ -97,6 +97,7 @@ void mma_tile_recipe(float* acc, const float* const* a_blocks,
   // its meaning across the driver's move from per-slab calls to one
   // whole-tile recipe call.
   const int slabs = (k + k_slab - 1) / k_slab;
+  static_cast<void>(slabs);  // unused when observability is compiled out
   EGEMM_COUNTER_ADD("tcsim.mma_block_ops",
                     static_cast<std::uint64_t>(ncombos) *
                         static_cast<std::uint64_t>(slabs));

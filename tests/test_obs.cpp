@@ -27,6 +27,7 @@ static_assert(std::is_void_v<decltype(EGEMM_COUNTER_ADD("x", 1))>);
 static_assert(std::is_void_v<decltype(EGEMM_GAUGE_ADD("x", 1))>);
 static_assert(std::is_void_v<decltype(EGEMM_GAUGE_SET("x", 1))>);
 static_assert(std::is_void_v<decltype(EGEMM_HISTOGRAM_RECORD("x", 1))>);
+static_assert(std::is_void_v<decltype(EGEMM_LATENCY_RECORD("x", 1))>);
 #endif
 static_assert(!kEnabled || !std::is_empty_v<ScopedSpan>);
 
