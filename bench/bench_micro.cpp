@@ -15,8 +15,16 @@
 //   --trace=PATH   record pipeline spans and write a Chrome trace_event
 //                  JSON (chrome://tracing, ui.perfetto.dev)
 //   --metrics      dump the observability registry to stdout at exit
+//   --tune=PATH    skip the benchmarks and run the offline autotuning
+//                  sweep instead: profile engine x scheduler grain x
+//                  available ISA tier per shape class and write the
+//                  winners as a versioned tuning file (DESIGN.md §18;
+//                  consumed via EGEMM_TUNING_FILE)
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <array>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -28,7 +36,10 @@
 #include "core/split.hpp"
 #include "gemm/baselines.hpp"
 #include "gemm/egemm.hpp"
+#include "gemm/gemm_api.hpp"
 #include "gemm/plan.hpp"
+#include "model/tuning_cache.hpp"
+#include "obs/trace.hpp"
 #include "simd/dispatch.hpp"
 #include "simd/isa.hpp"
 #include "tcsim/instruction.hpp"
@@ -245,6 +256,86 @@ void BM_EgemmColdPlan(benchmark::State& state) {
                           static_cast<std::int64_t>(n * n * n));
 }
 
+/// N identical small GEMMs through gemm_batched: ONE flattened
+/// (item x tile) stream with a batch-aware grain (DESIGN.md §18).
+/// BM_GemmBatchedLoopSingles at the same Args runs the identical work as a
+/// loop of one-shot gemm_ex calls -- the ratio of the two gflops columns
+/// in BENCH_micro.json is what the grouped scheduler buys (the acceptance
+/// bar is >= 2x aggregate throughput at 32 x 128^3).
+void BM_GemmBatched(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  std::vector<gemm::Matrix> a, b;
+  a.reserve(batch);
+  b.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    a.push_back(gemm::random_matrix(n, n, -1, 1, 11 + 2 * i));
+    b.push_back(gemm::random_matrix(n, n, -1, 1, 12 + 2 * i));
+  }
+  gemm::GemmContext ctx;
+  for (auto _ : state) {
+    const std::vector<gemm::Matrix> d =
+        gemm::gemm_batched(ctx, gemm::Backend::kEgemmTC, a, b);
+    benchmark::DoNotOptimize(d.front().data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 *
+                          static_cast<std::int64_t>(batch * n * n * n));
+}
+
+/// The same batch as a loop of single gemm_ex calls: every item pays its
+/// own pool fork/join (plus the one-shot bookkeeping), which is exactly
+/// the overhead the flattened stream amortizes.
+void BM_GemmBatchedLoopSingles(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  std::vector<gemm::Matrix> a, b;
+  a.reserve(batch);
+  b.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    a.push_back(gemm::random_matrix(n, n, -1, 1, 11 + 2 * i));
+    b.push_back(gemm::random_matrix(n, n, -1, 1, 12 + 2 * i));
+  }
+  gemm::GemmContext ctx;
+  for (auto _ : state) {
+    gemm::Matrix d;
+    for (std::size_t i = 0; i < batch; ++i) {
+      d = gemm::gemm_ex(ctx, gemm::Backend::kEgemmTC, a[i], b[i], nullptr, {});
+    }
+    benchmark::DoNotOptimize(d.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 *
+                          static_cast<std::int64_t>(batch * n * n * n));
+}
+
+/// Heterogeneous shapes through gemm_grouped: the stream mixes four shape
+/// classes (so four plans share one dispatch), the situation where
+/// per-item scheduling wastes the most -- small items serialize behind
+/// large ones.
+void BM_GemmGrouped(benchmark::State& state) {
+  struct Shape {
+    std::size_t m, n, k;
+  };
+  constexpr std::array<Shape, 4> kShapes = {
+      {{64, 64, 64}, {128, 64, 96}, {96, 128, 64}, {128, 128, 128}}};
+  constexpr std::size_t kBatch = 24;
+  std::vector<gemm::Matrix> a(kBatch), b(kBatch), d(kBatch);
+  std::vector<gemm::GroupedGemmItem> items(kBatch);
+  std::int64_t flops = 0;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    const Shape& s = kShapes[i % kShapes.size()];
+    a[i] = gemm::random_matrix(s.m, s.k, -1, 1, 31 + 2 * i);
+    b[i] = gemm::random_matrix(s.k, s.n, -1, 1, 32 + 2 * i);
+    items[i] = gemm::GroupedGemmItem{&a[i], &b[i], nullptr, &d[i], {}};
+    flops += static_cast<std::int64_t>(2 * s.m * s.n * s.k);
+  }
+  gemm::GemmContext ctx;
+  for (auto _ : state) {
+    gemm::gemm_grouped(ctx, gemm::Backend::kEgemmTC, items);
+    benchmark::DoNotOptimize(d.front().data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * flops);
+}
+
 void BM_SgemmFp32(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const gemm::Matrix a = gemm::random_matrix(n, n, -1, 1, 7);
@@ -257,6 +348,102 @@ void BM_SgemmFp32(benchmark::State& state) {
                           static_cast<std::int64_t>(n * n * n));
 }
 BENCHMARK(BM_SgemmFp32)->Arg(128)->Arg(256);
+
+/// The offline autotuning sweep behind --tune=PATH (DESIGN.md §18).
+///
+/// For every shape class it times warm plan->execute() calls across
+/// engine x scheduler-grain x available ISA tier and records the winner
+/// as a model::TuningEntry. The candidate grain reaches the plan the same
+/// way a production consult does: the candidate is installed in the
+/// process-wide TuningCache and the plan is built in a fresh context (the
+/// plan cache would otherwise pin the first grain seen for the shape).
+/// TileConfig deliberately is NOT a sweep axis: it feeds the simulated-GPU
+/// timing model, not host wall time, so the solver's pick is recorded
+/// informationally and the swept dimensions are the ones the host
+/// scheduler actually feels.
+int run_tuning_sweep(const std::string& path, bool smoke) {
+  const std::vector<std::size_t> shapes =
+      smoke ? std::vector<std::size_t>{64, 128}
+            : std::vector<std::size_t>{32, 64, 128, 256};
+  // Grain 0 = the pool's own chunking; nonzero = output tiles per chunk.
+  constexpr std::array<std::size_t, 5> kGrains = {0, 1, 4, 16, 64};
+  const double budget_ns = smoke ? 2e6 : 2e7;  // per configuration
+  struct EngineChoice {
+    gemm::ExecEngine engine;
+    const char* name;
+  };
+  constexpr std::array<EngineChoice, 2> kEngines = {
+      {{gemm::ExecEngine::kPacked, "packed"},
+       {gemm::ExecEngine::kReference, "reference"}}};
+
+  std::vector<model::TuningEntry> winners;
+  for (int level = 0; level < simd::kIsaLevelCount; ++level) {
+    const auto isa = static_cast<simd::IsaLevel>(level);
+    if (!simd::isa_available(isa)) continue;
+    simd::force_isa(isa);
+    for (const std::size_t n : shapes) {
+      const gemm::Matrix a = gemm::random_matrix(n, n, -1, 1, 21);
+      const gemm::Matrix b = gemm::random_matrix(n, n, -1, 1, 22);
+      model::TuningEntry best;
+      for (const EngineChoice& choice : kEngines) {
+        for (const std::size_t grain : kGrains) {
+          model::TuningEntry candidate;
+          candidate.shape = model::tuning_shape_class(n, n, n);
+          candidate.grain = grain;
+          candidate.engine = choice.name;
+          candidate.isa = simd::isa_name(isa);
+          model::TuningCache::global().set_entries({candidate});
+          gemm::GemmContext ctx(4);
+          gemm::EgemmOptions opts;
+          opts.engine = choice.engine;
+          const std::shared_ptr<const gemm::GemmPlan> plan =
+              ctx.plan(gemm::Backend::kEgemmTC, n, n, n, opts);
+          gemm::Matrix d;
+          // Warm call: allocates the workspaces and calibrates the reps.
+          const std::uint64_t w0 = obs::monotonic_ns();
+          plan->execute(ctx, a, b, nullptr, d);
+          const std::uint64_t w1 = obs::monotonic_ns();
+          const auto reps = static_cast<int>(std::max<double>(
+              3.0, budget_ns / static_cast<double>(std::max<std::uint64_t>(
+                                   1, w1 - w0))));
+          const std::uint64_t t0 = obs::monotonic_ns();
+          for (int r = 0; r < reps; ++r) plan->execute(ctx, a, b, nullptr, d);
+          const std::uint64_t t1 = obs::monotonic_ns();
+          candidate.tile = plan->tile();
+          candidate.ns_per_call =
+              static_cast<double>(t1 - t0) / static_cast<double>(reps);
+          candidate.gflops = 2.0 * static_cast<double>(n * n * n) /
+                             candidate.ns_per_call;
+          if (best.engine.empty() ||
+              candidate.ns_per_call < best.ns_per_call) {
+            best = candidate;
+          }
+        }
+      }
+      std::fprintf(stderr,
+                   "tune: %s isa=%s -> engine=%s grain=%zu %.0f ns/call "
+                   "(%.2f GFLOP/s)\n",
+                   model::tuning_shape_class_name(best.shape).c_str(),
+                   best.isa.c_str(), best.engine.c_str(), best.grain,
+                   best.ns_per_call, best.gflops);
+      winners.push_back(std::move(best));
+    }
+  }
+  simd::reset_isa();
+  model::TuningCache::global().clear();
+
+  const std::string json = model::TuningCache::to_json(
+      winners, "bench_micro --tune", gemm::small_gemm_inline_threshold());
+  std::ofstream out(path);
+  out << json;
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write tuning file %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s (%zu shape classes)\n", path.c_str(),
+               winners.size());
+  return 0;
+}
 
 /// Console reporter that also captures every per-iteration run so main()
 /// can persist the results as JSON after the sweep.
@@ -304,6 +491,7 @@ int main(int argc, char** argv) {
   std::string compare_path;
   double compare_threshold = 0.3;
   std::string trace_path;
+  std::string tune_path;
   bool dump_metrics = false;
   std::string metrics_format;
   std::string metrics_out;
@@ -321,6 +509,8 @@ int main(int argc, char** argv) {
       compare_threshold = std::strtod(argv[i] + 20, nullptr);
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--tune=", 7) == 0) {
+      tune_path = argv[i] + 7;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       dump_metrics = true;
     } else if (std::strncmp(argv[i], "--metrics-format=", 17) == 0) {
@@ -337,6 +527,10 @@ int main(int argc, char** argv) {
   // The smoke sweep is a CI regression canary: tiny min time, no 1024^3.
   std::string min_time_arg = "--benchmark_min_time=0.05";
   if (smoke && !min_time_given) passthrough.push_back(min_time_arg.data());
+
+  // --tune replaces the benchmark run entirely: it has its own timing loop
+  // and writes a tuning file instead of BENCH_micro.json.
+  if (!tune_path.empty()) return run_tuning_sweep(tune_path, smoke);
 
   // The end-to-end GEMM sweep runs both engines at each size so the JSON
   // artifact always carries the packed-vs-reference ratio. The 32^3 size
@@ -382,6 +576,24 @@ int main(int argc, char** argv) {
     benchmark::RegisterBenchmark("BM_EgemmColdPlan", BM_EgemmColdPlan)
         ->Arg(n);
   }
+
+  // The batched/grouped path (DESIGN.md §18), smoke set included so CI's
+  // --compare gate covers the rows. The pair at {32, 128} is the README's
+  // batched-throughput headline: same work, flattened stream vs a loop of
+  // singles.
+  // {64, 32} is the amortization extreme: per-call fixed costs (plan
+  // lookup, output allocation, telemetry deposit, workspace lease) are the
+  // largest fraction of a 32^3 call, so it shows the flattened stream's
+  // floor win even on one core; {32, 128} adds the scheduling win, which
+  // scales with the worker count.
+  benchmark::RegisterBenchmark("BM_GemmBatched", BM_GemmBatched)
+      ->Args({32, 128})
+      ->Args({64, 32});
+  benchmark::RegisterBenchmark("BM_GemmBatchedLoopSingles",
+                               BM_GemmBatchedLoopSingles)
+      ->Args({32, 128})
+      ->Args({64, 32});
+  benchmark::RegisterBenchmark("BM_GemmGrouped", BM_GemmGrouped);
 
   int pass_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&pass_argc, passthrough.data());

@@ -11,6 +11,11 @@
 //   --schemes=LIST      comma-separated ladder rungs (core/scheme.hpp
 //                       names) or "all" (default all)
 //   --reps=N            executes per shape x scheme (default 50)
+//   --batch=N           run each rep as ONE grouped execute of N copies
+//                       (gemm/plan.hpp execute_grouped) instead of a
+//                       single call; the table then attributes latency
+//                       per batch class (batch id tagged records) and
+//                       shows the covered GEMM count (default 0 = single)
 //   --engine=E          packed | reference (default packed)
 //   --seed=N            input RNG seed (default 1)
 //   --json              print the summary as JSON instead of the table
@@ -20,8 +25,10 @@
 // Latency quantiles come from the log-linear accumulator and are within
 // obs::kLatencyQuantileRelErr (6.25%) of the exact sorted-sample values.
 // Exit status: 0 on success, 2 on usage errors.
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -31,6 +38,7 @@
 #include "gemm/plan.hpp"
 #include "obs/callrec.hpp"
 #include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "simd/isa.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -117,6 +125,11 @@ int main(int argc, char** argv) {
   const std::int64_t reps = args.value_or("reps", std::int64_t{50});
   if (reps < 1) {
     std::fprintf(stderr, "egemm_stats: --reps must be >= 1\n");
+    return 2;
+  }
+  const std::int64_t batch = args.value_or("batch", std::int64_t{0});
+  if (batch < 0) {
+    std::fprintf(stderr, "egemm_stats: --batch must be >= 0\n");
     return 2;
   }
   const auto seed =
@@ -206,9 +219,26 @@ int main(int argc, char** argv) {
         gemm::random_matrix(shape.k, shape.n, -1.0f, 1.0f,
                             /*seed=*/seed + 1);
     for (const core::SchemeId scheme : schemes) {
-      for (std::int64_t rep = 0; rep < reps; ++rep) {
-        const gemm::Matrix d = ctx.run_scheme(scheme, a, b, nullptr, engine);
-        static_cast<void>(d);
+      if (batch > 0) {
+        // One grouped execute of `batch` copies per rep: the records it
+        // deposits carry a batch id and the per-class item count, which is
+        // what the batch/gemms columns below attribute.
+        const std::shared_ptr<const gemm::GemmPlan> plan =
+            ctx.plan_scheme(scheme, shape.m, shape.n, shape.k, engine);
+        std::vector<gemm::Matrix> d(static_cast<std::size_t>(batch));
+        std::vector<gemm::GroupedGemm> work(d.size());
+        for (std::size_t i = 0; i < d.size(); ++i) {
+          work[i] = gemm::GroupedGemm{plan, &a, &b, nullptr, &d[i]};
+        }
+        for (std::int64_t rep = 0; rep < reps; ++rep) {
+          ctx.execute_grouped(work);
+        }
+      } else {
+        for (std::int64_t rep = 0; rep < reps; ++rep) {
+          const gemm::Matrix d =
+              ctx.run_scheme(scheme, a, b, nullptr, engine);
+          static_cast<void>(d);
+        }
       }
     }
   }
@@ -226,16 +256,17 @@ int main(int argc, char** argv) {
     util::Table table("per-call telemetry (" + std::to_string(reps) +
                       " reps per shape x scheme, engine " + engine_text +
                       ")");
-    table.set_header({"shape", "scheme", "calls", "hit%", "p50 us", "p90 us",
-                      "p99 us", "GFLOP/s", "split%", "pack%", "mma%",
-                      "comb%", "cov%"});
+    table.set_header({"shape", "scheme", "batch", "calls", "gemms", "hit%",
+                      "p50 us", "p90 us", "p99 us", "GFLOP/s", "split%",
+                      "pack%", "mma%", "comb%", "cov%"});
     const obs::CallJsonNames names = stats_json_names();
     for (const obs::CallClassSummary& cls : summary.classes) {
       const std::string shape = std::to_string(cls.m) + "x" +
                                 std::to_string(cls.n) + "x" +
                                 std::to_string(cls.k);
       table.add_row(
-          {shape, names.scheme(cls.scheme), std::to_string(cls.calls),
+          {shape, names.scheme(cls.scheme), std::to_string(cls.batch),
+           std::to_string(cls.calls), std::to_string(cls.gemms),
            pct(cls.plan_hits, cls.calls),
            util::fmt_fixed(
                static_cast<double>(cls.latency.quantile(0.50)) / 1e3, 1),
@@ -249,10 +280,43 @@ int main(int argc, char** argv) {
            pct(cls.split_ns + cls.pack_ns + cls.mma_ns + cls.combine_ns,
                cls.total_ns)});
     }
+    std::uint64_t batched_records = 0;
+    for (const obs::CallClassSummary& cls : summary.classes) {
+      batched_records += cls.batched_records;
+    }
     table.add_footnote("records aggregated: " +
-                       std::to_string(summary.records) +
-                       ", dropped at full rings: " +
+                       std::to_string(summary.records) + " (" +
+                       std::to_string(batched_records) +
+                       " batch-tagged), dropped at full rings: " +
                        std::to_string(summary.dropped));
+    // Plan-cache health for the sweep's context: the per-class hit% column
+    // above covers record-level lookups; this is the cache itself.
+    {
+      const std::uint64_t hits = ctx.plan_hits();
+      const std::uint64_t misses = ctx.plan_misses();
+      table.add_footnote(
+          "plan cache: " + std::to_string(ctx.cached_plans()) + "/" +
+          std::to_string(ctx.plan_capacity()) + " occupied, " +
+          std::to_string(hits) + " hits / " + std::to_string(misses) +
+          " misses (" + pct(hits, hits + misses) + "% hit rate), " +
+          std::to_string(ctx.plan_evictions()) + " evictions");
+    }
+    // Tuning-cache consults (gemm.tune.* counters): nonzero hit means a
+    // tuning file steered these plans; fallback names why not.
+    {
+      std::uint64_t tune_hit = 0, tune_miss = 0, tune_fallback = 0;
+      for (const obs::CounterSample& counter :
+           obs::registry().snapshot().counters) {
+        if (counter.name == "gemm.tune.hit") tune_hit = counter.value;
+        if (counter.name == "gemm.tune.miss") tune_miss = counter.value;
+        if (counter.name == "gemm.tune.fallback") {
+          tune_fallback = counter.value;
+        }
+      }
+      table.add_footnote("tuning cache: " + std::to_string(tune_hit) +
+                         " hits, " + std::to_string(tune_miss) + " misses, " +
+                         std::to_string(tune_fallback) + " fallbacks");
+    }
     table.add_footnote(std::string("active ISA tier: ") +
                        simd::active_isa_name());
     table.add_footnote(

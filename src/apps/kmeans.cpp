@@ -92,16 +92,21 @@ KMeansResult kmeans(const gemm::Matrix& points, const KMeansOptions& opts) {
   // loop performs no heap allocation for the GEMM.
   gemm::GemmContext& ctx =
       opts.context != nullptr ? *opts.context : gemm::default_context();
-  std::shared_ptr<const gemm::GemmPlan> plan;
-  if (opts.precision_target > 0.0) {
-    // Centroids are convex combinations of points, so both GEMM operands
-    // share the points' scale context for the a-priori bound.
-    core::AccuracyContract contract;
-    contract.max_abs_error = opts.precision_target;
-    contract.a_scale = gemm::max_abs(points);
-    contract.b_scale = contract.a_scale;
+
+  // Centroids are convex combinations of points, so both GEMM operands
+  // share the points' scale context for the a-priori bound. Shared by
+  // every chunk of the grouped path, so all chunks resolve to one scheme.
+  core::AccuracyContract contract;
+  contract.max_abs_error = opts.precision_target;
+  contract.a_scale = gemm::max_abs(points);
+  contract.b_scale = contract.a_scale;
+  const auto plan_shape =
+      [&](std::size_t rows) -> std::shared_ptr<const gemm::GemmPlan> {
+    if (opts.precision_target <= 0.0) {
+      return ctx.plan(opts.backend, rows, clusters, dim);
+    }
     const gemm::GemmContext::ContractPlan cp =
-        ctx.plan_contract(n, clusters, dim, contract);
+        ctx.plan_contract(rows, clusters, dim, contract);
     if (!cp.resolution.feasible) {
       char message[192];
       std::snprintf(message, sizeof(message),
@@ -112,23 +117,52 @@ KMeansResult kmeans(const gemm::Matrix& points, const KMeansOptions& opts) {
                     cp.resolution.tightest_worst_abs);
       throw std::invalid_argument(message);
     }
-    plan = cp.plan;
     result.scheme = core::scheme_name(cp.resolution.scheme);
-  } else {
-    plan = ctx.plan(opts.backend, n, clusters, dim);
+    return cp.plan;
+  };
+
+  // Grouped path (DESIGN.md §18): the distance GEMM row-partitions into
+  // point chunks that execute as one flattened stream. The chunks, their
+  // plans, and the work list are built once; iterations reuse them.
+  const std::size_t group =
+      opts.group_rows == 0 ? n : std::min(opts.group_rows, n);
+  const std::size_t chunk_count = (n + group - 1) / group;
+  const bool grouped = chunk_count > 1;
+  std::vector<std::shared_ptr<const gemm::GemmPlan>> plans(chunk_count);
+  std::vector<gemm::Matrix> point_chunks(grouped ? chunk_count : 0);
+  std::vector<gemm::Matrix> cross_chunks(grouped ? chunk_count : 0);
+  for (std::size_t ci = 0; ci < chunk_count; ++ci) {
+    const std::size_t start = ci * group;
+    const std::size_t rows = std::min(group, n - start);
+    plans[ci] = plan_shape(rows);
+    if (grouped) {
+      point_chunks[ci].resize(rows, dim);
+      std::copy(points.row(start), points.row(start) + rows * dim,
+                point_chunks[ci].data().begin());
+    }
   }
   gemm::Matrix ct;
   gemm::Matrix cross;
+  std::vector<gemm::GroupedGemm> work(grouped ? chunk_count : 0);
+  for (std::size_t ci = 0; ci < work.size(); ++ci) {
+    work[ci] = gemm::GroupedGemm{plans[ci], &point_chunks[ci], &ct, nullptr,
+                                 &cross_chunks[ci]};
+  }
 
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
     // Assignment step: distance matrix through the GEMM backend.
     gemm::transpose_into(result.centroids, ct);
-    plan->execute(ctx, points, ct, nullptr, cross);
+    if (grouped) {
+      ctx.execute_grouped(work);
+    } else {
+      plans[0]->execute(ctx, points, ct, nullptr, cross);
+    }
     const std::vector<float> cn = row_norms(result.centroids);
 
     double inertia = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      const float* cross_row = cross.row(i);
+      const float* cross_row =
+          grouped ? cross_chunks[i / group].row(i % group) : cross.row(i);
       int best = 0;
       float best_dist = std::numeric_limits<float>::max();
       for (std::size_t c = 0; c < clusters; ++c) {

@@ -4,6 +4,7 @@
 // select kernels through this API.
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,64 @@ Matrix gemm_ex(Backend backend, const Matrix& a, const Matrix& b,
 Matrix gemm_ex(GemmContext& ctx, Backend backend, const Matrix& a,
                const Matrix& b, const Matrix* c, const GemmExParams& params);
 
+// -- batched / grouped entry points (DESIGN.md §18) --------------------------
+
+/// One item of gemm_grouped: operands, a caller-owned output (resized in
+/// place), and BLAS-style parameters. Shapes, transposes, and alpha/beta
+/// may differ freely across items; `c` is required when params.beta != 0.
+struct GroupedGemmItem {
+  const Matrix* a = nullptr;
+  const Matrix* b = nullptr;
+  const Matrix* c = nullptr;
+  Matrix* d = nullptr;
+  GemmExParams params;
+};
+
+/// Heterogeneous grouped GEMM: every item runs gemm_ex semantics on
+/// `backend`, but all items execute as ONE flattened (item x tile) task
+/// stream through GemmContext::execute_grouped, so many small GEMMs stop
+/// serializing behind each other. Items with equal op-shapes share one
+/// cached GemmPlan. Results are bit-identical to calling gemm_ex per item
+/// in order.
+void gemm_grouped(GemmContext& ctx, Backend backend,
+                  std::span<const GroupedGemmItem> items);
+
+/// gemm_grouped against the shared default context.
+void gemm_grouped(Backend backend, std::span<const GroupedGemmItem> items);
+
+/// Uniform-shape batched GEMM: d[i] = gemm_ex(backend, a[i], b[i], c[i],
+/// params) for every i, planned ONCE (all items share a single cached
+/// GemmPlan) and executed as one flattened task stream. All a[i] must
+/// share a shape, as must all b[i]; `c` is empty or one matrix per item.
+std::vector<Matrix> gemm_batched(GemmContext& ctx, Backend backend,
+                                 std::span<const Matrix> a,
+                                 std::span<const Matrix> b,
+                                 std::span<const Matrix> c = {},
+                                 const GemmExParams& params = {});
+
+/// gemm_batched against the shared default context.
+std::vector<Matrix> gemm_batched(Backend backend, std::span<const Matrix> a,
+                                 std::span<const Matrix> b,
+                                 std::span<const Matrix> c = {},
+                                 const GemmExParams& params = {});
+
+/// Strided convenience form: the batch is packed into tall row-major
+/// stacks -- A is (batch * m_a) x k_a, B is (batch * k_b) x n_b, C (when
+/// present) (batch * m) x n -- and the result D comes back as one
+/// (batch * m) x n stack. Matrices are owning (no view type), so the
+/// items are sliced by copy before dispatch; prefer the span form when the
+/// operands already exist as separate matrices.
+Matrix gemm_batched_strided(GemmContext& ctx, Backend backend,
+                            std::size_t batch, const Matrix& a,
+                            const Matrix& b, const Matrix* c = nullptr,
+                            const GemmExParams& params = {});
+
+/// gemm_batched_strided against the shared default context.
+Matrix gemm_batched_strided(Backend backend, std::size_t batch,
+                            const Matrix& a, const Matrix& b,
+                            const Matrix* c = nullptr,
+                            const GemmExParams& params = {});
+
 // -- accuracy-contract entry points (core/scheme.hpp, DESIGN.md §16) ---------
 
 /// Resolves an accuracy contract for D = alpha op(A) op(B) + beta C
@@ -96,5 +155,38 @@ Matrix gemm_ex(GemmContext& ctx, const Matrix& a, const Matrix& b,
 Matrix gemm_ex(const Matrix& a, const Matrix& b, const Matrix* c,
                const GemmExParams& params,
                const core::AccuracyContract& contract);
+
+/// gemm_batched under an accuracy contract: the contract is resolved ONCE
+/// against the batch-wide worst-case scale context (max |a[i]|, max
+/// |b[i]|, max |c[i]|), so the whole batch shares one scheme and one plan
+/// and every item's bound is sound. With explicit (> 0) contract scales
+/// this matches the per-item contract gemm_ex exactly. Throws
+/// std::invalid_argument when no rung qualifies.
+std::vector<Matrix> gemm_batched(GemmContext& ctx,
+                                 std::span<const Matrix> a,
+                                 std::span<const Matrix> b,
+                                 std::span<const Matrix> c,
+                                 const GemmExParams& params,
+                                 const core::AccuracyContract& contract);
+
+/// Batched contract overload against the shared default context.
+std::vector<Matrix> gemm_batched(std::span<const Matrix> a,
+                                 std::span<const Matrix> b,
+                                 std::span<const Matrix> c,
+                                 const GemmExParams& params,
+                                 const core::AccuracyContract& contract);
+
+/// gemm_grouped under an accuracy contract: each item resolves the
+/// contract for its own shape, parameters, and data (exactly as the
+/// contract gemm_ex would), then all selected schemes execute as one
+/// flattened stream -- bit-identical to the per-item contract loop.
+/// Throws std::invalid_argument when any item is infeasible (no item
+/// executes in that case).
+void gemm_grouped(GemmContext& ctx, std::span<const GroupedGemmItem> items,
+                  const core::AccuracyContract& contract);
+
+/// Grouped contract overload against the shared default context.
+void gemm_grouped(std::span<const GroupedGemmItem> items,
+                  const core::AccuracyContract& contract);
 
 }  // namespace egemm::gemm

@@ -11,6 +11,7 @@
 #include "gemm/baselines.hpp"
 #include "model/analytic_model.hpp"
 #include "model/solver.hpp"
+#include "model/tuning_cache.hpp"
 #include "obs/callrec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -114,55 +115,73 @@ void compute_c_tile(float acc[kTile][kTile], std::span<const Matrix> ap,
   }
 }
 
+/// One 16-row output band (all column tiles) of the scalar reference
+/// driver -- the seed's execution path, kept as the semantics oracle the
+/// packed engine is pinned against (tests/test_packed_gemm.cpp). Shared
+/// verbatim by the single-GEMM schedule and the grouped flattened stream,
+/// so both are bit-identical by construction. Returns the combine
+/// (writeback) nanoseconds when `timed`.
+std::uint64_t reference_row_block(Matrix& d, std::span<const Matrix> ap,
+                                  std::span<const Matrix> bp,
+                                  std::span<const PlaneCombo> combos,
+                                  ComboOrder order, std::size_t rb,
+                                  bool timed) {
+  const std::size_t m = d.rows();
+  const std::size_t n = d.cols();
+  const std::size_t i0 = rb * kTile;
+  const std::size_t mt = std::min(kTile, m - i0);
+  std::uint64_t combine_local = 0;
+  for (std::size_t j0 = 0; j0 < n; j0 += kTile) {
+    const std::size_t nt = std::min(kTile, n - j0);
+    float acc[kTile][kTile];
+    for (std::size_t i = 0; i < mt; ++i) {
+      for (std::size_t j = 0; j < nt; ++j) {
+        acc[i][j] = d.at(i0 + i, j0 + j);
+      }
+    }
+    compute_c_tile(acc, ap, bp, i0, j0, mt, nt, combos, order);
+    EGEMM_TRACE_SCOPE("combine");
+    const std::uint64_t t0 = timed ? obs::monotonic_ns() : 0;
+    for (std::size_t i = 0; i < mt; ++i) {
+      for (std::size_t j = 0; j < nt; ++j) {
+        d.at(i0 + i, j0 + j) = canonical_store(acc[i][j]);
+      }
+    }
+    if (timed) combine_local += obs::monotonic_ns() - t0;
+  }
+  return combine_local;
+}
+
 /// Retained scalar reference driver: D += sum over combos of Aplane x
-/// Bplane, tiled and parallelized over row blocks. This is the seed's
-/// execution path, kept as the semantics oracle the packed engine is
-/// pinned against (tests/test_packed_gemm.cpp). `d` arrives initialized
-/// with C (or zeros).
+/// Bplane, tiled and parallelized over row blocks (or run inline when
+/// `serial`, for sub-threshold shapes). `d` arrives initialized with C
+/// (or zeros).
 void reference_engine(Matrix& d, std::span<const Matrix> ap,
                       std::span<const Matrix> bp,
                       std::span<const PlaneCombo> combos, ComboOrder order,
-                      StageAccum* stages) {
-  const std::size_t m = d.rows();
-  const std::size_t n = d.cols();
-
-  const std::size_t row_blocks = (m + kTile - 1) / kTile;
-  util::global_pool().parallel_for(
-      row_blocks, [&](std::size_t rb0, std::size_t rb1) {
-        EGEMM_TRACE_SCOPE("mma");
-        const std::uint64_t chunk_start =
-            stages != nullptr ? obs::monotonic_ns() : 0;
-        std::uint64_t combine_local = 0;
-        for (std::size_t rb = rb0; rb < rb1; ++rb) {
-          const std::size_t i0 = rb * kTile;
-          const std::size_t mt = std::min(kTile, m - i0);
-          for (std::size_t j0 = 0; j0 < n; j0 += kTile) {
-            const std::size_t nt = std::min(kTile, n - j0);
-            float acc[kTile][kTile];
-            for (std::size_t i = 0; i < mt; ++i) {
-              for (std::size_t j = 0; j < nt; ++j) {
-                acc[i][j] = d.at(i0 + i, j0 + j);
-              }
-            }
-            compute_c_tile(acc, ap, bp, i0, j0, mt, nt, combos, order);
-            EGEMM_TRACE_SCOPE("combine");
-            const std::uint64_t t0 =
-                stages != nullptr ? obs::monotonic_ns() : 0;
-            for (std::size_t i = 0; i < mt; ++i) {
-              for (std::size_t j = 0; j < nt; ++j) {
-                d.at(i0 + i, j0 + j) = canonical_store(acc[i][j]);
-              }
-            }
-            if (stages != nullptr) combine_local += obs::monotonic_ns() - t0;
-          }
-        }
-        if (stages != nullptr) {
-          const std::uint64_t wall = obs::monotonic_ns() - chunk_start;
-          stages->combine.fetch_add(combine_local, std::memory_order_relaxed);
-          stages->mma.fetch_add(wall > combine_local ? wall - combine_local : 0,
-                                std::memory_order_relaxed);
-        }
-      });
+                      bool serial, StageAccum* stages) {
+  const std::size_t row_blocks = (d.rows() + kTile - 1) / kTile;
+  const auto run_range = [&](std::size_t rb0, std::size_t rb1) {
+    EGEMM_TRACE_SCOPE("mma");
+    const std::uint64_t chunk_start =
+        stages != nullptr ? obs::monotonic_ns() : 0;
+    std::uint64_t combine_local = 0;
+    for (std::size_t rb = rb0; rb < rb1; ++rb) {
+      combine_local += reference_row_block(d, ap, bp, combos, order, rb,
+                                           stages != nullptr);
+    }
+    if (stages != nullptr) {
+      const std::uint64_t wall = obs::monotonic_ns() - chunk_start;
+      stages->combine.fetch_add(combine_local, std::memory_order_relaxed);
+      stages->mma.fetch_add(wall > combine_local ? wall - combine_local : 0,
+                            std::memory_order_relaxed);
+    }
+  };
+  if (serial) {
+    run_range(0, row_blocks);
+    return;
+  }
+  util::global_pool().parallel_for(row_blocks, run_range);
 }
 
 /// k-slab length for the kSeparatePasses combo order. Any EVEN value is
@@ -175,86 +194,97 @@ void reference_engine(Matrix& d, std::span<const Matrix> ap,
 constexpr int kSeparateSlab = 512;
 static_assert(kSeparateSlab % 2 == 0);
 
-/// Packed engine (DESIGN.md §10): walks the output tiles on a 2D block
-/// schedule; each tile runs its whole combo x k-slab recipe in ONE
-/// dispatched tcsim::mma_tile_recipe call over the workspace's pre-packed
-/// planes, so the SIMD variants keep the 16x16 accumulator in registers
-/// across the entire k extent (the previous driver re-loaded it from L1
-/// once per 16-deep slab). Per output element the operation sequence is
-/// identical to the reference driver, so the result is bit-identical. `d`
-/// arrives initialized with C (or zeros).
-void packed_engine(Matrix& d, const PackedPlanesA& apack,
-                   const PackedPlanesB& bpack, std::size_t k,
-                   std::span<const PlaneCombo> combos, ComboOrder order,
-                   StageAccum* stages) {
+/// One 16x16 output tile of the packed engine: the whole combo x k-slab
+/// recipe runs in ONE dispatched tcsim::mma_tile_recipe call over the
+/// workspace's pre-packed planes, so the SIMD variants keep the
+/// accumulator in registers across the entire k extent. Shared verbatim by
+/// the single-GEMM 2D schedule and the grouped flattened stream. Returns
+/// the combine (writeback) nanoseconds when `timed`.
+std::uint64_t packed_tile(Matrix& d, const PackedPlanesA& apack,
+                          const PackedPlanesB& bpack, std::size_t k,
+                          std::span<const PlaneCombo> combos, int k_slab,
+                          bool fused, std::size_t rb, std::size_t cb,
+                          bool timed) {
   const std::size_t m = d.rows();
   const std::size_t n = d.cols();
   const auto ncombos = static_cast<int>(combos.size());
+  const std::size_t i0 = rb * kTile;
+  const std::size_t mt = std::min(kTile, m - i0);
+  const std::size_t j0 = cb * kTile;
+  const std::size_t nt = std::min(kTile, n - j0);
+  const float* a_blocks[kMaxPlanCombos];
+  const float* b_blocks[kMaxPlanCombos];
+  for (int ci = 0; ci < ncombos; ++ci) {
+    a_blocks[ci] = apack.block(
+        static_cast<std::size_t>(combos[static_cast<std::size_t>(ci)].a_plane),
+        rb);
+    b_blocks[ci] = bpack.block(
+        static_cast<std::size_t>(combos[static_cast<std::size_t>(ci)].b_plane),
+        cb);
+    // Warm the first lines of each combo's B block; the recipe kernel
+    // prefetches ahead within each stream but cannot see across the combo
+    // boundary.
+    __builtin_prefetch(b_blocks[ci]);
+  }
+  // Full 16x16 accumulator; lanes past (mt, nt) compute against the packs'
+  // zero padding and are never copied back.
+  alignas(64) float acc[kTile][kTile] = {};
+  for (std::size_t i = 0; i < mt; ++i) {
+    for (std::size_t j = 0; j < nt; ++j) {
+      acc[i][j] = d.at(i0 + i, j0 + j);
+    }
+  }
+  if (k > 0) {  // zero-extent K: the tile is the C passthrough
+    tcsim::mma_tile_recipe(&acc[0][0], a_blocks, b_blocks, ncombos, k,
+                           static_cast<int>(k), k_slab, fused);
+  }
+  EGEMM_TRACE_SCOPE("combine");
+  const std::uint64_t t0 = timed ? obs::monotonic_ns() : 0;
+  for (std::size_t i = 0; i < mt; ++i) {
+    for (std::size_t j = 0; j < nt; ++j) {
+      d.at(i0 + i, j0 + j) = canonical_store(acc[i][j]);
+    }
+  }
+  return timed ? obs::monotonic_ns() - t0 : 0;
+}
+
+/// Packed engine (DESIGN.md §10): walks the output tiles on a 2D block
+/// schedule (or inline when `serial`, for sub-threshold shapes). `grain`
+/// is the tuned block size in output tiles (0 = pool default). Per output
+/// element the operation sequence is identical to the reference driver, so
+/// the result is bit-identical. `d` arrives initialized with C (or zeros).
+void packed_engine(Matrix& d, const PackedPlanesA& apack,
+                   const PackedPlanesB& bpack, std::size_t k,
+                   std::span<const PlaneCombo> combos, ComboOrder order,
+                   std::size_t grain, bool serial, StageAccum* stages) {
   const bool fused = order == ComboOrder::kFusedPerTile;
   const int k_slab = fused ? static_cast<int>(kTile) : kSeparateSlab;
-
-  util::global_pool().parallel_for_2d(
-      apack.row_blocks(), bpack.col_blocks(), /*grain=*/0,
-      [&](std::size_t rb0, std::size_t rb1, std::size_t cb0, std::size_t cb1) {
-        EGEMM_TRACE_SCOPE("mma");
-        EGEMM_COUNTER_ADD("egemm.tiles", (rb1 - rb0) * (cb1 - cb0));
-        const std::uint64_t chunk_start =
-            stages != nullptr ? obs::monotonic_ns() : 0;
-        std::uint64_t combine_local = 0;
-        for (std::size_t rb = rb0; rb < rb1; ++rb) {
-          const std::size_t i0 = rb * kTile;
-          const std::size_t mt = std::min(kTile, m - i0);
-          const float* a_blocks[kMaxPlanCombos];
-          for (int ci = 0; ci < ncombos; ++ci) {
-            a_blocks[ci] = apack.block(
-                static_cast<std::size_t>(
-                    combos[static_cast<std::size_t>(ci)].a_plane),
-                rb);
-          }
-          for (std::size_t cb = cb0; cb < cb1; ++cb) {
-            const std::size_t j0 = cb * kTile;
-            const std::size_t nt = std::min(kTile, n - j0);
-            const float* b_blocks[kMaxPlanCombos];
-            for (int ci = 0; ci < ncombos; ++ci) {
-              b_blocks[ci] = bpack.block(
-                  static_cast<std::size_t>(
-                      combos[static_cast<std::size_t>(ci)].b_plane),
-                  cb);
-              // Warm the first lines of each combo's B block; the recipe
-              // kernel prefetches ahead within each stream but cannot see
-              // across the combo boundary.
-              __builtin_prefetch(b_blocks[ci]);
-            }
-            // Full 16x16 accumulator; lanes past (mt, nt) compute against
-            // the packs' zero padding and are never copied back.
-            alignas(64) float acc[kTile][kTile] = {};
-            for (std::size_t i = 0; i < mt; ++i) {
-              for (std::size_t j = 0; j < nt; ++j) {
-                acc[i][j] = d.at(i0 + i, j0 + j);
-              }
-            }
-            if (k > 0) {  // zero-extent K: the tile is the C passthrough
-              tcsim::mma_tile_recipe(&acc[0][0], a_blocks, b_blocks, ncombos,
-                                     k, static_cast<int>(k), k_slab, fused);
-            }
-            EGEMM_TRACE_SCOPE("combine");
-            const std::uint64_t t0 =
-                stages != nullptr ? obs::monotonic_ns() : 0;
-            for (std::size_t i = 0; i < mt; ++i) {
-              for (std::size_t j = 0; j < nt; ++j) {
-                d.at(i0 + i, j0 + j) = canonical_store(acc[i][j]);
-              }
-            }
-            if (stages != nullptr) combine_local += obs::monotonic_ns() - t0;
-          }
-        }
-        if (stages != nullptr) {
-          const std::uint64_t wall = obs::monotonic_ns() - chunk_start;
-          stages->combine.fetch_add(combine_local, std::memory_order_relaxed);
-          stages->mma.fetch_add(wall > combine_local ? wall - combine_local : 0,
-                                std::memory_order_relaxed);
-        }
-      });
+  const auto run_block = [&](std::size_t rb0, std::size_t rb1,
+                             std::size_t cb0, std::size_t cb1) {
+    EGEMM_TRACE_SCOPE("mma");
+    EGEMM_COUNTER_ADD("egemm.tiles", (rb1 - rb0) * (cb1 - cb0));
+    const std::uint64_t chunk_start =
+        stages != nullptr ? obs::monotonic_ns() : 0;
+    std::uint64_t combine_local = 0;
+    for (std::size_t rb = rb0; rb < rb1; ++rb) {
+      for (std::size_t cb = cb0; cb < cb1; ++cb) {
+        combine_local += packed_tile(d, apack, bpack, k, combos, k_slab,
+                                     fused, rb, cb, stages != nullptr);
+      }
+    }
+    if (stages != nullptr) {
+      const std::uint64_t wall = obs::monotonic_ns() - chunk_start;
+      stages->combine.fetch_add(combine_local, std::memory_order_relaxed);
+      stages->mma.fetch_add(wall > combine_local ? wall - combine_local : 0,
+                            std::memory_order_relaxed);
+    }
+  };
+  if (serial) {
+    run_block(0, apack.row_blocks(), 0, bpack.col_blocks());
+    return;
+  }
+  util::global_pool().parallel_for_2d(apack.row_blocks(), bpack.col_blocks(),
+                                      grain, run_block);
 }
 
 /// Grows `m` to (rows x cols), counting an actual storage growth.
@@ -263,19 +293,92 @@ void grow_matrix(Matrix& m, std::size_t rows, std::size_t cols) {
   m.resize(rows, cols);
 }
 
-/// Tile resolution: the analytic solver applies whenever the caller left
-/// the tile at the paper's default -- resolve it from the T4 budget (which
-/// reproduces Table 4 exactly, so this is behavior-neutral by the solver's
-/// own tests). An explicitly chosen tile is honored as-is.
-TileConfig resolved_tile(const TileConfig& requested) {
-  const TileConfig def = table4_config();
-  if (!(requested == def)) return requested;
+/// The analytic solver's pick over the T4 budget (reproduces Table 4
+/// exactly, so this is behavior-neutral by the solver's own tests).
+const TileConfig& solver_default_tile() {
   static const TileConfig solved = [] {
     const model::SolverResult result =
         model::solve(model::budget_from_spec(tcsim::tesla_t4()));
     return result.found ? result.best : table4_config();
   }();
   return solved;
+}
+
+/// True when `tile` is in the solver's feasible set. A tuned tile is
+/// applied only if the analytic model admits it, so a hand-edited tuning
+/// file can never smuggle an unschedulable tiling into the plans (debug
+/// builds lint every distinct tiling).
+bool tile_is_feasible(const TileConfig& tile) {
+  static const std::vector<TileConfig> feasible = [] {
+    const model::SolverResult result =
+        model::solve(model::budget_from_spec(tcsim::tesla_t4()));
+    std::vector<TileConfig> tiles;
+    tiles.reserve(result.feasible.size());
+    for (const model::SolverCandidate& candidate : result.feasible) {
+      tiles.push_back(candidate.config);
+    }
+    return tiles;
+  }();
+  return std::find(feasible.begin(), feasible.end(), tile) != feasible.end();
+}
+
+/// Tile resolution for direct backends and explicit tiles: the analytic
+/// solver applies whenever the caller left the tile at the paper's
+/// default; an explicitly chosen tile is honored as-is.
+TileConfig analytic_tile(const TileConfig& requested) {
+  return requested == table4_config() ? solver_default_tile() : requested;
+}
+
+/// Tile + scheduler-grain resolution for emulated plans (DESIGN.md §18):
+/// an explicitly chosen tile is honored as-is; otherwise the shape class's
+/// tuning-cache entry wins (gemm.tune.hit), and absent a usable entry the
+/// analytic solver decides (gemm.tune.{miss,fallback} name why not).
+struct ResolvedSchedule {
+  TileConfig tile;
+  std::size_t grain = 0;
+};
+
+ResolvedSchedule resolve_schedule(const TileConfig& requested, std::size_t m,
+                                  std::size_t n, std::size_t k) {
+  if (!(requested == table4_config())) return {requested, 0};
+  model::TuningEntry entry;
+  if (model::TuningCache::global().lookup(m, n, k, &entry) ==
+      model::TuningLookup::kHit) {
+    return {tile_is_feasible(entry.tile) ? entry.tile : solver_default_tile(),
+            entry.grain};
+  }
+  return {solver_default_tile(), 0};
+}
+
+/// Automatic small-GEMM inline threshold override; 0 = automatic.
+std::atomic<std::size_t> g_inline_threshold{0};
+constexpr std::size_t kDefaultInlineThreshold = std::size_t{64} * 64 * 64;
+
+/// Process-unique grouped-execute ids for CallRecord::batch_id (0 means
+/// unbatched, so the first batch is 1).
+std::atomic<std::uint32_t> g_batch_counter{0};
+
+/// Floor on the FLOPs a flattened-stream chunk should carry: below ~4
+/// MFLOP the pool round-trip dominates the chunk. The batch grain is this
+/// divided by the stream's mean per-block FLOPs, so batches of tiny items
+/// coalesce many items into one task while large items still fan out.
+constexpr std::uint64_t kMinChunkFlops = std::uint64_t{1} << 22;
+
+/// Splits A and B into the workspace's plane stacks per the plan's recipe.
+/// Plane 0 = lo; for three-way splits: lo, mid, hi.
+void split_into_workspace(Workspace& ws, const Matrix& a, const Matrix& b,
+                          const PlanKey& key) {
+  const std::span<Matrix> ap = ws.a_planes();
+  const std::span<Matrix> bp = ws.b_planes();
+  if (key.planes == 3) {
+    core::split3_span_f32(a.data(), ap[2].data(), ap[1].data(), ap[0].data(),
+                          key.split);
+    core::split3_span_f32(b.data(), bp[2].data(), bp[1].data(), bp[0].data(),
+                          key.split);
+  } else {
+    core::split_span_f32(a.data(), ap[1].data(), ap[0].data(), key.split);
+    core::split_span_f32(b.data(), bp[1].data(), bp[0].data(), key.split);
+  }
 }
 
 std::uint64_t encode_combos(std::span<const PlaneCombo> combos, int planes) {
@@ -429,6 +532,20 @@ std::uint64_t debug_workspace_allocations() noexcept {
 #endif
 }
 
+std::size_t small_gemm_inline_threshold() noexcept {
+  const std::size_t forced = g_inline_threshold.load(std::memory_order_relaxed);
+  if (forced != 0) return forced;
+  if (const std::optional<std::size_t> file =
+          model::TuningCache::global().inline_threshold()) {
+    return *file;
+  }
+  return kDefaultInlineThreshold;
+}
+
+void set_small_gemm_inline_threshold(std::size_t work) noexcept {
+  g_inline_threshold.store(work, std::memory_order_relaxed);
+}
+
 std::size_t PlanKeyHash::operator()(const PlanKey& key) const noexcept {
   auto mix = [](std::size_t h, std::uint64_t v) {
     return h ^ (static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ULL +
@@ -490,7 +607,8 @@ void Workspace::pack() {
 // GemmPlan
 // ---------------------------------------------------------------------------
 
-GemmPlan::GemmPlan(const PlanKey& key) : key_(key) {
+GemmPlan::GemmPlan(const PlanKey& key, std::size_t grain)
+    : key_(key), grain_(grain) {
   tile_ = TileConfig{key.bm, key.bn, key.bk, key.wm, key.wn, key.wk};
   combos_.reserve(key.combo_count);
   for (std::uint8_t i = 0; i < key.combo_count; ++i) {
@@ -585,17 +703,7 @@ void GemmPlan::execute(GemmContext& ctx, const Matrix& a, const Matrix& b,
 #if EGEMM_OBSERVABILITY_ENABLED
     const std::uint64_t t0 = telemetry ? obs::monotonic_ns() : 0;
 #endif
-    const std::span<Matrix> ap = ws.a_planes();
-    const std::span<Matrix> bp = ws.b_planes();
-    if (key_.planes == 3) {
-      core::split3_span_f32(a.data(), ap[2].data(), ap[1].data(),
-                            ap[0].data(), key_.split);
-      core::split3_span_f32(b.data(), bp[2].data(), bp[1].data(),
-                            bp[0].data(), key_.split);
-    } else {
-      core::split_span_f32(a.data(), ap[1].data(), ap[0].data(), key_.split);
-      core::split_span_f32(b.data(), bp[1].data(), bp[0].data(), key_.split);
-    }
+    split_into_workspace(ws, a, b, key_);
 #if EGEMM_OBSERVABILITY_ENABLED
     if (telemetry) split_ns = obs::monotonic_ns() - t0;
 #endif
@@ -615,6 +723,11 @@ void GemmPlan::execute(GemmContext& ctx, const Matrix& a, const Matrix& b,
     d.fill(0.0f);
   }
 
+  // Sub-threshold shapes run the engine inline: the pool round-trip costs
+  // more than the work it would distribute (satellite knob; DESIGN.md §18).
+  const bool serial =
+      key_.m * key_.n * key_.k < small_gemm_inline_threshold();
+
 #if EGEMM_OBSERVABILITY_ENABLED
   std::uint64_t t_engine = 0;
 #endif
@@ -633,13 +746,13 @@ void GemmPlan::execute(GemmContext& ctx, const Matrix& a, const Matrix& b,
     if (telemetry) t_engine = obs::monotonic_ns();
 #endif
     packed_engine(d, ws.packed_a(), ws.packed_b(), key_.k, combos_,
-                  key_.order, stages);
+                  key_.order, grain_, serial, stages);
   } else {
 #if EGEMM_OBSERVABILITY_ENABLED
     if (telemetry) t_engine = obs::monotonic_ns();
 #endif
     reference_engine(d, ws.a_planes(), ws.b_planes(), combos_, key_.order,
-                     stages);
+                     serial, stages);
   }
 #if EGEMM_OBSERVABILITY_ENABLED
   if (telemetry) {
@@ -679,7 +792,10 @@ KernelTiming GemmPlan::timing(const tcsim::GpuSpec& spec) const {
 // ---------------------------------------------------------------------------
 
 GemmContext::GemmContext(std::size_t plan_capacity)
-    : capacity_(plan_capacity) {}
+    : capacity_(plan_capacity) {
+  EGEMM_GAUGE_SET("gemm.plan.cache.capacity",
+                  static_cast<std::int64_t>(capacity_));
+}
 
 std::shared_ptr<const GemmPlan> GemmContext::plan(Backend backend,
                                                   std::size_t m, std::size_t n,
@@ -702,7 +818,15 @@ std::shared_ptr<const GemmPlan> GemmContext::plan(Backend backend,
   key.k = k;
   key.backend = backend;
   key.engine = opts.engine;
-  set_key_tile(key, resolved_tile(opts.tile));
+  const bool direct = backend == Backend::kCublasFp32 ||
+                      backend == Backend::kSdkFp32 ||
+                      backend == Backend::kDekker;
+  // Direct binary32 backends skip the tuning consult -- their tile only
+  // feeds the timing model, so a tune.{hit,miss} there would be noise.
+  const ResolvedSchedule sched =
+      direct ? ResolvedSchedule{analytic_tile(opts.tile), 0}
+             : resolve_schedule(opts.tile, m, n, k);
+  set_key_tile(key, sched.tile);
 
   switch (backend) {
     case Backend::kCublasFp32:
@@ -710,7 +834,7 @@ std::shared_ptr<const GemmPlan> GemmContext::plan(Backend backend,
     case Backend::kDekker:
       key.direct = true;
       key.engine = ExecEngine::kPacked;  // canonical; engines do not apply
-      return plan_for(key);
+      return plan_for(key, sched.grain);
     case Backend::kEgemmTC:
       if (opts.emulation_instructions == 9) {
         // Three-way split: opts.split selects the rung -- round-split is
@@ -736,7 +860,7 @@ std::shared_ptr<const GemmPlan> GemmContext::plan(Backend backend,
                      ComboOrder::kFusedPerTile, 2);
       break;
   }
-  return plan_for(key);
+  return plan_for(key, sched.grain);
 }
 
 std::shared_ptr<const GemmPlan> GemmContext::plan_emulated(
@@ -750,12 +874,14 @@ std::shared_ptr<const GemmPlan> GemmContext::plan_emulated(
   key.k = k;
   key.backend = Backend::kEgemmTC;
   key.engine = engine;
-  set_key_tile(key, resolved_tile(tile));
+  const ResolvedSchedule sched = resolve_schedule(tile, m, n, k);
+  set_key_tile(key, sched.tile);
   set_key_recipe(key, split, combos, order, planes);
-  return plan_for(key);
+  return plan_for(key, sched.grain);
 }
 
-std::shared_ptr<const GemmPlan> GemmContext::plan_for(const PlanKey& key) {
+std::shared_ptr<const GemmPlan> GemmContext::plan_for(const PlanKey& key,
+                                                      std::size_t grain) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = index_.find(key);
@@ -777,7 +903,7 @@ std::shared_ptr<const GemmPlan> GemmContext::plan_for(const PlanKey& key) {
 #if EGEMM_OBSERVABILITY_ENABLED
     const std::uint64_t t0 = obs::monotonic_ns();
 #endif
-    created = std::shared_ptr<const GemmPlan>(new GemmPlan(key));
+    created = std::shared_ptr<const GemmPlan>(new GemmPlan(key, grain));
 #if EGEMM_OBSERVABILITY_ENABLED
     EGEMM_LATENCY_RECORD("gemm.plan.build.latency", obs::monotonic_ns() - t0);
 #endif
@@ -803,7 +929,11 @@ std::shared_ptr<const GemmPlan> GemmContext::plan_for(const PlanKey& key) {
   if (lru_.size() > capacity_) {
     index_.erase(lru_.back().key);
     lru_.pop_back();
+    ++evictions_;
+    EGEMM_COUNTER_ADD("gemm.plan.cache.evictions", 1);
   }
+  EGEMM_GAUGE_SET("gemm.plan.cache.size",
+                  static_cast<std::int64_t>(lru_.size()));
 #if EGEMM_OBSERVABILITY_ENABLED
   tl_last_plan = created.get();
   tl_last_lookup = obs::PlanLookup::kMiss;
@@ -873,6 +1003,301 @@ GemmContext::ContractPlan GemmContext::plan_contract(
   return result;
 }
 
+void GemmContext::execute_grouped(std::span<const GroupedGemm> items) {
+  if (items.empty()) return;
+  for (const GroupedGemm& item : items) {
+    EGEMM_EXPECTS(item.plan != nullptr && item.a != nullptr &&
+                  item.b != nullptr && item.d != nullptr);
+    const PlanKey& key = item.plan->key_;
+    EGEMM_EXPECTS(item.a->rows() == key.m && item.a->cols() == key.k);
+    EGEMM_EXPECTS(item.b->rows() == key.k && item.b->cols() == key.n);
+    EGEMM_EXPECTS(item.c == nullptr ||
+                  (item.c->rows() == key.m && item.c->cols() == key.n));
+    EGEMM_EXPECTS(item.a != item.d && item.b != item.d && item.c != item.d);
+  }
+#ifndef NDEBUG
+  // Outputs must not alias across items: the flattened stream writes every
+  // item's tiles concurrently.
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    for (std::size_t j = i + 1; j < items.size(); ++j) {
+      EGEMM_EXPECTS(items[i].d != items[j].d);
+    }
+  }
+#endif
+
+  EGEMM_COUNTER_ADD("gemm.batch.calls", 1);
+  EGEMM_COUNTER_ADD("gemm.batch.items",
+                    static_cast<std::int64_t>(items.size()));
+
+  // Direct binary32 items have no plane pipeline to flatten; run them as
+  // plain executes and group only the emulated items.
+  std::vector<std::size_t> emulated;
+  emulated.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].plan->key_.direct) {
+      items[i].plan->execute(*this, *items[i].a, *items[i].b, items[i].c,
+                             *items[i].d);
+    } else {
+      emulated.push_back(i);
+    }
+  }
+  if (emulated.empty()) return;
+
+  EGEMM_TRACE_SCOPE("egemm_grouped");
+#if EGEMM_OBSERVABILITY_ENABLED
+  const bool telemetry = obs::call_records_enabled();
+#else
+  constexpr bool telemetry = false;
+#endif
+  const std::uint64_t t_start = telemetry ? obs::monotonic_ns() : 0;
+  const std::uint32_t batch_id =
+      g_batch_counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  static_cast<void>(batch_id);
+
+  // The flattened (item x block) stream layout. A "block" is one packed
+  // output tile, or one 16-row reference band; `first[j]` is item j's
+  // offset into the stream, so workers binary-search their chunk's start.
+  // (Each run's workspace is attached below, once the execution mode --
+  // pipelined or serial-fused -- has decided how many leases exist.)
+  struct ItemRun {
+    const GemmPlan* plan = nullptr;
+    Matrix* d = nullptr;
+    Workspace* ws = nullptr;
+    std::size_t col_blocks = 1;  ///< packed engine only
+    int k_slab = 0;
+    bool fused = false;
+    bool packed = false;
+  };
+  std::vector<ItemRun> runs(emulated.size());
+  std::vector<std::size_t> first(emulated.size() + 1, 0);
+  std::uint64_t total_flops = 0;
+  for (std::size_t j = 0; j < emulated.size(); ++j) {
+    const GroupedGemm& item = items[emulated[j]];
+    const PlanKey& key = item.plan->key_;
+    ItemRun& run = runs[j];
+    run.plan = item.plan.get();
+    run.d = item.d;
+    run.packed = key.engine == ExecEngine::kPacked;
+    run.fused = key.order == ComboOrder::kFusedPerTile;
+    run.k_slab = run.fused ? static_cast<int>(kTile) : kSeparateSlab;
+    const std::size_t row_blocks = (key.m + kTile - 1) / kTile;
+    std::size_t blocks = row_blocks;
+    if (run.packed) {
+      run.col_blocks = (key.n + kTile - 1) / kTile;
+      blocks = key.n == 0 ? 0 : row_blocks * run.col_blocks;
+    } else if (key.n == 0) {
+      blocks = 0;
+    }
+    first[j + 1] = first[j] + blocks;
+    total_flops += 2ULL * key.m * key.n * key.k;
+  }
+  const std::size_t total_blocks = first.back();
+
+  std::vector<std::uint64_t> split_ns(emulated.size(), 0);
+  std::vector<std::uint64_t> pack_ns(emulated.size(), 0);
+#ifndef NDEBUG
+  const std::uint64_t split_before = core::debug_split_elements();
+  std::uint64_t expected_split = 0;
+  for (const std::size_t i : emulated) {
+    expected_split += items[i].a->data().size() + items[i].b->data().size();
+  }
+#endif
+  // Per-item prep: workspace split, output init, pack.
+  const auto prep_one = [&](std::size_t j, Workspace& ws) {
+    const GroupedGemm& item = items[emulated[j]];
+    const PlanKey& key = item.plan->key_;
+    ws.ensure(key.m, key.n, key.k, key.planes);
+    {
+      EGEMM_TRACE_SCOPE("split");
+      const std::uint64_t t0 = telemetry ? obs::monotonic_ns() : 0;
+      split_into_workspace(ws, *item.a, *item.b, key);
+      if (telemetry) split_ns[j] = obs::monotonic_ns() - t0;
+    }
+    item.d->resize(key.m, key.n);
+    if (item.c != nullptr) {
+      std::copy(item.c->data().begin(), item.c->data().end(),
+                item.d->data().begin());
+    } else {
+      item.d->fill(0.0f);
+    }
+    if (key.engine == ExecEngine::kPacked) {
+      EGEMM_TRACE_SCOPE("pack");
+      const std::uint64_t t0 = telemetry ? obs::monotonic_ns() : 0;
+      ws.pack();
+      if (telemetry) pack_ns[j] = obs::monotonic_ns() - t0;
+    }
+    EGEMM_COUNTER_ADD("egemm.calls", 1);
+    count_scheme_execute(key.scheme);
+  };
+
+#if EGEMM_OBSERVABILITY_ENABLED
+  StageAccum stage_accum;
+  StageAccum* const stages = telemetry ? &stage_accum : nullptr;
+#else
+  StageAccum* const stages = nullptr;
+#endif
+  const auto run_blocks = [&](std::size_t g0, std::size_t g1) {
+    EGEMM_TRACE_SCOPE("mma");
+    const std::uint64_t chunk_start =
+        stages != nullptr ? obs::monotonic_ns() : 0;
+    std::uint64_t combine_local = 0;
+    auto idx = static_cast<std::size_t>(
+        std::upper_bound(first.begin(), first.end(), g0) - first.begin() - 1);
+    for (std::size_t g = g0; g < g1; ++idx) {
+      const ItemRun& run = runs[idx];
+      const std::size_t end = std::min(g1, first[idx + 1]);
+      const PlanKey& key = run.plan->key_;
+      if (run.packed) {
+        EGEMM_COUNTER_ADD("egemm.tiles", end - g);
+        for (; g < end; ++g) {
+          const std::size_t local = g - first[idx];
+          combine_local += packed_tile(
+              *run.d, run.ws->packed_a(), run.ws->packed_b(), key.k,
+              run.plan->combos_, run.k_slab, run.fused,
+              local / run.col_blocks, local % run.col_blocks,
+              stages != nullptr);
+        }
+      } else {
+        for (; g < end; ++g) {
+          combine_local += reference_row_block(
+              *run.d, run.ws->a_planes(), run.ws->b_planes(),
+              run.plan->combos_, key.order, g - first[idx],
+              stages != nullptr);
+        }
+      }
+    }
+    if (stages != nullptr) {
+      const std::uint64_t wall = obs::monotonic_ns() - chunk_start;
+      stages->combine.fetch_add(combine_local, std::memory_order_relaxed);
+      stages->mma.fetch_add(wall > combine_local ? wall - combine_local : 0,
+                            std::memory_order_relaxed);
+    }
+  };
+
+  // Serial fusion: when the stream runs on one thread anyway -- a
+  // single-worker pool, or a sub-threshold batch (same inline knob as
+  // single executes, applied to the aggregate work) -- prep and run each
+  // item back-to-back on ONE recycled workspace. The two-stage pipeline
+  // leases a workspace per item, trading cache locality for parallelism;
+  // with no parallelism to buy, fusing keeps the hot split/pack planes
+  // resident across items exactly as a loop of single executes would,
+  // while still amortizing the per-call costs the batch API exists to
+  // amortize.
+  const bool fuse_serial =
+      util::global_pool().size() <= 1 ||
+      total_flops / 2 < small_gemm_inline_threshold();
+  std::uint64_t t_engine = 0;
+  std::vector<WorkspaceLease> leases;
+  if (fuse_serial) {
+    WorkspaceLease lease = lease_workspace();
+    for (std::size_t j = 0; j < emulated.size(); ++j) {
+      runs[j].ws = &*lease;
+      prep_one(j, *lease);
+      run_blocks(first[j], first[j + 1]);
+    }
+  } else {
+    // Stage A: per-item prep, parallel over items. Leases are taken
+    // serially so the pool stays contention-free.
+    leases.reserve(emulated.size());
+    for (std::size_t j = 0; j < emulated.size(); ++j) {
+      leases.push_back(lease_workspace());
+      runs[j].ws = &*leases[j];
+    }
+    util::global_pool().parallel_for(
+        emulated.size(), [&](std::size_t j0, std::size_t j1) {
+          for (std::size_t j = j0; j < j1; ++j) prep_one(j, *runs[j].ws);
+        });
+    // Stage B: the whole stream through one pool dispatch with a
+    // batch-aware grain (~kMinChunkFlops of work per chunk).
+    t_engine = telemetry ? obs::monotonic_ns() : 0;
+    const std::uint64_t avg_block_flops =
+        total_blocks == 0 ? 1
+                          : std::max<std::uint64_t>(
+                                1, total_flops / total_blocks);
+    const auto grain = static_cast<std::size_t>(
+        std::max<std::uint64_t>(1, kMinChunkFlops / avg_block_flops));
+    util::global_pool().parallel_for(total_blocks, grain, run_blocks);
+  }
+#ifndef NDEBUG
+  // Every input element of the batch is split exactly once (aggregate
+  // form of the per-call guard in GemmPlan::execute).
+  EGEMM_ENSURES(core::debug_split_elements() - split_before ==
+                expected_split);
+#endif
+
+#if EGEMM_OBSERVABILITY_ENABLED
+  if (!telemetry) return;
+  // One CallRecord per shape class (= per distinct plan), all tagged with
+  // this batch's id. The batch wall and the engine wall are apportioned by
+  // each class's FLOP share; split/pack are exact per-class sums.
+  const std::uint64_t now = obs::monotonic_ns();
+  const std::uint64_t batch_wall = now > t_start ? now - t_start : 0;
+  EGEMM_LATENCY_RECORD("egemm.execute.latency", batch_wall);
+  const std::uint64_t wm = stage_accum.mma.load(std::memory_order_relaxed);
+  const std::uint64_t wc =
+      stage_accum.combine.load(std::memory_order_relaxed);
+  // Fused mode interleaves prep and engine work, so the engine wall is the
+  // sum of the per-chunk walls (serial chunks never overlap); pipelined
+  // mode reads it off the stage B dispatch window.
+  const std::uint64_t engine_wall =
+      fuse_serial ? wm + wc : (now > t_engine ? now - t_engine : 0);
+  std::vector<const GemmPlan*> seen;
+  seen.reserve(runs.size());
+  for (const ItemRun& head : runs) {
+    if (std::find(seen.begin(), seen.end(), head.plan) != seen.end()) {
+      continue;
+    }
+    seen.push_back(head.plan);
+    const PlanKey& key = head.plan->key_;
+    obs::CallRecord rec;
+    rec.start_ns = t_start;
+    std::uint64_t class_items = 0;
+    for (std::size_t j = 0; j < runs.size(); ++j) {
+      if (runs[j].plan != head.plan) continue;
+      ++class_items;
+      rec.split_ns += split_ns[j];
+      rec.pack_ns += pack_ns[j];
+      const GroupedGemm& item = items[emulated[j]];
+      const std::size_t d_elems = key.m * key.n;
+      rec.bytes_moved += (key.m * key.k + key.k * key.n + d_elems +
+                          (item.c != nullptr ? d_elems : 0)) *
+                             sizeof(float) +
+                         head.plan->workspace_bytes_;
+    }
+    rec.flops = class_items * 2ULL * key.m * key.n * key.k;
+    const double share =
+        total_flops == 0
+            ? 1.0 / static_cast<double>(emulated.size())
+            : static_cast<double>(rec.flops) /
+                  static_cast<double>(total_flops);
+    rec.total_ns = static_cast<std::uint64_t>(
+        static_cast<double>(batch_wall) * share);
+    const auto engine_share = static_cast<std::uint64_t>(
+        static_cast<double>(engine_wall) * share);
+    if (wm + wc > 0) {
+      rec.mma_ns = static_cast<std::uint64_t>(
+          static_cast<double>(engine_share) * static_cast<double>(wm) /
+          static_cast<double>(wm + wc));
+      rec.combine_ns = engine_share - rec.mma_ns;
+    } else {
+      rec.mma_ns = engine_share;
+    }
+    rec.m = static_cast<std::uint32_t>(key.m);
+    rec.n = static_cast<std::uint32_t>(key.n);
+    rec.k = static_cast<std::uint32_t>(key.k);
+    rec.tid = obs::current_thread_id();
+    rec.batch_id = batch_id;
+    rec.batch = static_cast<std::uint32_t>(class_items);
+    rec.scheme = key.scheme;
+    rec.backend = static_cast<std::uint8_t>(key.backend);
+    rec.engine = static_cast<std::uint8_t>(key.engine);
+    rec.isa = static_cast<std::uint8_t>(simd::active_isa());
+    rec.lookup = obs::PlanLookup::kUnknown;
+    obs::record_call(rec);
+  }
+#endif  // EGEMM_OBSERVABILITY_ENABLED
+}
+
 WorkspaceLease GemmContext::lease_workspace() {
   std::unique_ptr<Workspace> ws;
   {
@@ -899,6 +1324,11 @@ std::uint64_t GemmContext::plan_hits() const noexcept {
 std::uint64_t GemmContext::plan_misses() const noexcept {
   const std::lock_guard<std::mutex> lock(mutex_);
   return misses_;
+}
+
+std::uint64_t GemmContext::plan_evictions() const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
 }
 
 std::size_t GemmContext::cached_plans() const noexcept {

@@ -126,6 +126,19 @@ class Workspace {
   PackedPlanesB bpack_;
 };
 
+/// Work threshold (in m*n*k multiply-adds) below which a single GEMM
+/// executes inline on the calling thread instead of dispatching to the
+/// pool: under ~64^3 the per-GEMM 2D schedule produces more chunks than
+/// useful work per chunk, so the pool round-trip costs more than it buys.
+/// The effective value is, in order: the last set_ value (when nonzero),
+/// the loaded tuning file's small_gemm_inline_threshold
+/// (model/tuning_cache.hpp), else 64^3. Set 1 to never inline.
+std::size_t small_gemm_inline_threshold() noexcept;
+
+/// Overrides the threshold process-wide; 0 restores the automatic value
+/// (tuning file, else the 64^3 default).
+void set_small_gemm_inline_threshold(std::size_t work) noexcept;
+
 /// Process-wide count of workspace buffer growths. Debug builds only: in
 /// NDEBUG builds the accounting compiles out and this always returns 0
 /// (gate tests on debug_workspace_accounting()).
@@ -187,8 +200,13 @@ class GemmPlan {
     return static_cast<core::SchemeId>(key_.scheme);
   }
   std::span<const PlaneCombo> combos() const noexcept { return combos_; }
-  /// Tile configuration after consulting the §6 analytic solver.
+  /// Tile configuration after consulting the tuning cache (DESIGN.md §18)
+  /// and then the §6 analytic solver.
   const TileConfig& tile() const noexcept { return tile_; }
+  /// Scheduler grain (output tiles per 2D block) from the tuning cache;
+  /// 0 = the pool's default heuristic. Scheduling only -- results are
+  /// bit-identical for every grain, so it is not part of the plan key.
+  std::size_t schedule_grain() const noexcept { return grain_; }
   /// Steady-state workspace footprint of one execute() (planes + packs).
   std::size_t workspace_bytes() const noexcept { return workspace_bytes_; }
   const PlanKey& key() const noexcept { return key_; }
@@ -206,12 +224,24 @@ class GemmPlan {
 
  private:
   friend class GemmContext;
-  explicit GemmPlan(const PlanKey& key);
+  GemmPlan(const PlanKey& key, std::size_t grain);
 
   PlanKey key_;
   TileConfig tile_;
   std::vector<PlaneCombo> combos_;
   std::size_t workspace_bytes_ = 0;
+  std::size_t grain_ = 0;
+};
+
+/// One item of a grouped execute (GemmContext::execute_grouped): a planned
+/// GEMM plus its operands. Plans may mix shapes, schemes, and engines
+/// freely; direct-backend items fall back to a per-item execute.
+struct GroupedGemm {
+  std::shared_ptr<const GemmPlan> plan;
+  const Matrix* a = nullptr;
+  const Matrix* b = nullptr;
+  const Matrix* c = nullptr;  ///< optional accumulator input
+  Matrix* d = nullptr;        ///< caller-owned output, resized in place
 };
 
 /// Owns the plan cache and the workspace pool. Create one per long-lived
@@ -276,12 +306,27 @@ class GemmContext {
                              const core::AccuracyContract& contract,
                              ExecEngine engine = ExecEngine::kPacked);
 
+  /// Executes a batch of planned GEMMs as ONE flattened (item x tile) task
+  /// stream (DESIGN.md §18): per-item prep (split, output init, pack) runs
+  /// parallel over items, then every output tile of every item enters a
+  /// single pool dispatch with a batch-aware grain, so small items no
+  /// longer serialize behind each other. Results are bit-identical to
+  /// calling item.plan->execute() in a loop (each output tile runs the
+  /// exact same operation sequence; only the schedule changes). Per-call
+  /// telemetry deposits one CallRecord per shape class, tagged with a
+  /// process-unique batch id and the class's item count.
+  void execute_grouped(std::span<const GroupedGemm> items);
+
   /// Leases a warm workspace (LIFO, so repeated same-shape calls reuse the
   /// same buffers). execute() does this internally.
   WorkspaceLease lease_workspace();
 
   std::uint64_t plan_hits() const noexcept;
   std::uint64_t plan_misses() const noexcept;
+  /// Plans evicted from the LRU since construction (also the process-wide
+  /// gemm.plan.cache.evictions counter and the gemm.plan.cache.{size,
+  /// capacity} gauges, last-writing context wins on the gauges).
+  std::uint64_t plan_evictions() const noexcept;
   std::size_t cached_plans() const noexcept;
   std::size_t plan_capacity() const noexcept { return capacity_; }
   std::size_t pooled_workspaces() const noexcept;
@@ -289,7 +334,8 @@ class GemmContext {
  private:
   friend class WorkspaceLease;
 
-  std::shared_ptr<const GemmPlan> plan_for(const PlanKey& key);
+  std::shared_ptr<const GemmPlan> plan_for(const PlanKey& key,
+                                           std::size_t grain);
   void recycle(std::unique_ptr<Workspace> ws);
 
   struct CacheEntry {
@@ -304,6 +350,7 @@ class GemmContext {
       index_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 
   mutable std::mutex ws_mutex_;
   std::vector<std::unique_ptr<Workspace>> free_workspaces_;

@@ -118,13 +118,14 @@ CallSummary summarize_calls(std::span<const CallRecord> records) {
   summary.records = records.size();
   summary.dropped = dropped_call_records();
   const auto key_of = [](const CallClassSummary& c) {
-    return std::make_tuple(c.m, c.n, c.k, c.scheme, c.backend, c.engine,
-                           c.isa);
+    return std::make_tuple(c.m, c.n, c.k, c.batch, c.scheme, c.backend,
+                           c.engine, c.isa);
   };
   for (const CallRecord& rec : records) {
     CallClassSummary* cls = nullptr;
-    const auto key = std::make_tuple(rec.m, rec.n, rec.k, rec.scheme,
-                                     rec.backend, rec.engine, rec.isa);
+    const auto key = std::make_tuple(rec.m, rec.n, rec.k, rec.batch,
+                                     rec.scheme, rec.backend, rec.engine,
+                                     rec.isa);
     for (CallClassSummary& existing : summary.classes) {
       if (key_of(existing) == key) {
         cls = &existing;
@@ -136,6 +137,7 @@ CallSummary summarize_calls(std::span<const CallRecord> records) {
       fresh.m = rec.m;
       fresh.n = rec.n;
       fresh.k = rec.k;
+      fresh.batch = rec.batch;
       fresh.scheme = rec.scheme;
       fresh.backend = rec.backend;
       fresh.engine = rec.engine;
@@ -144,6 +146,8 @@ CallSummary summarize_calls(std::span<const CallRecord> records) {
       cls = &summary.classes.back();
     }
     ++cls->calls;
+    cls->gemms += rec.batch;
+    if (rec.batch_id != 0) ++cls->batched_records;
     if (rec.lookup == PlanLookup::kHit) ++cls->plan_hits;
     if (rec.lookup == PlanLookup::kMiss) ++cls->plan_misses;
     cls->total_ns += rec.total_ns;
@@ -236,6 +240,12 @@ std::string call_summary_json_block(const CallSummary& summary,
     out += indent;
     out += "     \"calls\": ";
     append_u64(out, cls.calls);
+    out += ", \"batch\": ";
+    append_u64(out, cls.batch);
+    out += ", \"gemms\": ";
+    append_u64(out, cls.gemms);
+    out += ", \"batched_records\": ";
+    append_u64(out, cls.batched_records);
     out += ", \"plan_hits\": ";
     append_u64(out, cls.plan_hits);
     out += ", \"plan_misses\": ";

@@ -34,11 +34,15 @@ namespace egemm::obs {
 /// caller held the plan across calls, or the backend is direct).
 enum class PlanLookup : std::uint8_t { kUnknown = 0, kHit = 1, kMiss = 2 };
 
-/// One GemmPlan::execute, 96 bytes. Stage fields cover the emulated
-/// pipeline (split/pack/mma/combine); direct binary32 backends carry only
+/// One GemmPlan::execute -- or one shape class of a grouped batch -- in
+/// 96 bytes. Stage fields cover the emulated pipeline
+/// (split/pack/mma/combine); direct binary32 backends carry only
 /// total_ns. mma/combine are the engine wall segment apportioned by
 /// worker-side accumulation, so split+pack+mma+combine approaches total_ns
 /// from below (the residual is workspace lease/resize bookkeeping).
+/// Grouped executes deposit one record per shape class sharing the batch's
+/// process-unique batch_id, with `batch` counting the class's items and
+/// total_ns the batch wall scaled by the class's FLOP share.
 struct CallRecord {
   std::uint64_t start_ns = 0;    ///< obs::monotonic_ns() at entry
   std::uint64_t total_ns = 0;    ///< wall time of the whole execute
@@ -50,6 +54,8 @@ struct CallRecord {
   std::uint64_t bytes_moved = 0; ///< inputs + output + workspace traffic
   std::uint32_t m = 0, n = 0, k = 0;
   std::uint32_t tid = 0;         ///< obs::current_thread_id()
+  std::uint32_t batch_id = 0;    ///< grouped-execute id; 0 = unbatched
+  std::uint32_t batch = 1;       ///< GEMMs this record covers (1 = single)
   std::int8_t scheme = -1;       ///< core::SchemeId, -1 direct/custom
   std::uint8_t backend = 0;      ///< gemm::Backend value
   std::uint8_t engine = 0;       ///< gemm::ExecEngine value
@@ -84,12 +90,15 @@ void clear_call_records();
 /// columns inherit kLatencyQuantileRelErr.
 struct CallClassSummary {
   std::uint32_t m = 0, n = 0, k = 0;
+  std::uint32_t batch = 1;  ///< items per record in this class
   std::int8_t scheme = -1;
   std::uint8_t backend = 0;
   std::uint8_t engine = 0;
   std::uint8_t isa = 0;
 
   std::uint64_t calls = 0;
+  std::uint64_t gemms = 0;           ///< sum of record batch sizes
+  std::uint64_t batched_records = 0; ///< records with a nonzero batch_id
   std::uint64_t plan_hits = 0;
   std::uint64_t plan_misses = 0;
   std::uint64_t total_ns = 0;
@@ -124,8 +133,10 @@ struct CallSummary {
   std::uint64_t dropped = 0;              ///< dropped_call_records() at build
 };
 
-/// Groups records by (m, n, k, scheme, backend, engine, isa) and reduces
-/// each group. `dropped` is stamped from the live dropped count.
+/// Groups records by (m, n, k, batch, scheme, backend, engine, isa) and
+/// reduces each group, so batched traffic is attributed per batch class
+/// rather than folded into the single-call rows. `dropped` is stamped from
+/// the live dropped count.
 CallSummary summarize_calls(std::span<const CallRecord> records);
 
 /// Optional id -> name resolvers for the JSON block below. The obs layer

@@ -100,24 +100,39 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::record_inline_task() noexcept {
-  slots_[tl_worker_index].inline_tasks.fetch_add(1,
-                                                 std::memory_order_relaxed);
+  // tl_worker_index belongs to the caller's own pool; when an outside
+  // thread (or another pool's worker) runs inline here, bill slot 0.
+  const std::size_t slot = tl_worker_pool == this ? tl_worker_index : 0;
+  slots_[slot].inline_tasks.fetch_add(1, std::memory_order_relaxed);
   EGEMM_COUNTER_ADD("threadpool.inline_tasks", 1);
 }
 
 void ThreadPool::parallel_for(
     std::size_t count,
     const std::function<void(std::size_t, std::size_t)>& body) {
+  parallel_for(count, /*grain=*/0, body);
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
   if (count == 0) return;
-  if (in_worker_thread()) {
+  if (in_worker_thread() || size() <= 1) {
     // Nested call from our own worker: the caller already holds one of the
     // pool's threads, so run inline rather than blocking it on futures
-    // that this same pool has to serve.
+    // that this same pool has to serve. A single-worker pool runs inline
+    // for the same reason in spirit: it cannot overlap anything with the
+    // blocked caller, so the handoff (queue mutex, cv wakeup, future
+    // join) is pure cost -- on one-core hosts this is the difference
+    // between a tiny GEMM and a tiny GEMM plus a thread round-trip.
     record_inline_task();
     body(0, count);
     return;
   }
-  const std::size_t chunks = std::min(count, std::max<std::size_t>(1, size() * 4));
+  std::size_t chunks = std::min(count, std::max<std::size_t>(1, size() * 4));
+  if (grain > 1) {
+    chunks = std::min(chunks, (count + grain - 1) / grain);
+  }
   const std::size_t chunk = (count + chunks - 1) / chunks;
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
@@ -133,7 +148,7 @@ void ThreadPool::parallel_for_2d(
     const std::function<void(std::size_t, std::size_t, std::size_t,
                              std::size_t)>& body) {
   if (rows == 0 || cols == 0) return;
-  if (in_worker_thread()) {
+  if (in_worker_thread() || size() <= 1) {
     record_inline_task();
     body(0, rows, 0, cols);
     return;

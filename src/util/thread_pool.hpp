@@ -10,6 +10,12 @@
 // pool's own workers run the body inline on the calling thread instead of
 // enqueueing -- a nested call would otherwise park a worker on futures that
 // only the same (possibly single-threaded) pool can serve.
+//
+// Single-worker pools (one-core hosts) also run parallel_for /
+// parallel_for_2d inline on the caller: with the caller blocked there is
+// one runnable thread either way, so the enqueue/wakeup/join round-trip
+// buys nothing and costs a context switch per chunk. submit() still
+// enqueues (its future IS the deliverable).
 
 #include <atomic>
 #include <condition_variable>
@@ -26,9 +32,11 @@
 namespace egemm::util {
 
 /// Per-worker execution counters (DESIGN.md §12). `inline_tasks` counts
-/// reentrant parallel_for/parallel_for_2d bodies that ran inline on the
-/// worker because it called back into its own pool; their run time is
-/// already inside the enclosing task's `busy_ns`, so it is not re-added.
+/// parallel_for/parallel_for_2d bodies that ran inline on the calling
+/// thread -- reentrant calls from the pool's own workers (whose run time
+/// is already inside the enclosing task's `busy_ns`, so it is not
+/// re-added) and whole-range calls on single-worker pools (billed to
+/// slot 0).
 struct WorkerStats {
   std::uint64_t tasks_executed = 0;
   std::uint64_t inline_tasks = 0;
@@ -58,6 +66,14 @@ class ThreadPool {
   /// propagate to the caller (first one wins). Called from a worker of this
   /// pool, the whole range runs inline on the calling thread.
   void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// parallel_for with a lower bound on items per chunk: chunks never carry
+  /// fewer than `grain` items (except the last), so fine-grained streams --
+  /// the batched GEMM scheduler's flattened (item x tile) index space --
+  /// keep per-chunk work above the dispatch overhead. grain 0 or 1 is the
+  /// plain ~4-chunks-per-worker split above.
+  void parallel_for(std::size_t count, std::size_t grain,
                     const std::function<void(std::size_t, std::size_t)>& body);
 
   /// 2D blocked schedule: splits the [0, rows) x [0, cols) grid into

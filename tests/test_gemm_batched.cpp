@@ -1,0 +1,397 @@
+// Tests for the batched/grouped GEMM entry points (DESIGN.md §18): bit
+// identity with the loop-of-singles path per emulation-ladder rung and
+// forced ISA tier, empty batches, mixed transpose/epilogue parameters,
+// batches mixing every solver-feasible tiling, the strided convenience
+// form, the contract overloads, the small-GEMM inline-threshold knob, and
+// the batch-tagged telemetry records the flattened stream deposits.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "gemm/gemm_api.hpp"
+#include "gemm/plan.hpp"
+#include "model/analytic_model.hpp"
+#include "model/solver.hpp"
+#include "model/tuning_cache.hpp"
+#include "obs/callrec.hpp"
+#include "obs/metrics.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/isa.hpp"
+#include "tcsim/gpu_spec.hpp"
+
+namespace egemm::gemm {
+namespace {
+
+using simd::IsaLevel;
+
+bool bitwise_equal(const Matrix& x, const Matrix& y) {
+  return x.rows() == y.rows() && x.cols() == y.cols() &&
+         (x.size() == 0 ||
+          std::memcmp(x.data().data(), y.data().data(),
+                      x.size() * sizeof(float)) == 0);
+}
+
+std::vector<IsaLevel> available_levels() {
+  std::vector<IsaLevel> out;
+  for (int level = 0; level < simd::kIsaLevelCount; ++level) {
+    const auto candidate = static_cast<IsaLevel>(level);
+    if (simd::isa_available(candidate)) out.push_back(candidate);
+  }
+  return out;
+}
+
+/// Restores ISA auto-resolution when a test that called force_isa exits.
+struct IsaGuard {
+  IsaGuard() = default;
+  IsaGuard(const IsaGuard&) = delete;
+  IsaGuard& operator=(const IsaGuard&) = delete;
+  ~IsaGuard() { simd::reset_isa(); }
+};
+
+/// Restores the automatic small-GEMM inline threshold on exit.
+struct ThresholdGuard {
+  ThresholdGuard() = default;
+  ThresholdGuard(const ThresholdGuard&) = delete;
+  ThresholdGuard& operator=(const ThresholdGuard&) = delete;
+  ~ThresholdGuard() { set_small_gemm_inline_threshold(0); }
+};
+
+// -- bit identity with the loop of singles -----------------------------------
+
+TEST(GemmBatched, GroupedMatchesSingleLoopPerSchemeAndIsaTier) {
+  constexpr std::size_t kBatch = 4;
+  constexpr std::size_t kM = 48, kN = 40, kK = 32;
+  for (const IsaLevel level : available_levels()) {
+    const IsaGuard guard;
+    ASSERT_EQ(simd::force_isa(level), level);
+    for (const core::SchemeId scheme : core::scheme_ladder()) {
+      GemmContext ctx;
+      const auto plan = ctx.plan_scheme(scheme, kM, kN, kK);
+      std::vector<Matrix> a, b;
+      std::vector<Matrix> single(kBatch), grouped(kBatch);
+      for (std::size_t i = 0; i < kBatch; ++i) {
+        const auto seed = static_cast<unsigned>(100u * (static_cast<unsigned>(level) + 1) + 2u * static_cast<unsigned>(i));
+        a.push_back(random_matrix(kM, kK, -2.0f, 2.0f, seed));
+        b.push_back(random_matrix(kK, kN, -2.0f, 2.0f, seed + 1));
+      }
+      for (std::size_t i = 0; i < kBatch; ++i) {
+        plan->execute(ctx, a[i], b[i], nullptr, single[i]);
+      }
+      std::vector<GroupedGemm> work(kBatch);
+      for (std::size_t i = 0; i < kBatch; ++i) {
+        work[i] = GroupedGemm{plan, &a[i], &b[i], nullptr, &grouped[i]};
+      }
+      ctx.execute_grouped(work);
+      for (std::size_t i = 0; i < kBatch; ++i) {
+        EXPECT_TRUE(bitwise_equal(grouped[i], single[i]))
+            << "scheme=" << core::scheme_name(scheme)
+            << " isa=" << simd::isa_name(level) << " item=" << i;
+      }
+    }
+  }
+}
+
+TEST(GemmBatched, BatchedApiMatchesGemmExLoopAcrossIsaTiers) {
+  constexpr std::size_t kBatch = 6;
+  constexpr std::size_t kDim = 40;
+  for (const IsaLevel level : available_levels()) {
+    const IsaGuard guard;
+    ASSERT_EQ(simd::force_isa(level), level);
+    std::vector<Matrix> a, b, c;
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      const auto seed = static_cast<unsigned>(300u * (static_cast<unsigned>(level) + 1) + 3u * static_cast<unsigned>(i));
+      a.push_back(random_matrix(kDim, kDim, -1.0f, 1.0f, seed));
+      b.push_back(random_matrix(kDim, kDim, -1.0f, 1.0f, seed + 1));
+      c.push_back(random_matrix(kDim, kDim, -1.0f, 1.0f, seed + 2));
+    }
+    GemmExParams params;
+    params.alpha = 0.75f;
+    params.beta = 0.25f;
+    GemmContext batched_ctx;
+    const std::vector<Matrix> batched =
+        gemm_batched(batched_ctx, Backend::kEgemmTC, a, b, c, params);
+    ASSERT_EQ(batched.size(), kBatch);
+    GemmContext single_ctx;
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      const Matrix expect =
+          gemm_ex(single_ctx, Backend::kEgemmTC, a[i], b[i], &c[i], params);
+      EXPECT_TRUE(bitwise_equal(batched[i], expect))
+          << "isa=" << simd::isa_name(level) << " item=" << i;
+    }
+  }
+}
+
+TEST(GemmBatched, EmptyBatchesAreNoOps) {
+  GemmContext ctx;
+  const std::vector<Matrix> none =
+      gemm_batched(ctx, Backend::kEgemmTC, {}, {});
+  EXPECT_TRUE(none.empty());
+  gemm_grouped(ctx, Backend::kEgemmTC, {});
+  ctx.execute_grouped({});
+  EXPECT_EQ(ctx.plan_misses(), 0u);  // nothing was planned, let alone run
+}
+
+TEST(GemmBatched, GroupedMixedTransposeAndEpilogueMatchesGemmEx) {
+  // All four transpose combinations plus alpha/beta epilogues in ONE
+  // grouped call; each item must land bit-identical to its own gemm_ex.
+  constexpr std::size_t kM = 24, kN = 20, kK = 28;
+  struct Case {
+    Transpose ta, tb;
+    float alpha, beta;
+  };
+  const std::vector<Case> cases = {
+      {Transpose::kNone, Transpose::kNone, 1.0f, 0.0f},
+      {Transpose::kTranspose, Transpose::kNone, 1.0f, 1.0f},
+      {Transpose::kNone, Transpose::kTranspose, -0.5f, 0.25f},
+      {Transpose::kTranspose, Transpose::kTranspose, 2.0f, -1.0f},
+  };
+  std::vector<Matrix> a, b, c;
+  std::vector<GemmExParams> params(cases.size());
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto seed = static_cast<unsigned>(500 + 3 * i);
+    const bool ta = cases[i].ta == Transpose::kTranspose;
+    const bool tb = cases[i].tb == Transpose::kTranspose;
+    a.push_back(random_matrix(ta ? kK : kM, ta ? kM : kK, -1.0f, 1.0f, seed));
+    b.push_back(
+        random_matrix(tb ? kN : kK, tb ? kK : kN, -1.0f, 1.0f, seed + 1));
+    c.push_back(random_matrix(kM, kN, -1.0f, 1.0f, seed + 2));
+    params[i].trans_a = cases[i].ta;
+    params[i].trans_b = cases[i].tb;
+    params[i].alpha = cases[i].alpha;
+    params[i].beta = cases[i].beta;
+  }
+  std::vector<Matrix> grouped(cases.size());
+  std::vector<GroupedGemmItem> items(cases.size());
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    items[i] = GroupedGemmItem{&a[i], &b[i], &c[i], &grouped[i], params[i]};
+  }
+  GemmContext grouped_ctx;
+  gemm_grouped(grouped_ctx, Backend::kEgemmTC, items);
+  GemmContext single_ctx;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const Matrix expect =
+        gemm_ex(single_ctx, Backend::kEgemmTC, a[i], b[i], &c[i], params[i]);
+    EXPECT_TRUE(bitwise_equal(grouped[i], expect)) << "item=" << i;
+  }
+}
+
+TEST(GemmBatched, GroupedMixesEveryFeasibleTilingBitIdentically) {
+  // One batch carrying a plan per solver-feasible tiling: the flattened
+  // stream interleaves blocks of every tile shape and must still match
+  // the per-item execute loop exactly.
+  const model::SolverResult result =
+      model::solve(model::budget_from_spec(tcsim::tesla_t4()));
+  ASSERT_TRUE(result.found);
+  ASSERT_GE(result.feasible.size(), 2u);
+  GemmContext ctx;
+  std::vector<std::shared_ptr<const GemmPlan>> plans;
+  plans.reserve(result.feasible.size());
+  for (const model::SolverCandidate& candidate : result.feasible) {
+    plans.push_back(ctx.plan_scheme(core::SchemeId::kRound2, 48, 36, 32,
+                                    ExecEngine::kPacked, candidate.config));
+  }
+  const std::size_t batch = plans.size();
+  std::vector<Matrix> a, b;
+  std::vector<Matrix> single(batch), grouped(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const auto seed = static_cast<unsigned>(700 + 2 * i);
+    a.push_back(random_matrix(48, 32, -1.0f, 1.0f, seed));
+    b.push_back(random_matrix(32, 36, -1.0f, 1.0f, seed + 1));
+  }
+  for (std::size_t i = 0; i < batch; ++i) {
+    plans[i]->execute(ctx, a[i], b[i], nullptr, single[i]);
+  }
+  std::vector<GroupedGemm> work(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    work[i] = GroupedGemm{plans[i], &a[i], &b[i], nullptr, &grouped[i]};
+  }
+  ctx.execute_grouped(work);
+  for (std::size_t i = 0; i < batch; ++i) {
+    EXPECT_TRUE(bitwise_equal(grouped[i], single[i]))
+        << "tiling index " << i << " (bm=" << plans[i]->tile().bm
+        << " bn=" << plans[i]->tile().bn << ")";
+  }
+}
+
+TEST(GemmBatched, StridedFormMatchesSpanForm) {
+  constexpr std::size_t kBatch = 3;
+  constexpr std::size_t kM = 16, kN = 12, kK = 20;
+  std::vector<Matrix> a, b;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    const auto seed = static_cast<unsigned>(900 + 2 * i);
+    a.push_back(random_matrix(kM, kK, -1.0f, 1.0f, seed));
+    b.push_back(random_matrix(kK, kN, -1.0f, 1.0f, seed + 1));
+  }
+  // Row-major stacks: item i occupies rows [i*m, (i+1)*m) of A and
+  // [i*k, (i+1)*k) of B, i.e. contiguous element blocks.
+  Matrix a_stack(kBatch * kM, kK);
+  Matrix b_stack(kBatch * kK, kN);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    std::memcpy(a_stack.data().data() + i * kM * kK, a[i].data().data(),
+                kM * kK * sizeof(float));
+    std::memcpy(b_stack.data().data() + i * kK * kN, b[i].data().data(),
+                kK * kN * sizeof(float));
+  }
+  GemmContext ctx;
+  const Matrix d_stack =
+      gemm_batched_strided(ctx, Backend::kEgemmTC, kBatch, a_stack, b_stack);
+  ASSERT_EQ(d_stack.rows(), kBatch * kM);
+  ASSERT_EQ(d_stack.cols(), kN);
+  const std::vector<Matrix> d = gemm_batched(ctx, Backend::kEgemmTC, a, b);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    EXPECT_EQ(std::memcmp(d_stack.data().data() + i * kM * kN,
+                          d[i].data().data(), kM * kN * sizeof(float)),
+              0)
+        << "item=" << i;
+  }
+}
+
+TEST(GemmBatched, ContractBatchedMatchesContractLoop) {
+  // With explicit (> 0) scales the batch-wide resolution is exactly the
+  // per-item resolution, so the contract batch must be bit-identical to
+  // the per-item contract gemm_ex loop.
+  constexpr std::size_t kBatch = 4;
+  constexpr std::size_t kDim = 32;
+  core::AccuracyContract contract;
+  contract.max_abs_error = 1e-2;
+  contract.a_scale = 2.0;
+  contract.b_scale = 2.0;
+  std::vector<Matrix> a, b;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    const auto seed = static_cast<unsigned>(1100 + 2 * i);
+    a.push_back(random_matrix(kDim, kDim, -2.0f, 2.0f, seed));
+    b.push_back(random_matrix(kDim, kDim, -2.0f, 2.0f, seed + 1));
+  }
+  GemmContext batched_ctx;
+  const std::vector<Matrix> batched =
+      gemm_batched(batched_ctx, a, b, {}, GemmExParams{}, contract);
+  ASSERT_EQ(batched.size(), kBatch);
+  GemmContext single_ctx;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    const Matrix expect =
+        gemm_ex(single_ctx, a[i], b[i], nullptr, GemmExParams{}, contract);
+    EXPECT_TRUE(bitwise_equal(batched[i], expect)) << "item=" << i;
+  }
+}
+
+// -- the small-GEMM inline-threshold knob ------------------------------------
+
+TEST(GemmBatched, InlineThresholdKnobRoundTripsAndPreservesResults) {
+  const ThresholdGuard guard;
+  // The automatic threshold consults the loaded tuning file; make sure
+  // this process resolves against the built-in default instead.
+  ::unsetenv("EGEMM_TUNING_FILE");
+  model::TuningCache::global().clear();
+  set_small_gemm_inline_threshold(12345);
+  EXPECT_EQ(small_gemm_inline_threshold(), 12345u);
+  set_small_gemm_inline_threshold(0);
+  // No tuning file is loaded in this test binary, so 0 restores the 64^3
+  // built-in default.
+  EXPECT_EQ(small_gemm_inline_threshold(),
+            std::size_t{64} * 64 * 64);
+
+  // Both extreme settings must leave batched results bit-identical to the
+  // singles loop: the threshold selects a schedule (fused/serial vs
+  // pipelined dispatch), never an operation sequence.
+  constexpr std::size_t kBatch = 4;
+  constexpr std::size_t kDim = 48;
+  std::vector<Matrix> a, b;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    const auto seed = static_cast<unsigned>(1300 + 2 * i);
+    a.push_back(random_matrix(kDim, kDim, -1.0f, 1.0f, seed));
+    b.push_back(random_matrix(kDim, kDim, -1.0f, 1.0f, seed + 1));
+  }
+  GemmContext single_ctx;
+  std::vector<Matrix> expect;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    expect.push_back(
+        gemm_ex(single_ctx, Backend::kEgemmTC, a[i], b[i], nullptr, {}));
+  }
+  for (const std::size_t threshold : {std::size_t{1}, std::size_t{1} << 30}) {
+    set_small_gemm_inline_threshold(threshold);
+    GemmContext ctx;
+    const std::vector<Matrix> batched =
+        gemm_batched(ctx, Backend::kEgemmTC, a, b);
+    ASSERT_EQ(batched.size(), kBatch);
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      EXPECT_TRUE(bitwise_equal(batched[i], expect[i]))
+          << "threshold=" << threshold << " item=" << i;
+    }
+  }
+}
+
+// -- batch-tagged telemetry --------------------------------------------------
+
+TEST(GemmBatched, GroupedDepositsBatchTaggedCallRecords) {
+  if (!obs::kEnabled) GTEST_SKIP() << "observability compiled out";
+  constexpr std::size_t kBatch = 3;
+  constexpr std::size_t kDim = 32;
+  GemmContext ctx;
+  const auto plan = ctx.plan(Backend::kEgemmTC, kDim, kDim, kDim);
+  std::vector<Matrix> a, b, d(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    const auto seed = static_cast<unsigned>(1500 + 2 * i);
+    a.push_back(random_matrix(kDim, kDim, -1.0f, 1.0f, seed));
+    b.push_back(random_matrix(kDim, kDim, -1.0f, 1.0f, seed + 1));
+  }
+  std::vector<GroupedGemm> work(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    work[i] = GroupedGemm{plan, &a[i], &b[i], nullptr, &d[i]};
+  }
+  obs::clear_call_records();
+  ctx.execute_grouped(work);
+  const std::vector<obs::CallRecord> records = obs::drain_call_records();
+  const obs::CallRecord* tagged = nullptr;
+  for (const obs::CallRecord& rec : records) {
+    if (rec.batch_id != 0 && rec.m == kDim) tagged = &rec;
+  }
+  ASSERT_NE(tagged, nullptr)
+      << "no batch-tagged record among " << records.size();
+  EXPECT_EQ(tagged->batch, kBatch);  // one record covers the shape class
+  EXPECT_GT(tagged->total_ns, 0u);
+  EXPECT_EQ(tagged->flops, kBatch * 2 * kDim * kDim * kDim);
+
+  const obs::CallSummary summary = obs::summarize_calls(records);
+  bool found_class = false;
+  for (const obs::CallClassSummary& cls : summary.classes) {
+    if (cls.m != kDim || cls.batch != kBatch) continue;
+    found_class = true;
+    EXPECT_EQ(cls.gemms, kBatch);
+    EXPECT_EQ(cls.batched_records, 1u);
+  }
+  EXPECT_TRUE(found_class) << "batch class missing from summary";
+}
+
+// -- plan-cache occupancy/eviction observability -----------------------------
+
+TEST(GemmBatched, PlanCacheEvictionCountersAndGaugesPublish) {
+  GemmContext ctx(2);
+  (void)ctx.plan(Backend::kEgemmTC, 16, 16, 16);
+  (void)ctx.plan(Backend::kEgemmTC, 24, 24, 24);
+  (void)ctx.plan(Backend::kEgemmTC, 32, 32, 32);  // evicts the first plan
+  EXPECT_EQ(ctx.plan_evictions(), 1u);
+  EXPECT_EQ(ctx.cached_plans(), 2u);
+  EXPECT_EQ(ctx.plan_capacity(), 2u);
+  if (!obs::kEnabled) return;
+  const obs::MetricsSnapshot snap = obs::registry().snapshot();
+  bool saw_size = false, saw_capacity = false, saw_evictions = false;
+  for (const auto& gauge : snap.gauges) {
+    if (gauge.name == "gemm.plan.cache.size") saw_size = true;
+    if (gauge.name == "gemm.plan.cache.capacity") saw_capacity = true;
+  }
+  for (const auto& counter : snap.counters) {
+    if (counter.name == "gemm.plan.cache.evictions" && counter.value >= 1) {
+      saw_evictions = true;
+    }
+  }
+  EXPECT_TRUE(saw_size);
+  EXPECT_TRUE(saw_capacity);
+  EXPECT_TRUE(saw_evictions);
+}
+
+}  // namespace
+}  // namespace egemm::gemm

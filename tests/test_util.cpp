@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -104,18 +105,23 @@ TEST(ThreadPool, NestedParallelForRunsInlineInsteadOfDeadlocking) {
   // With a single worker, a nested parallel_for that queued tasks would
   // deadlock: the worker would block on futures only it can serve. The
   // pool must detect the worker context and run the nested body inline.
+  // (Entry is via submit: parallel_for on a single-worker pool never
+  // reaches the worker in the first place -- it runs on the caller.)
   ThreadPool pool(1);
   std::vector<std::atomic<int>> hits(64);
   std::atomic<int> inner_calls{0};
-  pool.parallel_for(4, [&](std::size_t ob, std::size_t oe) {
-    EXPECT_TRUE(pool.in_worker_thread());
-    for (std::size_t o = ob; o < oe; ++o) {
-      pool.parallel_for(16, [&](std::size_t ib, std::size_t ie) {
-        inner_calls.fetch_add(1);
-        for (std::size_t i = ib; i < ie; ++i) hits[o * 16 + i].fetch_add(1);
-      });
-    }
-  });
+  pool.submit([&] {
+        EXPECT_TRUE(pool.in_worker_thread());
+        for (std::size_t o = 0; o < 4; ++o) {
+          pool.parallel_for(16, [&](std::size_t ib, std::size_t ie) {
+            inner_calls.fetch_add(1);
+            for (std::size_t i = ib; i < ie; ++i) {
+              hits[o * 16 + i].fetch_add(1);
+            }
+          });
+        }
+      })
+      .get();
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
   EXPECT_GT(inner_calls.load(), 0);
   EXPECT_FALSE(pool.in_worker_thread());
@@ -211,7 +217,7 @@ TEST(ThreadPool, StatsSurviveReentrantInlinePath) {
   // A nested parallel_for from a worker runs inline (no enqueue); the
   // counters must record it as an inline task without double-counting it
   // as a queued task or losing the enclosing task's accounting.
-  ThreadPool pool(1);
+  ThreadPool pool(2);
   std::atomic<int> inner{0};
   pool.parallel_for(4, [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) {
@@ -222,11 +228,41 @@ TEST(ThreadPool, StatsSurviveReentrantInlinePath) {
   });
   EXPECT_EQ(inner.load(), 8);
   const WorkerStats total = pool.total_stats();
-  // One queued task per outer chunk (single worker caps chunks at 4), one
+  // One queued task per outer chunk (two workers cap chunks at 8), one
   // inline record per nested call.
   EXPECT_GT(total.tasks_executed, 0u);
-  EXPECT_LE(total.tasks_executed, 4u);
+  EXPECT_LE(total.tasks_executed, 8u);
   EXPECT_EQ(total.inline_tasks, 4u);
+}
+
+TEST(ThreadPool, SingleWorkerPoolRunsParallelForInline) {
+  // With one worker the caller is the only thread that can make progress
+  // while it blocks, so the whole range must run inline on the caller --
+  // no queued tasks, one inline record -- in both the 1D and 2D forms.
+  ThreadPool pool(1);
+  std::vector<int> hits(16, 0);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id body_thread;
+  pool.parallel_for(hits.size(), [&](std::size_t b, std::size_t e) {
+    body_thread = std::this_thread::get_id();
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  });
+  EXPECT_EQ(body_thread, caller);
+  for (const int h : hits) EXPECT_EQ(h, 1);
+
+  std::vector<int> cells(4 * 4, 0);
+  pool.parallel_for_2d(
+      4, 4, 1,
+      [&](std::size_t r0, std::size_t r1, std::size_t c0, std::size_t c1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+          for (std::size_t c = c0; c < c1; ++c) ++cells[r * 4 + c];
+        }
+      });
+  for (const int h : cells) EXPECT_EQ(h, 1);
+
+  const WorkerStats total = pool.total_stats();
+  EXPECT_EQ(total.tasks_executed, 0u);
+  EXPECT_EQ(total.inline_tasks, 2u);
 }
 
 TEST(ThreadPool, ParallelFor2dExceptionsPropagate) {
